@@ -1,0 +1,81 @@
+"""Figure 1: the components of an example hybrid BGP/SDN experiment.
+
+Fig. 1 is the architecture picture, not a measurement — so this bench
+verifies (and times) that a full hybrid experiment assembles and
+converges with every pictured component working: legacy BGP routers, the
+SDN cluster (switches + controller + cluster BGP speaker with per-
+peering relays), the route collector hearing everyone, hosts with
+end-to-end connectivity, and prefix origination from both worlds.
+"""
+
+from conftest import bench_n, publish
+
+from repro.bgp.router import BGPRouter
+from repro.experiments import paper_config
+from repro.framework import Experiment
+from repro.sdn.switch import SDNSwitch
+from repro.topology import clique
+
+
+def build_fig1():
+    n = bench_n()
+    sdn_members = set(range(n // 2 + 1, n + 1))
+    exp = Experiment(
+        clique(n),
+        sdn_members=sdn_members,
+        config=paper_config(seed=1, mrai=30.0),
+        name="fig1",
+    ).start()
+    exp.add_host(1)
+    exp.add_host(n)
+    exp.wait_converged()
+    # exercise origination from both worlds
+    legacy_prefix = exp.announce(1)
+    member_prefix = exp.announce(n)
+    exp.wait_converged()
+    return exp, legacy_prefix, member_prefix
+
+
+def report(exp):
+    legacy = [x for x in exp.as_nodes() if isinstance(x, BGPRouter)]
+    switches = [x for x in exp.as_nodes() if isinstance(x, SDNSwitch)]
+    relay_links = [l for l in exp.net.links if l.kind == "relay"]
+    control_links = [l for l in exp.net.links if l.kind == "control"]
+    lines = [
+        "Figure 1 components — example hybrid experiment "
+        f"({len(exp.topology)}-AS clique, half SDN)",
+        "",
+        f"legacy BGP routers        : {len(legacy)}",
+        f"SDN switches (cluster)    : {len(switches)}",
+        f"controller members        : {len(exp.controller.members())}",
+        f"cluster BGP speaker peers : {len(exp.speaker.peerings())} "
+        f"(one per member<->legacy peering)",
+        f"speaker relay links       : {len(relay_links)}",
+        f"controller control links  : {len(control_links)}",
+        f"route collector feed      : {len(exp.collector.feed)} updates",
+        f"monitoring hosts          : "
+        f"{sum(len(h) for h in exp.hosts.values())}",
+        f"flow rules on first switch: "
+        f"{len(switches[0].flow_table)}",
+        f"all AS pairs reachable    : {exp.all_reachable()}",
+        f"settled at virtual time   : {exp.now:.1f}s",
+    ]
+    return "\n".join(lines)
+
+
+def test_fig1_components(benchmark):
+    exp, legacy_prefix, member_prefix = benchmark.pedantic(
+        build_fig1, rounds=1, iterations=1
+    )
+    publish("fig1_components", report(exp))
+    n = len(exp.topology)
+    # every pictured component exists and functions
+    assert exp.controller is not None and exp.speaker is not None
+    assert exp.collector is not None and exp.collector.feed
+    assert len(exp.speaker.peerings()) == (n // 2) * (n - n // 2)
+    assert all(s.established for s in exp.speaker.sessions.values())
+    assert exp.all_reachable()
+    # prefixes from both worlds propagated across the boundary
+    assert exp.node(2).loc_rib.get(member_prefix) is not None
+    switch = exp.node(n)
+    assert switch.lookup_route(legacy_prefix.host(0)) is not None

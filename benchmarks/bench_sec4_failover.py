@@ -1,0 +1,85 @@
+"""§4 result: "route fail-over ... did not show this linear improvement,
+but smaller reductions."
+
+Scenario: an origin AS dual-homes into the clique (primary gateway AS1,
+backup gateway AS2 with AS-path prepending); the primary link fails and
+everyone must move to the longer backup paths.  BGP explores the length
+gap in a *bounded* number of MRAI rounds — so centralization helps far
+less than for a withdrawal, and not linearly: convergence stays flat
+until the exploring backup gateway itself joins the cluster.
+
+We report both metrics: update-activity convergence (what a collector
+sees — the paper's measurement) and routing-state convergence (last
+FIB/decision change).
+"""
+
+from conftest import bench_n, bench_runs, publish
+
+from repro.analysis.stats import boxplot_stats
+from repro.experiments.common import (
+    FailoverScenario,
+    paper_config,
+    run_scenario_once,
+    sdn_set_for,
+)
+
+
+def run_sweep():
+    n = bench_n()
+    counts = [c for c in (0, 4, 8, 12, n - 2, n - 1) if c <= n - 1]
+    runs = bench_runs(5)
+    points = []
+    for k in counts:
+        activity, state = [], []
+        for run_index in range(runs):
+            scenario = FailoverScenario()
+            topology = scenario.topology(n)
+            members = sdn_set_for(topology, k, scenario.reserved_legacy)
+            m = run_scenario_once(
+                scenario, topology, members,
+                paper_config(seed=200 + 1000 * k + run_index, mrai=30.0),
+            )
+            activity.append(m.convergence_time)
+            state.append(m.state_convergence_time)
+        points.append((k, boxplot_stats(activity), boxplot_stats(state)))
+    return n, points
+
+
+def report(n, points):
+    lines = [
+        f"§4 fail-over reproduction — dual-homed origin on a {n}-AS clique",
+        "(backup path prepended x3; primary gateway link fails)",
+        "",
+        f"{'SDN':>7}  {'activity conv. median':>22}  {'state conv. median':>20}",
+    ]
+    for k, activity, state in points:
+        lines.append(
+            f"{k:>4}/{n:<2}  {activity.median:>20.1f}s  {state.median:>18.1f}s"
+        )
+    base = points[0][1].median
+    best = min(p[1].median for p in points)
+    lines += [
+        "",
+        f"activity-metric reduction at best point: {(base - best) / base:.1%}",
+        "paper shape: no linear improvement; a bounded, smaller reduction",
+        "(compare with Fig. 2's ~100% linear reduction).",
+    ]
+    return "\n".join(lines)
+
+
+def test_sec4_failover(benchmark):
+    n, points = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    publish("sec4_failover", report(n, points))
+    base_activity = points[0][1].median
+    best_activity = min(p[1].median for p in points)
+    reduction = (base_activity - best_activity) / base_activity
+    # A reduction exists...
+    assert reduction > 0.1, f"expected some fail-over reduction: {points}"
+    # ...but it is NOT the near-total linear reduction of Fig. 2:
+    assert reduction < 0.9, f"fail-over should not collapse to ~0: {points}"
+    # and mid-sweep points barely improve (non-linearity):
+    mid = [p[1].median for p in points[1:-2]]
+    assert all(m > 0.7 * base_activity for m in mid), (
+        "fail-over is bounded by the legacy gateways' MRAI rounds until "
+        f"the backup gateway itself is centralized: {points}"
+    )

@@ -1,0 +1,34 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one paper artifact (a figure, a reported
+result, or an ablation of a design choice), prints the same rows/series
+the paper reports, asserts the qualitative *shape*, and archives the
+text report under ``benchmarks/results/``.
+
+Environment knobs:
+
+- ``REPRO_BENCH_RUNS``  — seeded runs per sweep point (default: 10 for
+  Fig. 2, 5 elsewhere; lower it for a quick smoke pass).
+- ``REPRO_BENCH_N``     — clique size (default 16, the paper's).
+"""
+
+import os
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def bench_runs(default):
+    return int(os.environ.get("REPRO_BENCH_RUNS", default))
+
+
+def bench_n():
+    return int(os.environ.get("REPRO_BENCH_N", 16))
+
+
+def publish(name, text):
+    """Print a report and archive it under benchmarks/results/."""
+    print()
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")

@@ -1,0 +1,50 @@
+"""Hybrid BGP-SDN emulation framework.
+
+Reproduction of "Evaluating the Effect of Centralization on Routing
+Convergence on a Hybrid BGP-SDN Emulation Framework" (Gämperli,
+Kotronis, Dimitropoulos — SIGCOMM 2014 demo).
+
+Quick tour (see ``examples/quickstart.py`` for a runnable version)::
+
+    from repro.topology import clique
+    from repro.framework import Experiment, measure_event
+    from repro.experiments import paper_config
+
+    exp = Experiment(
+        clique(16),
+        sdn_members={9, 10, 11, 12, 13, 14, 15, 16},
+        config=paper_config(seed=1),
+    ).start()
+    prefix = exp.announce(1)
+    exp.wait_converged()
+    m = measure_event(exp, lambda: exp.withdraw(1, prefix))
+    print(f"converged in {m.convergence_time:.1f}s")
+
+Package map:
+
+- ``repro.eventsim``   — deterministic discrete-event kernel
+- ``repro.net``        — addresses, links, nodes, FIBs, data plane
+- ``repro.bgp``        — BGP-4 speakers (the Quagga substitute)
+- ``repro.sdn``        — OpenFlow-style switches and flow tables
+- ``repro.controller`` — the IDR controller + cluster BGP speaker
+- ``repro.topology``   — clique/model builders, CAIDA/iPlane datasets
+- ``repro.config``     — address allocation, config rendering
+- ``repro.framework``  — experiment lifecycle orchestration
+- ``repro.analysis``   — log analysis, statistics, visualization
+- ``repro.experiments``— the paper's evaluation scenarios
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "eventsim",
+    "net",
+    "bgp",
+    "sdn",
+    "controller",
+    "topology",
+    "config",
+    "framework",
+    "analysis",
+    "experiments",
+]

@@ -1,0 +1,115 @@
+"""Automatic log analysis (paper §3).
+
+"The framework supports tools for automatic log file analysis ...
+convergence time and loss measurement."  These functions post-process a
+:class:`~repro.eventsim.TraceLog` (the emulator's structured log) into
+the quantities an experimenter reads off: update churn over time,
+per-node message counts, per-prefix route-change histories, and
+convergence instants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..eventsim import ROUTE_AFFECTING, TraceLog, TraceRecord
+
+__all__ = [
+    "RouteChange",
+    "update_counts_by_node",
+    "churn_timeline",
+    "route_history",
+    "convergence_instant",
+    "interarrival_times",
+]
+
+
+@dataclass(frozen=True)
+class RouteChange:
+    """One best-route change at one node (from ``bgp.decision`` records)."""
+
+    time: float
+    node: str
+    prefix: str
+    old_path: Optional[str]
+    new_path: Optional[str]
+
+    @property
+    def is_loss(self) -> bool:
+        """True when the best route disappeared."""
+        return self.new_path is None
+
+    @property
+    def is_gain(self) -> bool:
+        """True when a route appeared where none was."""
+        return self.old_path is None and self.new_path is not None
+
+
+def update_counts_by_node(
+    trace: TraceLog, *, direction: str = "tx", since: float = 0.0
+) -> Dict[str, int]:
+    """BGP updates sent (``tx``) or received (``rx``) per node."""
+    if direction not in ("tx", "rx"):
+        raise ValueError(f"direction must be tx or rx: {direction!r}")
+    counts: Dict[str, int] = {}
+    for rec in trace.filter(category=f"bgp.update.{direction}", since=since):
+        counts[rec.node] = counts.get(rec.node, 0) + 1
+    return counts
+
+
+def churn_timeline(
+    trace: TraceLog,
+    *,
+    bin_size: float = 1.0,
+    category: str = "bgp.update.tx",
+    since: float = 0.0,
+    until: Optional[float] = None,
+) -> List[Tuple[float, int]]:
+    """Updates per time bin — the classic convergence-churn plot series.
+
+    Returns ``[(bin_start_time, count), ...]`` for non-empty bins.
+    """
+    if bin_size <= 0:
+        raise ValueError(f"bin_size must be positive: {bin_size!r}")
+    bins: Dict[int, int] = {}
+    for rec in trace.filter(category=category, since=since, until=until):
+        index = int((rec.time - since) // bin_size)
+        bins[index] = bins.get(index, 0) + 1
+    return [
+        (since + index * bin_size, bins[index]) for index in sorted(bins)
+    ]
+
+
+def route_history(
+    trace: TraceLog, prefix, *, node: Optional[str] = None
+) -> List[RouteChange]:
+    """Best-path changes for ``prefix`` (route-change visualization input)."""
+    target = str(prefix)
+    changes: List[RouteChange] = []
+    for rec in trace.filter(category="bgp.decision", node=node):
+        if rec.data.get("prefix") != target:
+            continue
+        changes.append(
+            RouteChange(
+                time=rec.time,
+                node=rec.node,
+                prefix=target,
+                old_path=rec.data.get("old"),
+                new_path=rec.data.get("new"),
+            )
+        )
+    return changes
+
+
+def convergence_instant(
+    trace: TraceLog, since: float, categories=ROUTE_AFFECTING
+) -> Optional[float]:
+    """Timestamp of the last route-affecting record at/after ``since``."""
+    return trace.last_time(categories, since=since)
+
+
+def interarrival_times(records: Sequence[TraceRecord]) -> List[float]:
+    """Gaps between consecutive records (burstiness diagnostics)."""
+    times = sorted(rec.time for rec in records)
+    return [b - a for a, b in zip(times, times[1:])]

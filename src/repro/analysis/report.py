@@ -1,0 +1,128 @@
+"""One-shot experiment reports.
+
+``experiment_report`` condenses a finished (or running) experiment into
+the text summary an experimenter wants at a glance: device inventory,
+session health, per-node update counts, churn over time, connectivity,
+and — when a cluster is present — controller statistics.  This is the
+"concentrate on the experiment rather than the bookkeeping" tooling the
+paper's objectives call for.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..bgp.router import BGPRouter
+from ..framework.experiment import Experiment
+from ..sdn.switch import SDNSwitch
+from .logs import churn_timeline, update_counts_by_node
+from .viz import churn_sparkline
+
+__all__ = ["experiment_report"]
+
+
+def experiment_report(
+    exp: Experiment,
+    *,
+    since: float = 0.0,
+    churn_bin: float = 1.0,
+    top_talkers: int = 5,
+) -> str:
+    """Render a human-readable status report for ``exp``."""
+    lines: List[str] = []
+    lines.append(f"experiment {exp.name!r} @ t={exp.now:.1f}s")
+    lines.append("=" * max(20, len(lines[0])))
+    lines.extend(_inventory(exp))
+    lines.extend(_sessions(exp))
+    lines.extend(_updates(exp, since, top_talkers))
+    lines.extend(_churn(exp, since, churn_bin))
+    lines.extend(_connectivity(exp))
+    if exp.controller is not None:
+        lines.extend(_cluster(exp))
+    return "\n".join(lines)
+
+
+def _inventory(exp: Experiment) -> List[str]:
+    legacy = [n for n in exp.as_nodes() if isinstance(n, BGPRouter)]
+    switches = [n for n in exp.as_nodes() if isinstance(n, SDNSwitch)]
+    host_count = sum(len(hosts) for hosts in exp.hosts.values())
+    out = [
+        "",
+        "inventory:",
+        f"  legacy routers : {len(legacy)}",
+        f"  SDN switches   : {len(switches)}",
+        f"  hosts          : {host_count}",
+        f"  links          : {len(exp.net.links)} "
+        f"({sum(1 for l in exp.net.links if not l.up)} down)",
+    ]
+    if exp.collector is not None:
+        out.append(f"  collector feed : {len(exp.collector.feed)} updates")
+    return out
+
+
+def _sessions(exp: Experiment) -> List[str]:
+    total = established = 0
+    for node in exp.as_nodes():
+        if isinstance(node, BGPRouter):
+            for session in node.sessions.values():
+                if session.link.kind == "collector":
+                    continue
+                total += 1
+                established += bool(session.established)
+    speaker_total = speaker_up = 0
+    if exp.speaker is not None:
+        for session in exp.speaker.sessions.values():
+            speaker_total += 1
+            speaker_up += bool(session.established)
+    out = [
+        "",
+        "BGP sessions:",
+        f"  legacy         : {established}/{total} established",
+    ]
+    if speaker_total:
+        out.append(f"  cluster speaker: {speaker_up}/{speaker_total} established")
+    return out
+
+
+def _updates(exp: Experiment, since: float, top_talkers: int) -> List[str]:
+    counts = update_counts_by_node(exp.net.trace, since=since)
+    total = sum(counts.values())
+    out = ["", f"update activity since t={since:.1f}s: {total} updates sent"]
+    ranked = sorted(counts.items(), key=lambda kv: -kv[1])[:top_talkers]
+    for node, count in ranked:
+        out.append(f"  {node:<12} {count}")
+    return out
+
+
+def _churn(exp: Experiment, since: float, churn_bin: float) -> List[str]:
+    timeline = churn_timeline(exp.net.trace, bin_size=churn_bin, since=since)
+    return ["", "churn: " + churn_sparkline(timeline)]
+
+
+def _connectivity(exp: Experiment) -> List[str]:
+    matrix = exp.connectivity_matrix()
+    broken = [(pair, t) for pair, t in matrix.items() if not t.reached]
+    out = [
+        "",
+        f"connectivity: {len(matrix) - len(broken)}/{len(matrix)} "
+        f"ordered AS pairs reachable",
+    ]
+    for (src, dst), walk in broken[:10]:
+        out.append(f"  as{src} -/-> as{dst}: {walk.reason}")
+    if len(broken) > 10:
+        out.append(f"  ... {len(broken) - 10} more broken pairs")
+    return out
+
+
+def _cluster(exp: Experiment) -> List[str]:
+    controller = exp.controller
+    sub_clusters = controller.switch_graph.sub_clusters()
+    return [
+        "",
+        "cluster:",
+        f"  members        : {len(controller.members())}",
+        f"  sub-clusters   : {[sorted(c) for c in sub_clusters]}",
+        f"  recomputations : {controller.recomputations}",
+        f"  flow mods sent : {controller.flow_mods_sent}",
+        f"  known prefixes : {len(controller.known_prefixes())}",
+    ]

@@ -1,0 +1,137 @@
+"""Route-change visualization and graph export (paper §3).
+
+The framework's visual tools, rendered for a terminal/file world:
+
+- :func:`ascii_boxplot_chart` — the Fig. 2 rendering: one boxplot row
+  per sweep point, drawn with box/whisker glyphs over a shared scale;
+- :func:`route_change_timeline` — per-AS best-path changes for one
+  prefix over time (the route-change visualization);
+- :func:`topology_dot` — Graphviz export of a topology with the SDN
+  cluster highlighted (Fig. 1-style component pictures);
+- :func:`churn_sparkline` — update churn over time in one line.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ..topology.model import Topology
+from .logs import RouteChange
+from .stats import BoxplotStats
+
+__all__ = [
+    "ascii_boxplot_chart",
+    "route_change_timeline",
+    "topology_dot",
+    "churn_sparkline",
+]
+
+
+def ascii_boxplot_chart(
+    rows: Sequence[Tuple[str, BoxplotStats]],
+    *,
+    width: int = 60,
+    title: str = "",
+    unit: str = "s",
+) -> str:
+    """Render labelled boxplots over a shared horizontal scale.
+
+    ``-`` whiskers, ``#`` the IQR box, ``|`` the median — good enough to
+    eyeball the Fig. 2 trend in a terminal or a text report.
+    """
+    if not rows:
+        raise ValueError("no rows")
+    lo = min(s.whisker_low for _, s in rows)
+    hi = max(s.whisker_high for _, s in rows)
+    if hi <= lo:
+        hi = lo + 1.0
+    span = hi - lo
+    label_w = max(len(label) for label, _ in rows)
+
+    def col(value: float) -> int:
+        return int(round((value - lo) / span * (width - 1)))
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(f"{'':<{label_w}}  {lo:.1f}{unit}{'':<{width - 12}}{hi:.1f}{unit}")
+    for label, stats in rows:
+        cells = [" "] * width
+        for i in range(col(stats.whisker_low), col(stats.whisker_high) + 1):
+            cells[i] = "-"
+        for i in range(col(stats.q1), col(stats.q3) + 1):
+            cells[i] = "#"
+        cells[col(stats.median)] = "|"
+        lines.append(f"{label:<{label_w}}  {''.join(cells)}  med={stats.median:.1f}{unit}")
+    return "\n".join(lines)
+
+
+def route_change_timeline(
+    changes: Sequence[RouteChange],
+    *,
+    t0: float = 0.0,
+    max_rows: int = 200,
+) -> str:
+    """Chronological per-AS best-path changes for one prefix."""
+    lines = ["time(s)    node        best path change"]
+    for change in sorted(changes, key=lambda c: (c.time, c.node))[:max_rows]:
+        old = change.old_path if change.old_path is not None else "(none)"
+        new = change.new_path if change.new_path is not None else "(none)"
+        lines.append(
+            f"{change.time - t0:9.3f}  {change.node:<10}  [{old}] -> [{new}]"
+        )
+    if len(changes) > max_rows:
+        lines.append(f"... {len(changes) - max_rows} more changes")
+    return "\n".join(lines)
+
+
+def topology_dot(
+    topology: Topology,
+    *,
+    sdn_members: Sequence[int] = (),
+    name: Optional[str] = None,
+) -> str:
+    """Graphviz DOT text; SDN members drawn as boxes, legacy as ellipses."""
+    sdn = set(sdn_members)
+    lines = [f'graph "{name or topology.name}" {{']
+    lines.append("  overlap=false;")
+    for spec in topology.ases:
+        shape = "box" if spec.asn in sdn else "ellipse"
+        style = ', style=filled, fillcolor="lightblue"' if spec.asn in sdn else ""
+        lines.append(
+            f'  {spec.asn} [label="{spec.label()}", shape={shape}{style}];'
+        )
+    for link in topology.links:
+        attrs = []
+        if link.relationship.value == "customer":
+            attrs.append('dir=forward, arrowhead="empty"')
+        label = f'  {link.a} -- {link.b}'
+        if attrs:
+            label += f' [{", ".join(attrs)}]'
+        lines.append(label + ";")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+_SPARK = " .:-=+*#%@"
+
+
+def churn_sparkline(
+    timeline: Sequence[Tuple[float, int]], *, width: int = 72
+) -> str:
+    """Compress an update-churn timeline into one line of glyphs."""
+    if not timeline:
+        return "(no updates)"
+    start = timeline[0][0]
+    end = timeline[-1][0]
+    span = max(end - start, 1e-9)
+    buckets = [0] * width
+    for t, count in timeline:
+        index = min(int((t - start) / span * (width - 1)), width - 1)
+        buckets[index] += count
+    peak = max(buckets) or 1
+    glyphs = [
+        _SPARK[min(int(b / peak * (len(_SPARK) - 1)), len(_SPARK) - 1)]
+        for b in buckets
+    ]
+    return f"t={start:.1f}s [{''.join(glyphs)}] t={end:.1f}s peak={peak}/bin"

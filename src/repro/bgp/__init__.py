@@ -1,0 +1,62 @@
+"""BGP-4 implementation (the framework's Quagga substitute).
+
+Public surface: :class:`BGPRouter` (one per AS), :class:`RouteCollector`
+(monitoring), :class:`BGPTimers` (MRAI & friends), the policy templates
+(:func:`gao_rexford_policy`, :func:`transit_all_policy`), and the data
+model (:class:`AsPath`, :class:`PathAttributes`, :class:`Route`).
+"""
+
+from .attrs import DEFAULT_LOCAL_PREF, AsPath, Origin, PathAttributes
+from .collector import COLLECTOR_ASN, CollectedUpdate, RouteCollector, collector_policy
+from .decision import DecisionConfig, best_route, rank_routes
+from .messages import BGPKeepalive, BGPMessage, BGPNotification, BGPOpen, BGPUpdate
+from .policy import (
+    LOCAL_COMMUNITY,
+    LOCAL_PREF_BY_RELATIONSHIP,
+    PeerPolicy,
+    Relationship,
+    RouteMap,
+    RouteMapEntry,
+    gao_rexford_policy,
+    relationship_community,
+    transit_all_policy,
+)
+from .rib import AdjRibIn, AdjRibOut, LocRib, Route
+from .router import BGPRouter
+from .session import BGPSession, BGPTimers, SessionState
+
+__all__ = [
+    "DEFAULT_LOCAL_PREF",
+    "AsPath",
+    "Origin",
+    "PathAttributes",
+    "COLLECTOR_ASN",
+    "CollectedUpdate",
+    "RouteCollector",
+    "collector_policy",
+    "DecisionConfig",
+    "best_route",
+    "rank_routes",
+    "BGPKeepalive",
+    "BGPMessage",
+    "BGPNotification",
+    "BGPOpen",
+    "BGPUpdate",
+    "LOCAL_COMMUNITY",
+    "LOCAL_PREF_BY_RELATIONSHIP",
+    "PeerPolicy",
+    "Relationship",
+    "RouteMap",
+    "RouteMapEntry",
+    "gao_rexford_policy",
+    "relationship_community",
+    "transit_all_policy",
+    "AdjRibIn",
+    "AdjRibOut",
+    "LocRib",
+    "Route",
+    "BGPRouter",
+    "BGPSession",
+    "BGPTimers",
+    "SessionState",
+]

@@ -1,0 +1,130 @@
+"""BGP path attributes.
+
+The framework emulates one Quagga-style BGP speaker per AS, so paths are
+sequences of AS numbers (AS_PATH), plus the standard attributes the
+decision process consumes: ORIGIN, LOCAL_PREF, MED.  NEXT_HOP is implicit
+in the point-to-point session a route was learned over.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Optional, Tuple
+
+__all__ = ["Origin", "AsPath", "PathAttributes", "DEFAULT_LOCAL_PREF"]
+
+#: RFC 4271 recommends 100 as the default LOCAL_PREF.
+DEFAULT_LOCAL_PREF = 100
+
+
+class Origin(enum.IntEnum):
+    """ORIGIN attribute; lower is preferred in the decision process."""
+
+    IGP = 0
+    EGP = 1
+    INCOMPLETE = 2
+
+
+@dataclass(frozen=True)
+class AsPath:
+    """An AS_PATH as an AS_SEQUENCE of AS numbers (leftmost = most recent).
+
+    Immutable; prepending returns a new path.  Loop detection is a simple
+    membership test, as in RFC 4271 §9.1.2.
+    """
+
+    asns: Tuple[int, ...] = ()
+
+    @classmethod
+    def of(cls, *asns: int) -> "AsPath":
+        """Construct from positional AS numbers."""
+        return cls(tuple(asns))
+
+    @classmethod
+    def from_iterable(cls, asns: Iterable[int]) -> "AsPath":
+        """Construct from any iterable of AS numbers."""
+        return cls(tuple(asns))
+
+    def prepend(self, asn: int, count: int = 1) -> "AsPath":
+        """Prepend ``asn`` ``count`` times (count > 1 = path prepending)."""
+        if count < 1:
+            raise ValueError(f"count must be >= 1: {count!r}")
+        return AsPath((asn,) * count + self.asns)
+
+    def prepend_sequence(self, asns: Iterable[int]) -> "AsPath":
+        """Prepend a whole AS sequence (used by the IDR controller when it
+        re-advertises a route that crosses several cluster member ASes)."""
+        return AsPath(tuple(asns) + self.asns)
+
+    def contains(self, asn: int) -> bool:
+        """Membership test."""
+        return asn in self.asns
+
+    @property
+    def length(self) -> int:
+        """Number of ASes in the path."""
+        return len(self.asns)
+
+    @property
+    def origin_as(self) -> Optional[int]:
+        """The AS that originated the route (rightmost), or None if empty."""
+        return self.asns[-1] if self.asns else None
+
+    @property
+    def first_as(self) -> Optional[int]:
+        """The neighbor AS the route was heard from (leftmost)."""
+        return self.asns[0] if self.asns else None
+
+    def __len__(self) -> int:
+        return len(self.asns)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.asns)
+
+    def __str__(self) -> str:
+        return " ".join(str(a) for a in self.asns) if self.asns else "(empty)"
+
+    def __repr__(self) -> str:
+        return f"AsPath({self.asns!r})"
+
+
+@dataclass(frozen=True)
+class PathAttributes:
+    """The attribute set attached to an announced prefix."""
+
+    as_path: AsPath = field(default_factory=AsPath)
+    origin: Origin = Origin.IGP
+    local_pref: int = DEFAULT_LOCAL_PREF
+    med: int = 0
+    #: free-form community-style tags; used by policies (e.g. relationship
+    #: tagging on import, the Gao-Rexford export filter reads them).
+    communities: Tuple[str, ...] = ()
+
+    def with_path(self, as_path: AsPath) -> "PathAttributes":
+        """Copy with a different AS path."""
+        return PathAttributes(
+            as_path=as_path, origin=self.origin,
+            local_pref=self.local_pref, med=self.med,
+            communities=self.communities,
+        )
+
+    def with_local_pref(self, local_pref: int) -> "PathAttributes":
+        """Copy with a different LOCAL_PREF."""
+        return PathAttributes(
+            as_path=self.as_path, origin=self.origin,
+            local_pref=local_pref, med=self.med,
+            communities=self.communities,
+        )
+
+    def with_communities(self, communities: Iterable[str]) -> "PathAttributes":
+        """Copy with a different community set."""
+        return PathAttributes(
+            as_path=self.as_path, origin=self.origin,
+            local_pref=self.local_pref, med=self.med,
+            communities=tuple(communities),
+        )
+
+    def has_community(self, community: str) -> bool:
+        """True if the community is attached."""
+        return community in self.communities

@@ -1,0 +1,192 @@
+"""Route-flap damping (RFC 2439).
+
+Damping penalizes unstable routes: every flap (withdrawal, or
+re-announcement with changed attributes) adds to a per-(peer, prefix)
+penalty that decays exponentially with a configured half-life.  While
+the penalty exceeds the *suppress* threshold the route is withheld from
+the decision process; once it decays below the *reuse* threshold the
+route is released again.
+
+Damping is directly relevant to the paper's topic: Mao et al. ("Route
+Flap Damping Exacerbates Internet Routing Convergence", SIGCOMM 2002)
+showed that the path-exploration updates of a *single* withdrawal can
+trip damping and delay convergence by the reuse time — one more
+instability of distributed BGP that a centralized controller sidesteps
+(the ``abl-damping`` benchmark measures exactly this).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..eventsim import Simulator
+from ..net.addr import Prefix
+
+__all__ = ["DampingConfig", "DampingState", "RouteDamper"]
+
+
+@dataclass(frozen=True)
+class DampingConfig:
+    """RFC 2439 parameters (defaults follow common router defaults).
+
+    Penalties are dimensionless; ``half_life`` controls decay.  A route
+    is suppressed when its penalty exceeds ``suppress_threshold`` and
+    released when decay brings it below ``reuse_threshold``.  The
+    penalty is capped so suppression never exceeds ``max_suppress_time``.
+    """
+
+    half_life: float = 900.0           # 15 min
+    reuse_threshold: float = 750.0
+    suppress_threshold: float = 2000.0
+    withdrawal_penalty: float = 1000.0
+    attribute_change_penalty: float = 500.0
+    max_suppress_time: float = 3600.0  # 60 min
+
+    def __post_init__(self) -> None:
+        if self.half_life <= 0:
+            raise ValueError(f"half_life must be positive: {self.half_life}")
+        if self.reuse_threshold >= self.suppress_threshold:
+            raise ValueError("reuse threshold must be below suppress threshold")
+
+    @property
+    def max_penalty(self) -> float:
+        """Penalty ceiling implied by max_suppress_time (RFC 2439 §4.2)."""
+        return self.reuse_threshold * math.exp(
+            math.log(2.0) * self.max_suppress_time / self.half_life
+        )
+
+
+@dataclass
+class DampingState:
+    """Penalty bookkeeping for one (peer, prefix)."""
+
+    penalty: float = 0.0
+    last_update: float = 0.0
+    suppressed: bool = False
+    flaps: int = 0
+
+    def decayed_penalty(self, now: float, half_life: float) -> float:
+        """Penalty after exponential decay to 'now'."""
+        elapsed = now - self.last_update
+        if elapsed <= 0:
+            return self.penalty
+        return self.penalty * math.pow(2.0, -elapsed / half_life)
+
+
+class RouteDamper:
+    """Per-router damping engine.
+
+    The router reports flap events; the damper answers "is this route
+    usable?" and schedules a reuse callback (via the router) when a
+    suppressed route's penalty will cross the reuse threshold.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: DampingConfig,
+        on_reuse,
+    ) -> None:
+        """``on_reuse(key)`` is invoked when a suppressed route becomes
+        usable again; the router re-runs its decision process for the
+        prefix."""
+        self._sim = sim
+        self.config = config
+        self._on_reuse = on_reuse
+        self._states: Dict[Tuple[int, Prefix], DampingState] = {}
+        self.suppressions = 0
+        self.reuses = 0
+
+    # ------------------------------------------------------------------
+    def record_flap(
+        self, key: Tuple[int, Prefix], *, kind: str = "withdrawal"
+    ) -> bool:
+        """Register a flap; returns True if the route is now suppressed.
+
+        ``kind`` is ``"withdrawal"`` or ``"attribute_change"``.
+        """
+        config = self.config
+        penalty = (
+            config.withdrawal_penalty
+            if kind == "withdrawal"
+            else config.attribute_change_penalty
+        )
+        state = self._states.setdefault(key, DampingState())
+        now = self._sim.now
+        state.penalty = min(
+            state.decayed_penalty(now, config.half_life) + penalty,
+            config.max_penalty,
+        )
+        state.last_update = now
+        state.flaps += 1
+        if not state.suppressed and state.penalty > config.suppress_threshold:
+            state.suppressed = True
+            self.suppressions += 1
+            self._schedule_reuse(key, state)
+        return state.suppressed
+
+    def is_suppressed(self, key: Tuple[int, Prefix]) -> bool:
+        """True while the route is damped out of decisions."""
+        state = self._states.get(key)
+        if state is None or not state.suppressed:
+            return False
+        # Lazily release if decay already crossed the reuse threshold
+        # (the scheduled callback also handles this; this guards against
+        # queries between decay and callback execution).
+        if (
+            state.decayed_penalty(self._sim.now, self.config.half_life)
+            < self.config.reuse_threshold
+        ):
+            self._release(key, state)
+            return False
+        return True
+
+    def penalty_of(self, key: Tuple[int, Prefix]) -> float:
+        """Current (decayed) penalty for a key."""
+        state = self._states.get(key)
+        if state is None:
+            return 0.0
+        return state.decayed_penalty(self._sim.now, self.config.half_life)
+
+    def state_of(self, key: Tuple[int, Prefix]) -> Optional[DampingState]:
+        """Raw damping state for a key, if any."""
+        return self._states.get(key)
+
+    def clear(self, key: Tuple[int, Prefix]) -> None:
+        """Forget state (session reset clears damping history per RFC)."""
+        self._states.pop(key, None)
+
+    def clear_peer(self, peer_asn: int) -> None:
+        """Forget all damping state for one peer."""
+        for key in [k for k in self._states if k[0] == peer_asn]:
+            del self._states[key]
+
+    # ------------------------------------------------------------------
+    def _schedule_reuse(self, key, state: DampingState) -> None:
+        config = self.config
+        # time until penalty decays from current value to reuse threshold
+        ratio = state.penalty / config.reuse_threshold
+        delay = config.half_life * math.log(ratio, 2.0) if ratio > 1 else 0.0
+        delay = min(delay, config.max_suppress_time)
+
+        def check() -> None:
+            current = self._states.get(key)
+            if current is None or not current.suppressed:
+                return
+            if (
+                current.decayed_penalty(self._sim.now, config.half_life)
+                < config.reuse_threshold
+            ):
+                self._release(key, current)
+            else:
+                # re-penalized while suppressed: wait out the new penalty
+                self._schedule_reuse(key, current)
+
+        self._sim.schedule(delay + 1e-6, check, label="damping:reuse")
+
+    def _release(self, key, state: DampingState) -> None:
+        state.suppressed = False
+        self.reuses += 1
+        self._on_reuse(key)

@@ -1,0 +1,67 @@
+"""The BGP decision process (RFC 4271 §9.1.2, eBGP subset).
+
+Given the candidate routes for one prefix (local + every peer's
+Adj-RIB-In entry), pick the best:
+
+1. highest LOCAL_PREF;
+2. locally-originated beats learned (Quagga's "weight" effect);
+3. shortest AS_PATH;
+4. lowest ORIGIN (IGP < EGP < INCOMPLETE);
+5. lowest MED (we compare across all neighbors, i.e. Quagga's
+   ``bgp always-compare-med``, configurable off);
+6. lowest peer AS number;  7. lowest peer name (router-id stand-in).
+
+Steps 6-7 are the deterministic tie-breakers that make runs reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional
+
+from .rib import Route
+
+__all__ = ["DecisionConfig", "best_route", "rank_routes", "route_sort_key"]
+
+
+@dataclass
+class DecisionConfig:
+    """Knobs for the decision process."""
+
+    compare_med: bool = True
+    prefer_local: bool = True
+
+
+def route_sort_key(route: Route, config: Optional[DecisionConfig] = None):
+    """Sort key such that the minimum is the best route."""
+    config = config or DecisionConfig()
+    attrs = route.attrs
+    return (
+        -attrs.local_pref,
+        0 if (config.prefer_local and route.is_local) else 1,
+        attrs.as_path.length,
+        int(attrs.origin),
+        attrs.med if config.compare_med else 0,
+        route.peer_asn,
+        route.peer_name,
+    )
+
+
+def best_route(
+    candidates: Iterable[Route], config: Optional[DecisionConfig] = None
+) -> Optional[Route]:
+    """The winner among ``candidates``, or None when there are none."""
+    best: Optional[Route] = None
+    best_key = None
+    for route in candidates:
+        key = route_sort_key(route, config)
+        if best is None or key < best_key:
+            best, best_key = route, key
+    return best
+
+
+def rank_routes(
+    candidates: Iterable[Route], config: Optional[DecisionConfig] = None
+) -> List[Route]:
+    """All candidates, best first (for diagnostics / 'show ip bgp')."""
+    return sorted(candidates, key=lambda r: route_sort_key(r, config))

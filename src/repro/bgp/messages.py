@@ -1,0 +1,85 @@
+"""BGP message types (RFC 4271 §4, at the abstraction the emulator needs).
+
+Messages travel over emulated links between session endpoints.  UPDATE
+carries announcements (NLRI + shared attributes) and withdrawals in one
+message, as on the wire; sessions batch per-peer pending changes into a
+single UPDATE per MRAI round, which is what makes MRAI actually shape
+convergence the way it does in Quagga.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from ..net.addr import Prefix
+from ..net.messages import Message
+from .attrs import PathAttributes
+
+__all__ = [
+    "BGPMessage",
+    "BGPOpen",
+    "BGPKeepalive",
+    "BGPUpdate",
+    "BGPNotification",
+]
+
+_update_ids = itertools.count(1)
+
+
+@dataclass
+class BGPMessage(Message):
+    """Common envelope: sender's AS number identifies the session peer."""
+
+    sender_asn: int = 0
+
+    def describe(self) -> str:
+        """Short human-readable summary."""
+        return f"{type(self).__name__}(AS{self.sender_asn})"
+
+
+@dataclass
+class BGPOpen(BGPMessage):
+    """OPEN: carries the sender's AS and router-id (its node name here)."""
+
+    router_id: str = ""
+    hold_time: float = 90.0
+
+
+@dataclass
+class BGPKeepalive(BGPMessage):
+    """KEEPALIVE: refreshes the hold timer; also acks OPEN."""
+
+
+@dataclass
+class BGPUpdate(BGPMessage):
+    """UPDATE: announcements share one attribute set; withdrawals are bare.
+
+    ``announced`` maps each NLRI prefix to its attributes — we allow
+    per-prefix attributes in one message (a batching convenience; on the
+    wire this would be several UPDATEs back-to-back, with identical
+    timing).
+    """
+
+    announced: Tuple[Tuple[Prefix, PathAttributes], ...] = ()
+    withdrawn: Tuple[Prefix, ...] = ()
+    update_id: int = field(default_factory=lambda: next(_update_ids))
+
+    @property
+    def empty(self) -> bool:
+        """True when there is nothing to send/do."""
+        return not self.announced and not self.withdrawn
+
+    def describe(self) -> str:
+        """Short human-readable summary."""
+        ann = ", ".join(f"{p}[{a.as_path}]" for p, a in self.announced)
+        wd = ", ".join(str(p) for p in self.withdrawn)
+        return f"UPDATE(AS{self.sender_asn} +[{ann}] -[{wd}])"
+
+
+@dataclass
+class BGPNotification(BGPMessage):
+    """NOTIFICATION: sent on error/teardown; receiver drops the session."""
+
+    code: str = "cease"

@@ -1,0 +1,177 @@
+"""Routing information bases: Adj-RIB-In, Loc-RIB, Adj-RIB-Out.
+
+One :class:`AdjRibIn` per peer holds the (policy-transformed) routes that
+peer advertised; the :class:`LocRib` holds the decision-process winner per
+prefix; one :class:`AdjRibOut` per peer records what we last advertised,
+so UPDATE generation is a pure diff — no duplicate announcements, and
+withdrawals are only sent for prefixes the peer actually heard from us.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, Optional, Tuple
+
+from ..net.addr import Prefix
+from .attrs import PathAttributes
+
+__all__ = ["Route", "AdjRibIn", "LocRib", "AdjRibOut"]
+
+
+@dataclass(frozen=True)
+class Route:
+    """A candidate route: prefix + attributes + provenance.
+
+    ``peer_asn`` is 0 for locally-originated routes.  ``learned_at`` is
+    virtual time, used for diagnostics and the route-change visualizer.
+    """
+
+    prefix: Prefix
+    attrs: PathAttributes
+    peer_asn: int = 0
+    peer_name: str = ""
+    learned_at: float = 0.0
+
+    @property
+    def is_local(self) -> bool:
+        """True for locally-originated routes (no peer)."""
+        return self.peer_asn == 0
+
+    @property
+    def as_path_len(self) -> int:
+        """Length of the route's AS path."""
+        return self.attrs.as_path.length
+
+    def __repr__(self) -> str:
+        src = "local" if self.is_local else f"AS{self.peer_asn}"
+        return f"<Route {self.prefix} via {src} path=[{self.attrs.as_path}]>"
+
+
+class AdjRibIn:
+    """Routes received from one peer, post-import-policy."""
+
+    def __init__(self, peer_asn: int, peer_name: str = "") -> None:
+        self.peer_asn = peer_asn
+        self.peer_name = peer_name
+        self._routes: Dict[Prefix, Route] = {}
+
+    def __len__(self) -> int:
+        return len(self._routes)
+
+    def __iter__(self) -> Iterator[Route]:
+        return iter(self._routes.values())
+
+    def get(self, prefix: Prefix) -> Optional[Route]:
+        """Exact-match lookup; None if absent."""
+        return self._routes.get(prefix)
+
+    def update(self, route: Route) -> bool:
+        """Install/replace; True if state changed."""
+        old = self._routes.get(route.prefix)
+        if old is not None and old.attrs == route.attrs:
+            return False
+        self._routes[route.prefix] = route
+        return True
+
+    def withdraw(self, prefix: Prefix) -> bool:
+        """Remove; True if a route existed."""
+        return self._routes.pop(prefix, None) is not None
+
+    def clear(self) -> list:
+        """Drop everything (session reset); returns the prefixes removed."""
+        prefixes = list(self._routes)
+        self._routes.clear()
+        return prefixes
+
+    def prefixes(self) -> list:
+        """All prefixes currently held, as a list."""
+        return list(self._routes)
+
+
+class LocRib:
+    """Best route per prefix, as chosen by the decision process."""
+
+    def __init__(self) -> None:
+        self._best: Dict[Prefix, Route] = {}
+        self.version = 0
+
+    def __len__(self) -> int:
+        return len(self._best)
+
+    def __iter__(self) -> Iterator[Route]:
+        return iter(self._best.values())
+
+    def get(self, prefix: Prefix) -> Optional[Route]:
+        """Exact-match lookup; None if absent."""
+        return self._best.get(prefix)
+
+    def set_best(self, route: Route) -> bool:
+        """Install the new best route; True if it changed."""
+        old = self._best.get(route.prefix)
+        if old is not None and old.attrs == route.attrs and old.peer_asn == route.peer_asn:
+            return False
+        self._best[route.prefix] = route
+        self.version += 1
+        return True
+
+    def remove(self, prefix: Prefix) -> bool:
+        """Remove the entry; True if one existed."""
+        if prefix in self._best:
+            del self._best[prefix]
+            self.version += 1
+            return True
+        return False
+
+    def prefixes(self) -> list:
+        """All prefixes currently held, as a list."""
+        return list(self._best)
+
+    def routes(self) -> list:
+        """All routes, sorted by prefix."""
+        return sorted(self._best.values(), key=lambda r: r.prefix)
+
+
+class AdjRibOut:
+    """What we last sent to one peer; UPDATE generation diffs against it."""
+
+    def __init__(self, peer_asn: int, peer_name: str = "") -> None:
+        self.peer_asn = peer_asn
+        self.peer_name = peer_name
+        self._sent: Dict[Prefix, PathAttributes] = {}
+
+    def __len__(self) -> int:
+        return len(self._sent)
+
+    def get(self, prefix: Prefix) -> Optional[PathAttributes]:
+        """Exact-match lookup; None if absent."""
+        return self._sent.get(prefix)
+
+    def diff(
+        self, prefix: Prefix, attrs: Optional[PathAttributes]
+    ) -> Optional[Tuple[str, Optional[PathAttributes]]]:
+        """What (if anything) must be sent so the peer sees ``attrs``.
+
+        Returns ``("announce", attrs)``, ``("withdraw", None)``, or None
+        when the peer is already up to date.  Does *not* mutate state —
+        call :meth:`mark_sent` when the UPDATE actually goes out.
+        """
+        sent = self._sent.get(prefix)
+        if attrs is None:
+            return ("withdraw", None) if sent is not None else None
+        if sent == attrs:
+            return None
+        return ("announce", attrs)
+
+    def mark_sent(self, prefix: Prefix, attrs: Optional[PathAttributes]) -> None:
+        if attrs is None:
+            self._sent.pop(prefix, None)
+        else:
+            self._sent[prefix] = attrs
+
+    def clear(self) -> None:
+        """Drop all stored state."""
+        self._sent.clear()
+
+    def prefixes(self) -> list:
+        """All prefixes currently held, as a list."""
+        return list(self._sent)

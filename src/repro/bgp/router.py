@@ -1,0 +1,416 @@
+"""The per-AS BGP router (the framework's Quagga bgpd stand-in).
+
+One :class:`BGPRouter` emulates one AS's border router ("to isolate the
+effects of inter-domain from intra-domain routing every AS is emulated by
+a single network device", paper §3).  It owns:
+
+- one :class:`~repro.bgp.session.BGPSession` per peering link,
+- per-peer Adj-RIB-In / Adj-RIB-Out plus the Loc-RIB,
+- the decision process, FIB installation, and UPDATE generation,
+- a serialized update-processing queue with a small per-update delay,
+  modelling router CPU the way a real bgpd process serializes work.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..eventsim import Simulator, TraceLog
+from ..net.addr import Prefix
+from ..net.dataplane import FibEntry
+from ..net.link import Link
+from ..net.node import Node
+from .attrs import AsPath, Origin, PathAttributes
+from .damping import DampingConfig, RouteDamper
+from .decision import DecisionConfig, best_route, rank_routes
+from .messages import BGPMessage, BGPUpdate
+from .policy import LOCAL_COMMUNITY, PeerPolicy, add_community
+from .rib import AdjRibIn, AdjRibOut, LocRib, Route
+from .session import BGPSession, BGPTimers
+
+__all__ = ["BGPRouter"]
+
+
+class BGPRouter(Node):
+    """A single-AS eBGP speaker with full RIB machinery."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        trace: TraceLog,
+        name: str,
+        *,
+        asn: int,
+        timers: Optional[BGPTimers] = None,
+        decision: Optional[DecisionConfig] = None,
+        damping: Optional[DampingConfig] = None,
+    ) -> None:
+        super().__init__(sim, trace, name)
+        if asn <= 0:
+            raise ValueError(f"ASN must be positive: {asn!r}")
+        self.asn = asn
+        self.timers = timers if timers is not None else BGPTimers()
+        self.decision_config = decision if decision is not None else DecisionConfig()
+        #: optional RFC 2439 route-flap damping; keys are (link_id, prefix).
+        self.damper: Optional[RouteDamper] = (
+            RouteDamper(sim, damping, self._on_damping_reuse)
+            if damping is not None
+            else None
+        )
+        self.loc_rib = LocRib()
+        self.originated: Dict[Prefix, PathAttributes] = {}
+        self.sessions: Dict[int, BGPSession] = {}  # link_id -> session
+        self._rib_in: Dict[int, AdjRibIn] = {}  # link_id -> per-peer RIB
+        self._rib_out: Dict[int, AdjRibOut] = {}
+        self._update_queue: deque = deque()
+        self._processing = False
+        self.updates_processed = 0
+        self.decisions_run = 0
+
+    # ------------------------------------------------------------------
+    # peering setup
+    # ------------------------------------------------------------------
+    def add_peer(
+        self,
+        link: Link,
+        *,
+        policy: Optional[PeerPolicy] = None,
+        timers: Optional[BGPTimers] = None,
+        local_asn: Optional[int] = None,
+    ) -> BGPSession:
+        """Configure an eBGP session over ``link`` (must attach to us)."""
+        if link.other(self) is None:  # raises if we're not an endpoint
+            raise ValueError("link does not attach to this router")
+        if link.link_id in self.sessions:
+            raise ValueError(f"session already configured on {link.name}")
+        session = BGPSession(
+            self, link, policy=policy, timers=timers, local_asn=local_asn
+        )
+        self.sessions[link.link_id] = session
+        self._rib_in[link.link_id] = AdjRibIn(0)
+        self._rib_out[link.link_id] = AdjRibOut(0)
+        return session
+
+    def start(self) -> None:
+        """Start all configured sessions connecting."""
+        for session in self.sessions.values():
+            session.start()
+
+    def session_on(self, link: Link) -> Optional[BGPSession]:
+        """The session configured on one link, if any."""
+        return self.sessions.get(link.link_id)
+
+    def established_sessions(self) -> List[BGPSession]:
+        """Sessions currently in ESTABLISHED state."""
+        return [s for s in self.sessions.values() if s.established]
+
+    def adj_rib_in(self, session: BGPSession) -> AdjRibIn:
+        """Per-peer Adj-RIB-In for a session."""
+        return self._rib_in[session.link.link_id]
+
+    def adj_rib_out(self, session: BGPSession) -> AdjRibOut:
+        """Per-peer Adj-RIB-Out for a session."""
+        return self._rib_out[session.link.link_id]
+
+    # ------------------------------------------------------------------
+    # node hooks
+    # ------------------------------------------------------------------
+    def handle_message(self, link: Link, message) -> None:
+        """Control-plane dispatch for one delivered message."""
+        if isinstance(message, BGPMessage):
+            session = self.sessions.get(link.link_id)
+            if session is not None:
+                session.handle_message(message)
+
+    def link_state_changed(self, link: Link) -> None:
+        """React to an attached link flipping up/down."""
+        session = self.sessions.get(link.link_id)
+        if session is not None:
+            session.link_state_changed()
+
+    # ------------------------------------------------------------------
+    # origination (the framework's "announce prefix" command)
+    # ------------------------------------------------------------------
+    def originate(self, prefix: Prefix, *, med: int = 0) -> None:
+        """Originate ``prefix`` from this AS and advertise per policy."""
+        attrs = PathAttributes(
+            as_path=AsPath(), origin=Origin.IGP, med=med,
+        )
+        attrs = add_community(LOCAL_COMMUNITY)(attrs)
+        self.originated[prefix] = attrs
+        self.add_local_prefix(prefix)
+        self.trace.record("bgp.originate", self.name, prefix=str(prefix))
+        self._run_decision(prefix)
+
+    def withdraw(self, prefix: Prefix) -> None:
+        """Stop originating ``prefix`` (the paper's withdrawal event)."""
+        if prefix not in self.originated:
+            raise KeyError(f"{self.name} does not originate {prefix}")
+        del self.originated[prefix]
+        self.remove_local_prefix(prefix)
+        self.trace.record("bgp.withdraw", self.name, prefix=str(prefix))
+        self._run_decision(prefix)
+
+    # ------------------------------------------------------------------
+    # session callbacks
+    # ------------------------------------------------------------------
+    def session_up(self, session: BGPSession) -> None:
+        """Session reached ESTABLISHED: reset RIBs and resync."""
+        link_id = session.link.link_id
+        self._rib_in[link_id] = AdjRibIn(session.peer_asn, session.peer_name)
+        self._rib_out[link_id] = AdjRibOut(session.peer_asn, session.peer_name)
+        self.trace.record(
+            "bgp.session.up", self.name,
+            peer=session.peer_name, peer_asn=session.peer_asn,
+        )
+        session.resync()
+
+    def session_down(self, session: BGPSession, *, reason: str = "") -> None:
+        """Session lost: flush per-peer state, re-decide."""
+        link_id = session.link.link_id
+        if self.damper is not None:
+            self.damper.clear_peer(link_id)
+        rib_in = self._rib_in.get(link_id)
+        affected = rib_in.clear() if rib_in is not None else []
+        rib_out = self._rib_out.get(link_id)
+        if rib_out is not None:
+            rib_out.clear()
+        self.trace.record(
+            "bgp.session.down", self.name,
+            peer=session.link.other(self).name, reason=reason,
+        )
+        for prefix in affected:
+            self._run_decision(prefix)
+
+    # ------------------------------------------------------------------
+    # update processing (serialized, with CPU delay)
+    # ------------------------------------------------------------------
+    def enqueue_update(self, session: BGPSession, update: BGPUpdate) -> None:
+        """Queue a received UPDATE for serialized processing."""
+        self.trace.record(
+            "bgp.update.rx", self.name,
+            peer=session.link.other(self).name,
+            announced=[(str(p), str(a.as_path)) for p, a in update.announced],
+            withdrawn=[str(p) for p in update.withdrawn],
+            update_id=update.update_id,
+        )
+        self._update_queue.append((session, update))
+        self._schedule_processing()
+
+    def _schedule_processing(self) -> None:
+        if self._processing or not self._update_queue:
+            return
+        self._processing = True
+        rng = self.sim.rng("bgp.proc")
+        delay = rng.uniform(self.timers.proc_delay_min, self.timers.proc_delay_max)
+        self.sim.schedule(delay, self._process_one, label=f"{self.name}:proc")
+
+    def _process_one(self) -> None:
+        self._processing = False
+        if not self._update_queue:
+            return
+        session, update = self._update_queue.popleft()
+        if session.established:
+            self._apply_update(session, update)
+        self._schedule_processing()
+
+    def _apply_update(self, session: BGPSession, update: BGPUpdate) -> None:
+        self.updates_processed += 1
+        rib_in = self.adj_rib_in(session)
+        link_id = session.link.link_id
+        affected: List[Prefix] = []
+        for prefix in update.withdrawn:
+            if rib_in.withdraw(prefix):
+                self._record_flap(link_id, prefix, "withdrawal")
+                affected.append(prefix)
+        for prefix, attrs in update.announced:
+            imported = self._import_route(session, prefix, attrs)
+            if imported is None:
+                # Rejected: an implicit withdrawal if we previously held it.
+                if rib_in.withdraw(prefix):
+                    self._record_flap(link_id, prefix, "withdrawal")
+                    affected.append(prefix)
+                continue
+            route = Route(
+                prefix=prefix,
+                attrs=imported,
+                peer_asn=session.peer_asn,
+                peer_name=session.peer_name,
+                learned_at=self.sim.now,
+            )
+            had_before = rib_in.get(prefix) is not None
+            if rib_in.update(route):
+                if had_before:
+                    self._record_flap(link_id, prefix, "attribute_change")
+                affected.append(prefix)
+        for prefix in affected:
+            self._run_decision(prefix)
+
+    # ------------------------------------------------------------------
+    # route-flap damping hooks (RFC 2439)
+    # ------------------------------------------------------------------
+    def _record_flap(self, link_id: int, prefix: Prefix, kind: str) -> None:
+        if self.damper is None:
+            return
+        suppressed = self.damper.record_flap((link_id, prefix), kind=kind)
+        if suppressed:
+            self.trace.record(
+                "bgp.damping.suppress", self.name,
+                prefix=str(prefix), link_id=link_id,
+                penalty=round(self.damper.penalty_of((link_id, prefix)), 1),
+            )
+
+    def _on_damping_reuse(self, key) -> None:
+        link_id, prefix = key
+        self.trace.record(
+            "bgp.damping.reuse", self.name,
+            prefix=str(prefix), link_id=link_id,
+        )
+        self._run_decision(prefix)
+
+    def _import_route(
+        self, session: BGPSession, prefix: Prefix, attrs: PathAttributes
+    ) -> Optional[PathAttributes]:
+        """Loop check + import policy; None means reject."""
+        if attrs.as_path.contains(self.asn):
+            return None
+        return session.policy.import_route(prefix, attrs)
+
+    # ------------------------------------------------------------------
+    # decision process + FIB + advertisement scheduling
+    # ------------------------------------------------------------------
+    def candidates(self, prefix: Prefix) -> List[Route]:
+        """All usable candidate routes for one prefix."""
+        routes: List[Route] = []
+        local = self.originated.get(prefix)
+        if local is not None:
+            routes.append(Route(prefix=prefix, attrs=local, peer_asn=0,
+                                peer_name=self.name))
+        for session in self.sessions.values():
+            if not session.established:
+                continue
+            if self.damper is not None and self.damper.is_suppressed(
+                (session.link.link_id, prefix)
+            ):
+                continue
+            route = self.adj_rib_in(session).get(prefix)
+            if route is not None:
+                routes.append(route)
+        return routes
+
+    def _run_decision(self, prefix: Prefix) -> None:
+        self.decisions_run += 1
+        best = best_route(self.candidates(prefix), self.decision_config)
+        old = self.loc_rib.get(prefix)
+        if best is None:
+            if self.loc_rib.remove(prefix):
+                self._on_best_changed(prefix, old, None)
+        else:
+            if self.loc_rib.set_best(best):
+                self._on_best_changed(prefix, old, best)
+
+    def _on_best_changed(
+        self, prefix: Prefix, old: Optional[Route], new: Optional[Route]
+    ) -> None:
+        self.trace.record(
+            "bgp.decision", self.name,
+            prefix=str(prefix),
+            old=str(old.attrs.as_path) if old else None,
+            new=str(new.attrs.as_path) if new else None,
+        )
+        self._install_fib(prefix, new)
+        for session in self.sessions.values():
+            session.schedule_route(prefix)
+
+    def _install_fib(self, prefix: Prefix, route: Optional[Route]) -> None:
+        if route is None:
+            if self.fib.remove(prefix):
+                self.trace.record(
+                    "fib.change", self.name, prefix=str(prefix), via=None
+                )
+            return
+        if route.is_local:
+            entry = FibEntry(prefix, None, via="local", source="bgp.local")
+        else:
+            session = self._session_for_peer(route)
+            if session is None:
+                return
+            entry = FibEntry(
+                prefix, session.link, via=route.peer_name, source="bgp",
+            )
+        if self.fib.install(entry):
+            self.trace.record(
+                "fib.change", self.name, prefix=str(prefix), via=entry.via
+            )
+
+    def _session_for_peer(self, route: Route) -> Optional[BGPSession]:
+        for session in self.sessions.values():
+            if (
+                session.established
+                and session.peer_asn == route.peer_asn
+                and session.peer_name == route.peer_name
+            ):
+                return session
+        return None
+
+    # ------------------------------------------------------------------
+    # outbound route generation (called by sessions at send time)
+    # ------------------------------------------------------------------
+    def outbound_diff(
+        self, session: BGPSession, prefix: Prefix
+    ) -> Optional[Tuple[str, Optional[PathAttributes]]]:
+        """What this session must send about ``prefix`` right now."""
+        attrs = self._export_attrs(session, prefix)
+        return self.adj_rib_out(session).diff(prefix, attrs)
+
+    def _export_attrs(
+        self, session: BGPSession, prefix: Prefix
+    ) -> Optional[PathAttributes]:
+        best = self.loc_rib.get(prefix)
+        if best is None:
+            return None
+        # Do not advertise a route back over the session it came from
+        # (split horizon; the peer would loop-reject it anyway, this just
+        # reduces message noise like most real implementations).
+        if (
+            not best.is_local
+            and best.peer_asn == session.peer_asn
+            and best.peer_name == session.peer_name
+        ):
+            return None
+        exported = session.policy.export_route(prefix, best.attrs)
+        if exported is None:
+            return None
+        exported = exported.with_path(exported.as_path.prepend(session.local_asn))
+        # LOCAL_PREF is not carried across eBGP: reset to the default so
+        # the receiver's import policy decides.
+        from .attrs import DEFAULT_LOCAL_PREF
+
+        return exported.with_local_pref(DEFAULT_LOCAL_PREF)
+
+    # ------------------------------------------------------------------
+    # diagnostics ("show ip bgp")
+    # ------------------------------------------------------------------
+    def rib_dump(self, prefix: Optional[Prefix] = None) -> List[str]:
+        """Human-readable dump of candidates, best-first."""
+        lines: List[str] = []
+        prefixes: Iterable[Prefix]
+        if prefix is not None:
+            prefixes = [prefix]
+        else:
+            seen = set(self.loc_rib.prefixes())
+            for rib in self._rib_in.values():
+                seen.update(rib.prefixes())
+            seen.update(self.originated)
+            prefixes = sorted(seen)
+        for pfx in prefixes:
+            ranked = rank_routes(self.candidates(pfx), self.decision_config)
+            for i, route in enumerate(ranked):
+                marker = "*>" if i == 0 else "* "
+                src = "local" if route.is_local else f"AS{route.peer_asn}"
+                lines.append(
+                    f"{marker} {pfx} via {src} path [{route.attrs.as_path}] "
+                    f"lp={route.attrs.local_pref}"
+                )
+        return lines

@@ -1,0 +1,418 @@
+"""eBGP session: finite state machine, hold/keepalive, and MRAI pacing.
+
+A session binds one local router to one peer over one point-to-point
+link (the paper's one-router-per-AS abstraction).  The two behaviours
+that matter for convergence dynamics live here:
+
+- **MRAI** (MinRouteAdvertisementInterval, RFC 4271 §9.2.1.1): route
+  changes toward a peer are batched; at most one UPDATE per (jittered)
+  MRAI period goes out.  This is what serializes BGP path exploration and
+  makes clique withdrawal convergence scale with the number of exploring
+  ASes.  Per RFC default, withdrawals are *not* rate-limited (Quagga-like
+  behaviour is available via ``BGPTimers.withdrawal_rate_limited``).
+- **Fast fallover**: when the underlying link goes down the session
+  drops immediately (Quagga's ``bgp fast-external-fallover``); otherwise
+  failure is only detected when the hold timer expires.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional, Set
+
+from ..eventsim import PeriodicTimer, Timer
+from ..net.addr import Prefix
+from ..net.link import Link
+from .messages import BGPKeepalive, BGPMessage, BGPNotification, BGPOpen, BGPUpdate
+from .policy import PeerPolicy, transit_all_policy
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .router import BGPRouter
+
+__all__ = ["SessionState", "BGPTimers", "BGPSession"]
+
+
+class SessionState(enum.Enum):
+    IDLE = "idle"
+    CONNECT = "connect"
+    OPEN_SENT = "open_sent"
+    OPEN_CONFIRM = "open_confirm"
+    ESTABLISHED = "established"
+
+
+@dataclass
+class BGPTimers:
+    """Timer/behaviour configuration for a speaker's sessions.
+
+    Defaults follow common Quagga deployments; experiments override
+    ``mrai`` and friends explicitly so results are self-describing.
+    """
+
+    mrai: float = 30.0
+    #: RFC 4271 recommends jittering timers to 75-100% of nominal.
+    mrai_jitter: float = 0.25
+    withdrawal_rate_limited: bool = False
+    connect_delay: float = 0.1
+    reconnect_delay: float = 1.0
+    hold_time: float = 90.0
+    keepalive_interval: float = 30.0
+    keepalives_enabled: bool = False
+    fast_fallover: bool = True
+    #: per-UPDATE processing delay range at the receiver (models CPU).
+    proc_delay_min: float = 0.005
+    proc_delay_max: float = 0.02
+    #: output batching window: route changes arriving within this window
+    #: of each other leave in ONE UPDATE (a real bgpd generates updates
+    #: in periodic output runs, so near-simultaneous decision changes
+    #: never burn separate MRAI rounds).
+    output_delay: float = 0.01
+
+
+class BGPSession:
+    """One eBGP session over one link."""
+
+    def __init__(
+        self,
+        router: "BGPRouter",
+        link: Link,
+        *,
+        policy: Optional[PeerPolicy] = None,
+        timers: Optional[BGPTimers] = None,
+        local_asn: Optional[int] = None,
+    ) -> None:
+        self.router = router
+        self.link = link
+        #: AS number this end speaks as.  Normally the router's own ASN;
+        #: the cluster BGP speaker overrides it per session so external
+        #: peers see the cluster member's AS identity (paper §2).
+        self.local_asn = local_asn if local_asn is not None else router.asn
+        self.policy = policy if policy is not None else transit_all_policy()
+        self.timers = timers if timers is not None else router.timers
+        self.state = SessionState.IDLE
+        #: peer's AS, learned from its OPEN (0 until then).
+        self.peer_asn = 0
+        self.peer_name = ""
+        self.updates_sent = 0
+        self.updates_received = 0
+        sim = router.sim
+        self._sim = sim
+        self._mrai_timer = Timer(
+            sim, self._on_mrai_expiry, label=f"{router.name}:mrai"
+        )
+        self._connect_timer = Timer(
+            sim, self._send_open, label=f"{router.name}:connect"
+        )
+        # Hold expiry only matters when keepalives stop coming; it must
+        # not hold up convergence detection, so it is background.
+        self._hold_timer = Timer(
+            sim, self._on_hold_expiry, background=True,
+            label=f"{router.name}:hold",
+        )
+        self._keepalive_timer = PeriodicTimer(
+            sim,
+            self._send_keepalive,
+            max(self.timers.keepalive_interval, 1e-3),
+            background=True,
+            label=f"{router.name}:keepalive",
+            jitter=0.25 if self.timers.keepalive_interval > 0 else 0.0,
+            jitter_rng=sim.rng("bgp.keepalive"),
+        )
+        self._dirty: Set[Prefix] = set()
+        self._flush_event = None
+        self._open_received = False
+
+    # ------------------------------------------------------------------
+    @property
+    def established(self) -> bool:
+        """True in the ESTABLISHED state."""
+        return self.state is SessionState.ESTABLISHED
+
+    def __repr__(self) -> str:
+        return (
+            f"<BGPSession {self.router.name}->"
+            f"{self.link.other(self.router).name} {self.state.value}>"
+        )
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self, delay: Optional[float] = None) -> None:
+        """Begin connecting (Idle → Connect → OpenSent ...)."""
+        if self.state is not SessionState.IDLE:
+            return
+        if not self.link.up:
+            return
+        self.state = SessionState.CONNECT
+        self._open_received = False
+        self._connect_timer.start(
+            self.timers.connect_delay if delay is None else delay
+        )
+
+    def stop(self, *, notify_peer: bool = True, reason: str = "admin") -> None:
+        """Tear the session down and flush per-peer state."""
+        was_established = self.established
+        if notify_peer and self.state is not SessionState.IDLE and self.link.up:
+            self._send(BGPNotification(sender_asn=self.local_asn, code=reason))
+        self._to_idle()
+        if was_established:
+            self.router.session_down(self, reason=reason)
+
+    def link_state_changed(self) -> None:
+        """Called by the router when the session's link flips state."""
+        if not self.link.up:
+            if self.timers.fast_fallover:
+                was_established = self.established
+                self._to_idle()
+                if was_established:
+                    self.router.session_down(self, reason="link_down")
+            # Without fast fallover, the hold timer (if keepalives are on)
+            # or nothing at all detects the failure — as in real BGP.
+            return
+        # Link restored: reconnect after the configured delay.
+        if self.state is SessionState.IDLE:
+            self.start(delay=self.timers.reconnect_delay)
+
+    def peer_unreachable(self) -> None:
+        """Force the session down although our own link is up.
+
+        Used by the cluster BGP speaker when a switch reports that the
+        *physical* peering link failed: the speaker's relay link is
+        healthy, so fast fallover cannot fire on it.
+        """
+        was_established = self.established
+        self._to_idle()
+        if was_established:
+            self.router.session_down(self, reason="peer_unreachable")
+
+    def peer_reachable(self) -> None:
+        """Physical path restored; reconnect after the usual delay."""
+        if self.state is SessionState.IDLE and self.link.up:
+            self.start(delay=self.timers.reconnect_delay)
+
+    def _to_idle(self) -> None:
+        self.state = SessionState.IDLE
+        self.peer_asn = 0
+        self.peer_name = ""
+        self._open_received = False
+        self._dirty.clear()
+        if self._flush_event is not None:
+            self._sim.cancel(self._flush_event)
+            self._flush_event = None
+        self._mrai_timer.stop()
+        self._connect_timer.stop()
+        self._hold_timer.stop()
+        self._keepalive_timer.stop()
+
+    # ------------------------------------------------------------------
+    # FSM message handling
+    # ------------------------------------------------------------------
+    def handle_message(self, message: BGPMessage) -> None:
+        """Control-plane dispatch for one delivered message."""
+        if isinstance(message, BGPOpen):
+            self._handle_open(message)
+        elif isinstance(message, BGPKeepalive):
+            self._handle_keepalive(message)
+        elif isinstance(message, BGPUpdate):
+            self._handle_update(message)
+        elif isinstance(message, BGPNotification):
+            self._handle_notification(message)
+
+    def _send_open(self) -> None:
+        if self.state not in (SessionState.CONNECT,):
+            return
+        if not self.link.up:
+            self._to_idle()
+            return
+        self._send(
+            BGPOpen(
+                sender_asn=self.local_asn,
+                router_id=self.router.name,
+                hold_time=self.timers.hold_time,
+            )
+        )
+        self.state = SessionState.OPEN_SENT
+        if self._open_received:
+            self._complete_open_exchange()
+
+    def _handle_open(self, message: BGPOpen) -> None:
+        if self.state is SessionState.IDLE:
+            # Passive open: a configured session accepts the peer's OPEN
+            # even before its own start() ran (RFC 4271's passive TCP
+            # establishment), as long as the link is usable.
+            if not self.link.up:
+                return
+            self.state = SessionState.CONNECT
+        self.peer_asn = message.sender_asn
+        self.peer_name = message.router_id
+        self._open_received = True
+        if self.state is SessionState.CONNECT:
+            # Peer beat our connect timer; answer with our own OPEN now.
+            self._connect_timer.stop()
+            self._send(
+                BGPOpen(
+                    sender_asn=self.local_asn,
+                    router_id=self.router.name,
+                    hold_time=self.timers.hold_time,
+                )
+            )
+            self.state = SessionState.OPEN_SENT
+        if self.state is SessionState.OPEN_SENT:
+            self._complete_open_exchange()
+
+    def _complete_open_exchange(self) -> None:
+        self._send(BGPKeepalive(sender_asn=self.local_asn))
+        self.state = SessionState.OPEN_CONFIRM
+
+    def _handle_keepalive(self, message: BGPKeepalive) -> None:
+        if self.state is SessionState.OPEN_CONFIRM:
+            self.state = SessionState.ESTABLISHED
+            if self.timers.keepalives_enabled:
+                self._keepalive_timer.start()
+                self._hold_timer.start(self.timers.hold_time)
+            self.router.session_up(self)
+        elif self.established and self.timers.keepalives_enabled:
+            self._hold_timer.start(self.timers.hold_time)
+
+    def _handle_update(self, message: BGPUpdate) -> None:
+        if not self.established:
+            return
+        self.updates_received += 1
+        if self.timers.keepalives_enabled:
+            self._hold_timer.start(self.timers.hold_time)
+        self.router.enqueue_update(self, message)
+
+    def _handle_notification(self, message: BGPNotification) -> None:
+        was_established = self.established
+        self._to_idle()
+        if was_established:
+            self.router.session_down(self, reason=f"notification:{message.code}")
+        # Try again later, like a real speaker would.
+        if self.link.up:
+            self.start(delay=self.timers.reconnect_delay)
+
+    def _on_hold_expiry(self) -> None:
+        self.stop(notify_peer=False, reason="hold_timer")
+        if self.link.up:
+            self.start(delay=self.timers.reconnect_delay)
+
+    def _send_keepalive(self) -> None:
+        if self.established and self.link.up:
+            self.link.transmit(
+                self.router,
+                BGPKeepalive(sender_asn=self.local_asn),
+                background=True,
+            )
+
+    # ------------------------------------------------------------------
+    # route advertisement with MRAI pacing
+    # ------------------------------------------------------------------
+    def schedule_route(self, prefix: Prefix) -> None:
+        """Note that this peer may need an UPDATE about ``prefix``.
+
+        The actual content is computed at send time by diffing Loc-RIB
+        (through export policy) against Adj-RIB-Out, so intermediate flaps
+        within one MRAI round collapse naturally.
+        """
+        if not self.established:
+            return
+        self._dirty.add(prefix)
+        if not self._mrai_timer.running:
+            self._request_flush()
+            return
+        if not self.timers.withdrawal_rate_limited:
+            # RFC default: withdrawals escape the MRAI gate.
+            action = self.router.outbound_diff(self, prefix)
+            if action is not None and action[0] == "withdraw":
+                self._dirty.discard(prefix)
+                self._send_update(announced=(), withdrawn=(prefix,))
+                self.router.adj_rib_out(self).mark_sent(prefix, None)
+
+    def resync(self) -> None:
+        """Mark every Loc-RIB prefix (plus stale Adj-RIB-Out entries) dirty.
+
+        Called on session establishment to send the initial full table.
+        """
+        if not self.established:
+            return
+        for prefix in self.router.loc_rib.prefixes():
+            self._dirty.add(prefix)
+        for prefix in self.router.adj_rib_out(self).prefixes():
+            self._dirty.add(prefix)
+        if not self._mrai_timer.running:
+            self._request_flush()
+
+    def _request_flush(self) -> None:
+        """Schedule an output run shortly, coalescing concurrent changes."""
+        if self._flush_event is not None and not self._flush_event.cancelled:
+            return
+        self._flush_event = self._sim.schedule(
+            self.timers.output_delay,
+            self._run_flush,
+            label=f"{self.router.name}:flush",
+        )
+
+    def _run_flush(self) -> None:
+        self._flush_event = None
+        if self._dirty and not self._mrai_timer.running:
+            self._flush()
+
+    def _on_mrai_expiry(self) -> None:
+        if self._dirty:
+            self._flush()
+        # If nothing was pending the timer simply stops: the next change
+        # is sent immediately (RFC behaviour after a quiet interval).
+
+    def _mrai_period(self) -> float:
+        mrai = self.timers.mrai
+        if mrai <= 0:
+            return 0.0
+        jitter = self.timers.mrai_jitter
+        if jitter <= 0:
+            return mrai
+        rng = self._sim.rng("bgp.mrai")
+        return rng.uniform(mrai * (1.0 - jitter), mrai)
+
+    def _flush(self) -> None:
+        """Send one UPDATE covering all dirty prefixes, then re-arm MRAI."""
+        dirty, self._dirty = self._dirty, set()
+        announced = []
+        withdrawn = []
+        rib_out = self.router.adj_rib_out(self)
+        for prefix in sorted(dirty):
+            action = self.router.outbound_diff(self, prefix)
+            if action is None:
+                continue
+            verb, attrs = action
+            if verb == "announce":
+                announced.append((prefix, attrs))
+                rib_out.mark_sent(prefix, attrs)
+            else:
+                withdrawn.append(prefix)
+                rib_out.mark_sent(prefix, None)
+        if announced or withdrawn:
+            self._send_update(tuple(announced), tuple(withdrawn))
+        period = self._mrai_period()
+        if period > 0 and (announced or withdrawn):
+            self._mrai_timer.start(period)
+
+    def _send_update(self, announced, withdrawn) -> None:
+        update = BGPUpdate(
+            sender_asn=self.local_asn,
+            announced=tuple(announced),
+            withdrawn=tuple(withdrawn),
+        )
+        self.updates_sent += 1
+        self.router.trace.record(
+            "bgp.update.tx",
+            self.router.name,
+            peer=self.link.other(self.router).name,
+            announced=[(str(p), str(a.as_path)) for p, a in update.announced],
+            withdrawn=[str(p) for p in update.withdrawn],
+            update_id=update.update_id,
+        )
+        self._send(update)
+
+    def _send(self, message: BGPMessage) -> None:
+        if self.link.up:
+            self.link.transmit(self.router, message)

@@ -1,0 +1,269 @@
+"""Command-line interface: run the paper's experiments from a shell.
+
+Usage (also ``python -m repro --help``)::
+
+    python -m repro fig2 --n 16 --runs 10
+    python -m repro failover --runs 5
+    python -m repro announcement --runs 5
+    python -m repro subcluster
+    python -m repro topologies --runs 3
+    python -m repro demo --n 8 --sdn 5,6,7,8
+    python -m repro dot --topology clique:8 --sdn 5,6,7,8
+
+Every command prints the same rows/series the corresponding paper
+artifact reports; the benchmarks under ``benchmarks/`` are the
+pytest-integrated equivalents.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis import ascii_boxplot_chart, topology_dot
+from .experiments import (
+    announcement_sweep,
+    failover_sweep,
+    flap_storm_sweep,
+    paper_config,
+    run_subcluster_experiment,
+    sweep_to_csv,
+    sweep_to_json,
+    topology_family_sweep,
+    withdrawal_sweep,
+)
+from .framework import Experiment, measure_event
+from .topology import barabasi_albert, clique, line, ring, star
+
+__all__ = ["main"]
+
+
+def _parse_sdn(text: Optional[str]) -> set:
+    if not text:
+        return set()
+    out = set()
+    for part in text.split(","):
+        part = part.strip()
+        if "-" in part:
+            lo, _, hi = part.partition("-")
+            out.update(range(int(lo), int(hi) + 1))
+        elif part:
+            out.add(int(part))
+    return out
+
+
+def _parse_topology(text: str):
+    kind, _, arg = text.partition(":")
+    size = int(arg) if arg else 8
+    builders = {
+        "clique": clique,
+        "line": line,
+        "ring": ring,
+        "star": star,
+        "ba": lambda n: barabasi_albert(n, 2, seed=0),
+    }
+    if kind not in builders:
+        raise SystemExit(
+            f"unknown topology {kind!r}; choose from {sorted(builders)}"
+        )
+    return builders[kind](size)
+
+
+def _print_sweep(result, title: str) -> None:
+    print(title)
+    print("-" * len(title))
+    rows = []
+    for point in result.points:
+        s = point.stats
+        print(
+            f"  {point.sdn_count:2d}/{result.n_ases} SDN  "
+            f"median {s.median:8.1f}s  q1 {s.q1:8.1f}  q3 {s.q3:8.1f}  "
+            f"updates {point.median_updates:5.0f}"
+        )
+        rows.append((f"{point.sdn_count:2d}/{result.n_ases}", s))
+    print()
+    print(ascii_boxplot_chart(rows, unit="s"))
+    fit = result.fit()
+    print(
+        f"\nlinear fit of medians: slope {fit.slope:.1f}s/fraction, "
+        f"R^2 {fit.r_squared:.3f}; "
+        f"reduction at max deployment {result.reduction_at_full():.0%}"
+    )
+
+
+def _export_sweep(result, args) -> None:
+    if getattr(args, "csv", None):
+        with open(args.csv, "w") as handle:
+            handle.write(sweep_to_csv(result))
+        print(f"\nwrote {args.csv}")
+    if getattr(args, "json", None):
+        with open(args.json, "w") as handle:
+            handle.write(sweep_to_json(result))
+        print(f"wrote {args.json}")
+
+
+def cmd_fig2(args) -> int:
+    result = withdrawal_sweep(
+        n=args.n, runs=args.runs, mrai=args.mrai,
+        recompute_delay=args.recompute_delay,
+    )
+    _print_sweep(result, f"Fig. 2 — withdrawal on a {args.n}-AS clique")
+    _export_sweep(result, args)
+    return 0
+
+
+def cmd_failover(args) -> int:
+    result = failover_sweep(
+        n=args.n, runs=args.runs, mrai=args.mrai,
+        recompute_delay=args.recompute_delay,
+    )
+    _print_sweep(result, f"§4 — fail-over (dual-homed origin, {args.n}-AS clique)")
+    _export_sweep(result, args)
+    return 0
+
+
+def cmd_announcement(args) -> int:
+    result = announcement_sweep(
+        n=args.n, runs=args.runs, mrai=args.mrai,
+        recompute_delay=args.recompute_delay,
+    )
+    _print_sweep(result, f"§4 — announcement ({args.n}-AS clique)")
+    _export_sweep(result, args)
+    return 0
+
+
+def cmd_subcluster(args) -> int:
+    result = run_subcluster_experiment(seed=args.seed)
+    print("Sub-cluster split experiment (bar-bell cluster)")
+    print(f"  sub-clusters before: {result.sub_clusters_before}")
+    print(f"  sub-clusters after : {result.sub_clusters_after}")
+    print(f"  reachable after    : {result.reachable_after}")
+    print(f"  cross-cluster path : {' -> '.join(result.cross_path_after)}")
+    print(f"  convergence        : "
+          f"{result.measurement.convergence_time:.2f}s")
+    return 0 if result.reachable_after else 1
+
+
+def cmd_topologies(args) -> int:
+    results = topology_family_sweep(n=args.n, runs=args.runs, mrai=args.mrai)
+    print("Topology families — withdrawal, 0% vs 50% SDN")
+    for r in results:
+        print(
+            f"  {r.family:>16}: pure {r.pure_bgp.median:7.1f}s  "
+            f"hybrid {r.hybrid.median:7.1f}s  reduction {r.reduction:.0%}"
+        )
+    return 0
+
+
+def cmd_flapstorm(args) -> int:
+    results = flap_storm_sweep(
+        n=args.n, sdn_count=args.n // 2, flaps=args.flaps,
+        delays=tuple(args.delays), seed=args.seed,
+    )
+    print("Flap storm — controller churn vs recompute discipline")
+    print(f"({args.flaps} flaps at 0.2s intervals, {args.n}-AS clique)")
+    for r in results:
+        mode = "extend " if r.extend_on_burst else "ratelim"
+        print(
+            f"  {mode} delay={r.recompute_delay:4.1f}s: "
+            f"recomputes={r.recomputations:3d} flow-mods={r.flow_mods:3d} "
+            f"settle-after={r.settle_after_storm:5.1f}s "
+            f"ok={r.final_state_correct}"
+        )
+    return 0 if all(r.final_state_correct for r in results) else 1
+
+
+def cmd_demo(args) -> int:
+    sdn = _parse_sdn(args.sdn)
+    exp = Experiment(
+        clique(args.n), sdn_members=sdn,
+        config=paper_config(seed=args.seed, mrai=args.mrai),
+    ).start()
+    prefix = exp.announce(1)
+    exp.wait_converged()
+    m = measure_event(exp, lambda: exp.withdraw(1, prefix))
+    print(
+        f"{args.n}-AS clique, SDN members {sorted(sdn) or 'none'}: "
+        f"withdrawal converged in {m.convergence_time:.1f}s "
+        f"({m.updates_tx} updates)"
+    )
+    return 0
+
+
+def cmd_dot(args) -> int:
+    topo = _parse_topology(args.topology)
+    print(topology_dot(topo, sdn_members=sorted(_parse_sdn(args.sdn))))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Hybrid BGP-SDN emulation framework (SIGCOMM'14 repro)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def sweep_args(p):
+        p.add_argument("--n", type=int, default=16, help="clique size")
+        p.add_argument("--runs", type=int, default=10, help="runs per point")
+        p.add_argument("--mrai", type=float, default=30.0)
+        p.add_argument("--recompute-delay", type=float, default=0.5)
+        p.add_argument("--csv", type=str, default=None,
+                       help="write per-run results as CSV")
+        p.add_argument("--json", type=str, default=None,
+                       help="write summary + runs as JSON")
+
+    p = sub.add_parser("fig2", help="withdrawal sweep (paper Fig. 2)")
+    sweep_args(p)
+    p.set_defaults(func=cmd_fig2)
+
+    p = sub.add_parser("failover", help="fail-over sweep (paper §4)")
+    sweep_args(p)
+    p.set_defaults(func=cmd_failover)
+
+    p = sub.add_parser("announcement", help="announcement sweep (paper §4)")
+    sweep_args(p)
+    p.set_defaults(func=cmd_announcement)
+
+    p = sub.add_parser("subcluster", help="sub-cluster split experiment")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_subcluster)
+
+    p = sub.add_parser("topologies", help="topology-family comparison")
+    p.add_argument("--n", type=int, default=16)
+    p.add_argument("--runs", type=int, default=3)
+    p.add_argument("--mrai", type=float, default=30.0)
+    p.set_defaults(func=cmd_topologies)
+
+    p = sub.add_parser("flapstorm", help="bursty-input controller ablation")
+    p.add_argument("--n", type=int, default=8)
+    p.add_argument("--flaps", type=int, default=10)
+    p.add_argument("--delays", type=float, nargs="+", default=[0.1, 0.5, 2.0])
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_flapstorm)
+
+    p = sub.add_parser("demo", help="one withdrawal run, custom SDN set")
+    p.add_argument("--n", type=int, default=8)
+    p.add_argument("--sdn", type=str, default="",
+                   help="comma list / ranges, e.g. 5,6,7 or 5-8")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--mrai", type=float, default=30.0)
+    p.set_defaults(func=cmd_demo)
+
+    p = sub.add_parser("dot", help="Graphviz export of a topology")
+    p.add_argument("--topology", type=str, default="clique:8",
+                   help="kind:size, e.g. clique:16, ba:20, ring:6")
+    p.add_argument("--sdn", type=str, default="")
+    p.set_defaults(func=cmd_dot)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

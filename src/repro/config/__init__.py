@@ -1,0 +1,12 @@
+"""Configuration management: address allocation and config rendering."""
+
+from .allocator import AllocationError, PrefixAllocator
+from .templates import render_bgpd_conf, render_exabgp_conf, render_route_map
+
+__all__ = [
+    "AllocationError",
+    "PrefixAllocator",
+    "render_bgpd_conf",
+    "render_exabgp_conf",
+    "render_route_map",
+]

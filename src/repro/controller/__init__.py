@@ -1,0 +1,33 @@
+"""The paper's IDR SDN controller and cluster BGP speaker."""
+
+from .compiler import CompiledRule, FlowPlan, compile_decisions
+from .graphs import (
+    DEST,
+    ASTopologyGraph,
+    ExternalRoute,
+    Peering,
+    SwitchGraph,
+    build_as_topology,
+)
+from .idr import ControllerConfig, IDRController
+from .routing import MemberDecision, compute_decisions, decision_path
+from .speaker import SPEAKER_ASN, ClusterBGPSpeaker
+
+__all__ = [
+    "CompiledRule",
+    "FlowPlan",
+    "compile_decisions",
+    "DEST",
+    "ASTopologyGraph",
+    "ExternalRoute",
+    "Peering",
+    "SwitchGraph",
+    "build_as_topology",
+    "ControllerConfig",
+    "IDRController",
+    "MemberDecision",
+    "compute_decisions",
+    "decision_path",
+    "SPEAKER_ASN",
+    "ClusterBGPSpeaker",
+]

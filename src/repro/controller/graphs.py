@@ -1,0 +1,291 @@
+"""The controller's two graphs (paper §3).
+
+The paper's key design insight is that the controller cannot reuse BGP's
+distributed loop avoidance: a centrally computed route may egress the
+cluster, cross the legacy world, and *re-enter* the cluster, looping.
+It therefore keeps:
+
+- the **Switch graph** — the physical topology of cluster switches and
+  their up intra-cluster links (plus external peering attachment
+  points), maintained from PortStatus events; and
+- a per-destination-prefix **AS topology graph** — a transformation of
+  the switch graph where each usable way of reaching the prefix becomes
+  a weighted edge toward a virtual destination node.  External routes
+  whose AS path contains any member of the *same sub-cluster* are
+  excluded (using them could re-enter this sub-cluster = loop); paths
+  through members of a *different* sub-cluster are allowed, which is
+  precisely what lets disjoint sub-clusters reach each other over the
+  legacy Internet (design goal §2).
+
+Best paths are computed with Dijkstra on the AS topology graph
+(``repro.controller.routing``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+import networkx as nx
+
+from ..bgp.attrs import AsPath, Origin
+from ..bgp.policy import Relationship
+from ..net.addr import Prefix
+
+__all__ = [
+    "Peering",
+    "ExternalRoute",
+    "SwitchGraph",
+    "ASTopologyGraph",
+    "DEST",
+    "build_as_topology",
+]
+
+#: Name of the virtual destination node in the AS topology graph.
+DEST = "__dest__"
+
+
+@dataclass(frozen=True)
+class Peering:
+    """One external BGP peering of a cluster member.
+
+    The speaker terminates the BGP session (impersonating ``member_asn``)
+    over ``relay link``; data-plane traffic egresses over the physical
+    link named ``phys_link_name`` on switch ``member``.
+    """
+
+    member: str
+    member_asn: int
+    external: str
+    phys_link_name: str
+    #: business relationship of the external AS from the member's point
+    #: of view (CUSTOMER = external pays the member).  FLAT disables
+    #: valley-free preference/export rules.
+    relationship: Relationship = Relationship.FLAT
+
+    def __str__(self) -> str:
+        return f"{self.member}<->{self.external}"
+
+
+@dataclass(frozen=True)
+class ExternalRoute:
+    """A route for one prefix learned over one peering."""
+
+    peering: Peering
+    prefix: Prefix
+    as_path: AsPath
+    origin: Origin = Origin.IGP
+    med: int = 0
+    learned_at: float = 0.0
+
+    @property
+    def path_len(self) -> int:
+        """AS-path length of the external route."""
+        return self.as_path.length
+
+
+class SwitchGraph:
+    """Live physical view of the cluster: members + intra-cluster links.
+
+    Maintained by the controller from its initial topology knowledge and
+    subsequent PortStatus events.  Sub-clusters are the connected
+    components — an intra-cluster link failure splits the cluster, and
+    route computation then treats each component independently.
+    """
+
+    def __init__(self) -> None:
+        self._graph = nx.Graph()
+        #: member name -> ASN
+        self.member_asn: Dict[str, int] = {}
+
+    def add_member(self, name: str, asn: int) -> None:
+        """Register a member switch and its ASN."""
+        self.member_asn[name] = asn
+        self._graph.add_node(name)
+
+    def members(self) -> List[str]:
+        """Member switch names, sorted."""
+        return sorted(self._graph.nodes)
+
+    def member_asns(self) -> Set[int]:
+        """The set of all member AS numbers."""
+        return set(self.member_asn.values())
+
+    def add_intra_link(self, a: str, b: str, link_name: str) -> None:
+        """Register an intra-cluster adjacency."""
+        if a not in self.member_asn or b not in self.member_asn:
+            raise KeyError(f"both endpoints must be members: {a}, {b}")
+        self._graph.add_edge(a, b, link_name=link_name, up=True)
+
+    def set_link_state(self, a: str, b: str, up: bool) -> bool:
+        """Mark an intra-cluster link up/down; True if it existed."""
+        if not self._graph.has_edge(a, b):
+            return False
+        self._graph.edges[a, b]["up"] = up
+        return True
+
+    def up_graph(self) -> nx.Graph:
+        """The switch graph restricted to links currently up."""
+        up = nx.Graph()
+        up.add_nodes_from(self._graph.nodes)
+        for a, b, data in self._graph.edges(data=True):
+            if data.get("up", True):
+                up.add_edge(a, b, **data)
+        return up
+
+    def sub_clusters(self) -> List[FrozenSet[str]]:
+        """Connected components (each is one sub-cluster), deterministic order."""
+        comps = [frozenset(c) for c in nx.connected_components(self.up_graph())]
+        return sorted(comps, key=lambda c: sorted(c)[0])
+
+    def sub_cluster_of(self, member: str) -> FrozenSet[str]:
+        """The connected component containing a member."""
+        for comp in self.sub_clusters():
+            if member in comp:
+                return comp
+        raise KeyError(f"not a member: {member!r}")
+
+    def intra_link_name(self, a: str, b: str) -> Optional[str]:
+        """Name of the up link between two members, or None."""
+        if self._graph.has_edge(a, b) and self._graph.edges[a, b].get("up", True):
+            return self._graph.edges[a, b]["link_name"]
+        return None
+
+    def up_neighbors(self, member: str) -> List[str]:
+        """Members adjacent over currently-up links."""
+        out = []
+        for nbr in self._graph.neighbors(member):
+            if self._graph.edges[member, nbr].get("up", True):
+                out.append(nbr)
+        return sorted(out)
+
+    def __contains__(self, member: str) -> bool:
+        return member in self.member_asn
+
+
+@dataclass
+class ASTopologyGraph:
+    """The per-prefix transformed graph Dijkstra runs on.
+
+    Directed graph over member names plus the virtual :data:`DEST` node:
+
+    - ``member -> member`` edges (weight 1) for up intra-cluster links
+      within one sub-cluster;
+    - ``member -> DEST`` edges for usable egresses: local origination
+      (weight 0) or a valid external route (weight 1 + AS-path length).
+
+    ``egress_choice`` remembers, per member with a direct DEST edge, which
+    concrete external route (or local origination) backs it, so the
+    compiler and the advertisement builder can reconstruct real paths.
+    """
+
+    prefix: Prefix
+    graph: nx.DiGraph = field(default_factory=nx.DiGraph)
+    #: member -> ("local", None) or ("egress", ExternalRoute)
+    egress_choice: Dict[str, Tuple[str, Optional[ExternalRoute]]] = field(
+        default_factory=dict
+    )
+
+    def usable_members(self) -> List[str]:
+        """Members present in the per-prefix graph."""
+        return sorted(n for n in self.graph.nodes if n != DEST)
+
+
+def build_as_topology(
+    switch_graph: SwitchGraph,
+    prefix: Prefix,
+    external_routes: Iterable[ExternalRoute],
+    originating_members: Iterable[str] = (),
+    *,
+    egress_base_cost: float = 1.0,
+) -> ASTopologyGraph:
+    """Transform the switch graph into the AS topology graph for ``prefix``.
+
+    The loop-avoidance rule: an external route learned at a peering of
+    member ``m`` is usable only if its AS path contains no ASN of any
+    member in ``m``'s *sub-cluster*.  (Its own ASN cannot appear — the
+    speaker's per-session loop check already dropped that — but a path
+    through a fellow sub-cluster member would re-enter this sub-cluster.)
+
+    Weights: intra-cluster hop = 1; egress edge = ``egress_base_cost`` +
+    external AS-path length; local origination = 0.  With the default
+    base cost this makes total weight equal to the AS-level hop count of
+    the resulting route, so Dijkstra picks what BGP's shortest-AS-path
+    step would, minus the exploration.
+    """
+    topo = ASTopologyGraph(prefix=prefix)
+    graph = topo.graph
+    graph.add_node(DEST)
+    sub_clusters = switch_graph.sub_clusters()
+    asn_of_component: Dict[FrozenSet[str], Set[int]] = {
+        comp: {switch_graph.member_asn[m] for m in comp} for comp in sub_clusters
+    }
+    component_of: Dict[str, FrozenSet[str]] = {}
+    for comp in sub_clusters:
+        for member in comp:
+            component_of[member] = comp
+
+    for member in switch_graph.members():
+        graph.add_node(member)
+
+    # Intra-cluster edges (both directions; weight 1 per AS hop).
+    for member in switch_graph.members():
+        for nbr in switch_graph.up_neighbors(member):
+            graph.add_edge(member, nbr, weight=1.0, kind="intra")
+
+    # Local originations beat any egress (weight 0).
+    for member in sorted(set(originating_members)):
+        if member not in switch_graph:
+            raise KeyError(f"originating node is not a member: {member!r}")
+        graph.add_edge(member, DEST, weight=0.0, kind="local")
+        topo.egress_choice[member] = ("local", None)
+
+    # External egresses, best (lowest weight, then deterministic
+    # tie-break) route per member.
+    best_per_member: Dict[str, ExternalRoute] = {}
+    for route in external_routes:
+        if route.prefix != prefix:
+            continue
+        member = route.peering.member
+        if member not in switch_graph:
+            continue
+        cluster_asns = asn_of_component[component_of[member]]
+        if any(route.as_path.contains(asn) for asn in cluster_asns):
+            continue  # would re-enter this sub-cluster: loop risk
+        current = best_per_member.get(member)
+        if current is None or _route_key(route) < _route_key(current):
+            best_per_member[member] = route
+
+    for member, route in best_per_member.items():
+        if topo.egress_choice.get(member, (None, None))[0] == "local":
+            continue  # origination wins
+        graph.add_edge(
+            member, DEST,
+            weight=egress_base_cost + route.path_len,
+            kind="egress",
+        )
+        topo.egress_choice[member] = ("egress", route)
+
+    return topo
+
+
+#: valley-free route preference: customer routes first, then peers,
+#: then providers (mirrors the LOCAL_PREF ladder legacy routers use).
+_REL_RANK = {
+    Relationship.CUSTOMER: 0,
+    Relationship.PEER: 1,
+    Relationship.FLAT: 1,
+    Relationship.PROVIDER: 2,
+}
+
+
+def _route_key(route: ExternalRoute):
+    """Deterministic preference among a member's external routes."""
+    return (
+        _REL_RANK[route.peering.relationship],
+        route.path_len,
+        int(route.origin),
+        route.med,
+        route.peering.external,
+        tuple(route.as_path),
+    )

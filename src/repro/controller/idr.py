@@ -1,0 +1,429 @@
+"""The proof-of-concept IDR SDN controller (paper §3, the POX app).
+
+The controller exploits centralization to cut convergence time: instead
+of letting every member AS explore paths with distributed BGP, it
+
+1. maintains the **switch graph** from PortStatus events,
+2. on route/topology events, rebuilds the per-prefix **AS topology
+   graph** and runs **Dijkstra** on it,
+3. **compiles** the resulting member decisions to flow rules pushed over
+   the control channel, and
+4. **re-advertises** the chosen routes to external peers through the
+   cluster BGP speaker, preserving each member's AS identity.
+
+Recomputation is *delayed* (a debounce timer): "the need for a delayed
+recomputation of best paths on the controller's side, so as to improve
+overall stability and rate-limit route flaps due to bursts in external
+BGP input" — the second design insight of §3.  The delay is the
+``recompute_delay`` knob; the ``abl-delayed-recompute`` benchmark sweeps
+it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
+
+from ..bgp.attrs import AsPath, Origin, PathAttributes
+from ..bgp.policy import Relationship
+from ..eventsim import DebounceTimer, Simulator, TraceLog
+from ..net.addr import Prefix
+from ..net.link import Link
+from ..net.messages import Message
+from ..net.node import Node
+from ..sdn.messages import BarrierReply, PacketIn, PortStatus
+from ..sdn.switch import SDNSwitch
+from .compiler import CompiledRule, compile_decisions
+from .graphs import ExternalRoute, Peering, SwitchGraph, build_as_topology
+from .routing import MemberDecision, compute_decisions
+from .speaker import ClusterBGPSpeaker
+
+__all__ = ["ControllerConfig", "IDRController"]
+
+
+@dataclass
+class ControllerConfig:
+    """Tunables of the IDR controller."""
+
+    #: debounce before best-path recomputation (the paper's delayed
+    #: recomputation; 0 recomputes immediately after each event batch).
+    recompute_delay: float = 0.5
+    #: if True, the debounce window extends on every new event
+    #: (quiescence-style); if False it fires a fixed delay after the
+    #: first event of a burst (rate-limit style, the paper's behaviour).
+    extend_on_burst: bool = False
+    #: weight added to every egress edge in the AS topology graph.
+    egress_base_cost: float = 1.0
+
+
+class IDRController(Node):
+    """Logically centralized routing decision process for the cluster."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        trace: TraceLog,
+        name: str = "controller",
+        *,
+        config: Optional[ControllerConfig] = None,
+    ) -> None:
+        super().__init__(sim, trace, name)
+        self.config = config if config is not None else ControllerConfig()
+        self.switch_graph = SwitchGraph()
+        self.speaker: Optional[ClusterBGPSpeaker] = None
+        self._members: Dict[str, SDNSwitch] = {}
+        self._control_links: Dict[str, Link] = {}
+        #: prefix -> {member -> decision}
+        self.decisions: Dict[Prefix, Dict[str, MemberDecision]] = {}
+        #: prefix -> {member -> compiled rule} (what switches currently hold)
+        self._compiled: Dict[Prefix, Dict[str, CompiledRule]] = {}
+        #: prefix -> set of originating member names
+        self.originations: Dict[Prefix, Set[str]] = {}
+        self._dirty: Set[Prefix] = set()
+        self._recompute_timer = DebounceTimer(
+            sim,
+            self._recompute_dirty,
+            self.config.recompute_delay,
+            extend=self.config.extend_on_burst,
+            label=f"{name}:recompute",
+        )
+        self.recomputations = 0
+        self.flow_mods_sent = 0
+        self.packet_ins = 0
+
+    # ------------------------------------------------------------------
+    # cluster wiring (done by the framework's cluster builder)
+    # ------------------------------------------------------------------
+    def attach_speaker(self, speaker: ClusterBGPSpeaker) -> None:
+        """Colocate with the speaker (controller runs on top of it)."""
+        self.speaker = speaker
+        speaker.attach_controller(self)
+
+    def register_member(self, switch: SDNSwitch, control_link: Link) -> None:
+        """Add a member switch reachable over ``control_link``."""
+        self._members[switch.name] = switch
+        self._control_links[switch.name] = control_link
+        self.switch_graph.add_member(switch.name, switch.asn)
+
+    def register_intra_link(self, a: str, b: str, link_name: str) -> None:
+        """Record an intra-cluster link in the switch graph."""
+        self.switch_graph.add_intra_link(a, b, link_name)
+
+    def members(self) -> List[str]:
+        """Member switch names, sorted."""
+        return sorted(self._members)
+
+    # ------------------------------------------------------------------
+    # prefix origination by member switches
+    # ------------------------------------------------------------------
+    def originate(self, member: str, prefix: Prefix) -> None:
+        """Member AS ``member`` starts originating ``prefix``."""
+        if member not in self._members:
+            raise KeyError(f"not a member: {member!r}")
+        self.originations.setdefault(prefix, set()).add(member)
+        self._members[member].add_local_prefix(prefix)
+        self.trace.record(
+            "bgp.originate", member, prefix=str(prefix), via="controller"
+        )
+        self.mark_dirty([prefix])
+
+    def withdraw(self, member: str, prefix: Prefix) -> None:
+        """Member AS ``member`` stops originating ``prefix``."""
+        members = self.originations.get(prefix, set())
+        if member not in members:
+            raise KeyError(f"{member} does not originate {prefix}")
+        members.discard(member)
+        if not members:
+            self.originations.pop(prefix, None)
+        self._members[member].remove_local_prefix(prefix)
+        self.trace.record(
+            "bgp.withdraw", member, prefix=str(prefix), via="controller"
+        )
+        self.mark_dirty([prefix])
+
+    # ------------------------------------------------------------------
+    # events from the speaker
+    # ------------------------------------------------------------------
+    def route_event(self, peering: Peering, prefixes: List[Prefix]) -> None:
+        """External BGP input changed some prefixes at one peering."""
+        self.trace.record(
+            "controller.route_event", self.name,
+            peering=str(peering), prefixes=[str(p) for p in prefixes],
+        )
+        self.mark_dirty(prefixes)
+
+    def peering_established(self, peering: Peering) -> None:
+        """Speaker callback: a peering came up."""
+        self.trace.record(
+            "controller.peering.up", self.name, peering=str(peering)
+        )
+
+    def peering_lost(self, peering: Peering, affected: List[Prefix]) -> None:
+        """Speaker callback: a peering went down."""
+        self.trace.record(
+            "controller.peering.down", self.name,
+            peering=str(peering), prefixes=[str(p) for p in affected],
+        )
+        self.mark_dirty(affected)
+
+    def mark_dirty(self, prefixes) -> None:
+        """Queue prefixes for the next (debounced) recompute."""
+        before = len(self._dirty)
+        self._dirty.update(prefixes)
+        if self._dirty:
+            self._recompute_timer.trigger()
+
+    # ------------------------------------------------------------------
+    # control-channel messages from switches
+    # ------------------------------------------------------------------
+    def handle_message(self, link: Link, message: Message) -> None:
+        """Control-plane dispatch for one delivered message."""
+        if isinstance(message, PortStatus):
+            self._handle_port_status(message)
+        elif isinstance(message, PacketIn):
+            self.packet_ins += 1
+            self.trace.record(
+                "controller.packet_in", self.name,
+                switch=message.switch, dst=message.dst,
+            )
+        elif isinstance(message, BarrierReply):
+            pass
+
+    def _handle_port_status(self, status: PortStatus) -> None:
+        self.trace.record(
+            "controller.port_status", self.name,
+            switch=status.switch, peer=status.peer, up=status.up,
+        )
+        changed = self.switch_graph.set_link_state(
+            status.switch, status.peer, status.up
+        )
+        # Any topology change (intra-cluster link or an egress peering
+        # link) can invalidate every computed route: recompute all.
+        self.mark_dirty(self.known_prefixes())
+        if changed:
+            self.trace.record(
+                "controller.switch_graph", self.name,
+                sub_clusters=[sorted(c) for c in self.switch_graph.sub_clusters()],
+            )
+
+    # ------------------------------------------------------------------
+    # delayed recomputation
+    # ------------------------------------------------------------------
+    def _recompute_dirty(self) -> None:
+        dirty, self._dirty = self._dirty, set()
+        if not dirty:
+            return
+        self.recomputations += 1
+        self.trace.record(
+            "controller.recompute", self.name,
+            prefixes=[str(p) for p in sorted(dirty)],
+            coalesced=self._recompute_timer.triggers_coalesced,
+        )
+        for prefix in sorted(dirty):
+            self._recompute_prefix(prefix)
+
+    def _recompute_prefix(self, prefix: Prefix) -> None:
+        routes = (
+            self.speaker.external_routes(prefix)
+            if self.speaker is not None
+            else []
+        )
+        topo = build_as_topology(
+            self.switch_graph,
+            prefix,
+            routes,
+            self.originations.get(prefix, ()),
+            egress_base_cost=self.config.egress_base_cost,
+        )
+        decisions = compute_decisions(topo, self.switch_graph.member_asn)
+        old_decisions = self.decisions.get(prefix, {})
+        compiled, plan = compile_decisions(
+            prefix, decisions, self.switch_graph, self._compiled.get(prefix)
+        )
+        self.decisions[prefix] = decisions
+        self._compiled[prefix] = compiled
+        for member, mod in plan.installs:
+            self._send_to_switch(member, mod)
+        for member, removal in plan.removals:
+            self._send_to_switch(member, removal)
+        if decisions != old_decisions and self.speaker is not None:
+            self.trace.record(
+                "controller.advertise", self.name, prefix=str(prefix)
+            )
+            self.speaker.schedule_all_sessions(prefix)
+
+    def _send_to_switch(self, member: str, message: Message) -> None:
+        link = self._control_links.get(member)
+        if link is None or not link.up:
+            self.trace.record(
+                "controller.control_link_down", self.name, member=member
+            )
+            return
+        self.flow_mods_sent += 1
+        self.trace.record(
+            "controller.flow_install", self.name,
+            member=member, message=type(message).__name__,
+        )
+        link.transmit(self, message)
+
+    # ------------------------------------------------------------------
+    # advertisement generation (asked by the speaker per peering)
+    # ------------------------------------------------------------------
+    def desired_advertisement(
+        self, peering: Peering, prefix: Prefix
+    ) -> Optional[PathAttributes]:
+        """What the cluster should advertise for ``prefix`` at ``peering``.
+
+        The AS path is the member-ASN chain along the intra-cluster
+        forwarding path, followed by the chosen egress's external path —
+        the cluster looks like a normal sequence of ASes to the legacy
+        world, keeping legacy loop detection sound.
+        """
+        decision = self.decisions.get(prefix, {}).get(peering.member)
+        if decision is None or not decision.reachable:
+            return None
+        route = self._egress_route(prefix, decision)
+        if route is not None and route.peering == peering:
+            return None  # split horizon toward the chosen egress peering
+        if not self._export_permitted(route, peering):
+            return None  # valley-free export rule
+        if route is not None:
+            as_path = route.as_path.prepend_sequence(decision.as_chain)
+            origin = route.origin
+            med = route.med
+        else:
+            as_path = AsPath(decision.as_chain)
+            origin = Origin.IGP
+            med = 0
+        return PathAttributes(as_path=as_path, origin=origin, med=med)
+
+    @staticmethod
+    def _export_permitted(route, peering: Peering) -> bool:
+        """Gao-Rexford export check for the cluster as a whole.
+
+        Locally originated routes (``route is None``) and customer-learned
+        routes go to everyone; peer-/provider-learned routes go only to
+        customers.  FLAT peerings (the clique experiments) export freely.
+        """
+        if route is None:
+            return True
+        learned = route.peering.relationship
+        if learned in (Relationship.CUSTOMER, Relationship.FLAT):
+            return True
+        return peering.relationship is Relationship.CUSTOMER
+
+    def _egress_route(
+        self, prefix: Prefix, decision: MemberDecision
+    ) -> Optional[ExternalRoute]:
+        """The external route backing ``decision`` (None for local origin)."""
+        node = decision
+        decisions = self.decisions.get(prefix, {})
+        seen = set()
+        while node is not None and node.kind == "forward":
+            if node.member in seen:  # pragma: no cover - defensive
+                return None
+            seen.add(node.member)
+            node = decisions.get(node.next_member)
+        if node is not None and node.kind == "egress":
+            return node.route
+        return None
+
+    # ------------------------------------------------------------------
+    def known_prefixes(self) -> List[Prefix]:
+        """Everything the cluster has a route for or originates."""
+        seen = set(self.originations)
+        if self.speaker is not None:
+            seen.update(self.speaker.known_external_prefixes())
+        seen.update(self.decisions)
+        return sorted(seen)
+
+    def flush_now(self) -> None:
+        """Force an immediate recomputation (test/experiment hook)."""
+        self._recompute_timer.cancel()
+        self._recompute_dirty()
+
+    # ------------------------------------------------------------------
+    # consistency auditing
+    # ------------------------------------------------------------------
+    def audit(self) -> List[str]:
+        """Cross-check controller state against the switches' tables.
+
+        Returns a list of human-readable discrepancies (empty = clean):
+        rules the controller believes are installed but the switch lacks
+        (lost FlowMods — e.g. a control link was down), rules present
+        with a different action than compiled, and orphaned IDR-cookied
+        rules for prefixes the controller no longer tracks.  This is the
+        operational check a real deployment runs after control-channel
+        hiccups.
+        """
+        problems: List[str] = []
+        for prefix, rules in sorted(self._compiled.items()):
+            for member, rule in sorted(rules.items()):
+                switch = self._members.get(member)
+                if switch is None:  # pragma: no cover - defensive
+                    problems.append(f"{member}: unknown member for {prefix}")
+                    continue
+                actual = [
+                    r for r in switch.flow_table
+                    if r.match == prefix and r.cookie == f"idr:{prefix}"
+                ]
+                if not actual:
+                    problems.append(
+                        f"{member}: missing rule for {prefix} "
+                        f"(expected {rule.action_type})"
+                    )
+                    continue
+                flow = actual[0]
+                actual_target = (
+                    flow.action.link.name
+                    if flow.action.link is not None
+                    else flow.action.type.value
+                )
+                expected_target = rule.out_link_name or rule.action_type
+                if actual_target != expected_target:
+                    problems.append(
+                        f"{member}: rule for {prefix} points at "
+                        f"{actual_target}, compiled {expected_target}"
+                    )
+        tracked = set(self._compiled)
+        for member, switch in sorted(self._members.items()):
+            for flow in switch.flow_table:
+                if not flow.cookie.startswith("idr:"):
+                    continue
+                if flow.match not in tracked or member not in self._compiled.get(
+                    flow.match, {}
+                ):
+                    problems.append(
+                        f"{member}: orphaned rule for {flow.match}"
+                    )
+        return problems
+
+    def repair(self) -> int:
+        """Re-push every compiled rule (recovery after control-link loss).
+
+        Returns the number of FlowMods sent.  Orphans are removed by
+        cookie.
+        """
+        from ..sdn.messages import FlowRemove
+
+        sent = 0
+        for prefix, rules in sorted(self._compiled.items()):
+            for member, rule in sorted(rules.items()):
+                self._send_to_switch(member, rule.to_flow_mod())
+                sent += 1
+
+        tracked = set(self._compiled)
+        for member, switch in sorted(self._members.items()):
+            orphans = {
+                flow.match
+                for flow in switch.flow_table
+                if flow.cookie.startswith("idr:")
+                and (
+                    flow.match not in tracked
+                    or member not in self._compiled.get(flow.match, {})
+                )
+            }
+            for prefix in sorted(orphans):
+                self._send_to_switch(member, FlowRemove(cookie=f"idr:{prefix}"))
+                sent += 1
+        return sent

@@ -1,0 +1,290 @@
+"""Cluster BGP speaker (the framework's ExaBGP substitute).
+
+"Within the SDN cluster we have a special BGP speaker, called cluster
+BGP speaker, which relays routing information between external BGP
+routers and the SDN controller" (paper §3).
+
+The speaker terminates one eBGP session per external peering of every
+cluster member, *speaking as the member's ASN* so the cluster stays
+transparent to the legacy world (design goal §2).  Each session runs
+over a dedicated relay link to the member's border switch, which
+shuttles the BGP bytes to/from the physical peering link.
+
+The speaker is deliberately dumb: it keeps per-peering Adj-RIB-In /
+Adj-RIB-Out, forwards route events to the IDR controller, and asks the
+controller what to advertise.  All route *selection* lives in the
+controller (unlike RouteFlow, which mirrors legacy protocols — see the
+paper's related-work comparison).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from ..bgp.attrs import PathAttributes
+from ..bgp.messages import BGPMessage, BGPUpdate
+from ..bgp.rib import AdjRibIn, AdjRibOut, Route
+from ..bgp.session import BGPSession, BGPTimers
+from ..eventsim import Simulator, TraceLog
+from ..net.addr import Prefix
+from ..net.link import Link
+from ..net.messages import Message
+from ..net.node import Node
+from ..sdn.messages import PeeringStatus
+from .graphs import ExternalRoute, Peering
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .idr import IDRController
+
+__all__ = ["ClusterBGPSpeaker", "SPEAKER_ASN"]
+
+#: Private ASN for the speaker process itself (never appears on the wire
+#: — sessions speak with member ASNs).
+SPEAKER_ASN = 64900
+
+
+class _ControllerRibView:
+    """Duck-typed Loc-RIB stand-in: sessions resync from the controller's
+    set of known prefixes instead of a local best-route table."""
+
+    def __init__(self, speaker: "ClusterBGPSpeaker") -> None:
+        self._speaker = speaker
+
+    def prefixes(self) -> List[Prefix]:
+        """All prefixes currently held, as a list."""
+        controller = self._speaker.controller
+        return controller.known_prefixes() if controller is not None else []
+
+
+class ClusterBGPSpeaker(Node):
+    """BGP endpoint of the SDN cluster; one session per external peering."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        trace: TraceLog,
+        name: str = "speaker",
+        *,
+        timers: Optional[BGPTimers] = None,
+    ) -> None:
+        super().__init__(sim, trace, name)
+        self.asn = SPEAKER_ASN
+        #: ExaBGP applies no MRAI; the controller's delayed recomputation
+        #: is the cluster's rate limiter (paper §3).
+        self.timers = timers if timers is not None else BGPTimers(mrai=0.0)
+        self.controller: Optional["IDRController"] = None
+        self.loc_rib = _ControllerRibView(self)
+        self.sessions: Dict[int, BGPSession] = {}       # relay link id ->
+        self.peering_of: Dict[int, Peering] = {}        # relay link id ->
+        self._rib_in: Dict[int, AdjRibIn] = {}
+        self._rib_out: Dict[int, AdjRibOut] = {}
+        self.updates_processed = 0
+
+    # ------------------------------------------------------------------
+    # wiring
+    # ------------------------------------------------------------------
+    def attach_controller(self, controller: "IDRController") -> None:
+        """Bind the IDR controller for event callbacks."""
+        self.controller = controller
+
+    def add_peering(
+        self,
+        peering: Peering,
+        relay_link: Link,
+        *,
+        timers: Optional[BGPTimers] = None,
+        policy=None,
+    ) -> BGPSession:
+        """Create the session for one external peering over ``relay_link``."""
+        if relay_link.link_id in self.sessions:
+            raise ValueError(f"peering already bound to {relay_link.name}")
+        session = BGPSession(
+            self,
+            relay_link,
+            policy=policy,
+            timers=timers if timers is not None else self.timers,
+            local_asn=peering.member_asn,
+        )
+        self.sessions[relay_link.link_id] = session
+        self.peering_of[relay_link.link_id] = peering
+        self._rib_in[relay_link.link_id] = AdjRibIn(0)
+        self._rib_out[relay_link.link_id] = AdjRibOut(0)
+        return session
+
+    def start(self) -> None:
+        """Begin connecting all configured sessions."""
+        for session in self.sessions.values():
+            session.start()
+
+    def peerings(self) -> List[Peering]:
+        """All configured peerings, deterministic order."""
+        return [self.peering_of[lid] for lid in sorted(self.peering_of)]
+
+    def session_for(self, peering: Peering) -> Optional[BGPSession]:
+        """The session bound to one peering, if any."""
+        for link_id, p in self.peering_of.items():
+            if p == peering:
+                return self.sessions[link_id]
+        return None
+
+    def adj_rib_in(self, session: BGPSession) -> AdjRibIn:
+        """Per-peer Adj-RIB-In for a session."""
+        return self._rib_in[session.link.link_id]
+
+    def adj_rib_out(self, session: BGPSession) -> AdjRibOut:
+        """Per-peer Adj-RIB-Out for a session."""
+        return self._rib_out[session.link.link_id]
+
+    # ------------------------------------------------------------------
+    # message dispatch
+    # ------------------------------------------------------------------
+    def handle_message(self, link: Link, message: Message) -> None:
+        """Control-plane dispatch for one delivered message."""
+        if isinstance(message, PeeringStatus):
+            self._handle_peering_status(link, message)
+            return
+        if isinstance(message, BGPMessage):
+            session = self.sessions.get(link.link_id)
+            if session is not None:
+                session.handle_message(message)
+
+    def _handle_peering_status(self, link: Link, status: PeeringStatus) -> None:
+        session = self.sessions.get(link.link_id)
+        if session is None:
+            return
+        self.trace.record(
+            "speaker.peering", self.name,
+            switch=status.switch, peer=status.peer, up=status.up,
+        )
+        if status.up:
+            session.peer_reachable()
+        else:
+            session.peer_unreachable()
+
+    def link_state_changed(self, link: Link) -> None:
+        """React to an attached link flipping up/down."""
+        session = self.sessions.get(link.link_id)
+        if session is not None:
+            session.link_state_changed()
+
+    # ------------------------------------------------------------------
+    # BGPSession host interface
+    # ------------------------------------------------------------------
+    def session_up(self, session: BGPSession) -> None:
+        """Session reached ESTABLISHED: reset RIBs and resync."""
+        link_id = session.link.link_id
+        self._rib_in[link_id] = AdjRibIn(session.peer_asn, session.peer_name)
+        self._rib_out[link_id] = AdjRibOut(session.peer_asn, session.peer_name)
+        peering = self.peering_of[link_id]
+        self.trace.record(
+            "speaker.session.up", self.name,
+            peering=str(peering), peer_asn=session.peer_asn,
+        )
+        session.resync()
+        if self.controller is not None:
+            self.controller.peering_established(peering)
+
+    def session_down(self, session: BGPSession, *, reason: str = "") -> None:
+        """Session lost: flush per-peer state, re-decide."""
+        link_id = session.link.link_id
+        peering = self.peering_of[link_id]
+        affected = self._rib_in[link_id].clear()
+        self._rib_out[link_id].clear()
+        self.trace.record(
+            "speaker.session.down", self.name,
+            peering=str(peering), reason=reason,
+        )
+        if self.controller is not None:
+            self.controller.peering_lost(peering, affected)
+
+    def enqueue_update(self, session: BGPSession, update: BGPUpdate) -> None:
+        """Queue a received UPDATE for serialized processing."""
+        self.trace.record(
+            "bgp.update.rx", self.name,
+            peer=session.peer_name, peering=str(self.peering_of[session.link.link_id]),
+            announced=[(str(p), str(a.as_path)) for p, a in update.announced],
+            withdrawn=[str(p) for p in update.withdrawn],
+            update_id=update.update_id,
+        )
+        # Small parse delay, then apply (the speaker is a thin proxy; it
+        # does not serialize like a full bgpd).
+        self.sim.schedule(
+            0.002, lambda: self._apply_update(session, update),
+            label=f"{self.name}:proc",
+        )
+
+    def _apply_update(self, session: BGPSession, update: BGPUpdate) -> None:
+        if not session.established:
+            return
+        self.updates_processed += 1
+        link_id = session.link.link_id
+        peering = self.peering_of[link_id]
+        rib_in = self._rib_in[link_id]
+        affected: List[Prefix] = []
+        for prefix in update.withdrawn:
+            if rib_in.withdraw(prefix):
+                affected.append(prefix)
+        for prefix, attrs in update.announced:
+            # Per-session loop check against the member's own ASN; the
+            # sub-cluster-wide check happens in the graph transform.
+            if attrs.as_path.contains(peering.member_asn):
+                if rib_in.withdraw(prefix):
+                    affected.append(prefix)
+                continue
+            route = Route(
+                prefix=prefix, attrs=attrs,
+                peer_asn=session.peer_asn, peer_name=session.peer_name,
+                learned_at=self.sim.now,
+            )
+            if rib_in.update(route):
+                affected.append(prefix)
+        if affected and self.controller is not None:
+            self.controller.route_event(peering, affected)
+
+    def outbound_diff(
+        self, session: BGPSession, prefix: Prefix
+    ) -> Optional[Tuple[str, Optional[PathAttributes]]]:
+        """Ask the controller what this peering should see, diff vs sent."""
+        peering = self.peering_of[session.link.link_id]
+        attrs: Optional[PathAttributes] = None
+        if self.controller is not None:
+            attrs = self.controller.desired_advertisement(peering, prefix)
+        return self.adj_rib_out(session).diff(prefix, attrs)
+
+    # ------------------------------------------------------------------
+    # controller-facing queries
+    # ------------------------------------------------------------------
+    def external_routes(self, prefix: Optional[Prefix] = None) -> List[ExternalRoute]:
+        """Snapshot of all usable external routes (per peering best)."""
+        out: List[ExternalRoute] = []
+        for link_id, rib_in in self._rib_in.items():
+            session = self.sessions[link_id]
+            if not session.established:
+                continue
+            peering = self.peering_of[link_id]
+            for route in rib_in:
+                if prefix is not None and route.prefix != prefix:
+                    continue
+                out.append(
+                    ExternalRoute(
+                        peering=peering,
+                        prefix=route.prefix,
+                        as_path=route.attrs.as_path,
+                        origin=route.attrs.origin,
+                        med=route.attrs.med,
+                        learned_at=route.learned_at,
+                    )
+                )
+        return out
+
+    def known_external_prefixes(self) -> List[Prefix]:
+        """Sorted prefixes present in any Adj-RIB-In."""
+        seen = set()
+        for rib_in in self._rib_in.values():
+            seen.update(rib_in.prefixes())
+        return sorted(seen)
+
+    def schedule_all_sessions(self, prefix: Prefix) -> None:
+        """Let every peering reconsider its advertisement for ``prefix``."""
+        for link_id in sorted(self.sessions):
+            self.sessions[link_id].schedule_route(prefix)

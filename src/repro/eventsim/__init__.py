@@ -1,0 +1,28 @@
+"""Discrete-event simulation kernel (the framework's Mininet substitute).
+
+Public surface:
+
+- :class:`Simulator` — deterministic event loop with virtual time,
+  seeded random sub-streams, and exact convergence detection via
+  foreground/background event classification.
+- :class:`Timer`, :class:`PeriodicTimer`, :class:`DebounceTimer` —
+  the timer disciplines BGP and the IDR controller need.
+- :class:`TraceLog` / :class:`TraceRecord` — structured logging consumed
+  by the analysis tools.
+"""
+
+from .core import Event, SimulationError, Simulator
+from .timer import DebounceTimer, PeriodicTimer, Timer
+from .trace import ROUTE_AFFECTING, TraceLog, TraceRecord
+
+__all__ = [
+    "Event",
+    "SimulationError",
+    "Simulator",
+    "Timer",
+    "PeriodicTimer",
+    "DebounceTimer",
+    "TraceLog",
+    "TraceRecord",
+    "ROUTE_AFFECTING",
+]

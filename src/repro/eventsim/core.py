@@ -1,0 +1,226 @@
+"""Discrete-event simulation kernel.
+
+The kernel replaces Mininet's real-time execution with deterministic
+virtual time.  Everything in the emulation framework — link propagation,
+BGP timers, controller debounce delays, probe streams — is driven by a
+single :class:`Simulator` event loop.
+
+Events are classified as *foreground* (work that can still change routing
+state: message deliveries, MRAI expirations, controller recomputations)
+or *background* (periodic housekeeping that never changes routing state
+by itself: keepalives, probe transmissions, collector flushes).  The
+distinction is what lets :meth:`Simulator.run_until_settled` detect
+routing convergence exactly: the network has converged when no foreground
+event remains in the queue.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+__all__ = ["Event", "Simulator", "SimulationError"]
+
+
+class SimulationError(RuntimeError):
+    """Raised on kernel misuse (negative delays) or livelock detection."""
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Events order by ``(time, seq)``; ``seq`` is a monotonically increasing
+    tie-breaker so same-time events run in scheduling order, which keeps
+    runs deterministic.  Cancel through :meth:`Simulator.cancel` so the
+    kernel's foreground bookkeeping stays exact.
+    """
+
+    time: float
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    background: bool = field(default=False, compare=False)
+    label: str = field(default="", compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class Simulator:
+    """Deterministic discrete-event loop with a virtual clock.
+
+    Parameters
+    ----------
+    seed:
+        Seed for the simulation-wide random streams.  Component code asks
+        for named sub-streams via :meth:`rng` so that adding a new
+        randomness consumer does not perturb existing ones.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self._queue: list[Event] = []
+        self._seq = itertools.count()
+        self._now = 0.0
+        self._seed = seed
+        self._rngs: dict[str, Any] = {}
+        self._live_foreground = 0
+        self.events_processed = 0
+
+    # ------------------------------------------------------------------
+    # clock & randomness
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    @property
+    def seed(self) -> int:
+        """The seed this simulator was created with."""
+        return self._seed
+
+    def rng(self, stream: str):
+        """Return a named, seeded ``random.Random`` sub-stream.
+
+        The same ``(seed, stream)`` pair always yields the same sequence,
+        independent of any other stream, so experiments are reproducible
+        bit-for-bit across runs and code reorderings.
+        """
+        import random
+
+        if stream not in self._rngs:
+            self._rngs[stream] = random.Random(f"{self._seed}:{stream}")
+        return self._rngs[stream]
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[[], None],
+        *,
+        background: bool = False,
+        label: str = "",
+    ) -> Event:
+        """Schedule ``callback`` to run ``delay`` seconds from now.
+
+        Returns the :class:`Event` handle for :meth:`cancel`.
+        """
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay!r}")
+        event = Event(
+            time=self._now + delay,
+            seq=next(self._seq),
+            callback=callback,
+            background=background,
+            label=label,
+        )
+        heapq.heappush(self._queue, event)
+        if not background:
+            self._live_foreground += 1
+        return event
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[[], None],
+        *,
+        background: bool = False,
+        label: str = "",
+    ) -> Event:
+        """Schedule ``callback`` at absolute virtual ``time`` (must be >= now)."""
+        return self.schedule(
+            time - self._now, callback, background=background, label=label
+        )
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a previously scheduled event (idempotent)."""
+        if event.cancelled:
+            return
+        event.cancelled = True
+        if not event.background:
+            self._live_foreground -= 1
+
+    def pending_foreground(self) -> int:
+        """Number of live foreground events still queued."""
+        return self._live_foreground
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Run the single next live event.  Returns False if queue is empty."""
+        event = self._pop_live()
+        if event is None:
+            return False
+        self._now = event.time
+        if not event.background:
+            self._live_foreground -= 1
+        self.events_processed += 1
+        event.callback()
+        return True
+
+    def run(self, until: Optional[float] = None, max_events: int = 10_000_000) -> float:
+        """Run events until the queue empties or virtual time passes ``until``.
+
+        Returns the virtual time at which the loop stopped.
+        """
+        processed = 0
+        while True:
+            head = self._peek_live()
+            if head is None:
+                break
+            if until is not None and head.time > until:
+                break
+            if processed >= max_events:
+                raise SimulationError(
+                    f"exceeded max_events={max_events}; likely livelock"
+                )
+            self.step()
+            processed += 1
+        if until is not None and self._now < until:
+            self._now = until
+        return self._now
+
+    def run_until_settled(
+        self,
+        *,
+        horizon: float = 1e6,
+        max_events: int = 10_000_000,
+    ) -> float:
+        """Run until no *foreground* event remains (routing convergence).
+
+        Background events due before the settling point run in order;
+        later ones stay queued.  Raises :class:`SimulationError` if the
+        horizon or event budget is hit first — that indicates the
+        protocol under test is livelocked (e.g. a persistent route
+        oscillation, cf. BGP "wedgies").
+        """
+        processed = 0
+        while self._live_foreground > 0:
+            head = self._peek_live()
+            assert head is not None, "foreground counter out of sync"
+            if head.time > horizon:
+                raise SimulationError(
+                    f"not settled by horizon t={horizon}: {head.label!r} pending"
+                )
+            if processed >= max_events:
+                raise SimulationError(
+                    f"exceeded max_events={max_events}; likely livelock"
+                )
+            self.step()
+            processed += 1
+        return self._now
+
+    def _pop_live(self) -> Optional[Event]:
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if not event.cancelled:
+                return event
+        return None
+
+    def _peek_live(self) -> Optional[Event]:
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        return self._queue[0] if self._queue else None

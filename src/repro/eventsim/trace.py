@@ -1,0 +1,146 @@
+"""Structured trace log — the framework's "log files".
+
+Every component appends typed records here instead of writing text logs;
+the analysis package (``repro.analysis``) then plays the role of the
+paper's "automatic log file analysis" tools: convergence-time extraction,
+update counting, route-change visualization.
+
+Records carry a dotted ``category`` (``bgp.update.rx``, ``fib.change``,
+``controller.recompute`` ...), the node name, and a free-form payload
+dict.  Categories listed in :data:`ROUTE_AFFECTING` are the ones whose
+last occurrence after an injected event defines the convergence instant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Optional
+
+__all__ = ["TraceRecord", "TraceLog", "ROUTE_AFFECTING"]
+
+#: Categories that indicate routing state is still in flux.  The
+#: convergence time of an injected event is the timestamp of the last
+#: record in one of these categories (see ``analysis.convergence``).
+ROUTE_AFFECTING = frozenset(
+    {
+        "bgp.update.tx",
+        "bgp.update.rx",
+        "bgp.decision",
+        "bgp.originate",
+        "bgp.withdraw",
+        "fib.change",
+        "controller.recompute",
+        "controller.flow_install",
+        "controller.advertise",
+    }
+)
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One timestamped log record."""
+
+    time: float
+    category: str
+    node: str
+    data: dict = field(default_factory=dict)
+
+    def matches(self, prefix: str) -> bool:
+        """True if this record's category equals or is nested under ``prefix``."""
+        return self.category == prefix or self.category.startswith(prefix + ".")
+
+
+class TraceLog:
+    """Append-only in-memory log with category filters and live taps.
+
+    Taps (callbacks) let live tooling — the convergence detector, the
+    route collector's feed, visualizers — observe records as they are
+    produced, mirroring how the paper's monitoring tools watch BGP update
+    streams in real time.
+    """
+
+    def __init__(self, sim) -> None:
+        self._sim = sim
+        self._records: list[TraceRecord] = []
+        self._taps: list[Callable[[TraceRecord], None]] = []
+        self._enabled = True
+        self.counts: dict[str, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)
+
+    @property
+    def records(self) -> list[TraceRecord]:
+        """The raw record list (append-only)."""
+        return self._records
+
+    def add_tap(self, tap: Callable[[TraceRecord], None]) -> None:
+        """Attach a live observer callback."""
+        self._taps.append(tap)
+
+    def remove_tap(self, tap: Callable[[TraceRecord], None]) -> None:
+        """Detach a previously added observer."""
+        self._taps.remove(tap)
+
+    def set_enabled(self, enabled: bool) -> None:
+        """Disable to cut memory/time for very large parameter sweeps."""
+        self._enabled = enabled
+
+    def record(self, category: str, node: str, **data: Any) -> None:
+        """Append a record stamped with the current virtual time."""
+        rec = TraceRecord(self._sim.now, category, node, data)
+        self.counts[category] = self.counts.get(category, 0) + 1
+        if self._enabled:
+            self._records.append(rec)
+        for tap in self._taps:
+            tap(rec)
+
+    # ------------------------------------------------------------------
+    # queries (the "log file analysis" entry points)
+    # ------------------------------------------------------------------
+    def filter(
+        self,
+        category: Optional[str] = None,
+        node: Optional[str] = None,
+        since: Optional[float] = None,
+        until: Optional[float] = None,
+    ) -> list[TraceRecord]:
+        """Records matching all given criteria (category matches by prefix)."""
+        out = []
+        for rec in self._records:
+            if category is not None and not rec.matches(category):
+                continue
+            if node is not None and rec.node != node:
+                continue
+            if since is not None and rec.time < since:
+                continue
+            if until is not None and rec.time > until:
+                continue
+            out.append(rec)
+        return out
+
+    def last_time(
+        self, categories=ROUTE_AFFECTING, since: float = 0.0
+    ) -> Optional[float]:
+        """Timestamp of the last record in ``categories`` at/after ``since``."""
+        latest: Optional[float] = None
+        for rec in self._records:
+            if rec.time >= since and rec.category in categories:
+                if latest is None or rec.time > latest:
+                    latest = rec.time
+        return latest
+
+    def count(self, category: str) -> int:
+        """Total records whose category equals or nests under ``category``."""
+        return sum(
+            n for cat, n in self.counts.items()
+            if cat == category or cat.startswith(category + ".")
+        )
+
+    def clear(self) -> None:
+        """Drop all stored state."""
+        self._records.clear()
+        self.counts.clear()

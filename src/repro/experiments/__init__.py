@@ -1,0 +1,76 @@
+"""Pre-built paper experiments: Fig. 2, §4 scenarios, and ablations."""
+
+from .ablations import (
+    MraiPoint,
+    RecomputePoint,
+    mrai_sweep,
+    recompute_delay_sweep,
+)
+from .announcement import announcement_sweep
+from .common import (
+    AnnouncementScenario,
+    FailoverScenario,
+    RunResult,
+    Scenario,
+    SweepPoint,
+    SweepResult,
+    WithdrawalScenario,
+    paper_config,
+    paper_timers,
+    run_fraction_sweep,
+    run_scenario_once,
+    sdn_set_for,
+)
+from .export import sweep_rows, sweep_to_csv, sweep_to_json
+from .failover import failover_sweep
+from .flapstorm import FlapStormResult, flap_storm_sweep, run_flap_storm
+from .placement import STRATEGIES, PlacementResult, pick_members, placement_sweep
+from .subcluster import (
+    SubClusterResult,
+    barbell_topology,
+    run_subcluster_experiment,
+)
+from .topologies import (
+    FAMILIES,
+    TopologyFamilyResult,
+    topology_family_sweep,
+)
+from .withdrawal import withdrawal_sweep
+
+__all__ = [
+    "MraiPoint",
+    "RecomputePoint",
+    "mrai_sweep",
+    "recompute_delay_sweep",
+    "announcement_sweep",
+    "AnnouncementScenario",
+    "FailoverScenario",
+    "RunResult",
+    "Scenario",
+    "SweepPoint",
+    "SweepResult",
+    "WithdrawalScenario",
+    "paper_config",
+    "paper_timers",
+    "run_fraction_sweep",
+    "run_scenario_once",
+    "sdn_set_for",
+    "sweep_rows",
+    "sweep_to_csv",
+    "sweep_to_json",
+    "failover_sweep",
+    "FlapStormResult",
+    "flap_storm_sweep",
+    "run_flap_storm",
+    "STRATEGIES",
+    "PlacementResult",
+    "pick_members",
+    "placement_sweep",
+    "SubClusterResult",
+    "barbell_topology",
+    "run_subcluster_experiment",
+    "FAMILIES",
+    "TopologyFamilyResult",
+    "topology_family_sweep",
+    "withdrawal_sweep",
+]

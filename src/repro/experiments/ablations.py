@@ -1,0 +1,140 @@
+"""Ablations of the two design insights called out in §3.
+
+1. **MRAI** — BGP's rate limiter is exactly what makes withdrawal
+   exploration slow; sweeping MRAI with and without an SDN cluster shows
+   centralization's benefit scales with MRAI (the thing it bypasses).
+2. **Delayed recomputation** — the controller's debounce trades reaction
+   latency for stability: longer delays coalesce bursty external input
+   into fewer recomputations/flow pushes, at the cost of a convergence
+   floor.  Sweeping the delay quantifies both sides.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..analysis.stats import BoxplotStats, boxplot_stats
+from .common import (
+    WithdrawalScenario,
+    paper_config,
+    run_scenario_once,
+    sdn_set_for,
+)
+from ..topology.builders import clique
+
+__all__ = ["MraiPoint", "mrai_sweep", "RecomputePoint", "recompute_delay_sweep"]
+
+
+@dataclass
+class MraiPoint:
+    """Withdrawal convergence at one MRAI value, with/without SDN.
+
+    Note the expected *U-shape* for pure BGP (Griffin & Premore): at
+    MRAI 0 nothing rate-limits path exploration, so the update count
+    explodes and convergence is CPU-bound; at large MRAI exploration is
+    slow because each round waits.  The sweet spot is a small nonzero
+    MRAI — and the hybrid sits near the controller floor throughout.
+    """
+
+    mrai: float
+    pure_bgp: BoxplotStats
+    hybrid: BoxplotStats
+    sdn_count: int
+    pure_updates: float = 0.0
+    hybrid_updates: float = 0.0
+
+    @property
+    def reduction(self) -> float:
+        """Relative improvement of hybrid over pure BGP."""
+        base = self.pure_bgp.median
+        return (base - self.hybrid.median) / base if base > 0 else 0.0
+
+
+def mrai_sweep(
+    *,
+    n: int = 16,
+    mrai_values: Sequence[float] = (0.0, 5.0, 15.0, 30.0),
+    sdn_count: int = 8,
+    runs: int = 5,
+    seed_base: int = 400,
+) -> List[MraiPoint]:
+    """Withdrawal convergence vs MRAI, pure BGP vs half-SDN hybrid."""
+    points: List[MraiPoint] = []
+    for mrai in mrai_values:
+        times = {0: [], sdn_count: []}
+        updates = {0: [], sdn_count: []}
+        for k in (0, sdn_count):
+            for run_index in range(runs):
+                scenario = WithdrawalScenario()
+                topology = clique(n)
+                members = sdn_set_for(topology, k, scenario.reserved_legacy)
+                config = paper_config(
+                    seed=seed_base + run_index + int(mrai * 10) + k,
+                    mrai=mrai,
+                )
+                m = run_scenario_once(scenario, topology, members, config)
+                times[k].append(m.convergence_time)
+                updates[k].append(m.updates_tx)
+        points.append(
+            MraiPoint(
+                mrai=mrai,
+                pure_bgp=boxplot_stats(times[0]),
+                hybrid=boxplot_stats(times[sdn_count]),
+                sdn_count=sdn_count,
+                pure_updates=sorted(updates[0])[len(updates[0]) // 2],
+                hybrid_updates=sorted(updates[sdn_count])[
+                    len(updates[sdn_count]) // 2
+                ],
+            )
+        )
+    return points
+
+
+@dataclass
+class RecomputePoint:
+    """Effect of one controller recompute-delay setting."""
+
+    delay: float
+    convergence: BoxplotStats
+    recomputations: float  # mean per run
+    flow_mods: float       # mean per run
+
+
+def recompute_delay_sweep(
+    *,
+    n: int = 16,
+    delays: Sequence[float] = (0.0, 0.5, 2.0, 5.0, 15.0),
+    sdn_count: int = 8,
+    runs: int = 5,
+    mrai: float = 30.0,
+    seed_base: int = 500,
+) -> List[RecomputePoint]:
+    """Withdrawal convergence + controller churn vs recompute delay."""
+    points: List[RecomputePoint] = []
+    for delay in delays:
+        times: List[float] = []
+        recomputes: List[int] = []
+        flow_mods: List[int] = []
+        for run_index in range(runs):
+            scenario = WithdrawalScenario()
+            topology = clique(n)
+            members = sdn_set_for(topology, sdn_count, scenario.reserved_legacy)
+            config = paper_config(
+                seed=seed_base + run_index + int(delay * 100),
+                mrai=mrai,
+                recompute_delay=delay,
+            )
+            m = run_scenario_once(scenario, topology, members, config)
+            times.append(m.convergence_time)
+            recomputes.append(m.recomputations)
+            flow_mods.append(m.extra.get("flow_mods", 0))
+        points.append(
+            RecomputePoint(
+                delay=delay,
+                convergence=boxplot_stats(times),
+                recomputations=sum(recomputes) / len(recomputes),
+                flow_mods=sum(flow_mods) / len(flow_mods),
+            )
+        )
+    return points

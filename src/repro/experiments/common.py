@@ -1,0 +1,334 @@
+"""Shared machinery for the paper's experiment sweeps.
+
+Every paper experiment has the same skeleton: build a topology, convert
+a chosen fraction of ASes to centralized (SDN) control, converge, inject
+a routing event, and measure convergence over several seeded runs.  The
+:class:`Scenario` subclasses define the event; :func:`run_fraction_sweep`
+is the Fig. 2-style harness that sweeps the SDN deployment fraction.
+
+Paper-faithful defaults: MRAI 30 s with RFC jitter, Quagga-style pacing
+of withdrawals (Quagga's per-peer advertisement-interval applies to its
+whole output queue), controller recompute delay 0.5 s.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from ..analysis.stats import BoxplotStats, LinearFit, boxplot_stats, linear_fit
+from ..bgp.session import BGPTimers
+from ..controller.idr import ControllerConfig
+from ..framework.convergence import ConvergenceMeasurement, measure_event
+from ..framework.experiment import Experiment, ExperimentConfig
+from ..net.addr import Prefix
+from ..topology.builders import clique
+from ..topology.model import Topology
+
+__all__ = [
+    "paper_timers",
+    "paper_config",
+    "Scenario",
+    "WithdrawalScenario",
+    "FailoverScenario",
+    "AnnouncementScenario",
+    "RunResult",
+    "SweepPoint",
+    "SweepResult",
+    "run_scenario_once",
+    "run_fraction_sweep",
+    "sdn_set_for",
+]
+
+
+def paper_timers(mrai: float = 30.0) -> BGPTimers:
+    """Quagga-like timers used by the paper's evaluation."""
+    return BGPTimers(mrai=mrai, withdrawal_rate_limited=True)
+
+
+def paper_config(
+    *,
+    seed: int = 0,
+    mrai: float = 30.0,
+    recompute_delay: float = 0.5,
+    policy_mode: str = "flat",
+) -> ExperimentConfig:
+    """The configuration matching the paper's clique experiments."""
+    return ExperimentConfig(
+        seed=seed,
+        policy_mode=policy_mode,
+        timers=paper_timers(mrai),
+        controller=ControllerConfig(recompute_delay=recompute_delay),
+    )
+
+
+# ----------------------------------------------------------------------
+# scenarios
+# ----------------------------------------------------------------------
+@dataclass
+class Scenario:
+    """One injectable routing event on a prepared experiment.
+
+    ``reserved_legacy`` ASes never convert to SDN in fraction sweeps —
+    e.g. the withdrawing origin stays a legacy BGP router so the event
+    itself is identical at every deployment fraction.
+    """
+
+    name: str = "scenario"
+    reserved_legacy: frozenset = frozenset({1})
+
+    def topology(self, n: int, base_factory=clique) -> Topology:
+        """Build the scenario's topology (default: the plain base)."""
+        return base_factory(n)
+
+    def configure(self, exp: Experiment) -> None:
+        """Hook between build() and start() (session policy tweaks)."""
+
+    def prepare(self, exp: Experiment) -> None:
+        """Bring the experiment to the pre-event steady state."""
+
+    def event(self, exp: Experiment) -> None:
+        """The measured routing event."""
+        raise NotImplementedError
+
+
+@dataclass
+class WithdrawalScenario(Scenario):
+    """Fig. 2: the origin withdraws a previously announced prefix."""
+
+    name: str = "withdrawal"
+    origin: int = 1
+    prefix: Optional[Prefix] = None
+
+    def __post_init__(self) -> None:
+        self.reserved_legacy = frozenset({self.origin})
+
+    def prepare(self, exp: Experiment) -> None:
+        """Bring the experiment to the pre-event steady state."""
+        self.prefix = exp.announce(self.origin)
+        exp.wait_converged()
+
+    def event(self, exp: Experiment) -> None:
+        """The measured routing event."""
+        exp.withdraw(self.origin, self.prefix)
+
+
+@dataclass
+class FailoverScenario(Scenario):
+    """§4: primary/backup fail-over to a longer alternate path.
+
+    The classic operator setup: an origin AS dual-homes into the mesh
+    via a primary gateway and a backup gateway whose session carries
+    AS-path prepending, so backup paths are ``prepend`` hops longer.
+    When the primary link fails, every AS must move from the short
+    primary paths to the long backup paths — and plain BGP *explores*
+    the length gap in MRAI-paced rounds (Labovitz's Tlong event), while
+    the IDR controller jumps straight to the surviving egress.  The
+    exploration depth is bounded by the gap (unlike a withdrawal, which
+    explores everything), hence the paper's "smaller reductions".
+
+    The origin is AS ``n + 1``, outside the clique; the gateways are
+    AS 1 (primary) and AS 2 (backup); all three stay legacy.
+    """
+
+    name: str = "failover"
+    primary_gw: int = 1
+    backup_gw: int = 2
+    prepend: int = 3
+    origin: int = 0  # assigned in topology()
+    prefix: Optional[Prefix] = None
+
+    def __post_init__(self) -> None:
+        # Origin and primary gateway stay legacy (the event's actors);
+        # the *backup* gateway is convertible — it joins the cluster at
+        # the top of the sweep, which is where the reduction appears,
+        # because the backup gateway is the router whose MRAI-paced
+        # exploration dominates fail-over convergence.
+        self.reserved_legacy = frozenset({self.primary_gw})
+
+    def topology(self, n: int, base_factory=clique) -> Topology:
+        """Build the scenario's topology."""
+        topo = base_factory(n)
+        self.origin = max(topo.asns) + 1
+        self.reserved_legacy = frozenset({self.origin, self.primary_gw})
+        topo.add_as(self.origin, role="dual-homed origin")
+        topo.add_link(self.primary_gw, self.origin)
+        topo.add_link(self.backup_gw, self.origin)
+        return topo
+
+    def configure(self, exp: Experiment) -> None:
+        """Hook between build() and start()."""
+        exp.set_export_prepend(self.origin, toward=self.backup_gw,
+                               count=self.prepend)
+
+    def prepare(self, exp: Experiment) -> None:
+        """Bring the experiment to the pre-event steady state."""
+        self.prefix = exp.announce(self.origin)
+        exp.wait_converged()
+
+    def event(self, exp: Experiment) -> None:
+        """The measured routing event."""
+        exp.fail_link(self.origin, self.primary_gw)
+
+
+@dataclass
+class AnnouncementScenario(Scenario):
+    """§4: a brand-new prefix is announced and must propagate."""
+
+    name: str = "announcement"
+    origin: int = 1
+
+    def __post_init__(self) -> None:
+        self.reserved_legacy = frozenset({self.origin})
+
+    def event(self, exp: Experiment) -> None:
+        """The measured routing event."""
+        exp.announce(self.origin)
+
+
+# ----------------------------------------------------------------------
+# sweep harness
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RunResult:
+    """One (sdn_count, seed) run."""
+
+    sdn_count: int
+    fraction: float
+    seed: int
+    measurement: ConvergenceMeasurement
+
+    @property
+    def convergence_time(self) -> float:
+        """Seconds from firing to the last routing activity."""
+        return self.measurement.convergence_time
+
+
+@dataclass
+class SweepPoint:
+    """All runs at one SDN deployment fraction."""
+
+    sdn_count: int
+    fraction: float
+    runs: List[RunResult] = field(default_factory=list)
+
+    @property
+    def times(self) -> List[float]:
+        """Raw convergence times of all runs."""
+        return [r.convergence_time for r in self.runs]
+
+    @property
+    def stats(self) -> BoxplotStats:
+        """Boxplot summary over the runs."""
+        return boxplot_stats(self.times)
+
+    @property
+    def median_updates(self) -> float:
+        """Median per-run update count."""
+        counts = sorted(r.measurement.updates_tx for r in self.runs)
+        return counts[len(counts) // 2] if counts else 0
+
+
+@dataclass
+class SweepResult:
+    """A full fraction sweep for one scenario."""
+
+    scenario: str
+    n_ases: int
+    points: List[SweepPoint]
+
+    def medians(self) -> List[float]:
+        """Median convergence times of all sweep points."""
+        return [p.stats.median for p in self.points]
+
+    def fractions(self) -> List[float]:
+        """SDN fractions of all sweep points."""
+        return [p.fraction for p in self.points]
+
+    def fit(self) -> LinearFit:
+        """Linear fit of median convergence time vs SDN fraction."""
+        return linear_fit(self.fractions(), self.medians())
+
+    def reduction_at_full(self) -> float:
+        """Relative reduction from the 0% to the highest-fraction point."""
+        base = self.points[0].stats.median
+        last = self.points[-1].stats.median
+        return (base - last) / base if base > 0 else 0.0
+
+
+def sdn_set_for(
+    topology: Topology, sdn_count: int, reserved_legacy: frozenset
+) -> frozenset:
+    """Pick which ASes convert to SDN: highest ASNs first, skipping the
+    scenario's reserved legacy set, so every sweep point changes only the
+    *number* of converted ASes, never the event's actors."""
+    candidates = [a for a in reversed(topology.asns) if a not in reserved_legacy]
+    if sdn_count > len(candidates):
+        raise ValueError(
+            f"cannot convert {sdn_count} of {len(topology)} ASes "
+            f"({len(reserved_legacy)} reserved)"
+        )
+    return frozenset(candidates[:sdn_count])
+
+
+def run_scenario_once(
+    scenario: Scenario,
+    topology: Topology,
+    sdn_members: frozenset,
+    config: ExperimentConfig,
+    *,
+    horizon: Optional[float] = None,
+) -> ConvergenceMeasurement:
+    """Build, configure, prepare, inject, measure — one full run."""
+    exp = Experiment(
+        topology, sdn_members=sdn_members, config=config,
+        name=scenario.name,
+    ).build()
+    scenario.configure(exp)
+    exp.start()
+    scenario.prepare(exp)
+    return measure_event(exp, lambda: scenario.event(exp), horizon=horizon)
+
+
+def run_fraction_sweep(
+    scenario_factory,
+    *,
+    n: int = 16,
+    sdn_counts: Optional[Sequence[int]] = None,
+    runs: int = 10,
+    mrai: float = 30.0,
+    recompute_delay: float = 0.5,
+    seed_base: int = 100,
+    topology_factory=clique,
+) -> SweepResult:
+    """The Fig. 2 harness: sweep SDN deployment over seeded runs.
+
+    ``scenario_factory`` must return a *fresh* scenario per run (scenarios
+    carry per-run state such as the announced prefix).
+    """
+    probe = scenario_factory()
+    if sdn_counts is None:
+        max_sdn = n - len(probe.reserved_legacy)
+        sdn_counts = list(range(0, max_sdn + 1))
+    points: List[SweepPoint] = []
+    for sdn_count in sdn_counts:
+        point = SweepPoint(sdn_count=sdn_count, fraction=sdn_count / n)
+        for run_index in range(runs):
+            seed = seed_base + 1000 * sdn_count + run_index
+            scenario = scenario_factory()
+            topology = scenario.topology(n, topology_factory)
+            members = sdn_set_for(topology, sdn_count, scenario.reserved_legacy)
+            config = paper_config(
+                seed=seed, mrai=mrai, recompute_delay=recompute_delay
+            )
+            measurement = run_scenario_once(scenario, topology, members, config)
+            point.runs.append(
+                RunResult(
+                    sdn_count=sdn_count,
+                    fraction=sdn_count / n,
+                    seed=seed,
+                    measurement=measurement,
+                )
+            )
+        points.append(point)
+    return SweepResult(scenario=probe.name, n_ases=n, points=points)

@@ -1,0 +1,83 @@
+"""Export sweep results to CSV / JSON.
+
+Benchmarks archive plain-text reports; these helpers give downstream
+users machine-readable versions of the same data (one row per run and a
+per-point summary), so results plot directly in pandas/gnuplot/R.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import List
+
+from .common import SweepResult
+
+__all__ = ["sweep_to_csv", "sweep_to_json", "sweep_rows"]
+
+
+def sweep_rows(result: SweepResult) -> List[dict]:
+    """One dict per individual run (long/tidy format)."""
+    rows: List[dict] = []
+    for point in result.points:
+        for run in point.runs:
+            m = run.measurement
+            rows.append(
+                {
+                    "scenario": result.scenario,
+                    "n_ases": result.n_ases,
+                    "sdn_count": point.sdn_count,
+                    "fraction": round(point.fraction, 6),
+                    "seed": run.seed,
+                    "convergence_time": m.convergence_time,
+                    "state_convergence_time": m.state_convergence_time,
+                    "updates_tx": m.updates_tx,
+                    "decision_changes": m.decision_changes,
+                    "fib_changes": m.fib_changes,
+                    "recomputations": m.recomputations,
+                }
+            )
+    return rows
+
+
+def sweep_to_csv(result: SweepResult) -> str:
+    """Long-format CSV text (header + one row per run)."""
+    rows = sweep_rows(result)
+    if not rows:
+        return ""
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=list(rows[0]))
+    writer.writeheader()
+    writer.writerows(rows)
+    return buffer.getvalue()
+
+
+def sweep_to_json(result: SweepResult, *, indent: int = 2) -> str:
+    """JSON with per-point boxplot summaries plus the raw runs."""
+    fit = result.fit()
+    payload = {
+        "scenario": result.scenario,
+        "n_ases": result.n_ases,
+        "fit": {
+            "slope": fit.slope,
+            "intercept": fit.intercept,
+            "r_squared": fit.r_squared,
+        },
+        "points": [
+            {
+                "sdn_count": point.sdn_count,
+                "fraction": point.fraction,
+                "median": point.stats.median,
+                "q1": point.stats.q1,
+                "q3": point.stats.q3,
+                "min": point.stats.minimum,
+                "max": point.stats.maximum,
+                "median_updates": point.median_updates,
+                "times": point.times,
+            }
+            for point in result.points
+        ],
+        "runs": sweep_rows(result),
+    }
+    return json.dumps(payload, indent=indent)

@@ -1,0 +1,125 @@
+"""Deployment-placement experiment: *which* ASes should centralize?
+
+The paper sweeps *how many* ASes join the cluster on a clique, where
+every AS is interchangeable.  On realistic, degree-skewed topologies
+(Barabási–Albert, CAIDA-style), the *choice* of members matters: a
+high-degree transit AS participates in far more path exploration than a
+stub.  This experiment fixes the deployment budget and compares
+placement strategies — the question an operator deploying the paper's
+system incrementally would actually ask.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence
+
+from ..analysis.stats import BoxplotStats, boxplot_stats
+from ..topology.builders import barabasi_albert
+from ..topology.model import Topology
+from .common import WithdrawalScenario, paper_config, run_scenario_once
+
+__all__ = ["PlacementResult", "placement_sweep", "STRATEGIES", "pick_members"]
+
+
+def _by_degree(topology: Topology, k: int, excluded: frozenset) -> frozenset:
+    """Highest-degree ASes first (hub placement)."""
+    ranked = sorted(
+        (a for a in topology.asns if a not in excluded),
+        key=lambda a: (-topology.degree(a), a),
+    )
+    return frozenset(ranked[:k])
+
+
+def _by_low_degree(topology: Topology, k: int, excluded: frozenset) -> frozenset:
+    """Lowest-degree ASes first (edge placement — the control)."""
+    ranked = sorted(
+        (a for a in topology.asns if a not in excluded),
+        key=lambda a: (topology.degree(a), a),
+    )
+    return frozenset(ranked[:k])
+
+
+def _spread(topology: Topology, k: int, excluded: frozenset) -> frozenset:
+    """Deterministic arbitrary spread (every third AS): placement chosen
+    with no topology knowledge at all."""
+    candidates = [a for a in topology.asns if a not in excluded]
+    return frozenset(candidates[::3][:k] + candidates[1::3][: max(0, k - len(candidates[::3]))])
+
+
+#: name -> picker(topology, k, excluded_asns) -> member set
+STRATEGIES: Dict[str, Callable] = {
+    "hubs-first": _by_degree,
+    "stubs-first": _by_low_degree,
+    "spread": _spread,
+}
+
+
+def pick_members(
+    strategy: str, topology: Topology, k: int, excluded: frozenset
+) -> frozenset:
+    try:
+        picker = STRATEGIES[strategy]
+    except KeyError:
+        raise ValueError(
+            f"unknown strategy {strategy!r}; choose from {sorted(STRATEGIES)}"
+        ) from None
+    members = picker(topology, k, excluded)
+    if len(members) < k:
+        raise ValueError(
+            f"cannot place {k} members with {len(members)} candidates"
+        )
+    return members
+
+
+@dataclass
+class PlacementResult:
+    """Withdrawal convergence for one placement strategy."""
+
+    strategy: str
+    sdn_count: int
+    members: frozenset
+    convergence: BoxplotStats
+    mean_member_degree: float
+
+
+def placement_sweep(
+    *,
+    n: int = 16,
+    sdn_count: int = 5,
+    runs: int = 5,
+    mrai: float = 30.0,
+    seed_base: int = 800,
+    topology_factory: Callable[[int], Topology] = lambda n: barabasi_albert(
+        n, 2, seed=11
+    ),
+    strategies: Sequence[str] = ("hubs-first", "stubs-first", "spread"),
+) -> List[PlacementResult]:
+    """Same budget, different member choices, same withdrawal event."""
+    results: List[PlacementResult] = []
+    for strategy in strategies:
+        times: List[float] = []
+        members: frozenset = frozenset()
+        sample = topology_factory(n)
+        for run_index in range(runs):
+            scenario = WithdrawalScenario()
+            topology = scenario.topology(n, topology_factory)
+            members = pick_members(
+                strategy, topology, sdn_count, scenario.reserved_legacy
+            )
+            config = paper_config(seed=seed_base + run_index, mrai=mrai)
+            measurement = run_scenario_once(
+                scenario, topology, members, config
+            )
+            times.append(measurement.convergence_time)
+        degree_sum = sum(sample.degree(a) for a in members)
+        results.append(
+            PlacementResult(
+                strategy=strategy,
+                sdn_count=sdn_count,
+                members=members,
+                convergence=boxplot_stats(times),
+                mean_member_degree=degree_sum / max(len(members), 1),
+            )
+        )
+    return results

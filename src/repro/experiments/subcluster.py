@@ -1,0 +1,98 @@
+"""Sub-cluster resilience experiment (design goal §2).
+
+"We want to support disjoint AS sub-clusters controlled by the same
+controller, so that an intra-cluster link failure does not isolate the
+controlled ASes: paths over the legacy Internet could still connect the
+sub-clusters."
+
+Topology: a bar-bell — two SDN members on each side joined by a single
+intra-cluster link, with legacy ASes attached to both sides.  Failing
+the middle link splits the cluster into two sub-clusters; the controller
+must reroute cross-side traffic over the legacy world, and connectivity
+must survive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..framework.convergence import ConvergenceMeasurement, measure_event
+from ..framework.experiment import Experiment
+from ..topology.model import Topology
+from .common import paper_config
+
+__all__ = ["SubClusterResult", "barbell_topology", "run_subcluster_experiment"]
+
+#: ASNs in the bar-bell: 1-2 left members, 3-4 right members, 5-8 legacy.
+LEFT_MEMBERS = (1, 2)
+RIGHT_MEMBERS = (3, 4)
+LEGACY = (5, 6, 7, 8)
+BRIDGE = (2, 3)
+
+
+def barbell_topology() -> Topology:
+    """Two 2-member SDN sides bridged by one intra-cluster link.
+
+    Legacy AS5/AS6 attach to the left side, AS7/AS8 to the right, and a
+    legacy backbone 5-6-7-8 provides the detour path that must carry
+    traffic when the bridge fails.
+    """
+    topo = Topology(name="barbell")
+    for asn in (*LEFT_MEMBERS, *RIGHT_MEMBERS, *LEGACY):
+        topo.add_as(asn)
+    topo.add_link(1, 2)           # left intra-cluster
+    topo.add_link(3, 4)           # right intra-cluster
+    topo.add_link(*BRIDGE)        # the bridge that will fail
+    topo.add_link(1, 5)
+    topo.add_link(2, 6)
+    topo.add_link(3, 7)
+    topo.add_link(4, 8)
+    topo.add_link(5, 6)
+    topo.add_link(6, 7)           # legacy detour across the middle
+    topo.add_link(7, 8)
+    return topo
+
+
+@dataclass
+class SubClusterResult:
+    """Outcome of the split experiment."""
+
+    measurement: ConvergenceMeasurement
+    sub_clusters_before: List[Tuple[str, ...]]
+    sub_clusters_after: List[Tuple[str, ...]]
+    reachable_before: bool
+    reachable_after: bool
+    #: data-plane path of left-member -> right-member traffic post-split.
+    cross_path_after: List[str]
+
+
+def run_subcluster_experiment(
+    *, seed: int = 0, mrai: float = 5.0, recompute_delay: float = 0.2
+) -> SubClusterResult:
+    """Fail the bridge link and verify the legacy detour carries traffic."""
+    topology = barbell_topology()
+    config = paper_config(
+        seed=seed, mrai=mrai, recompute_delay=recompute_delay
+    )
+    exp = Experiment(
+        topology,
+        sdn_members=(*LEFT_MEMBERS, *RIGHT_MEMBERS),
+        config=config,
+        name="subcluster",
+    ).start()
+    controller = exp.controller
+    before = [tuple(sorted(c)) for c in controller.switch_graph.sub_clusters()]
+    reachable_before = exp.all_reachable()
+    measurement = measure_event(exp, lambda: exp.fail_link(*BRIDGE))
+    after = [tuple(sorted(c)) for c in controller.switch_graph.sub_clusters()]
+    reachable_after = exp.all_reachable()
+    cross = exp.reachable(LEFT_MEMBERS[0], RIGHT_MEMBERS[1])
+    return SubClusterResult(
+        measurement=measurement,
+        sub_clusters_before=before,
+        sub_clusters_after=after,
+        reachable_before=reachable_before,
+        reachable_after=reachable_after,
+        cross_path_after=cross.hops if cross.reached else [],
+    )

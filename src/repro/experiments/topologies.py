@@ -1,0 +1,106 @@
+"""Topology-family experiment (§3: data-driven and model topologies).
+
+The paper's framework builds topologies "from the iPlane Inter-PoP links
+and the CAIDA AS Relationship datasets" as well as theoretical models.
+This experiment runs the same withdrawal event across topology families
+— clique, Barabási–Albert, synthetic CAIDA (with Gao-Rexford policies),
+synthetic iPlane — comparing how much path exploration each admits and
+how much centralizing a fixed fraction of ASes helps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..analysis.stats import BoxplotStats, boxplot_stats
+from ..framework.convergence import measure_event
+from ..framework.experiment import Experiment
+from ..topology.builders import barabasi_albert, clique
+from ..topology.caida import synthetic_caida_topology
+from ..topology.iplane import synthetic_iplane_topology
+from ..topology.model import Topology
+from .common import paper_config, sdn_set_for
+
+__all__ = ["TopologyFamilyResult", "topology_family_sweep", "FAMILIES"]
+
+
+def _caida(n_unused: int) -> Topology:
+    return synthetic_caida_topology(tier1=3, transit=5, stubs=8, seed=7)
+
+
+def _iplane(n: int) -> Topology:
+    return synthetic_iplane_topology(n_as=n, seed=7)
+
+
+#: name -> (topology factory(n), policy_mode)
+FAMILIES: Dict[str, tuple] = {
+    "clique": (clique, "flat"),
+    "barabasi-albert": (lambda n: barabasi_albert(n, 2, seed=7), "flat"),
+    "caida-synth": (_caida, "gao_rexford"),
+    "iplane-synth": (_iplane, "flat"),
+}
+
+
+@dataclass
+class TopologyFamilyResult:
+    """Withdrawal convergence on one topology family."""
+
+    family: str
+    n_ases: int
+    n_links: int
+    pure_bgp: BoxplotStats
+    hybrid: BoxplotStats
+    sdn_count: int
+
+    @property
+    def reduction(self) -> float:
+        """Relative improvement of hybrid over pure BGP."""
+        base = self.pure_bgp.median
+        return (base - self.hybrid.median) / base if base > 0 else 0.0
+
+
+def topology_family_sweep(
+    *,
+    n: int = 16,
+    sdn_fraction: float = 0.5,
+    runs: int = 5,
+    mrai: float = 30.0,
+    seed_base: int = 600,
+    families: Optional[Dict[str, tuple]] = None,
+) -> List[TopologyFamilyResult]:
+    """Withdrawal convergence per family, 0% vs ``sdn_fraction`` SDN."""
+    results: List[TopologyFamilyResult] = []
+    for family, (factory, policy_mode) in (families or FAMILIES).items():
+        sample = factory(n)
+        origin = sample.asns[0]
+        sdn_count = int(len(sample) * sdn_fraction)
+        times: Dict[int, List[float]] = {0: [], sdn_count: []}
+        for k in (0, sdn_count):
+            for run_index in range(runs):
+                topology = factory(n)
+                members = sdn_set_for(topology, k, frozenset({origin}))
+                config = paper_config(
+                    seed=seed_base + run_index + k,
+                    mrai=mrai,
+                    policy_mode=policy_mode,
+                )
+                exp = Experiment(
+                    topology, sdn_members=members, config=config,
+                    name=f"family-{family}",
+                ).start()
+                prefix = exp.announce(origin)
+                exp.wait_converged()
+                m = measure_event(exp, lambda: exp.withdraw(origin, prefix))
+                times[k].append(m.convergence_time)
+        results.append(
+            TopologyFamilyResult(
+                family=family,
+                n_ases=len(sample),
+                n_links=len(sample.links),
+                pure_bgp=boxplot_stats(times[0]),
+                hybrid=boxplot_stats(times[sdn_count]),
+                sdn_count=sdn_count,
+            )
+        )
+    return results

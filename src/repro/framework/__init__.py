@@ -1,0 +1,24 @@
+"""Experiment lifecycle orchestration: the framework's high-level API."""
+
+from .convergence import STATE_CHANGING, ConvergenceMeasurement, measure_event
+from .detector import SilenceDetection, SilenceDetector, compare_with_oracle
+from .events import EventReport, EventSchedule, ScheduledEvent
+from .experiment import Experiment, ExperimentConfig, ExperimentError
+from .traffic import LossReport, ProbeStream
+
+__all__ = [
+    "STATE_CHANGING",
+    "ConvergenceMeasurement",
+    "measure_event",
+    "SilenceDetection",
+    "SilenceDetector",
+    "compare_with_oracle",
+    "EventReport",
+    "EventSchedule",
+    "ScheduledEvent",
+    "Experiment",
+    "ExperimentConfig",
+    "ExperimentError",
+    "LossReport",
+    "ProbeStream",
+]

@@ -1,0 +1,118 @@
+"""Convergence detection and measurement.
+
+"The framework detects when the network has converged and whether there
+is stable connectivity between all hosts" (paper §3).  Convergence is
+detected exactly: the simulator knows when no routing work (foreground
+events) remains.  The convergence *time* of an injected event is then
+read from the trace — the timestamp of the last route-affecting record —
+which matches how the paper measures it from BGP update logs, minus the
+sampling noise of a real testbed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+from ..eventsim import ROUTE_AFFECTING
+from .experiment import Experiment
+
+__all__ = ["ConvergenceMeasurement", "measure_event", "STATE_CHANGING"]
+
+#: Categories that represent an actual routing-state change, as opposed
+#: to update *activity* (which includes MRAI-paced re-advertisements of
+#: decisions already made).
+STATE_CHANGING = frozenset(
+    {"bgp.decision", "fib.change", "bgp.originate", "bgp.withdraw"}
+)
+
+
+@dataclass
+class ConvergenceMeasurement:
+    """Outcome of one injected routing event."""
+
+    #: virtual time the event was injected.
+    t_event: float
+    #: timestamp of the last route-affecting activity (== t_event when
+    #: the event caused no routing change at all).
+    t_converged: float
+    #: virtual time at which the simulator fully settled.
+    t_settled: float
+    #: timestamp of the last actual routing-state change (decision/FIB).
+    #: Trailing MRAI-paced re-advertisements of an already-made decision
+    #: count as activity but not as state change, so this can be earlier
+    #: than ``t_converged``.
+    t_state_converged: float = 0.0
+    #: update messages sent / received network-wide during convergence.
+    updates_tx: int = 0
+    updates_rx: int = 0
+    #: BGP decision-process best-change count.
+    decision_changes: int = 0
+    #: FIB/flow-table changes.
+    fib_changes: int = 0
+    #: controller recomputation rounds (0 in pure-BGP runs).
+    recomputations: int = 0
+    #: whether every AS pair was data-plane reachable afterwards.
+    all_reachable: Optional[bool] = None
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def convergence_time(self) -> float:
+        """Seconds from event injection to the last update activity —
+        what a route collector observes (the paper's Fig. 2 metric)."""
+        return self.t_converged - self.t_event
+
+    @property
+    def state_convergence_time(self) -> float:
+        """Seconds from event injection to the last routing-state change
+        (every FIB is final from this instant on)."""
+        return self.t_state_converged - self.t_event
+
+
+def measure_event(
+    experiment: Experiment,
+    event: Callable[[], None],
+    *,
+    horizon: Optional[float] = None,
+    check_reachability: bool = False,
+) -> ConvergenceMeasurement:
+    """Inject ``event`` on a converged experiment and measure the fallout.
+
+    The experiment must already be started and settled; the function
+    runs the simulator until it settles again and extracts the
+    convergence time and per-category activity counters from the trace.
+    """
+    trace = experiment.net.trace
+    t_event = experiment.now
+    counts_before = dict(trace.counts)
+    event()
+    t_settled = experiment.wait_converged(horizon)
+    last = trace.last_time(ROUTE_AFFECTING, since=t_event)
+    t_converged = last if last is not None else t_event
+    last_state = trace.last_time(STATE_CHANGING, since=t_event)
+    t_state_converged = last_state if last_state is not None else t_event
+
+    def delta(category: str) -> int:
+        return _count(trace.counts, category) - _count(counts_before, category)
+
+    measurement = ConvergenceMeasurement(
+        t_event=t_event,
+        t_converged=t_converged,
+        t_settled=t_settled,
+        t_state_converged=t_state_converged,
+        updates_tx=delta("bgp.update.tx"),
+        updates_rx=delta("bgp.update.rx"),
+        decision_changes=delta("bgp.decision"),
+        fib_changes=delta("fib.change"),
+        recomputations=delta("controller.recompute"),
+    )
+    if check_reachability:
+        measurement.all_reachable = experiment.all_reachable()
+    return measurement
+
+
+def _count(counts: Dict[str, int], category: str) -> int:
+    return sum(
+        n for cat, n in counts.items()
+        if cat == category or cat.startswith(category + ".")
+    )

@@ -1,0 +1,171 @@
+"""Scripted experiment timelines.
+
+"The user should be able to actively control the experiments, e.g.,
+dynamically changing the topology and verifying the effects of changes"
+(paper §2).  An :class:`EventSchedule` is a declarative timeline of
+framework commands — announce, withdraw, link failures/restores —
+executed at absolute virtual offsets once the experiment is running.
+Each step's routing impact is measured individually, so one scripted run
+yields a per-event convergence report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from ..eventsim import ROUTE_AFFECTING
+from ..net.addr import Prefix
+from .experiment import Experiment, ExperimentError
+
+__all__ = ["ScheduledEvent", "EventReport", "EventSchedule"]
+
+
+@dataclass
+class ScheduledEvent:
+    """One timed step of a scripted experiment."""
+
+    at: float
+    label: str
+    action: Callable[[Experiment], None]
+
+
+@dataclass
+class EventReport:
+    """Measured outcome of one scheduled event."""
+
+    label: str
+    t_scheduled: float
+    t_fired: float
+    t_converged: float
+    updates_tx: int
+
+    @property
+    def convergence_time(self) -> float:
+        """Seconds from firing to the last routing activity."""
+        return self.t_converged - self.t_fired
+
+
+class EventSchedule:
+    """Declarative timeline of experiment commands.
+
+    Offsets are relative to the moment :meth:`run` is called.  Steps run
+    in order; the schedule waits for full convergence between steps so
+    each report isolates one event's fallout (set ``settle_between=False``
+    to overlap events, e.g. for flap storms).
+
+    Example::
+
+        schedule = (
+            EventSchedule()
+            .announce(1, at=0.0)
+            .fail_link(1, 2, at=60.0)
+            .restore_link(1, 2, at=120.0)
+        )
+        reports = schedule.run(experiment)
+    """
+
+    def __init__(self, *, settle_between: bool = True) -> None:
+        self.events: List[ScheduledEvent] = []
+        self.settle_between = settle_between
+        #: prefixes announced by the schedule, keyed by step label.
+        self.prefixes: dict = {}
+
+    # ------------------------------------------------------------------
+    # declarative builders
+    # ------------------------------------------------------------------
+    def add(
+        self, at: float, action: Callable[[Experiment], None], label: str = ""
+    ) -> "EventSchedule":
+        if at < 0:
+            raise ValueError(f"offset must be >= 0: {at!r}")
+        self.events.append(
+            ScheduledEvent(at=at, label=label or f"event@{at}", action=action)
+        )
+        return self
+
+    def announce(
+        self, asn: int, *, at: float, prefix: Optional[Prefix] = None,
+        label: str = "",
+    ) -> "EventSchedule":
+        tag = label or f"announce-as{asn}@{at}"
+
+        def action(exp: Experiment) -> None:
+            self.prefixes[tag] = exp.announce(asn, prefix)
+
+        return self.add(at, action, tag)
+
+    def withdraw_label(
+        self, asn: int, announced_label: str, *, at: float, label: str = ""
+    ) -> "EventSchedule":
+        """Withdraw the prefix a previous announce step created."""
+        tag = label or f"withdraw-as{asn}@{at}"
+
+        def action(exp: Experiment) -> None:
+            prefix = self.prefixes.get(announced_label)
+            if prefix is None:
+                raise ExperimentError(
+                    f"no announced prefix under label {announced_label!r}"
+                )
+            exp.withdraw(asn, prefix)
+
+        return self.add(at, action, tag)
+
+    def withdraw(
+        self, asn: int, prefix: Prefix, *, at: float, label: str = ""
+    ) -> "EventSchedule":
+        return self.add(
+            at, lambda exp: exp.withdraw(asn, prefix),
+            label or f"withdraw-as{asn}@{at}",
+        )
+
+    def fail_link(
+        self, a: int, b: int, *, at: float, label: str = ""
+    ) -> "EventSchedule":
+        return self.add(
+            at, lambda exp: exp.fail_link(a, b),
+            label or f"fail-{a}-{b}@{at}",
+        )
+
+    def restore_link(
+        self, a: int, b: int, *, at: float, label: str = ""
+    ) -> "EventSchedule":
+        return self.add(
+            at, lambda exp: exp.restore_link(a, b),
+            label or f"restore-{a}-{b}@{at}",
+        )
+
+    def fail_node(self, asn: int, *, at: float, label: str = "") -> "EventSchedule":
+        """Step: fail every physical link of an AS."""
+        return self.add(
+            at, lambda exp: exp.fail_node(asn), label or f"fail-as{asn}@{at}"
+        )
+
+    # ------------------------------------------------------------------
+    def run(self, exp: Experiment) -> List[EventReport]:
+        """Execute the timeline on a started experiment."""
+        if not self.events:
+            return []
+        base = exp.now
+        reports: List[EventReport] = []
+        trace = exp.net.trace
+        for event in sorted(self.events, key=lambda e: e.at):
+            target = base + event.at
+            if target > exp.now:
+                exp.net.sim.run(until=target)
+            t_fired = exp.now
+            tx_before = trace.count("bgp.update.tx")
+            event.action(exp)
+            if self.settle_between:
+                exp.wait_converged()
+            last = trace.last_time(ROUTE_AFFECTING, since=t_fired)
+            reports.append(
+                EventReport(
+                    label=event.label,
+                    t_scheduled=target,
+                    t_fired=t_fired,
+                    t_converged=last if last is not None else t_fired,
+                    updates_tx=trace.count("bgp.update.tx") - tx_before,
+                )
+            )
+        return reports

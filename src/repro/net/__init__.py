@@ -1,0 +1,26 @@
+"""Network substrate: addresses, nodes, links, FIBs, data-plane walks."""
+
+from .addr import AddressError, IPv4Address, Prefix
+from .dataplane import Fib, FibEntry
+from .link import Link, LinkDown
+from .messages import Message, Packet, PING_PROTO, PROBE_PROTO
+from .network import Network, PathTrace
+from .node import Host, Node
+
+__all__ = [
+    "AddressError",
+    "IPv4Address",
+    "Prefix",
+    "Fib",
+    "FibEntry",
+    "Link",
+    "LinkDown",
+    "Message",
+    "Packet",
+    "PING_PROTO",
+    "PROBE_PROTO",
+    "Network",
+    "PathTrace",
+    "Host",
+    "Node",
+]

@@ -1,0 +1,113 @@
+"""Forwarding information base (FIB) with longest-prefix match.
+
+Every node carries a :class:`Fib`; BGP routers install their Loc-RIB best
+routes into it, and the IDR controller programs SDN switches' flow tables
+(which reuse the same matching core).  Entries are kept in a dict keyed
+by prefix plus a per-length index, so lookups scan at most the distinct
+prefix lengths present (<= 33) instead of every entry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterator, Optional
+
+from .addr import IPv4Address, Prefix
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .link import Link
+
+__all__ = ["Fib", "FibEntry"]
+
+
+@dataclass
+class FibEntry:
+    """One forwarding entry: prefix → outgoing link (or local delivery).
+
+    ``link is None`` means the prefix is delivered locally (the node
+    originates it).  ``via`` names the next-hop node for diagnostics.
+    """
+
+    prefix: Prefix
+    link: Optional["Link"]
+    via: str = ""
+    source: str = ""
+    metadata: dict = field(default_factory=dict)
+
+    def __repr__(self) -> str:
+        target = self.via if self.link is not None else "local"
+        return f"<FibEntry {self.prefix} -> {target}>"
+
+
+class Fib:
+    """Longest-prefix-match forwarding table."""
+
+    def __init__(self) -> None:
+        self._entries: dict[Prefix, FibEntry] = {}
+        self._by_length: dict[int, dict[int, FibEntry]] = {}
+        self.version = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[FibEntry]:
+        return iter(self._entries.values())
+
+    def entries(self) -> list[FibEntry]:
+        """All entries, sorted by prefix."""
+        return sorted(self._entries.values(), key=lambda e: e.prefix)
+
+    def get(self, prefix: Prefix) -> Optional[FibEntry]:
+        """Exact-match lookup."""
+        return self._entries.get(prefix)
+
+    def install(self, entry: FibEntry) -> bool:
+        """Insert or replace the entry for ``entry.prefix``.
+
+        Returns True if the table changed (new entry or different
+        link/via than before) — callers use this to emit ``fib.change``
+        trace records only on real changes.
+        """
+        old = self._entries.get(entry.prefix)
+        if old is not None and old.link is entry.link and old.via == entry.via:
+            old.source = entry.source
+            old.metadata = entry.metadata
+            return False
+        self._entries[entry.prefix] = entry
+        self._by_length.setdefault(entry.prefix.length, {})[entry.prefix.network] = entry
+        self.version += 1
+        return True
+
+    def remove(self, prefix: Prefix) -> bool:
+        """Remove the exact entry; returns True if one existed."""
+        entry = self._entries.pop(prefix, None)
+        if entry is None:
+            return False
+        bucket = self._by_length.get(prefix.length)
+        if bucket is not None:
+            bucket.pop(prefix.network, None)
+            if not bucket:
+                del self._by_length[prefix.length]
+        self.version += 1
+        return True
+
+    def clear(self) -> None:
+        """Drop all stored state."""
+        self._entries.clear()
+        self._by_length.clear()
+        self.version += 1
+
+    def lookup(self, address: IPv4Address) -> Optional[FibEntry]:
+        """Longest-prefix match for ``address``; None if no route."""
+        value = address.value
+        for length in sorted(self._by_length, reverse=True):
+            if length == 0:
+                bucket = self._by_length[0]
+                if 0 in bucket:
+                    return bucket[0]
+                continue
+            network = value & ((0xFFFFFFFF << (32 - length)) & 0xFFFFFFFF)
+            entry = self._by_length[length].get(network)
+            if entry is not None:
+                return entry
+        return None

@@ -1,0 +1,156 @@
+"""Point-to-point links between emulated nodes.
+
+A link models what a Mininet veth pair gives the paper's framework:
+propagation latency, optional random loss, and administrative up/down
+state.  Nodes are notified synchronously of state changes so BGP "fast
+fallover" (Quagga's interface-down session reset) can be emulated; a
+configurable detection delay covers the slower hold-timer path.
+
+Each link owns an optional /30-style transfer network; endpoint addresses
+are assigned by the configuration layer (``repro.config``).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import TYPE_CHECKING, Optional
+
+from .addr import IPv4Address, Prefix
+from .messages import Message
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .node import Node
+
+__all__ = ["Link", "LinkDown"]
+
+_link_ids = itertools.count(1)
+
+
+class LinkDown(RuntimeError):
+    """Raised when transmitting on an administratively-down link."""
+
+
+class Link:
+    """Bidirectional point-to-point link between two nodes.
+
+    Parameters
+    ----------
+    a, b:
+        Endpoint nodes; the link registers itself on both.
+    latency:
+        One-way propagation delay in (virtual) seconds.
+    loss:
+        Per-message drop probability in ``[0, 1)``; applied per direction
+        using the simulator's ``link.loss`` random stream.
+    kind:
+        Free-form tag — ``"phys"`` for topology links, ``"control"`` for
+        the out-of-band switch-to-controller channel, ``"collector"`` for
+        route-collector peerings.  Analysis and visualization group by it.
+    """
+
+    def __init__(
+        self,
+        a: "Node",
+        b: "Node",
+        *,
+        latency: float = 0.01,
+        loss: float = 0.0,
+        kind: str = "phys",
+        name: Optional[str] = None,
+    ) -> None:
+        if a is b:
+            raise ValueError("self-loops are not supported")
+        if latency < 0:
+            raise ValueError(f"latency must be >= 0: {latency!r}")
+        if not 0.0 <= loss < 1.0:
+            raise ValueError(f"loss must be in [0, 1): {loss!r}")
+        self.link_id = next(_link_ids)
+        self.a = a
+        self.b = b
+        self.latency = latency
+        self.loss = loss
+        self.kind = kind
+        self.name = name or f"link{self.link_id}"
+        self.up = True
+        self.prefix: Optional[Prefix] = None
+        self.addresses: dict[str, IPv4Address] = {}
+        self.tx_count = 0
+        self.drop_count = 0
+        self._sim = a.sim
+        if b.sim is not self._sim:
+            raise ValueError("endpoints belong to different simulators")
+        a.attach_link(self)
+        b.attach_link(self)
+
+    # ------------------------------------------------------------------
+    def other(self, node: "Node") -> "Node":
+        """The endpoint that is not ``node``."""
+        if node is self.a:
+            return self.b
+        if node is self.b:
+            return self.a
+        raise ValueError(f"{node!r} is not an endpoint of {self!r}")
+
+    def connects(self, x: "Node", y: "Node") -> bool:
+        """True when the link joins exactly these two nodes."""
+        return {x, y} == {self.a, self.b}
+
+    def address_of(self, node: "Node") -> Optional[IPv4Address]:
+        """The link address assigned to one endpoint."""
+        return self.addresses.get(node.name)
+
+    # ------------------------------------------------------------------
+    def transmit(
+        self, sender: "Node", message: Message, *, background: bool = False
+    ) -> bool:
+        """Send ``message`` to the far end after ``latency`` seconds.
+
+        Returns True if the message was queued for delivery, False if it
+        was dropped by the loss process.  Raises :class:`LinkDown` when
+        the link is administratively down — senders are expected to have
+        been notified, so this signals a protocol bug.
+
+        ``background=True`` marks the delivery as routing-irrelevant
+        (periodic keepalives, probe packets): it will not hold up
+        convergence detection.
+        """
+        if not self.up:
+            raise LinkDown(f"{self.name} is down")
+        receiver = self.other(sender)
+        if self.loss > 0.0 and self._sim.rng("link.loss").random() < self.loss:
+            self.drop_count += 1
+            return False
+        self.tx_count += 1
+        self._sim.schedule(
+            self.latency,
+            lambda: receiver.receive(self, message),
+            background=background,
+            label=f"{self.name}:deliver",
+        )
+        return True
+
+    # ------------------------------------------------------------------
+    def set_up(self, up: bool) -> None:
+        """Administratively raise/lower the link, notifying both ends.
+
+        In-flight messages already scheduled are still delivered (they
+        were "on the wire"); new transmissions fail.  Endpoint nodes get
+        ``link_state_changed`` callbacks, from which BGP sessions reset.
+        """
+        if self.up == up:
+            return
+        self.up = up
+        for node in (self.a, self.b):
+            node.link_state_changed(self)
+
+    def fail(self) -> None:
+        """Convenience: take the link down."""
+        self.set_up(False)
+
+    def restore(self) -> None:
+        """Convenience: bring the link back up."""
+        self.set_up(True)
+
+    def __repr__(self) -> str:
+        state = "up" if self.up else "DOWN"
+        return f"<Link {self.name} {self.a.name}<->{self.b.name} {state}>"

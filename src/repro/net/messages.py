@@ -1,0 +1,58 @@
+"""Base message types carried over emulated links.
+
+Two planes share the links, exactly as in the paper's emulation:
+
+- control-plane messages (BGP sessions, and the relayed control traffic
+  between border SDN switches and the cluster BGP speaker), and
+- data-plane packets (probe/ping traffic between hosts).
+
+``Message`` is deliberately minimal: links deliver *objects*; meaning is
+up to the receiving node's dispatch.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .addr import IPv4Address
+
+__all__ = ["Message", "Packet", "PROBE_PROTO", "PING_PROTO"]
+
+_packet_ids = itertools.count(1)
+
+#: Data-plane protocol tags (stand-ins for IP protocol numbers).
+PING_PROTO = "icmp.echo"
+PROBE_PROTO = "probe"
+
+
+@dataclass
+class Message:
+    """Base class for anything a link can carry."""
+
+    def describe(self) -> str:
+        """Short human-readable summary."""
+        return type(self).__name__
+
+
+@dataclass
+class Packet(Message):
+    """A data-plane packet forwarded hop-by-hop via FIB/flow-table lookups.
+
+    ``ttl`` guards against forwarding loops during convergence — exactly
+    the transient the paper's loss measurements are about.
+    """
+
+    src: IPv4Address
+    dst: IPv4Address
+    proto: str = PING_PROTO
+    ttl: int = 64
+    seq: int = 0
+    payload: Optional[object] = None
+    packet_id: int = field(default_factory=lambda: next(_packet_ids))
+    hops: list = field(default_factory=list)
+
+    def describe(self) -> str:
+        """Short human-readable summary."""
+        return f"{self.proto} {self.src}->{self.dst} ttl={self.ttl} seq={self.seq}"

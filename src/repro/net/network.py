@@ -1,0 +1,162 @@
+"""Network container: nodes + links over one simulator.
+
+This is the framework's equivalent of a Mininet ``net`` object — it owns
+the device inventory, builds links, answers reachability queries against
+the *data plane* (walking FIBs/flow tables hop by hop), and exports the
+physical graph for analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional
+
+import networkx as nx
+
+from ..eventsim import Simulator, TraceLog
+from .addr import IPv4Address
+from .link import Link
+from .node import Node
+
+__all__ = ["Network", "PathTrace"]
+
+
+@dataclass
+class PathTrace:
+    """Result of a data-plane forwarding walk (synthetic traceroute)."""
+
+    reached: bool
+    hops: List[str]
+    reason: str = ""
+
+    def __bool__(self) -> bool:
+        return self.reached
+
+
+class Network:
+    """Inventory of emulated devices sharing one event loop and trace log."""
+
+    def __init__(self, sim: Optional[Simulator] = None, seed: int = 0) -> None:
+        self.sim = sim if sim is not None else Simulator(seed=seed)
+        self.trace = TraceLog(self.sim)
+        self.nodes: Dict[str, Node] = {}
+        self.links: List[Link] = []
+
+    # ------------------------------------------------------------------
+    # inventory
+    # ------------------------------------------------------------------
+    def add_node(self, node: Node) -> Node:
+        """Register a node; rejects duplicate names."""
+        if node.name in self.nodes:
+            raise ValueError(f"duplicate node name: {node.name!r}")
+        self.nodes[node.name] = node
+        return node
+
+    def create(self, factory: Callable[..., Node], name: str, **kwargs) -> Node:
+        """Instantiate ``factory(sim, trace, name, **kwargs)`` and register it."""
+        return self.add_node(factory(self.sim, self.trace, name, **kwargs))
+
+    def get(self, name: str) -> Node:
+        """Exact-match lookup; None if absent."""
+        try:
+            return self.nodes[name]
+        except KeyError:
+            raise KeyError(f"no such node: {name!r}") from None
+
+    def add_link(self, a, b, **kwargs) -> Link:
+        """Link two nodes (by object or name)."""
+        node_a = a if isinstance(a, Node) else self.get(a)
+        node_b = b if isinstance(b, Node) else self.get(b)
+        link = Link(node_a, node_b, **kwargs)
+        self.links.append(link)
+        return link
+
+    def link_between(self, a, b) -> Optional[Link]:
+        """The link joining two nodes/ASes, if any."""
+        node_a = a if isinstance(a, Node) else self.get(a)
+        node_b = b if isinstance(b, Node) else self.get(b)
+        for link in self.links:
+            if link.connects(node_a, node_b):
+                return link
+        return None
+
+    def nodes_of_type(self, cls: type) -> list:
+        """All registered nodes of one class."""
+        return [n for n in self.nodes.values() if isinstance(n, cls)]
+
+    # ------------------------------------------------------------------
+    # data-plane queries
+    # ------------------------------------------------------------------
+    def trace_path(
+        self, src: Node, dst_address: IPv4Address, max_hops: int = 64
+    ) -> PathTrace:
+        """Walk FIBs from ``src`` toward ``dst_address`` without side effects.
+
+        This inspects current forwarding state instantaneously (no
+        virtual time passes), which is what the framework's "stable
+        connectivity between all hosts" convergence check needs.
+        """
+        hops = [src.name]
+        node = src
+        seen = {src.name}
+        for _ in range(max_hops):
+            if node.address is not None and node.address == dst_address:
+                return PathTrace(True, hops)
+            entry = node.lookup_route(dst_address)
+            if entry is None or entry.link is None:
+                # No more-specific forwarding state: delivered here if the
+                # node owns the address (or holds an explicit local entry).
+                if node.owns_address(dst_address) or entry is not None:
+                    return PathTrace(True, hops)
+                return PathTrace(False, hops, reason=f"no route at {node.name}")
+            if not entry.link.up:
+                return PathTrace(False, hops, reason=f"link down at {node.name}")
+            node = entry.link.other(node)
+            if node.name in seen:
+                hops.append(node.name)
+                return PathTrace(False, hops, reason=f"loop at {node.name}")
+            seen.add(node.name)
+            hops.append(node.name)
+        return PathTrace(False, hops, reason="hop limit")
+
+    def all_pairs_reachable(
+        self, nodes: Optional[Iterable[Node]] = None
+    ) -> dict:
+        """Reachability matrix over nodes' primary addresses.
+
+        Returns ``{(src_name, dst_name): PathTrace}`` for ordered pairs of
+        distinct nodes that have a primary address.
+        """
+        candidates = [
+            n for n in (nodes if nodes is not None else self.nodes.values())
+            if n.address is not None
+        ]
+        result = {}
+        for src in candidates:
+            for dst in candidates:
+                if src is dst:
+                    continue
+                result[(src.name, dst.name)] = self.trace_path(src, dst.address)
+        return result
+
+    # ------------------------------------------------------------------
+    # graph export
+    # ------------------------------------------------------------------
+    def to_graph(self, include_down: bool = False, kinds=("phys",)) -> nx.Graph:
+        """The physical topology as a networkx graph (for analysis/viz)."""
+        graph = nx.Graph()
+        for node in self.nodes.values():
+            graph.add_node(node.name, kind=type(node).__name__)
+        for link in self.links:
+            if link.kind not in kinds:
+                continue
+            if not link.up and not include_down:
+                continue
+            graph.add_edge(
+                link.a.name, link.b.name,
+                latency=link.latency, name=link.name, up=link.up,
+            )
+        return graph
+
+    def __repr__(self) -> str:
+        return f"<Network nodes={len(self.nodes)} links={len(self.links)}>"

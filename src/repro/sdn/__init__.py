@@ -1,0 +1,30 @@
+"""OpenFlow-style SDN substrate: switches, flow tables, control messages."""
+
+from .flowtable import ActionType, FlowAction, FlowRule, FlowTable
+from .messages import (
+    BarrierReply,
+    BarrierRequest,
+    ControlMessage,
+    FlowMod,
+    FlowRemove,
+    PacketIn,
+    PeeringStatus,
+    PortStatus,
+)
+from .switch import SDNSwitch
+
+__all__ = [
+    "ActionType",
+    "FlowAction",
+    "FlowRule",
+    "FlowTable",
+    "BarrierReply",
+    "BarrierRequest",
+    "ControlMessage",
+    "FlowMod",
+    "FlowRemove",
+    "PacketIn",
+    "PeeringStatus",
+    "PortStatus",
+    "SDNSwitch",
+]

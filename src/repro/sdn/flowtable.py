@@ -1,0 +1,149 @@
+"""OpenFlow-style flow table for cluster switches.
+
+Rules match destination prefixes with explicit priorities (the compiler
+uses prefix length, mirroring how IP longest-prefix match is expressed in
+OpenFlow tables) and carry an action: output over a link, deliver
+locally, or drop.  Per-rule packet counters support the demo's
+monitoring tools.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterator, List, Optional
+
+from ..net.addr import IPv4Address, Prefix
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..net.link import Link
+
+__all__ = ["ActionType", "FlowAction", "FlowRule", "FlowTable"]
+
+_rule_ids = itertools.count(1)
+
+
+class ActionType(enum.Enum):
+    OUTPUT = "output"   # forward over a link
+    LOCAL = "local"     # deliver to the switch itself (originated prefix)
+    DROP = "drop"
+
+
+@dataclass(frozen=True)
+class FlowAction:
+    """What to do with a matching packet."""
+
+    type: ActionType
+    link: Optional["Link"] = None
+
+    @classmethod
+    def output(cls, link: "Link") -> "FlowAction":
+        """Action: forward out a link."""
+        return cls(ActionType.OUTPUT, link)
+
+    @classmethod
+    def local(cls) -> "FlowAction":
+        """Action: deliver to the switch itself."""
+        return cls(ActionType.LOCAL)
+
+    @classmethod
+    def drop(cls) -> "FlowAction":
+        """Action: discard matching packets."""
+        return cls(ActionType.DROP)
+
+
+@dataclass
+class FlowRule:
+    """One table entry: (priority, dst prefix) → action."""
+
+    match: Prefix
+    action: FlowAction
+    priority: int = 0
+    cookie: str = ""
+    rule_id: int = field(default_factory=lambda: next(_rule_ids))
+    packets: int = 0
+
+    def matches(self, address: IPv4Address) -> bool:
+        """True when the address falls in the rule's match."""
+        return address in self.match
+
+    def __repr__(self) -> str:
+        tgt = self.action.type.value
+        if self.action.link is not None:
+            tgt += f":{self.action.link.name}"
+        return f"<FlowRule p={self.priority} {self.match} -> {tgt}>"
+
+
+class FlowTable:
+    """Priority-ordered flow table with highest-priority-first matching.
+
+    Ties on priority break on longer prefix, then lower rule id — fully
+    deterministic, as the rest of the emulator requires.
+    """
+
+    def __init__(self) -> None:
+        self._rules: List[FlowRule] = []
+        self.version = 0
+
+    def __len__(self) -> int:
+        return len(self._rules)
+
+    def __iter__(self) -> Iterator[FlowRule]:
+        return iter(self._rules)
+
+    def rules(self) -> List[FlowRule]:
+        """All rules, priority-ordered."""
+        return list(self._rules)
+
+    def install(self, rule: FlowRule) -> None:
+        """Add ``rule``, replacing any rule with the same (match, priority)."""
+        self._rules = [
+            r for r in self._rules
+            if not (r.match == rule.match and r.priority == rule.priority)
+        ]
+        self._rules.append(rule)
+        self._rules.sort(
+            key=lambda r: (-r.priority, -r.match.length, r.rule_id)
+        )
+        self.version += 1
+
+    def remove(self, match: Prefix, priority: Optional[int] = None) -> int:
+        """Remove rules matching ``match`` (and priority if given).
+
+        Returns the number of rules removed.
+        """
+        before = len(self._rules)
+        self._rules = [
+            r for r in self._rules
+            if not (
+                r.match == match
+                and (priority is None or r.priority == priority)
+            )
+        ]
+        removed = before - len(self._rules)
+        if removed:
+            self.version += 1
+        return removed
+
+    def remove_by_cookie(self, cookie: str) -> int:
+        """Remove every rule carrying a cookie."""
+        before = len(self._rules)
+        self._rules = [r for r in self._rules if r.cookie != cookie]
+        removed = before - len(self._rules)
+        if removed:
+            self.version += 1
+        return removed
+
+    def clear(self) -> None:
+        """Drop all stored state."""
+        self._rules.clear()
+        self.version += 1
+
+    def lookup(self, address: IPv4Address) -> Optional[FlowRule]:
+        """First matching rule in priority order, counting the hit."""
+        for rule in self._rules:
+            if rule.matches(address):
+                rule.packets += 1
+                return rule
+        return None

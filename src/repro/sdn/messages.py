@@ -1,0 +1,103 @@
+"""Control-channel messages between switches, controller, and speaker.
+
+A small OpenFlow-flavoured set: FlowMod/FlowRemove program switches,
+PortStatus reports link state to the controller, PacketIn reports
+table misses.  PeeringStatus travels switch → cluster BGP speaker over
+the per-peering relay link so the speaker can reset the corresponding
+external session when the physical peering link fails (the speaker's own
+relay link stays up, so it cannot rely on fast fallover).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..net.addr import Prefix
+from ..net.messages import Message
+
+__all__ = [
+    "ControlMessage",
+    "FlowMod",
+    "FlowRemove",
+    "PortStatus",
+    "PacketIn",
+    "PeeringStatus",
+    "BarrierRequest",
+    "BarrierReply",
+]
+
+
+@dataclass
+class ControlMessage(Message):
+    """Base class for controller-plane messages."""
+
+
+@dataclass
+class FlowMod(ControlMessage):
+    """Install one flow rule on the receiving switch.
+
+    ``out_link_name`` names the switch-local link for OUTPUT actions —
+    the controller knows switch ports by link name from its topology
+    view, and the switch resolves the name to its own link object.
+    """
+
+    match: Prefix = None  # type: ignore[assignment]
+    action_type: str = "output"
+    out_link_name: Optional[str] = None
+    priority: int = 0
+    cookie: str = ""
+
+
+@dataclass
+class FlowRemove(ControlMessage):
+    """Remove rules for a match (and optional priority) or by cookie."""
+
+    match: Optional[Prefix] = None
+    priority: Optional[int] = None
+    cookie: Optional[str] = None
+
+
+@dataclass
+class PortStatus(ControlMessage):
+    """Switch → controller: a local link changed state."""
+
+    switch: str = ""
+    link_name: str = ""
+    peer: str = ""
+    up: bool = True
+    kind: str = "phys"
+
+
+@dataclass
+class PacketIn(ControlMessage):
+    """Switch → controller: table miss (packet summary only)."""
+
+    switch: str = ""
+    src: str = ""
+    dst: str = ""
+    proto: str = ""
+
+
+@dataclass
+class PeeringStatus(ControlMessage):
+    """Switch → speaker over the relay link: physical peering up/down."""
+
+    switch: str = ""
+    peer: str = ""
+    up: bool = True
+
+
+@dataclass
+class BarrierRequest(ControlMessage):
+    """Controller → switch: ack when all prior mods are applied."""
+
+    xid: int = 0
+
+
+@dataclass
+class BarrierReply(ControlMessage):
+    """Switch → controller: barrier ack."""
+
+    xid: int = 0
+    switch: str = ""

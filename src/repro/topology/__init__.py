@@ -1,0 +1,42 @@
+"""AS-level topologies: builders, CAIDA and iPlane dataset support."""
+
+from .builders import (
+    barabasi_albert,
+    binary_tree,
+    clique,
+    erdos_renyi,
+    from_networkx,
+    line,
+    ring,
+    star,
+)
+from .caida import (
+    dump_as_rel,
+    generate_as_rel,
+    parse_as_rel,
+    synthetic_caida_topology,
+)
+from .iplane import generate_interpop, parse_interpop, synthetic_iplane_topology
+from .model import ASSpec, InterASLink, Topology, TopologyError
+
+__all__ = [
+    "barabasi_albert",
+    "binary_tree",
+    "clique",
+    "erdos_renyi",
+    "from_networkx",
+    "line",
+    "ring",
+    "star",
+    "dump_as_rel",
+    "generate_as_rel",
+    "parse_as_rel",
+    "synthetic_caida_topology",
+    "generate_interpop",
+    "parse_interpop",
+    "synthetic_iplane_topology",
+    "ASSpec",
+    "InterASLink",
+    "Topology",
+    "TopologyError",
+]

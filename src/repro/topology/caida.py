@@ -1,0 +1,156 @@
+"""CAIDA AS-Relationships dataset support (paper §3).
+
+The paper builds topologies from CAIDA's serial-1 ``as-rel`` files::
+
+    # comment lines start with '#'
+    <provider-asn>|<customer-asn>|-1
+    <peer-asn>|<peer-asn>|0
+
+The real dataset is not redistributable here, so alongside the parser we
+ship :func:`generate_as_rel`, a synthetic generator producing a
+three-tier customer-provider hierarchy (tier-1 clique peering at the
+top, transit ASes in the middle, stubs at the bottom, plus lateral
+peering).  The generator emits the exact file format, so the full
+parse → topology → emulation pipeline is exercised end to end.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Tuple
+
+from ..bgp.policy import Relationship
+from .model import Topology, TopologyError
+
+__all__ = [
+    "parse_as_rel",
+    "dump_as_rel",
+    "generate_as_rel",
+    "synthetic_caida_topology",
+]
+
+#: CAIDA relationship codes.
+_P2C = -1
+_P2P = 0
+
+
+def parse_as_rel(text: str, *, name: str = "caida", latency: float = 0.01) -> Topology:
+    """Parse CAIDA serial-1 as-rel text into a :class:`Topology`."""
+    topo = Topology(name=name)
+    seen_as = set()
+    edges: List[Tuple[int, int, int]] = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split("|")
+        if len(parts) < 3:
+            raise TopologyError(f"line {lineno}: expected a|b|rel, got {raw!r}")
+        try:
+            a, b, rel = int(parts[0]), int(parts[1]), int(parts[2])
+        except ValueError:
+            raise TopologyError(f"line {lineno}: non-integer field in {raw!r}")
+        if rel not in (_P2C, _P2P):
+            raise TopologyError(f"line {lineno}: unknown relationship {rel}")
+        seen_as.update((a, b))
+        edges.append((a, b, rel))
+    for asn in sorted(seen_as):
+        topo.add_as(asn)
+    for a, b, rel in edges:
+        if topo.link_between(a, b) is not None:
+            continue  # datasets occasionally duplicate; keep the first
+        relationship = (
+            Relationship.CUSTOMER if rel == _P2C else Relationship.PEER
+        )
+        topo.add_link(a, b, relationship=relationship, latency=latency)
+    return topo
+
+
+def dump_as_rel(topo: Topology) -> str:
+    """Serialize a topology back to as-rel text (FLAT links become peers)."""
+    lines = [f"# as-rel dump of {topo.name}: {len(topo)} ASes"]
+    for link in topo.links:
+        if link.relationship is Relationship.CUSTOMER:
+            lines.append(f"{link.a}|{link.b}|{_P2C}")
+        elif link.relationship is Relationship.PROVIDER:
+            lines.append(f"{link.b}|{link.a}|{_P2C}")
+        else:
+            lines.append(f"{link.a}|{link.b}|{_P2P}")
+    return "\n".join(lines) + "\n"
+
+
+def generate_as_rel(
+    *,
+    tier1: int = 4,
+    transit: int = 8,
+    stubs: int = 20,
+    seed: int = 0,
+    extra_peering_prob: float = 0.15,
+    multihoming_prob: float = 0.3,
+) -> str:
+    """Generate synthetic as-rel text with a realistic 3-tier hierarchy.
+
+    - tier-1 ASes (ASN 1..tier1): full peering clique, no providers;
+    - transit ASes: 1-2 providers drawn from tier-1, lateral peering
+      with probability ``extra_peering_prob``;
+    - stub ASes: 1-2 providers drawn from the transit tier.
+
+    Deterministic for a given ``seed``.
+    """
+    if tier1 < 1 or transit < 1 or stubs < 0:
+        raise TopologyError("need tier1 >= 1, transit >= 1, stubs >= 0")
+    rng = random.Random(seed)
+    lines = [
+        "# synthetic CAIDA-style as-rel file",
+        f"# tiers: tier1={tier1} transit={transit} stubs={stubs} seed={seed}",
+    ]
+    tier1_asns = list(range(1, tier1 + 1))
+    transit_asns = list(range(tier1 + 1, tier1 + transit + 1))
+    stub_asns = list(
+        range(tier1 + transit + 1, tier1 + transit + stubs + 1)
+    )
+    for i, a in enumerate(tier1_asns):
+        for b in tier1_asns[i + 1:]:
+            lines.append(f"{a}|{b}|{_P2P}")
+    for asn in transit_asns:
+        providers = rng.sample(
+            tier1_asns, 2 if rng.random() < multihoming_prob and tier1 >= 2 else 1
+        )
+        for provider in providers:
+            lines.append(f"{provider}|{asn}|{_P2C}")
+    for i, a in enumerate(transit_asns):
+        for b in transit_asns[i + 1:]:
+            if rng.random() < extra_peering_prob:
+                lines.append(f"{a}|{b}|{_P2P}")
+    for asn in stub_asns:
+        providers = rng.sample(
+            transit_asns,
+            2 if rng.random() < multihoming_prob and transit >= 2 else 1,
+        )
+        for provider in providers:
+            lines.append(f"{provider}|{asn}|{_P2C}")
+    return "\n".join(lines) + "\n"
+
+
+def synthetic_caida_topology(
+    *,
+    tier1: int = 4,
+    transit: int = 8,
+    stubs: int = 20,
+    seed: int = 0,
+    name: Optional[str] = None,
+) -> Topology:
+    """Generate + parse in one step (the usual experiment entry point)."""
+    text = generate_as_rel(tier1=tier1, transit=transit, stubs=stubs, seed=seed)
+    topo = parse_as_rel(
+        text, name=name or f"caida-synth-t{tier1}-m{transit}-s{stubs}"
+    )
+    for spec in topo.ases:
+        role = (
+            "tier1" if spec.asn <= tier1
+            else "transit" if spec.asn <= tier1 + transit
+            else "stub"
+        )
+        # ASSpec is frozen; rebuild with the role annotation.
+        topo._ases[spec.asn] = type(spec)(spec.asn, spec.name, role)
+    return topo

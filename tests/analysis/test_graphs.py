@@ -1,0 +1,45 @@
+"""Unit tests for graph metrics."""
+
+from repro.analysis.graphs import cut_links, summarize_topology
+from repro.topology.builders import clique, line, ring, star
+
+
+class TestSummarize:
+    def test_clique_summary(self):
+        summary = summarize_topology(clique(5))
+        assert summary.nodes == 5
+        assert summary.edges == 10
+        assert summary.min_degree == summary.max_degree == 4
+        assert summary.diameter == 1
+        assert summary.avg_clustering == 1.0
+        assert summary.connected
+
+    def test_line_summary(self):
+        summary = summarize_topology(line(5))
+        assert summary.diameter == 4
+        assert summary.min_degree == 1
+
+    def test_describe_readable(self):
+        text = summarize_topology(clique(3)).describe()
+        assert "3 ASes" in text and "diameter 1" in text
+
+    def test_disconnected_diameter_sentinel(self):
+        topo = clique(3)
+        topo.add_as(99)
+        summary = summarize_topology(topo)
+        assert not summary.connected
+        assert summary.diameter == -1
+
+
+class TestCutLinks:
+    def test_clique_has_no_bridges(self):
+        assert cut_links(clique(5)) == []
+
+    def test_every_line_edge_is_a_bridge(self):
+        assert cut_links(line(4)) == [(1, 2), (2, 3), (3, 4)]
+
+    def test_ring_has_no_bridges(self):
+        assert cut_links(ring(5)) == []
+
+    def test_star_spokes_are_bridges(self):
+        assert cut_links(star(4)) == [(1, 2), (1, 3), (1, 4)]

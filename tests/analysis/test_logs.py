@@ -1,0 +1,107 @@
+"""Unit tests for log-analysis helpers."""
+
+import pytest
+
+from repro.analysis.logs import (
+    churn_timeline,
+    convergence_instant,
+    interarrival_times,
+    route_history,
+    update_counts_by_node,
+)
+from repro.eventsim import Simulator, TraceLog
+
+
+@pytest.fixture
+def populated():
+    sim = Simulator()
+    trace = TraceLog(sim)
+    events = [
+        (0.5, "bgp.update.tx", "as1", {}),
+        (0.6, "bgp.update.rx", "as2", {}),
+        (1.2, "bgp.update.tx", "as2", {}),
+        (1.3, "bgp.update.tx", "as2", {}),
+        (2.8, "bgp.decision", "as2",
+         {"prefix": "10.0.0.0/24", "old": "1", "new": "3 1"}),
+        (3.0, "bgp.decision", "as2",
+         {"prefix": "10.0.0.0/24", "old": "3 1", "new": None}),
+        (3.0, "bgp.decision", "as3",
+         {"prefix": "10.9.0.0/24", "old": None, "new": "1"}),
+        (4.0, "fib.change", "as2", {}),
+    ]
+    for t, cat, node, data in events:
+        sim.schedule(t, lambda c=cat, n=node, d=data: trace.record(c, n, **d))
+    sim.run()
+    return sim, trace
+
+
+class TestUpdateCounts:
+    def test_tx_counts(self, populated):
+        _, trace = populated
+        assert update_counts_by_node(trace) == {"as1": 1, "as2": 2}
+
+    def test_rx_counts(self, populated):
+        _, trace = populated
+        assert update_counts_by_node(trace, direction="rx") == {"as2": 1}
+
+    def test_since_filter(self, populated):
+        _, trace = populated
+        assert update_counts_by_node(trace, since=1.0) == {"as2": 2}
+
+    def test_bad_direction(self, populated):
+        _, trace = populated
+        with pytest.raises(ValueError):
+            update_counts_by_node(trace, direction="sideways")
+
+
+class TestChurnTimeline:
+    def test_bins(self, populated):
+        _, trace = populated
+        timeline = churn_timeline(trace, bin_size=1.0)
+        assert timeline == [(0.0, 1), (1.0, 2)]
+
+    def test_bin_size_validation(self, populated):
+        _, trace = populated
+        with pytest.raises(ValueError):
+            churn_timeline(trace, bin_size=0)
+
+    def test_category_override(self, populated):
+        _, trace = populated
+        timeline = churn_timeline(trace, bin_size=10.0, category="bgp.decision")
+        assert timeline == [(0.0, 3)]
+
+
+class TestRouteHistory:
+    def test_history_for_prefix(self, populated):
+        _, trace = populated
+        changes = route_history(trace, "10.0.0.0/24")
+        assert len(changes) == 2
+        assert changes[0].new_path == "3 1"
+        assert changes[1].is_loss
+
+    def test_history_filtered_by_node(self, populated):
+        _, trace = populated
+        assert route_history(trace, "10.9.0.0/24", node="as2") == []
+        gains = route_history(trace, "10.9.0.0/24", node="as3")
+        assert len(gains) == 1 and gains[0].is_gain
+
+
+class TestConvergenceInstant:
+    def test_last_route_affecting(self, populated):
+        _, trace = populated
+        assert convergence_instant(trace, since=0.0) == 4.0
+
+    def test_since_cutoff(self, populated):
+        _, trace = populated
+        assert convergence_instant(trace, since=5.0) is None
+
+
+class TestInterarrival:
+    def test_gaps(self, populated):
+        _, trace = populated
+        records = trace.filter(category="bgp.update.tx")
+        gaps = interarrival_times(records)
+        assert gaps == pytest.approx([0.7, 0.1])
+
+    def test_empty(self):
+        assert interarrival_times([]) == []

@@ -1,0 +1,64 @@
+"""Unit tests for the one-shot experiment report."""
+
+import pytest
+
+from repro.analysis.report import experiment_report
+from repro.bgp.session import BGPTimers
+from repro.controller.idr import ControllerConfig
+from repro.framework.experiment import Experiment, ExperimentConfig
+from repro.topology.builders import clique
+
+
+@pytest.fixture(scope="module")
+def hybrid():
+    config = ExperimentConfig(
+        seed=1,
+        timers=BGPTimers(mrai=1.0),
+        controller=ControllerConfig(recompute_delay=0.2),
+    )
+    exp = Experiment(clique(5), sdn_members={4, 5}, config=config).start()
+    exp.add_host(1)
+    exp.wait_converged()
+    return exp
+
+
+class TestReport:
+    def test_contains_inventory(self, hybrid):
+        report = experiment_report(hybrid)
+        assert "legacy routers : 3" in report
+        assert "SDN switches   : 2" in report
+        assert "hosts          : 1" in report
+
+    def test_contains_session_health(self, hybrid):
+        report = experiment_report(hybrid)
+        assert "established" in report
+        assert "cluster speaker" in report
+
+    def test_contains_update_counts(self, hybrid):
+        report = experiment_report(hybrid)
+        assert "updates sent" in report
+
+    def test_contains_connectivity(self, hybrid):
+        report = experiment_report(hybrid)
+        assert "20/20 ordered AS pairs reachable" in report
+
+    def test_contains_cluster_section(self, hybrid):
+        report = experiment_report(hybrid)
+        assert "recomputations" in report
+        assert "sub-clusters" in report
+
+    def test_broken_pairs_listed(self):
+        config = ExperimentConfig(seed=2, timers=BGPTimers(mrai=0.5))
+        from repro.topology.builders import line
+
+        exp = Experiment(line(3), config=config).start()
+        exp.fail_link(2, 3)
+        exp.wait_converged()
+        report = experiment_report(exp)
+        assert "-/->" in report
+
+    def test_pure_bgp_report_omits_cluster(self):
+        config = ExperimentConfig(seed=2, timers=BGPTimers(mrai=0.5))
+        exp = Experiment(clique(3), config=config).start()
+        report = experiment_report(exp)
+        assert "recomputations" not in report

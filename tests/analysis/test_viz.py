@@ -1,0 +1,101 @@
+"""Unit tests for visualization output formats."""
+
+from repro.analysis.logs import RouteChange
+from repro.analysis.stats import boxplot_stats
+from repro.analysis.viz import (
+    ascii_boxplot_chart,
+    churn_sparkline,
+    route_change_timeline,
+    topology_dot,
+)
+from repro.topology.builders import clique, star
+
+
+class TestBoxplotChart:
+    def rows(self):
+        return [
+            ("0/16", boxplot_stats([340, 350, 360, 370])),
+            ("8/16", boxplot_stats([150, 160, 170, 180])),
+            ("15/16", boxplot_stats([0.4, 0.5, 0.6, 0.7])),
+        ]
+
+    def test_renders_all_rows(self):
+        chart = ascii_boxplot_chart(self.rows(), title="Fig 2")
+        assert "Fig 2" in chart
+        for label in ("0/16", "8/16", "15/16"):
+            assert label in chart
+
+    def test_contains_box_and_median_glyphs(self):
+        chart = ascii_boxplot_chart(self.rows())
+        assert "#" in chart and "|" in chart
+
+    def test_median_annotated(self):
+        chart = ascii_boxplot_chart(self.rows())
+        assert "med=355.0s" in chart
+
+    def test_empty_rows_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            ascii_boxplot_chart([])
+
+    def test_degenerate_identical_values(self):
+        chart = ascii_boxplot_chart([("x", boxplot_stats([5.0, 5.0]))])
+        assert "med=5.0" in chart
+
+
+class TestRouteTimeline:
+    def changes(self):
+        return [
+            RouteChange(10.0, "as2", "10.0.0.0/24", "1", "3 1"),
+            RouteChange(12.0, "as2", "10.0.0.0/24", "3 1", None),
+            RouteChange(11.0, "as3", "10.0.0.0/24", "1", None),
+        ]
+
+    def test_sorted_chronologically(self):
+        timeline = route_change_timeline(self.changes(), t0=10.0)
+        lines = timeline.splitlines()[1:]
+        assert "as2" in lines[0] and "as3" in lines[1]
+
+    def test_none_rendered_readably(self):
+        timeline = route_change_timeline(self.changes())
+        assert "(none)" in timeline
+
+    def test_truncation(self):
+        many = [
+            RouteChange(float(i), "as1", "p", None, str(i)) for i in range(50)
+        ]
+        timeline = route_change_timeline(many, max_rows=10)
+        assert "40 more changes" in timeline
+
+
+class TestTopologyDot:
+    def test_sdn_members_highlighted(self):
+        dot = topology_dot(clique(4), sdn_members=[3, 4])
+        assert dot.count("shape=box") == 2
+        assert dot.count("shape=ellipse") == 2
+
+    def test_edges_present(self):
+        dot = topology_dot(clique(4))
+        assert dot.count(" -- ") == 6
+
+    def test_customer_links_directed(self):
+        dot = topology_dot(star(3))
+        assert "arrowhead" in dot
+
+    def test_valid_graphviz_structure(self):
+        dot = topology_dot(clique(3))
+        assert dot.startswith("graph") and dot.rstrip().endswith("}")
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert churn_sparkline([]) == "(no updates)"
+
+    def test_peak_annotated(self):
+        line = churn_sparkline([(0.0, 5), (1.0, 10), (2.0, 1)])
+        assert "peak=" in line
+
+    def test_single_bin(self):
+        line = churn_sparkline([(3.0, 4)])
+        assert "t=3.0s" in line

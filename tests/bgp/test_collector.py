@@ -1,0 +1,92 @@
+"""Unit tests for the route collector."""
+
+from repro.bgp.collector import RouteCollector
+from repro.bgp.router import BGPRouter
+from repro.bgp.session import BGPTimers
+from repro.net.addr import Prefix
+
+PFX = Prefix.parse("192.168.0.0/24")
+
+
+def build(net, n=2):
+    timers = BGPTimers(mrai=0.5)
+    routers = []
+    for i in range(1, n + 1):
+        router = net.add_node(
+            BGPRouter(net.sim, net.trace, f"as{i}", asn=i, timers=timers)
+        )
+        routers.append(router)
+    for i in range(n):
+        for j in range(i + 1, n):
+            link = net.add_link(routers[i], routers[j])
+            routers[i].add_peer(link)
+            routers[j].add_peer(link)
+    collector = net.add_node(RouteCollector(net.sim, net.trace))
+    for router in routers:
+        link = net.add_link(router, collector, kind="collector")
+        router.add_peer(link, timers=BGPTimers(mrai=0.0))
+        collector.add_peer(link)
+    for node in routers + [collector]:
+        node.start()
+    net.sim.run_until_settled()
+    return routers, collector
+
+
+class TestCollection:
+    def test_feed_records_announcements(self, net):
+        (a, b), collector = build(net)
+        a.originate(PFX)
+        net.sim.run_until_settled()
+        touched = collector.updates_for(PFX)
+        assert touched
+        assert any(u.peer_name == "as1" for u in touched)
+
+    def test_feed_records_withdrawals(self, net):
+        (a, b), collector = build(net)
+        a.originate(PFX)
+        net.sim.run_until_settled()
+        a.withdraw(PFX)
+        net.sim.run_until_settled()
+        assert any(u.is_withdrawal for u in collector.updates_for(PFX))
+
+    def test_feed_timestamps_monotonic(self, net):
+        (a, b), collector = build(net)
+        a.originate(PFX)
+        net.sim.run_until_settled()
+        times = [u.time for u in collector.feed]
+        assert times == sorted(times)
+
+    def test_updates_since(self, net):
+        (a, b), collector = build(net)
+        a.originate(PFX)
+        net.sim.run_until_settled()
+        cut = net.sim.now
+        b.originate(Prefix.parse("192.168.1.0/24"))
+        net.sim.run_until_settled()
+        later = collector.updates_since(cut)
+        assert later and all(u.time >= cut for u in later)
+
+    def test_last_update_time(self, net):
+        (a, b), collector = build(net)
+        assert collector.last_update_time(net.sim.now + 1) is None
+        a.originate(PFX)
+        net.sim.run_until_settled()
+        assert collector.last_update_time() is not None
+
+
+class TestSilence:
+    def test_collector_never_announces(self, net):
+        (a, b), collector = build(net)
+        a.originate(PFX)
+        net.sim.run_until_settled()
+        # no router ever hears anything from the collector
+        for router in (a, b):
+            for session in router.sessions.values():
+                if session.peer_name == "collector":
+                    assert len(router.adj_rib_in(session)) == 0
+
+    def test_collector_loc_rib_learns_routes(self, net):
+        (a, b), collector = build(net)
+        a.originate(PFX)
+        net.sim.run_until_settled()
+        assert collector.loc_rib.get(PFX) is not None

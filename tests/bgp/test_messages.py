@@ -1,0 +1,45 @@
+"""Unit tests for BGP message types."""
+
+from repro.bgp.attrs import AsPath, PathAttributes
+from repro.bgp.messages import (
+    BGPKeepalive,
+    BGPNotification,
+    BGPOpen,
+    BGPUpdate,
+)
+from repro.net.addr import Prefix
+
+PFX = Prefix.parse("10.0.0.0/24")
+
+
+class TestUpdate:
+    def test_empty_flag(self):
+        assert BGPUpdate(sender_asn=1).empty
+        assert not BGPUpdate(sender_asn=1, withdrawn=(PFX,)).empty
+
+    def test_update_ids_unique_and_increasing(self):
+        a = BGPUpdate(sender_asn=1)
+        b = BGPUpdate(sender_asn=1)
+        assert b.update_id > a.update_id
+
+    def test_describe_mentions_content(self):
+        update = BGPUpdate(
+            sender_asn=7,
+            announced=((PFX, PathAttributes(as_path=AsPath.of(7))),),
+            withdrawn=(Prefix.parse("10.1.0.0/24"),),
+        )
+        text = update.describe()
+        assert "AS7" in text
+        assert "10.0.0.0/24" in text and "10.1.0.0/24" in text
+
+
+class TestOthers:
+    def test_open_carries_identity(self):
+        msg = BGPOpen(sender_asn=9, router_id="as9", hold_time=90.0)
+        assert msg.sender_asn == 9 and msg.router_id == "as9"
+
+    def test_keepalive_describe(self):
+        assert "AS3" in BGPKeepalive(sender_asn=3).describe()
+
+    def test_notification_default_code(self):
+        assert BGPNotification(sender_asn=1).code == "cease"

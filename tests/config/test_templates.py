@@ -1,0 +1,84 @@
+"""Unit tests for Quagga/ExaBGP config rendering."""
+
+from repro.bgp.policy import Relationship, gao_rexford_policy
+from repro.bgp.session import BGPTimers
+from repro.config.templates import (
+    render_bgpd_conf,
+    render_exabgp_conf,
+    render_route_map,
+)
+from repro.controller.idr import ControllerConfig
+from repro.framework.experiment import Experiment, ExperimentConfig
+from repro.net.addr import Prefix
+from repro.topology.builders import clique
+from tests.conftest import make_bgp_mesh
+
+
+def hybrid_experiment():
+    config = ExperimentConfig(
+        seed=1,
+        timers=BGPTimers(mrai=30.0),
+        controller=ControllerConfig(recompute_delay=0.2),
+    )
+    return Experiment(clique(4), sdn_members={3, 4}, config=config).start()
+
+
+class TestBgpdConf:
+    def test_contains_router_stanza(self, net):
+        (a, b) = make_bgp_mesh(net, 2)
+        conf = render_bgpd_conf(a)
+        assert "router bgp 1" in conf
+        assert "hostname as1" in conf
+
+    def test_lists_networks(self, net):
+        (a, b) = make_bgp_mesh(net, 2)
+        a.originate(Prefix.parse("192.168.0.0/24"))
+        conf = render_bgpd_conf(a)
+        assert " network 192.168.0.0/24" in conf
+
+    def test_lists_neighbors_with_remote_as(self, net):
+        (a, b) = make_bgp_mesh(net, 2)
+        conf = render_bgpd_conf(a)
+        assert "remote-as 2" in conf
+
+    def test_mrai_rendered(self, net):
+        (a, b) = make_bgp_mesh(net, 2)
+        conf = render_bgpd_conf(a)
+        assert "advertisement-interval 1" in conf
+
+    def test_route_maps_attached(self, net):
+        (a, b) = make_bgp_mesh(net, 2)
+        conf = render_bgpd_conf(a)
+        assert "route-map as2-in in" in conf
+        assert "route-map as2-out out" in conf
+
+
+class TestRouteMapRendering:
+    def test_gao_rexford_renders_permit_and_deny(self):
+        policy = gao_rexford_policy(Relationship.PEER)
+        lines = render_route_map("peerX", policy)
+        text = "\n".join(lines)
+        assert "route-map peerX-in permit 10" in text
+        assert "route-map peerX-out deny" in text
+
+
+class TestExabgpConf:
+    def test_exabgp_lists_all_peerings(self):
+        exp = hybrid_experiment()
+        conf = render_exabgp_conf(exp.speaker)
+        assert conf.count("neighbor ") == len(exp.speaker.peerings())
+
+    def test_exabgp_uses_member_local_as(self):
+        exp = hybrid_experiment()
+        conf = render_exabgp_conf(exp.speaker)
+        assert "local-as 3;" in conf
+        assert "local-as 4;" in conf
+
+    def test_full_experiment_renders_for_every_router(self):
+        exp = hybrid_experiment()
+        from repro.bgp.router import BGPRouter
+
+        for node in exp.as_nodes():
+            if isinstance(node, BGPRouter):
+                conf = render_bgpd_conf(node)
+                assert f"router bgp {node.asn}" in conf

@@ -1,0 +1,55 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.bgp.router import BGPRouter
+from repro.bgp.session import BGPTimers
+from repro.eventsim import Simulator, TraceLog
+from repro.net.network import Network
+
+
+@pytest.fixture
+def sim():
+    return Simulator(seed=42)
+
+
+@pytest.fixture
+def trace(sim):
+    return TraceLog(sim)
+
+
+@pytest.fixture
+def net():
+    return Network(seed=42)
+
+
+def make_bgp_mesh(net, n, *, timers=None, start=True):
+    """Fully meshed legacy BGP routers as1..asN on ``net``."""
+    timers = timers or BGPTimers(mrai=1.0)
+    routers = []
+    for i in range(1, n + 1):
+        router = BGPRouter(net.sim, net.trace, f"as{i}", asn=i, timers=timers)
+        net.add_node(router)
+        routers.append(router)
+    for i in range(n):
+        for j in range(i + 1, n):
+            link = net.add_link(routers[i], routers[j], latency=0.01)
+            routers[i].add_peer(link)
+            routers[j].add_peer(link)
+    if start:
+        for router in routers:
+            router.start()
+        net.sim.run_until_settled()
+    return routers
+
+
+@pytest.fixture
+def bgp_pair(net):
+    """Two established BGP peers."""
+    return make_bgp_mesh(net, 2)
+
+
+@pytest.fixture
+def bgp_triangle(net):
+    """Three establish-and-settled BGP peers in a triangle."""
+    return make_bgp_mesh(net, 3)

@@ -1,0 +1,98 @@
+"""Tests for the controller's audit/repair consistency tools."""
+
+import pytest
+
+from repro.bgp.session import BGPTimers
+from repro.controller.idr import ControllerConfig
+from repro.framework.experiment import Experiment, ExperimentConfig
+from repro.sdn.flowtable import FlowAction, FlowRule
+from repro.topology.builders import clique
+
+
+def hybrid(seed=1):
+    config = ExperimentConfig(
+        seed=seed,
+        timers=BGPTimers(mrai=1.0),
+        controller=ControllerConfig(recompute_delay=0.2),
+    )
+    return Experiment(clique(5), sdn_members={4, 5}, config=config).start()
+
+
+class TestAudit:
+    def test_clean_after_convergence(self):
+        exp = hybrid()
+        exp.announce(1)
+        exp.wait_converged()
+        assert exp.controller.audit() == []
+
+    def test_detects_lost_flow_mods(self):
+        exp = hybrid()
+        ctl = exp.net.link_between("controller", "as4")
+        ctl.fail()
+        exp.announce(1)
+        exp.wait_converged()
+        ctl.restore()
+        problems = exp.controller.audit()
+        assert problems
+        assert any("missing rule" in p and "as4" in p for p in problems)
+
+    def test_detects_orphaned_rules(self):
+        exp = hybrid()
+        switch = exp.node(4)
+        stray = exp.new_event_prefix()
+        switch.flow_table.install(
+            FlowRule(match=stray, action=FlowAction.drop(),
+                     priority=24, cookie=f"idr:{stray}")
+        )
+        problems = exp.controller.audit()
+        assert any("orphaned" in p for p in problems)
+
+    def test_detects_wrong_action(self):
+        exp = hybrid()
+        prefix = exp.announce(1)
+        exp.wait_converged()
+        switch = exp.node(4)
+        # clobber the installed rule with a drop
+        switch.flow_table.install(
+            FlowRule(match=prefix, action=FlowAction.drop(),
+                     priority=prefix.length, cookie=f"idr:{prefix}")
+        )
+        problems = exp.controller.audit()
+        assert any(str(prefix) in p for p in problems)
+
+
+class TestRepair:
+    def test_repair_restores_lost_rules(self):
+        exp = hybrid()
+        ctl = exp.net.link_between("controller", "as4")
+        ctl.fail()
+        prefix = exp.announce(1)
+        exp.wait_converged()
+        ctl.restore()
+        assert exp.controller.audit()
+        sent = exp.controller.repair()
+        assert sent > 0
+        exp.wait_converged()
+        assert exp.controller.audit() == []
+        assert exp.node(4).lookup_route(prefix.host(0)) is not None
+
+    def test_repair_removes_orphans(self):
+        exp = hybrid()
+        switch = exp.node(4)
+        stray = exp.new_event_prefix()
+        switch.flow_table.install(
+            FlowRule(match=stray, action=FlowAction.drop(),
+                     priority=24, cookie=f"idr:{stray}")
+        )
+        exp.controller.repair()
+        exp.wait_converged()
+        assert exp.controller.audit() == []
+
+    def test_repair_on_clean_cluster_is_idempotent(self):
+        exp = hybrid()
+        exp.announce(1)
+        exp.wait_converged()
+        exp.controller.repair()
+        exp.wait_converged()
+        assert exp.controller.audit() == []
+        assert exp.all_reachable()

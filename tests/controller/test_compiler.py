@@ -1,0 +1,108 @@
+"""Unit tests for decision → flow-rule compilation."""
+
+from repro.bgp.attrs import AsPath
+from repro.controller.compiler import CompiledRule, compile_decisions
+from repro.controller.graphs import ExternalRoute, Peering, SwitchGraph
+from repro.controller.routing import MemberDecision
+from repro.net.addr import Prefix
+
+PFX = Prefix.parse("10.0.0.0/24")
+
+
+def make_graph():
+    graph = SwitchGraph()
+    graph.add_member("a", 101)
+    graph.add_member("b", 102)
+    graph.add_intra_link("a", "b", "a--b")
+    return graph
+
+
+def egress_decision(member="a", link="a--ext"):
+    route = ExternalRoute(
+        peering=Peering(
+            member=member, member_asn=101, external="ext",
+            phys_link_name=link,
+        ),
+        prefix=PFX,
+        as_path=AsPath.of(7),
+    )
+    return MemberDecision(member, "egress", route=route, distance=2.0)
+
+
+class TestCompilation:
+    def test_egress_rule_outputs_on_peering_link(self):
+        rules, plan = compile_decisions(
+            PFX, {"a": egress_decision()}, make_graph()
+        )
+        assert rules["a"].action_type == "output"
+        assert rules["a"].out_link_name == "a--ext"
+        assert len(plan.installs) == 1
+
+    def test_forward_rule_uses_intra_link(self):
+        decisions = {
+            "a": MemberDecision("a", "forward", next_member="b", distance=3.0),
+            "b": egress_decision("b", "b--ext"),
+        }
+        rules, plan = compile_decisions(PFX, decisions, make_graph())
+        assert rules["a"].out_link_name == "a--b"
+
+    def test_local_rule(self):
+        decisions = {"a": MemberDecision("a", "local", distance=0.0)}
+        rules, _ = compile_decisions(PFX, decisions, make_graph())
+        assert rules["a"].action_type == "local"
+
+    def test_unreachable_has_no_rule(self):
+        decisions = {"a": MemberDecision("a", "unreachable")}
+        rules, plan = compile_decisions(PFX, decisions, make_graph())
+        assert rules == {}
+        assert plan.empty
+
+    def test_priority_is_prefix_length(self):
+        rules, plan = compile_decisions(
+            PFX, {"a": egress_decision()}, make_graph()
+        )
+        assert plan.installs[0][1].priority == 24
+
+
+class TestDiffing:
+    def test_unchanged_rule_sends_nothing(self):
+        graph = make_graph()
+        decisions = {"a": egress_decision()}
+        rules, _ = compile_decisions(PFX, decisions, graph)
+        _, plan = compile_decisions(PFX, decisions, graph, previous=rules)
+        assert plan.empty
+
+    def test_changed_rule_reinstalls(self):
+        graph = make_graph()
+        first, _ = compile_decisions(PFX, {"a": egress_decision()}, graph)
+        changed = {
+            "a": MemberDecision("a", "forward", next_member="b", distance=3.0),
+            "b": egress_decision("b", "b--ext"),
+        }
+        _, plan = compile_decisions(PFX, changed, graph, previous=first)
+        members = {m for m, _ in plan.installs}
+        assert members == {"a", "b"}
+
+    def test_lost_member_gets_removal(self):
+        graph = make_graph()
+        first, _ = compile_decisions(PFX, {"a": egress_decision()}, graph)
+        _, plan = compile_decisions(
+            PFX, {"a": MemberDecision("a", "unreachable")}, graph,
+            previous=first,
+        )
+        assert len(plan.removals) == 1
+        member, removal = plan.removals[0]
+        assert member == "a" and removal.match == PFX
+
+    def test_touched_members(self):
+        graph = make_graph()
+        decisions = {
+            "a": MemberDecision("a", "forward", next_member="b", distance=3.0),
+            "b": egress_decision("b", "b--ext"),
+        }
+        _, plan = compile_decisions(PFX, decisions, graph)
+        assert plan.touched_members() == ["a", "b"]
+
+    def test_flow_mod_cookie_tags_prefix(self):
+        _, plan = compile_decisions(PFX, {"a": egress_decision()}, make_graph())
+        assert plan.installs[0][1].cookie == f"idr:{PFX}"

@@ -1,0 +1,160 @@
+"""Unit tests for the switch graph and the AS topology graph transform."""
+
+import pytest
+
+from repro.bgp.attrs import AsPath, Origin
+from repro.bgp.policy import Relationship
+from repro.controller.graphs import (
+    DEST,
+    ExternalRoute,
+    Peering,
+    SwitchGraph,
+    build_as_topology,
+)
+from repro.net.addr import Prefix
+
+PFX = Prefix.parse("10.0.0.0/24")
+
+
+def make_switch_graph(members=("m1", "m2", "m3"), links=(("m1", "m2"), ("m2", "m3"))):
+    graph = SwitchGraph()
+    for i, name in enumerate(members, start=101):
+        graph.add_member(name, i)
+    for a, b in links:
+        graph.add_intra_link(a, b, f"{a}--{b}")
+    return graph
+
+
+def peering(member, external="ext", member_asn=None, rel=Relationship.FLAT):
+    asn = member_asn if member_asn is not None else 100 + int(member[1:])
+    return Peering(
+        member=member, member_asn=asn, external=external,
+        phys_link_name=f"{member}--{external}", relationship=rel,
+    )
+
+
+def ext_route(member, path, external="ext", rel=Relationship.FLAT):
+    return ExternalRoute(
+        peering=peering(member, external, rel=rel),
+        prefix=PFX,
+        as_path=AsPath.from_iterable(path),
+    )
+
+
+class TestSwitchGraph:
+    def test_members_sorted(self):
+        graph = make_switch_graph()
+        assert graph.members() == ["m1", "m2", "m3"]
+
+    def test_single_sub_cluster_when_connected(self):
+        graph = make_switch_graph()
+        assert graph.sub_clusters() == [frozenset({"m1", "m2", "m3"})]
+
+    def test_link_failure_splits_sub_clusters(self):
+        graph = make_switch_graph()
+        assert graph.set_link_state("m2", "m3", False) is True
+        assert graph.sub_clusters() == [
+            frozenset({"m1", "m2"}), frozenset({"m3"}),
+        ]
+
+    def test_set_state_unknown_link(self):
+        graph = make_switch_graph()
+        assert graph.set_link_state("m1", "m3", False) is False
+
+    def test_restore_merges(self):
+        graph = make_switch_graph()
+        graph.set_link_state("m2", "m3", False)
+        graph.set_link_state("m2", "m3", True)
+        assert len(graph.sub_clusters()) == 1
+
+    def test_intra_link_name_respects_state(self):
+        graph = make_switch_graph()
+        assert graph.intra_link_name("m1", "m2") == "m1--m2"
+        graph.set_link_state("m1", "m2", False)
+        assert graph.intra_link_name("m1", "m2") is None
+
+    def test_up_neighbors(self):
+        graph = make_switch_graph()
+        assert graph.up_neighbors("m2") == ["m1", "m3"]
+        graph.set_link_state("m1", "m2", False)
+        assert graph.up_neighbors("m2") == ["m3"]
+
+    def test_intra_link_needs_members(self):
+        graph = make_switch_graph()
+        with pytest.raises(KeyError):
+            graph.add_intra_link("m1", "ghost", "x")
+
+    def test_sub_cluster_of(self):
+        graph = make_switch_graph()
+        graph.set_link_state("m2", "m3", False)
+        assert graph.sub_cluster_of("m3") == frozenset({"m3"})
+        with pytest.raises(KeyError):
+            graph.sub_cluster_of("ghost")
+
+
+class TestBuildAsTopology:
+    def test_intra_edges_bidirectional(self):
+        topo = build_as_topology(make_switch_graph(), PFX, [])
+        assert topo.graph.has_edge("m1", "m2")
+        assert topo.graph.has_edge("m2", "m1")
+
+    def test_egress_edge_weight_is_base_plus_path_len(self):
+        topo = build_as_topology(
+            make_switch_graph(), PFX, [ext_route("m1", (7, 8))],
+        )
+        assert topo.graph.edges["m1", DEST]["weight"] == 3.0
+
+    def test_best_route_per_member_selected(self):
+        shorter = ext_route("m1", (7,), external="extA")
+        longer = ext_route("m1", (9, 8, 7), external="extB")
+        topo = build_as_topology(make_switch_graph(), PFX, [longer, shorter])
+        assert topo.egress_choice["m1"] == ("egress", shorter)
+
+    def test_loop_avoidance_excludes_same_subcluster_paths(self):
+        """Path containing a fellow sub-cluster member's ASN is unusable."""
+        poisoned = ext_route("m1", (7, 102, 6))  # 102 = m2's ASN
+        topo = build_as_topology(make_switch_graph(), PFX, [poisoned])
+        assert not topo.graph.has_edge("m1", DEST)
+
+    def test_other_subcluster_member_in_path_is_allowed(self):
+        """Disjoint sub-clusters may reach each other via the legacy world."""
+        graph = make_switch_graph()
+        graph.set_link_state("m2", "m3", False)  # m3 now its own sub-cluster
+        through_m3 = ext_route("m1", (7, 103, 6))  # 103 = m3's ASN
+        topo = build_as_topology(graph, PFX, [through_m3])
+        assert topo.graph.has_edge("m1", DEST)
+
+    def test_local_origination_wins_over_egress(self):
+        topo = build_as_topology(
+            make_switch_graph(), PFX, [ext_route("m1", (7,))],
+            originating_members=["m1"],
+        )
+        assert topo.egress_choice["m1"] == ("local", None)
+        assert topo.graph.edges["m1", DEST]["weight"] == 0.0
+
+    def test_unknown_originating_member_raises(self):
+        with pytest.raises(KeyError):
+            build_as_topology(
+                make_switch_graph(), PFX, [], originating_members=["ghost"]
+            )
+
+    def test_routes_for_other_prefix_ignored(self):
+        other = ExternalRoute(
+            peering=peering("m1"),
+            prefix=Prefix.parse("10.99.0.0/24"),
+            as_path=AsPath.of(7),
+        )
+        topo = build_as_topology(make_switch_graph(), PFX, [other])
+        assert not topo.graph.has_edge("m1", DEST)
+
+    def test_customer_route_preferred_over_shorter_peer_route(self):
+        customer = ext_route("m1", (7, 8), external="cust", rel=Relationship.CUSTOMER)
+        peer = ext_route("m1", (9,), external="peer", rel=Relationship.PEER)
+        topo = build_as_topology(make_switch_graph(), PFX, [customer, peer])
+        assert topo.egress_choice["m1"][1].peering.external == "cust"
+
+    def test_down_intra_link_missing_from_graph(self):
+        graph = make_switch_graph()
+        graph.set_link_state("m1", "m2", False)
+        topo = build_as_topology(graph, PFX, [])
+        assert not topo.graph.has_edge("m1", "m2")

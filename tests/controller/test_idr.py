@@ -1,0 +1,172 @@
+"""Integration-style tests for the IDR controller + cluster speaker,
+driven through the framework's Experiment API (the natural harness)."""
+
+import pytest
+
+from repro.bgp.session import BGPTimers
+from repro.controller.idr import ControllerConfig
+from repro.framework.experiment import Experiment, ExperimentConfig
+from repro.topology.builders import clique, line
+
+
+def hybrid(net_seed=1, n=6, sdn=(4, 5, 6), recompute=0.2, mrai=1.0,
+           topology=None):
+    config = ExperimentConfig(
+        seed=net_seed,
+        timers=BGPTimers(mrai=mrai),
+        controller=ControllerConfig(recompute_delay=recompute),
+    )
+    exp = Experiment(
+        topology if topology is not None else clique(n),
+        sdn_members=set(sdn), config=config,
+    ).start()
+    return exp
+
+
+class TestClusterBootstrap:
+    def test_speaker_sessions_establish(self):
+        exp = hybrid()
+        assert all(s.established for s in exp.speaker.sessions.values())
+
+    def test_peerings_exist_per_member_external_pair(self):
+        exp = hybrid()
+        # clique(6) with members {4,5,6}: each member peers with 3 legacy
+        assert len(exp.speaker.peerings()) == 9
+
+    def test_speaker_speaks_with_member_identity(self):
+        exp = hybrid()
+        for link_id, session in exp.speaker.sessions.items():
+            peering = exp.speaker.peering_of[link_id]
+            assert session.local_asn == peering.member_asn
+
+    def test_legacy_sees_member_asn_not_speaker(self):
+        exp = hybrid()
+        legacy = exp.node(1)
+        member_names = {"as4", "as5", "as6"}
+        for session in legacy.sessions.values():
+            if session.link.other(legacy).name in member_names:
+                assert session.peer_asn in (4, 5, 6)
+
+    def test_flow_rules_installed_for_all_prefixes(self):
+        exp = hybrid()
+        for asn in (4, 5, 6):
+            switch = exp.node(asn)
+            # a rule (or local ownership) for every other AS's prefix
+            for other in range(1, 7):
+                if other == asn:
+                    continue
+                address = exp.as_prefix(other).host(0)
+                assert switch.lookup_route(address) is not None, (asn, other)
+
+    def test_full_reachability(self):
+        exp = hybrid()
+        assert exp.all_reachable()
+
+
+class TestRouteSelection:
+    def test_cluster_prefers_short_external_paths(self):
+        exp = hybrid()
+        controller = exp.controller
+        prefix = exp.as_prefix(1)
+        decision = controller.decisions[prefix]["as4"]
+        # as4 peers directly with as1 -> direct egress, distance 2
+        assert decision.kind == "egress"
+        assert decision.route.peering.external == "as1"
+
+    def test_intra_cluster_transit_when_no_direct_peering(self):
+        # line: 1 - 2 - 3 - 4 with members {3, 4}: as4 has no external
+        # peering at all for as1's prefix except via as3.
+        exp = hybrid(n=4, sdn=(3, 4), topology=line(4))
+        prefix = exp.as_prefix(1)
+        decision = exp.controller.decisions[prefix]["as4"]
+        assert decision.kind == "forward"
+        assert decision.next_member == "as3"
+
+    def test_advertised_path_contains_member_chain(self):
+        exp = hybrid(n=4, sdn=(3, 4), topology=line(4))
+        # as4 originates; the cluster advertises to as2 via as3's peering
+        # with path [3, 4] (member chain), preserving AS identity.
+        prefix = exp.as_prefix(4)
+        legacy = exp.node(2)
+        route = legacy.loc_rib.get(prefix)
+        assert route is not None
+        assert list(route.attrs.as_path) == [3, 4]
+
+
+class TestEventHandling:
+    def test_external_withdrawal_triggers_recompute(self):
+        exp = hybrid()
+        before = exp.controller.recomputations
+        prefix = exp.announce(1)
+        exp.wait_converged()
+        exp.withdraw(1, prefix)
+        exp.wait_converged()
+        assert exp.controller.recomputations > before
+
+    def test_withdrawn_prefix_removed_from_flow_tables(self):
+        exp = hybrid()
+        prefix = exp.announce(1)
+        exp.wait_converged()
+        exp.withdraw(1, prefix)
+        exp.wait_converged()
+        switch = exp.node(4)
+        assert switch.lookup_route(prefix.host(0)) is None
+
+    def test_member_origination_advertised_everywhere(self):
+        exp = hybrid()
+        prefix = exp.announce(5)  # member AS5 originates
+        exp.wait_converged()
+        for asn in (1, 2, 3):
+            assert exp.node(asn).loc_rib.get(prefix) is not None
+
+    def test_member_withdraw_cleans_legacy_ribs(self):
+        exp = hybrid()
+        prefix = exp.announce(5)
+        exp.wait_converged()
+        exp.withdraw(5, prefix)
+        exp.wait_converged()
+        for asn in (1, 2, 3):
+            assert exp.node(asn).loc_rib.get(prefix) is None
+
+    def test_withdraw_unoriginated_raises(self):
+        exp = hybrid()
+        with pytest.raises(KeyError):
+            exp.controller.withdraw("as5", exp.as_prefix(1))
+
+    def test_peering_link_failure_recovers_via_other_egress(self):
+        exp = hybrid()
+        prefix = exp.announce(1)
+        exp.wait_converged()
+        exp.fail_link(1, 4)  # as4 loses its direct egress to as1
+        exp.wait_converged()
+        walk = exp.reachable(4, 1)
+        assert walk.reached, walk.reason
+
+    def test_debounce_coalesces_event_bursts(self):
+        exp = hybrid(recompute=1.0)
+        before = exp.controller.recomputations
+        # three origination events in quick succession -> one recompute
+        exp.announce(1)
+        exp.announce(2)
+        exp.announce(3)
+        exp.wait_converged()
+        assert exp.controller.recomputations - before <= 2
+
+
+class TestSubClusters:
+    def test_intra_link_failure_splits_and_heals(self):
+        # line 1-2-3-4 with members {2, 3}: failing 2-3 splits the cluster
+        exp = hybrid(n=4, sdn=(2, 3), topology=line(4))
+        assert len(exp.controller.switch_graph.sub_clusters()) == 1
+        exp.fail_link(2, 3)
+        exp.wait_converged()
+        assert len(exp.controller.switch_graph.sub_clusters()) == 2
+        exp.restore_link(2, 3)
+        exp.wait_converged()
+        assert len(exp.controller.switch_graph.sub_clusters()) == 1
+
+    def test_known_prefixes_cover_originations_and_external(self):
+        exp = hybrid()
+        known = set(exp.controller.known_prefixes())
+        for asn in range(1, 7):
+            assert exp.as_prefix(asn) in known

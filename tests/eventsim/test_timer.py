@@ -1,0 +1,168 @@
+"""Unit tests for Timer, PeriodicTimer, DebounceTimer."""
+
+import pytest
+
+from repro.eventsim import DebounceTimer, PeriodicTimer, Timer
+
+
+class TestTimer:
+    def test_fires_once_after_delay(self, sim):
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        timer.start(2.0)
+        sim.run()
+        assert fired == [2.0]
+
+    def test_restart_replaces_pending_expiry(self, sim):
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        timer.start(2.0)
+        sim.schedule(1.0, lambda: timer.start(5.0))
+        sim.run()
+        assert fired == [6.0]
+
+    def test_stop_prevents_firing(self, sim):
+        fired = []
+        timer = Timer(sim, lambda: fired.append(1))
+        timer.start(2.0)
+        timer.stop()
+        sim.run()
+        assert fired == []
+
+    def test_stop_without_start_is_safe(self, sim):
+        Timer(sim, lambda: None).stop()
+
+    def test_running_property(self, sim):
+        timer = Timer(sim, lambda: None)
+        assert not timer.running
+        timer.start(1.0)
+        assert timer.running
+        sim.run()
+        assert not timer.running
+
+    def test_expires_at(self, sim):
+        timer = Timer(sim, lambda: None)
+        timer.start(3.0)
+        assert timer.expires_at == 3.0
+
+    def test_can_rearm_from_callback(self, sim):
+        fired = []
+
+        def on_fire():
+            fired.append(sim.now)
+            if len(fired) < 3:
+                timer.start(1.0)
+
+        timer = Timer(sim, on_fire)
+        timer.start(1.0)
+        sim.run()
+        assert fired == [1.0, 2.0, 3.0]
+
+
+class TestPeriodicTimer:
+    def test_fires_every_interval(self, sim):
+        fired = []
+        timer = PeriodicTimer(sim, lambda: fired.append(sim.now), 2.0)
+        timer.start()
+        sim.run(until=7.0)
+        assert fired == [2.0, 4.0, 6.0]
+
+    def test_stop_halts_ticks(self, sim):
+        fired = []
+        timer = PeriodicTimer(sim, lambda: fired.append(sim.now), 1.0)
+        timer.start()
+        sim.schedule(2.5, timer.stop)
+        sim.run(until=10.0)
+        assert fired == [1.0, 2.0]
+
+    def test_jitter_draws_within_bounds(self, sim):
+        fired = []
+        timer = PeriodicTimer(
+            sim, lambda: fired.append(sim.now), 10.0,
+            jitter=0.25, jitter_rng=sim.rng("test"),
+        )
+        timer.start()
+        sim.run(until=100.0)
+        gaps = [b - a for a, b in zip([0.0] + fired, fired)]
+        assert all(7.5 <= g <= 10.0 for g in gaps)
+
+    def test_jitter_requires_rng(self, sim):
+        with pytest.raises(ValueError):
+            PeriodicTimer(sim, lambda: None, 1.0, jitter=0.5)
+
+    def test_invalid_interval_rejected(self, sim):
+        with pytest.raises(ValueError):
+            PeriodicTimer(sim, lambda: None, 0.0)
+
+    def test_background_by_default(self, sim):
+        timer = PeriodicTimer(sim, lambda: None, 1.0)
+        timer.start()
+        # A background-only queue counts as settled immediately.
+        assert sim.run_until_settled() == 0.0
+
+
+class TestDebounceTimer:
+    def test_single_trigger_fires_after_delay(self, sim):
+        fired = []
+        debounce = DebounceTimer(sim, lambda: fired.append(sim.now), 2.0)
+        debounce.trigger()
+        sim.run()
+        assert fired == [2.0]
+
+    def test_burst_coalesces_to_one_fire(self, sim):
+        fired = []
+        debounce = DebounceTimer(sim, lambda: fired.append(sim.now), 2.0)
+        debounce.trigger()
+        sim.schedule(0.5, debounce.trigger)
+        sim.schedule(1.0, debounce.trigger)
+        sim.run()
+        assert fired == [2.0]
+        assert debounce.triggers_coalesced == 2
+
+    def test_rate_limit_mode_fires_from_first_trigger(self, sim):
+        """extend=False: delay counts from the burst's FIRST trigger."""
+        fired = []
+        debounce = DebounceTimer(sim, lambda: fired.append(sim.now), 2.0)
+        debounce.trigger()
+        sim.schedule(1.9, debounce.trigger)
+        sim.run()
+        assert fired == [2.0]
+
+    def test_extend_mode_fires_from_last_trigger(self, sim):
+        fired = []
+        debounce = DebounceTimer(
+            sim, lambda: fired.append(sim.now), 2.0, extend=True
+        )
+        debounce.trigger()
+        sim.schedule(1.0, debounce.trigger)
+        sim.run()
+        assert fired == [3.0]
+
+    def test_retrigger_after_fire_starts_new_window(self, sim):
+        fired = []
+        debounce = DebounceTimer(sim, lambda: fired.append(sim.now), 1.0)
+        debounce.trigger()
+        sim.schedule(5.0, debounce.trigger)
+        sim.run()
+        assert fired == [1.0, 6.0]
+
+    def test_cancel_drops_pending(self, sim):
+        fired = []
+        debounce = DebounceTimer(sim, lambda: fired.append(1), 1.0)
+        debounce.trigger()
+        debounce.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_zero_delay_fires_as_event(self, sim):
+        """delay=0 still defers to the event loop (not synchronous)."""
+        fired = []
+        debounce = DebounceTimer(sim, lambda: fired.append(1), 0.0)
+        debounce.trigger()
+        assert fired == []
+        sim.run()
+        assert fired == [1]
+
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(ValueError):
+            DebounceTimer(sim, lambda: None, -1.0)

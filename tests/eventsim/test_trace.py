@@ -1,0 +1,103 @@
+"""Unit tests for the structured trace log."""
+
+from repro.eventsim import ROUTE_AFFECTING, TraceLog
+
+
+class TestRecording:
+    def test_records_carry_current_time(self, sim, trace):
+        sim.schedule(3.0, lambda: trace.record("x", "node1"))
+        sim.run()
+        assert trace.records[0].time == 3.0
+
+    def test_record_data_payload(self, trace):
+        trace.record("bgp.update.tx", "as1", prefix="10.0.0.0/24")
+        assert trace.records[0].data["prefix"] == "10.0.0.0/24"
+
+    def test_counts_by_category(self, trace):
+        trace.record("a.b", "n")
+        trace.record("a.b", "n")
+        trace.record("a.c", "n")
+        assert trace.counts == {"a.b": 2, "a.c": 1}
+
+    def test_count_matches_category_prefix(self, trace):
+        trace.record("bgp.update.tx", "n")
+        trace.record("bgp.update.rx", "n")
+        trace.record("bgp.decision", "n")
+        assert trace.count("bgp.update") == 2
+        assert trace.count("bgp") == 3
+
+    def test_disabled_log_still_counts(self, trace):
+        trace.set_enabled(False)
+        trace.record("x", "n")
+        assert len(trace) == 0
+        assert trace.counts["x"] == 1
+
+    def test_clear(self, trace):
+        trace.record("x", "n")
+        trace.clear()
+        assert len(trace) == 0
+        assert trace.counts == {}
+
+
+class TestTaps:
+    def test_tap_sees_records_live(self, trace):
+        seen = []
+        trace.add_tap(seen.append)
+        trace.record("x", "n")
+        assert len(seen) == 1
+
+    def test_tap_fires_even_when_disabled(self, trace):
+        seen = []
+        trace.add_tap(seen.append)
+        trace.set_enabled(False)
+        trace.record("x", "n")
+        assert len(seen) == 1
+
+    def test_remove_tap(self, trace):
+        seen = []
+        trace.add_tap(seen.append)
+        trace.remove_tap(seen.append)
+        trace.record("x", "n")
+        assert seen == []
+
+
+class TestQueries:
+    def _populate(self, sim, trace):
+        for t, cat, node in [
+            (1.0, "bgp.update.tx", "as1"),
+            (2.0, "bgp.update.rx", "as2"),
+            (3.0, "fib.change", "as1"),
+            (4.0, "ping.reply", "h1"),
+        ]:
+            sim.schedule(t, lambda c=cat, n=node: trace.record(c, n))
+        sim.run()
+
+    def test_filter_by_category_prefix(self, sim, trace):
+        self._populate(sim, trace)
+        assert len(trace.filter(category="bgp.update")) == 2
+        assert len(trace.filter(category="bgp")) == 2
+
+    def test_filter_by_node(self, sim, trace):
+        self._populate(sim, trace)
+        assert len(trace.filter(node="as1")) == 2
+
+    def test_filter_by_time_window(self, sim, trace):
+        self._populate(sim, trace)
+        assert len(trace.filter(since=2.0, until=3.0)) == 2
+
+    def test_exact_category_does_not_match_prefix_sibling(self, sim, trace):
+        trace.record("bgp.update", "n")
+        trace.record("bgp.updates", "n")  # not nested under bgp.update
+        assert len(trace.filter(category="bgp.update")) == 1
+
+    def test_last_time_over_route_affecting(self, sim, trace):
+        self._populate(sim, trace)
+        assert trace.last_time(ROUTE_AFFECTING) == 3.0
+
+    def test_last_time_respects_since(self, sim, trace):
+        self._populate(sim, trace)
+        assert trace.last_time(ROUTE_AFFECTING, since=3.5) is None
+
+    def test_route_affecting_includes_controller_categories(self):
+        assert "controller.recompute" in ROUTE_AFFECTING
+        assert "controller.flow_install" in ROUTE_AFFECTING

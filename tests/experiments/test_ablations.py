@@ -1,0 +1,46 @@
+"""Fast-scale tests for the ablation sweeps."""
+
+import pytest
+
+from repro.experiments.ablations import mrai_sweep, recompute_delay_sweep
+
+
+@pytest.fixture(scope="module")
+def mrai_points():
+    return mrai_sweep(n=6, mrai_values=(0.0, 5.0), sdn_count=3, runs=2)
+
+
+class TestMraiSweep:
+    def test_point_per_mrai_value(self, mrai_points):
+        assert [p.mrai for p in mrai_points] == [0.0, 5.0]
+
+    def test_pure_bgp_grows_with_mrai(self, mrai_points):
+        assert mrai_points[1].pure_bgp.median > mrai_points[0].pure_bgp.median
+
+    def test_reduction_nonnegative_at_high_mrai(self, mrai_points):
+        assert mrai_points[1].reduction > 0
+
+    def test_stats_carry_run_counts(self, mrai_points):
+        assert mrai_points[0].pure_bgp.n == 2
+        assert mrai_points[0].sdn_count == 3
+
+
+@pytest.fixture(scope="module")
+def recompute_points():
+    return recompute_delay_sweep(
+        n=6, delays=(0.0, 2.0), sdn_count=3, runs=2, mrai=5.0
+    )
+
+
+class TestRecomputeSweep:
+    def test_point_per_delay(self, recompute_points):
+        assert [p.delay for p in recompute_points] == [0.0, 2.0]
+
+    def test_longer_delay_fewer_recomputations(self, recompute_points):
+        assert (
+            recompute_points[1].recomputations
+            <= recompute_points[0].recomputations
+        )
+
+    def test_recomputations_positive(self, recompute_points):
+        assert all(p.recomputations > 0 for p in recompute_points)

@@ -1,0 +1,125 @@
+"""Unit tests for the scenario/sweep machinery."""
+
+import pytest
+
+from repro.experiments.common import (
+    AnnouncementScenario,
+    FailoverScenario,
+    WithdrawalScenario,
+    paper_config,
+    paper_timers,
+    run_fraction_sweep,
+    run_scenario_once,
+    sdn_set_for,
+)
+from repro.topology.builders import clique
+
+
+class TestPaperDefaults:
+    def test_paper_timers_quagga_like(self):
+        timers = paper_timers()
+        assert timers.mrai == 30.0
+        assert timers.withdrawal_rate_limited is True
+
+    def test_paper_config_wiring(self):
+        config = paper_config(seed=9, mrai=5.0, recompute_delay=0.1)
+        assert config.seed == 9
+        assert config.timers.mrai == 5.0
+        assert config.controller.recompute_delay == 0.1
+
+
+class TestSdnSetFor:
+    def test_highest_asns_first(self):
+        members = sdn_set_for(clique(8), 3, frozenset({1}))
+        assert members == frozenset({6, 7, 8})
+
+    def test_reserved_skipped(self):
+        members = sdn_set_for(clique(8), 3, frozenset({8, 7}))
+        assert members == frozenset({4, 5, 6})
+
+    def test_zero_members(self):
+        assert sdn_set_for(clique(8), 0, frozenset()) == frozenset()
+
+    def test_overflow_rejected(self):
+        with pytest.raises(ValueError):
+            sdn_set_for(clique(4), 4, frozenset({1}))
+
+
+class TestScenarios:
+    def test_withdrawal_reserves_origin(self):
+        assert WithdrawalScenario().reserved_legacy == frozenset({1})
+
+    def test_failover_topology_adds_dual_homed_origin(self):
+        scenario = FailoverScenario()
+        topo = scenario.topology(6)
+        assert len(topo) == 7
+        origin = scenario.origin
+        assert sorted(topo.neighbors(origin)) == [1, 2]
+        assert origin in scenario.reserved_legacy
+
+    def test_announcement_has_no_prepare_state(self):
+        scenario = AnnouncementScenario()
+        assert scenario.reserved_legacy == frozenset({1})
+
+
+class TestRunScenarioOnce:
+    def test_withdrawal_measures_positive_time(self):
+        scenario = WithdrawalScenario()
+        topo = scenario.topology(4)
+        m = run_scenario_once(
+            scenario, topo, frozenset(), paper_config(seed=1, mrai=1.0)
+        )
+        assert m.convergence_time > 0
+        assert m.updates_tx > 0
+
+    def test_deterministic_given_seed(self):
+        def run():
+            scenario = WithdrawalScenario()
+            topo = scenario.topology(4)
+            return run_scenario_once(
+                scenario, topo, frozenset({4}), paper_config(seed=3, mrai=1.0)
+            ).convergence_time
+
+        assert run() == run()
+
+    def test_different_seeds_differ(self):
+        def run(seed):
+            scenario = WithdrawalScenario()
+            topo = scenario.topology(5)
+            return run_scenario_once(
+                scenario, topo, frozenset(), paper_config(seed=seed, mrai=5.0)
+            ).convergence_time
+
+        assert run(1) != run(2)
+
+
+class TestSweepHarness:
+    def test_sweep_structure(self):
+        result = run_fraction_sweep(
+            WithdrawalScenario, n=4, sdn_counts=[0, 2], runs=2, mrai=1.0,
+        )
+        assert result.scenario == "withdrawal"
+        assert [p.sdn_count for p in result.points] == [0, 2]
+        assert all(len(p.runs) == 2 for p in result.points)
+        assert result.fractions() == [0.0, 0.5]
+
+    def test_sweep_stats_available(self):
+        result = run_fraction_sweep(
+            WithdrawalScenario, n=4, sdn_counts=[0], runs=3, mrai=1.0,
+        )
+        stats = result.points[0].stats
+        assert stats.n == 3
+        assert stats.median >= 0
+
+    def test_fit_over_medians(self):
+        result = run_fraction_sweep(
+            WithdrawalScenario, n=5, sdn_counts=[0, 2, 4], runs=2, mrai=2.0,
+        )
+        fit = result.fit()
+        assert fit.slope < 0  # more SDN -> faster convergence
+
+    def test_reduction_at_full(self):
+        result = run_fraction_sweep(
+            WithdrawalScenario, n=5, sdn_counts=[0, 4], runs=2, mrai=2.0,
+        )
+        assert result.reduction_at_full() > 0.5

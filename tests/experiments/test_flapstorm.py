@@ -1,0 +1,66 @@
+"""Tests for the flap-storm experiment (delayed-recompute discipline)."""
+
+import pytest
+
+from repro.experiments.flapstorm import flap_storm_sweep, run_flap_storm
+
+
+@pytest.fixture(scope="module")
+def storm_results():
+    return {
+        (extend, delay): run_flap_storm(
+            n=6, sdn_count=3, flaps=8, flap_interval=0.2,
+            recompute_delay=delay, extend_on_burst=extend, seed=3,
+        )
+        for extend in (False, True)
+        for delay in (0.1, 1.0)
+    }
+
+
+class TestStormCorrectness:
+    def test_final_state_correct_in_all_modes(self, storm_results):
+        assert all(r.final_state_correct for r in storm_results.values())
+
+    def test_odd_flap_count_ends_withdrawn(self):
+        result = run_flap_storm(
+            n=5, sdn_count=2, flaps=3, flap_interval=0.2,
+            recompute_delay=0.2, seed=1,
+        )
+        assert result.final_state_correct  # i.e. nobody can reach it
+
+    def test_settle_time_is_finite(self, storm_results):
+        assert all(
+            0 <= r.settle_after_storm < 120 for r in storm_results.values()
+        )
+
+
+class TestCoalescing:
+    def test_longer_delay_fewer_recomputations(self, storm_results):
+        fast = storm_results[(False, 0.1)]
+        slow = storm_results[(False, 1.0)]
+        assert slow.recomputations <= fast.recomputations
+
+    def test_longer_delay_fewer_flow_mods(self, storm_results):
+        fast = storm_results[(False, 0.1)]
+        slow = storm_results[(False, 1.0)]
+        assert slow.flow_mods <= fast.flow_mods
+
+    def test_extend_mode_coalesces_at_least_as_well(self, storm_results):
+        for delay in (0.1, 1.0):
+            rate_limit = storm_results[(False, delay)]
+            extend = storm_results[(True, delay)]
+            assert extend.recomputations <= rate_limit.recomputations
+
+    def test_coalescing_ratio_monotone(self, storm_results):
+        fast = storm_results[(False, 0.1)]
+        slow = storm_results[(False, 1.0)]
+        assert slow.coalescing_ratio >= fast.coalescing_ratio
+
+
+class TestSweep:
+    def test_sweep_covers_both_disciplines(self):
+        results = flap_storm_sweep(
+            n=5, sdn_count=2, flaps=4, delays=(0.2,), seed=2
+        )
+        assert {r.extend_on_burst for r in results} == {False, True}
+        assert all(r.final_state_correct for r in results)

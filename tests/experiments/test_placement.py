@@ -1,0 +1,80 @@
+"""Tests for the deployment-placement experiment."""
+
+import pytest
+
+from repro.experiments.placement import (
+    STRATEGIES,
+    pick_members,
+    placement_sweep,
+)
+from repro.topology.builders import barabasi_albert, clique
+
+
+class TestPickMembers:
+    def topo(self):
+        return barabasi_albert(12, 2, seed=3)
+
+    def test_hubs_first_picks_highest_degree(self):
+        topo = self.topo()
+        members = pick_members("hubs-first", topo, 3, frozenset({1}))
+        degrees = sorted((topo.degree(a) for a in topo.asns), reverse=True)
+        member_degrees = sorted((topo.degree(a) for a in members), reverse=True)
+        # the picked set's degrees dominate the global top-3 (minus origin)
+        assert member_degrees[0] >= degrees[3]
+
+    def test_stubs_first_picks_lowest_degree(self):
+        topo = self.topo()
+        members = pick_members("stubs-first", topo, 3, frozenset({1}))
+        assert all(topo.degree(a) <= 3 for a in members)
+
+    def test_excluded_never_picked(self):
+        topo = self.topo()
+        excluded = frozenset({1, 2, 3})
+        for strategy in STRATEGIES:
+            assert not pick_members(strategy, topo, 4, excluded) & excluded
+
+    def test_exact_budget(self):
+        topo = self.topo()
+        for strategy in STRATEGIES:
+            assert len(pick_members(strategy, topo, 5, frozenset({1}))) == 5
+
+    def test_unknown_strategy(self):
+        with pytest.raises(ValueError, match="unknown strategy"):
+            pick_members("psychic", self.topo(), 2, frozenset())
+
+    def test_overdraft_rejected(self):
+        with pytest.raises(ValueError):
+            pick_members("hubs-first", clique(4), 4, frozenset({1}))
+
+    def test_deterministic(self):
+        topo = self.topo()
+        a = pick_members("spread", topo, 4, frozenset({1}))
+        b = pick_members("spread", topo, 4, frozenset({1}))
+        assert a == b
+
+
+class TestPlacementSweep:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return placement_sweep(n=10, sdn_count=3, runs=2, mrai=5.0)
+
+    def test_one_result_per_strategy(self, results):
+        assert {r.strategy for r in results} == set(STRATEGIES)
+
+    def test_hubs_beat_stubs(self, results):
+        by = {r.strategy: r for r in results}
+        assert (
+            by["hubs-first"].convergence.median
+            <= by["stubs-first"].convergence.median
+        )
+
+    def test_degree_statistics_ordered(self, results):
+        by = {r.strategy: r for r in results}
+        assert (
+            by["hubs-first"].mean_member_degree
+            >= by["spread"].mean_member_degree
+            >= by["stubs-first"].mean_member_degree
+        )
+
+    def test_budget_respected(self, results):
+        assert all(len(r.members) == 3 for r in results)

@@ -1,0 +1,52 @@
+"""Tests for the sub-cluster split experiment (design goal §2)."""
+
+from repro.experiments.subcluster import (
+    BRIDGE,
+    barbell_topology,
+    run_subcluster_experiment,
+)
+
+
+class TestTopology:
+    def test_barbell_shape(self):
+        topo = barbell_topology()
+        assert len(topo) == 8
+        assert topo.link_between(*BRIDGE) is not None
+        assert topo.link_between(6, 7) is not None  # legacy detour
+
+    def test_bridge_is_the_only_cluster_cut(self):
+        from repro.analysis.graphs import cut_links
+
+        topo = barbell_topology()
+        assert BRIDGE not in cut_links(topo)  # detour exists -> not a cut
+
+
+class TestSplitExperiment:
+    def test_cluster_splits_into_two(self):
+        result = run_subcluster_experiment(seed=1)
+        assert len(result.sub_clusters_before) == 1
+        assert len(result.sub_clusters_after) == 2
+
+    def test_connectivity_survives_split(self):
+        """The paper's design goal: sub-clusters reconnect via legacy."""
+        result = run_subcluster_experiment(seed=1)
+        assert result.reachable_before
+        assert result.reachable_after
+
+    def test_cross_traffic_detours_through_legacy(self):
+        result = run_subcluster_experiment(seed=1)
+        path = result.cross_path_after
+        assert path, "cross-cluster path must exist"
+        legacy_hops = [h for h in path if h in ("as5", "as6", "as7", "as8")]
+        assert legacy_hops, f"expected legacy detour, got {path}"
+
+    def test_convergence_is_finite_and_fast(self):
+        result = run_subcluster_experiment(seed=2)
+        assert 0 < result.measurement.convergence_time < 120
+
+    def test_deterministic(self):
+        a = run_subcluster_experiment(seed=3)
+        b = run_subcluster_experiment(seed=3)
+        assert (
+            a.measurement.convergence_time == b.measurement.convergence_time
+        )

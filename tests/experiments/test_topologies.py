@@ -1,0 +1,48 @@
+"""Fast-scale tests for the topology-family sweep."""
+
+import pytest
+
+from repro.experiments.topologies import FAMILIES, topology_family_sweep
+
+
+@pytest.fixture(scope="module")
+def family_results():
+    small = {
+        "clique": FAMILIES["clique"],
+        "barabasi-albert": FAMILIES["barabasi-albert"],
+    }
+    return topology_family_sweep(
+        n=8, sdn_fraction=0.5, runs=2, mrai=5.0, families=small,
+    )
+
+
+class TestFamilySweep:
+    def test_one_result_per_family(self, family_results):
+        assert {r.family for r in family_results} == {
+            "clique", "barabasi-albert",
+        }
+
+    def test_structure_recorded(self, family_results):
+        clique_result = next(r for r in family_results if r.family == "clique")
+        assert clique_result.n_ases == 8
+        assert clique_result.n_links == 28
+
+    def test_clique_explores_hardest(self, family_results):
+        by_family = {r.family: r for r in family_results}
+        assert (
+            by_family["clique"].pure_bgp.median
+            >= by_family["barabasi-albert"].pure_bgp.median
+        )
+
+    def test_all_converge(self, family_results):
+        for r in family_results:
+            assert r.pure_bgp.maximum < 500
+            assert r.hybrid.maximum < 500
+
+    def test_caida_family_runs_with_gao_rexford(self):
+        caida_only = {"caida-synth": FAMILIES["caida-synth"]}
+        results = topology_family_sweep(
+            n=8, sdn_fraction=0.3, runs=1, mrai=2.0, families=caida_only,
+        )
+        assert results[0].family == "caida-synth"
+        assert results[0].pure_bgp.median >= 0

@@ -1,0 +1,64 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import _parse_sdn, _parse_topology, main
+
+
+class TestArgHelpers:
+    def test_parse_sdn_list(self):
+        assert _parse_sdn("3,5,7") == {3, 5, 7}
+
+    def test_parse_sdn_range(self):
+        assert _parse_sdn("5-8") == {5, 6, 7, 8}
+
+    def test_parse_sdn_mixed(self):
+        assert _parse_sdn("1,4-6") == {1, 4, 5, 6}
+
+    def test_parse_sdn_empty(self):
+        assert _parse_sdn("") == set()
+        assert _parse_sdn(None) == set()
+
+    def test_parse_topology(self):
+        topo = _parse_topology("ring:6")
+        assert topo.name == "ring6" and len(topo) == 6
+
+    def test_parse_topology_unknown(self):
+        with pytest.raises(SystemExit):
+            _parse_topology("torus:4")
+
+
+class TestCommands:
+    def test_demo_command(self, capsys):
+        rc = main(["demo", "--n", "5", "--sdn", "4,5", "--mrai", "1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "withdrawal converged" in out
+
+    def test_fig2_small(self, capsys):
+        rc = main([
+            "fig2", "--n", "5", "--runs", "1", "--mrai", "1",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Fig. 2" in out and "linear fit" in out
+
+    def test_subcluster_command(self, capsys):
+        rc = main(["subcluster", "--seed", "1"])
+        assert rc == 0
+        assert "sub-clusters after" in capsys.readouterr().out
+
+    def test_dot_command(self, capsys):
+        rc = main(["dot", "--topology", "clique:4", "--sdn", "3-4"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert out.startswith("graph") and "shape=box" in out
+
+    def test_announcement_small(self, capsys):
+        rc = main(["announcement", "--n", "5", "--runs", "1", "--mrai", "1"])
+        assert rc == 0
+        assert "announcement" in capsys.readouterr().out
+
+    def test_missing_command_exits(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,44 @@
+"""CLI sweep commands at toy scale (separate file: these are slower)."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestSweepCommands:
+    def test_failover_command(self, capsys):
+        rc = main([
+            "failover", "--n", "5", "--runs", "1", "--mrai", "1",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "fail-over" in out
+
+    def test_topologies_command(self, capsys):
+        rc = main(["topologies", "--n", "6", "--runs", "1", "--mrai", "1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "clique" in out and "reduction" in out
+
+    def test_flapstorm_command(self, capsys):
+        rc = main([
+            "flapstorm", "--n", "5", "--flaps", "4", "--delays", "0.2",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "recomputes=" in out
+
+    def test_csv_json_export(self, tmp_path, capsys):
+        csv_path = tmp_path / "out.csv"
+        json_path = tmp_path / "out.json"
+        rc = main([
+            "fig2", "--n", "5", "--runs", "1", "--mrai", "1",
+            "--csv", str(csv_path), "--json", str(json_path),
+        ])
+        assert rc == 0
+        assert csv_path.exists()
+        payload = json.loads(json_path.read_text())
+        assert payload["scenario"] == "withdrawal"
+        assert payload["runs"]

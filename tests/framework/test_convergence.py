@@ -1,0 +1,72 @@
+"""Unit tests for convergence measurement."""
+
+import pytest
+
+from repro.bgp.session import BGPTimers
+from repro.framework.convergence import measure_event
+from repro.framework.experiment import Experiment, ExperimentConfig
+from repro.topology.builders import clique
+
+
+def experiment(seed=1, mrai=1.0, **kwargs):
+    return Experiment(
+        clique(4, **kwargs),
+        config=ExperimentConfig(seed=seed, timers=BGPTimers(mrai=mrai)),
+    ).start()
+
+
+class TestMeasureEvent:
+    def test_no_op_event_measures_zero(self):
+        exp = experiment()
+        m = measure_event(exp, lambda: None)
+        assert m.convergence_time == 0.0
+        assert m.updates_tx == 0
+
+    def test_announcement_measured(self):
+        exp = experiment()
+        m = measure_event(exp, lambda: exp.announce(1))
+        assert m.convergence_time > 0
+        assert m.updates_tx > 0
+        assert m.decision_changes > 0
+
+    def test_withdrawal_longer_than_announcement(self):
+        exp = experiment(mrai=5.0)
+        prefix = exp.announce(1)
+        announce_settle = exp.wait_converged()
+        m = measure_event(exp, lambda: exp.withdraw(1, prefix))
+        # withdrawal explores stale paths; announcement flooding doesn't
+        assert m.convergence_time > 0
+
+    def test_counters_are_deltas_not_totals(self):
+        exp = experiment()
+        first = measure_event(exp, lambda: exp.announce(1))
+        second = measure_event(exp, lambda: exp.announce(2))
+        # similar-magnitude events: second must not include first's counts
+        assert second.updates_tx < 2 * first.updates_tx + 10
+
+    def test_settle_time_not_before_convergence(self):
+        exp = experiment()
+        m = measure_event(exp, lambda: exp.announce(1))
+        assert m.t_settled >= m.t_converged >= m.t_event
+
+    def test_state_convergence_not_after_activity_convergence(self):
+        exp = experiment(mrai=5.0)
+        prefix = exp.announce(1)
+        exp.wait_converged()
+        m = measure_event(exp, lambda: exp.withdraw(1, prefix))
+        assert m.t_state_converged <= m.t_converged
+        assert m.state_convergence_time >= 0
+
+    def test_reachability_check_option(self):
+        exp = experiment()
+        m = measure_event(
+            exp, lambda: exp.announce(1), check_reachability=True
+        )
+        assert m.all_reachable is True
+
+    def test_horizon_violation_propagates(self):
+        from repro.eventsim import SimulationError
+
+        exp = experiment(mrai=30.0)
+        with pytest.raises(SimulationError):
+            measure_event(exp, lambda: exp.announce(1), horizon=0.001)

@@ -1,0 +1,69 @@
+"""Tests for silence-window convergence detection vs the oracle."""
+
+import pytest
+
+from repro.bgp.session import BGPTimers
+from repro.framework.detector import SilenceDetector, compare_with_oracle
+from repro.framework.experiment import Experiment, ExperimentConfig
+from repro.topology.builders import clique
+
+
+def experiment(mrai=5.0, seed=1, n=6):
+    return Experiment(
+        clique(n),
+        config=ExperimentConfig(seed=seed, timers=BGPTimers(mrai=mrai)),
+    ).start()
+
+
+class TestAgainstOracle:
+    def test_wide_window_matches_oracle(self):
+        """With a window > max MRAI gap, the heuristic finds the same
+        convergence instant, just declared one window later."""
+        exp = experiment()
+        prefix = exp.announce(1)
+        exp.wait_converged()
+        detection = compare_with_oracle(
+            exp, lambda: exp.withdraw(1, prefix), silence_window=60.0,
+        )
+        assert not detection.premature
+        assert detection.t_last_activity == pytest.approx(detection.t_oracle)
+        assert detection.declaration_lag == pytest.approx(60.0)
+
+    def test_short_window_fires_prematurely(self):
+        """A window shorter than one MRAI gap declares too early —
+        the pitfall the exact oracle avoids."""
+        exp = experiment(mrai=10.0)
+        prefix = exp.announce(1)
+        exp.wait_converged()
+        detection = compare_with_oracle(
+            exp, lambda: exp.withdraw(1, prefix), silence_window=2.0,
+        )
+        # withdrawal exploration has multi-second MRAI gaps at mrai=10
+        assert detection.premature
+        assert detection.t_declared < detection.t_oracle
+
+    def test_no_event_declares_after_window(self):
+        exp = experiment()
+        detection = compare_with_oracle(
+            exp, lambda: None, silence_window=30.0,
+        )
+        assert not detection.premature
+        assert detection.declaration_lag == pytest.approx(30.0)
+
+
+class TestDetectorMechanics:
+    def test_invalid_window(self):
+        exp = experiment()
+        with pytest.raises(ValueError):
+            SilenceDetector(exp, silence_window=0)
+
+    def test_detach_stops_observation(self):
+        exp = experiment()
+        detector = SilenceDetector(exp, silence_window=5.0)
+        detector.arm()
+        detector.detach()
+        exp.announce(1)
+        exp.wait_converged()
+        result = detector.result(exp.now)
+        # saw nothing after detach: last activity is the arm instant
+        assert result.t_last_activity <= result.t_oracle

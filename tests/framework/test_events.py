@@ -1,0 +1,87 @@
+"""Unit tests for scripted event timelines."""
+
+import pytest
+
+from repro.bgp.session import BGPTimers
+from repro.framework.events import EventSchedule
+from repro.framework.experiment import Experiment, ExperimentConfig
+from repro.topology.builders import clique, line
+
+
+def experiment(topo=None, mrai=1.0, seed=1):
+    return Experiment(
+        topo if topo is not None else clique(4),
+        config=ExperimentConfig(seed=seed, timers=BGPTimers(mrai=mrai)),
+    ).start()
+
+
+class TestScheduleExecution:
+    def test_events_fire_at_offsets(self):
+        exp = experiment()
+        base = exp.now
+        schedule = EventSchedule().announce(1, at=5.0).announce(2, at=12.0)
+        reports = schedule.run(exp)
+        assert len(reports) == 2
+        assert reports[0].t_fired == pytest.approx(base + 5.0)
+        assert reports[1].t_fired >= base + 12.0
+
+    def test_announce_then_labelled_withdraw(self):
+        exp = experiment()
+        schedule = (
+            EventSchedule()
+            .announce(1, at=0.0, label="ann")
+            .withdraw_label(1, "ann", at=10.0)
+        )
+        reports = schedule.run(exp)
+        prefix = schedule.prefixes["ann"]
+        assert exp.node(2).loc_rib.get(prefix) is None
+        assert reports[1].updates_tx > 0
+
+    def test_withdraw_unknown_label_raises(self):
+        exp = experiment()
+        schedule = EventSchedule().withdraw_label(1, "ghost", at=0.0)
+        from repro.framework.experiment import ExperimentError
+
+        with pytest.raises(ExperimentError):
+            schedule.run(exp)
+
+    def test_fail_and_restore_timeline(self):
+        exp = experiment(topo=line(3))
+        schedule = (
+            EventSchedule()
+            .fail_link(2, 3, at=0.0)
+            .restore_link(2, 3, at=30.0)
+        )
+        schedule.run(exp)
+        assert exp.reachable(1, 3).reached
+
+    def test_reports_capture_convergence(self):
+        exp = experiment()
+        schedule = EventSchedule().announce(1, at=0.0)
+        (report,) = schedule.run(exp)
+        assert report.convergence_time >= 0
+        assert report.updates_tx > 0
+
+    def test_negative_offset_rejected(self):
+        with pytest.raises(ValueError):
+            EventSchedule().announce(1, at=-1.0)
+
+    def test_empty_schedule_noop(self):
+        exp = experiment()
+        assert EventSchedule().run(exp) == []
+
+    def test_events_run_in_time_order_regardless_of_declaration(self):
+        exp = experiment()
+        schedule = (
+            EventSchedule()
+            .announce(2, at=10.0, label="later")
+            .announce(1, at=1.0, label="earlier")
+        )
+        reports = schedule.run(exp)
+        assert [r.label for r in reports] == ["earlier", "later"]
+
+    def test_fail_node_step(self):
+        exp = experiment()
+        schedule = EventSchedule().fail_node(3, at=0.0)
+        schedule.run(exp)
+        assert not exp.reachable(1, 3).reached

@@ -1,0 +1,115 @@
+"""Unit tests for probe streams and loss measurement."""
+
+import pytest
+
+from repro.bgp.session import BGPTimers
+from repro.framework.experiment import Experiment, ExperimentConfig
+from repro.framework.traffic import ProbeStream
+from repro.topology.builders import clique, line
+
+
+def experiment(topo=None, mrai=1.0, seed=1):
+    return Experiment(
+        topo if topo is not None else clique(3),
+        config=ExperimentConfig(seed=seed, timers=BGPTimers(mrai=mrai)),
+    ).start()
+
+
+def stream_between(exp, src_asn, dst_asn, interval=0.1):
+    src = exp.add_host(src_asn)
+    dst = exp.add_host(dst_asn)
+    return ProbeStream(src, dst, interval=interval)
+
+
+class TestProbeStream:
+    def test_steady_state_no_loss(self):
+        exp = experiment()
+        stream = stream_between(exp, 1, 2)
+        stream.start(duration=5.0)
+        exp.net.sim.run(until=exp.now + 6.0)
+        report = stream.report()
+        assert report.sent >= 49
+        assert report.loss_rate == 0.0
+
+    def test_duration_bounds_probe_count(self):
+        exp = experiment()
+        stream = stream_between(exp, 1, 2, interval=0.5)
+        stream.start(duration=2.0)
+        exp.net.sim.run(until=exp.now + 5.0)
+        assert stream.report().sent <= 5
+
+    def test_stop_halts_stream(self):
+        exp = experiment()
+        stream = stream_between(exp, 1, 2)
+        stream.start()
+        exp.net.sim.run(until=exp.now + 1.0)
+        stream.stop()
+        sent_after_stop = stream.report().sent
+        exp.net.sim.run(until=exp.now + 2.0)
+        assert stream.report().sent == sent_after_stop
+
+    def test_probes_are_background(self):
+        """A running stream must not prevent settlement detection."""
+        exp = experiment()
+        stream = stream_between(exp, 1, 2)
+        stream.start()
+        settled_at = exp.wait_converged()
+        assert settled_at <= exp.now
+
+    def test_double_start_rejected(self):
+        exp = experiment()
+        stream = stream_between(exp, 1, 2)
+        stream.start()
+        with pytest.raises(RuntimeError):
+            stream.start()
+
+    def test_invalid_interval(self):
+        exp = experiment()
+        src, dst = exp.add_host(1), exp.add_host(2)
+        with pytest.raises(ValueError):
+            ProbeStream(src, dst, interval=0.0)
+
+
+class TestLossMeasurement:
+    def test_partition_causes_total_loss_window(self):
+        exp = experiment(topo=line(3))
+        stream = stream_between(exp, 1, 3)
+        stream.start()
+        exp.net.sim.run(until=exp.now + 2.0)
+        exp.fail_link(2, 3)  # no alternative on a line: hard outage
+        exp.net.sim.run(until=exp.now + 2.0)
+        stream.stop()
+        report = stream.report()
+        assert report.lost > 0
+        assert report.loss_windows
+        assert report.longest_outage > 1.0
+
+    def test_failover_loss_window_is_bounded(self):
+        """On a clique a failed link only loses packets briefly."""
+        exp = experiment(topo=clique(4), mrai=1.0)
+        stream = stream_between(exp, 2, 1)
+        stream.start()
+        exp.net.sim.run(until=exp.now + 2.0)
+        exp.fail_link(1, 2)
+        exp.wait_converged()
+        exp.net.sim.run(until=exp.now + 2.0)
+        stream.stop()
+        report = stream.report()
+        # recovery happened: the last probes got through again
+        assert report.received > 0
+        assert report.loss_rate < 0.5
+
+    def test_loss_windows_group_consecutive_seqs(self):
+        exp = experiment(topo=line(3))
+        stream = stream_between(exp, 1, 3)
+        stream.start()
+        exp.net.sim.run(until=exp.now + 1.0)
+        exp.fail_link(2, 3)
+        exp.net.sim.run(until=exp.now + 1.0)
+        exp.restore_link(2, 3)
+        exp.wait_converged()
+        exp.net.sim.run(until=exp.now + 2.0)
+        stream.stop()
+        report = stream.report()
+        # one contiguous outage -> one (or very few) loss windows
+        assert 1 <= len(report.loss_windows) <= 3

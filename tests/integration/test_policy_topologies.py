@@ -1,0 +1,106 @@
+"""Integration tests: realistic policies on dataset-derived topologies."""
+
+import pytest
+
+from repro.bgp.policy import Relationship
+from repro.bgp.session import BGPTimers
+from repro.controller.idr import ControllerConfig
+from repro.framework.experiment import Experiment, ExperimentConfig
+from repro.topology.caida import synthetic_caida_topology
+from repro.topology.iplane import synthetic_iplane_topology
+
+
+def build(topo, sdn=(), policy="gao_rexford", seed=1, mrai=1.0):
+    config = ExperimentConfig(
+        seed=seed,
+        policy_mode=policy,
+        timers=BGPTimers(mrai=mrai),
+        controller=ControllerConfig(recompute_delay=0.2),
+    )
+    return Experiment(topo, sdn_members=set(sdn), config=config).start()
+
+
+@pytest.fixture(scope="module")
+def caida_exp():
+    topo = synthetic_caida_topology(tier1=3, transit=4, stubs=6, seed=3)
+    return build(topo, policy="gao_rexford")
+
+
+class TestCaidaGaoRexford:
+    def test_full_reachability_under_valley_free_policy(self, caida_exp):
+        assert caida_exp.all_reachable()
+
+    def test_no_valley_paths_in_loc_ribs(self, caida_exp):
+        """Verify every selected path is valley-free on the real topology."""
+        topo = caida_exp.topology
+        for node in caida_exp.as_nodes():
+            for route in node.loc_rib:
+                path = [node.asn] + list(route.attrs.as_path)
+                assert _valley_free(topo, path), (node.name, path)
+
+    def test_stub_routes_via_provider(self, caida_exp):
+        topo = caida_exp.topology
+        stubs = [s.asn for s in topo.ases if s.role == "stub"]
+        stub = stubs[0]
+        providers = set(topo.providers_of(stub))
+        node = caida_exp.node(stub)
+        default_like = [
+            r for r in node.loc_rib if r.attrs.as_path.length > 0
+        ]
+        assert default_like
+        assert all(
+            r.attrs.as_path.first_as in providers for r in default_like
+        )
+
+
+def _valley_free(topo, path):
+    """Gao-Rexford validity: up* (peer)? down* when read origin-to-here.
+
+    ``path`` is [holder, ..., origin]; walk from origin upward.
+    """
+    hops = list(reversed(path))
+    seen_peak = False
+    for a, b in zip(hops, hops[1:]):
+        link = topo.link_between(a, b)
+        if link is None:
+            return False
+        rel = link.relationship_for(a)  # b as seen from a
+        if rel is Relationship.PROVIDER:  # going up
+            if seen_peak:
+                return False
+        elif rel is Relationship.PEER:
+            if seen_peak:
+                return False
+            seen_peak = True
+        else:  # CUSTOMER or FLAT: going down
+            seen_peak = True
+    return True
+
+
+class TestIplane:
+    def test_latencies_shape_ping_times(self):
+        topo = synthetic_iplane_topology(n_as=8, seed=2)
+        exp = build(topo, policy="flat")
+        assert exp.all_reachable()
+        rtt = exp.ping(topo.asns[0], topo.asns[-1])
+        assert rtt is not None and rtt > 0
+
+    def test_hybrid_on_iplane_topology(self):
+        topo = synthetic_iplane_topology(n_as=8, seed=2)
+        sdn = set(topo.asns[-3:])
+        exp = build(topo, sdn=sdn, policy="flat")
+        assert exp.all_reachable()
+
+
+class TestHybridGaoRexford:
+    def test_cluster_respects_valley_free_export(self):
+        """A peer-learned cluster route must not be exported to a peer."""
+        topo = synthetic_caida_topology(tier1=3, transit=4, stubs=6, seed=3)
+        # convert two transit ASes (4 and 5 by construction)
+        exp = build(topo, sdn=(4, 5), policy="gao_rexford")
+        assert exp.all_reachable()
+        for node in exp.as_nodes():
+            if hasattr(node, "loc_rib"):
+                for route in node.loc_rib:
+                    path = [node.asn] + list(route.attrs.as_path)
+                    assert _valley_free(exp.topology, path), (node.name, path)

@@ -1,0 +1,127 @@
+"""Unit + property tests for the FIB (longest-prefix match)."""
+
+from hypothesis import given, strategies as st
+
+from repro.net.addr import IPv4Address, Prefix
+from repro.net.dataplane import Fib, FibEntry
+
+
+def entry(prefix_text, via="x"):
+    return FibEntry(Prefix.parse(prefix_text), None, via=via)
+
+
+class TestFibBasics:
+    def test_empty_fib_misses(self):
+        assert Fib().lookup(IPv4Address.parse("10.0.0.1")) is None
+
+    def test_exact_install_and_lookup(self):
+        fib = Fib()
+        fib.install(entry("10.0.0.0/24"))
+        hit = fib.lookup(IPv4Address.parse("10.0.0.77"))
+        assert hit is not None and str(hit.prefix) == "10.0.0.0/24"
+
+    def test_longest_prefix_wins(self):
+        fib = Fib()
+        fib.install(entry("10.0.0.0/8", via="coarse"))
+        fib.install(entry("10.1.0.0/16", via="mid"))
+        fib.install(entry("10.1.2.0/24", via="fine"))
+        assert fib.lookup(IPv4Address.parse("10.1.2.3")).via == "fine"
+        assert fib.lookup(IPv4Address.parse("10.1.9.9")).via == "mid"
+        assert fib.lookup(IPv4Address.parse("10.9.9.9")).via == "coarse"
+
+    def test_default_route(self):
+        fib = Fib()
+        fib.install(entry("0.0.0.0/0", via="gw"))
+        assert fib.lookup(IPv4Address.parse("203.0.113.1")).via == "gw"
+
+    def test_install_replaces_same_prefix(self):
+        fib = Fib()
+        fib.install(entry("10.0.0.0/24", via="a"))
+        fib.install(entry("10.0.0.0/24", via="b"))
+        assert len(fib) == 1
+        assert fib.lookup(IPv4Address.parse("10.0.0.1")).via == "b"
+
+    def test_install_returns_change_flag(self):
+        fib = Fib()
+        assert fib.install(entry("10.0.0.0/24", via="a")) is True
+        assert fib.install(entry("10.0.0.0/24", via="a")) is False
+        assert fib.install(entry("10.0.0.0/24", via="b")) is True
+
+    def test_remove(self):
+        fib = Fib()
+        fib.install(entry("10.0.0.0/24"))
+        assert fib.remove(Prefix.parse("10.0.0.0/24")) is True
+        assert fib.remove(Prefix.parse("10.0.0.0/24")) is False
+        assert fib.lookup(IPv4Address.parse("10.0.0.1")) is None
+
+    def test_remove_uncovers_shorter_prefix(self):
+        fib = Fib()
+        fib.install(entry("10.0.0.0/8", via="coarse"))
+        fib.install(entry("10.1.0.0/16", via="fine"))
+        fib.remove(Prefix.parse("10.1.0.0/16"))
+        assert fib.lookup(IPv4Address.parse("10.1.0.1")).via == "coarse"
+
+    def test_version_bumps_on_changes(self):
+        fib = Fib()
+        v0 = fib.version
+        fib.install(entry("10.0.0.0/24"))
+        v1 = fib.version
+        fib.remove(Prefix.parse("10.0.0.0/24"))
+        assert v0 < v1 < fib.version
+
+    def test_entries_sorted(self):
+        fib = Fib()
+        fib.install(entry("10.2.0.0/16"))
+        fib.install(entry("10.1.0.0/16"))
+        assert [str(e.prefix) for e in fib.entries()] == [
+            "10.1.0.0/16", "10.2.0.0/16",
+        ]
+
+    def test_clear(self):
+        fib = Fib()
+        fib.install(entry("10.0.0.0/24"))
+        fib.clear()
+        assert len(fib) == 0
+
+
+# ----------------------------------------------------------------------
+# property: FIB lookup == brute-force longest match
+# ----------------------------------------------------------------------
+prefix_strategy = st.tuples(
+    st.integers(min_value=0, max_value=0xFFFFFFFF),
+    st.integers(min_value=0, max_value=32),
+).map(lambda t: Prefix(t[0] & (0xFFFFFFFF << (32 - t[1]) if t[1] else 0), t[1]))
+
+
+@given(
+    st.lists(prefix_strategy, min_size=1, max_size=30, unique=True),
+    st.integers(min_value=0, max_value=0xFFFFFFFF),
+)
+def test_lookup_matches_bruteforce(prefixes, addr_value):
+    fib = Fib()
+    for prefix in prefixes:
+        fib.install(FibEntry(prefix, None, via=str(prefix)))
+    address = IPv4Address(addr_value)
+    expected = max(
+        (p for p in prefixes if address in p),
+        key=lambda p: p.length,
+        default=None,
+    )
+    hit = fib.lookup(address)
+    if expected is None:
+        assert hit is None
+    else:
+        assert hit is not None
+        assert hit.prefix.length == expected.length
+        assert address in hit.prefix
+
+
+@given(st.lists(prefix_strategy, min_size=1, max_size=20, unique=True))
+def test_remove_all_empties_fib(prefixes):
+    fib = Fib()
+    for prefix in prefixes:
+        fib.install(FibEntry(prefix, None))
+    for prefix in prefixes:
+        assert fib.remove(prefix)
+    assert len(fib) == 0
+    assert fib.lookup(IPv4Address(0)) is None

@@ -1,0 +1,32 @@
+"""Unit tests for base message/packet types."""
+
+from repro.net.addr import IPv4Address
+from repro.net.messages import Packet, PING_PROTO, PROBE_PROTO
+
+
+class TestPacket:
+    def make(self, **kwargs):
+        defaults = dict(
+            src=IPv4Address.parse("10.0.0.1"),
+            dst=IPv4Address.parse("10.0.1.1"),
+        )
+        defaults.update(kwargs)
+        return Packet(**defaults)
+
+    def test_packet_ids_unique(self):
+        a, b = self.make(), self.make()
+        assert a.packet_id != b.packet_id
+
+    def test_default_ttl(self):
+        assert self.make().ttl == 64
+
+    def test_describe_mentions_endpoints(self):
+        text = self.make(proto=PROBE_PROTO, seq=9).describe()
+        assert "10.0.0.1" in text and "10.0.1.1" in text
+        assert "seq=9" in text
+
+    def test_hops_start_empty(self):
+        assert self.make().hops == []
+
+    def test_proto_constants_distinct(self):
+        assert PING_PROTO != PROBE_PROTO

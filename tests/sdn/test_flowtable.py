@@ -1,0 +1,126 @@
+"""Unit + property tests for the flow table."""
+
+from hypothesis import given, strategies as st
+
+from repro.net.addr import IPv4Address, Prefix
+from repro.sdn.flowtable import ActionType, FlowAction, FlowRule, FlowTable
+
+
+def rule(prefix_text, priority=0, cookie=""):
+    return FlowRule(
+        match=Prefix.parse(prefix_text),
+        action=FlowAction.drop(),
+        priority=priority,
+        cookie=cookie,
+    )
+
+
+class TestMatching:
+    def test_empty_table_misses(self):
+        assert FlowTable().lookup(IPv4Address.parse("10.0.0.1")) is None
+
+    def test_basic_match(self):
+        table = FlowTable()
+        table.install(rule("10.0.0.0/24"))
+        assert table.lookup(IPv4Address.parse("10.0.0.9")) is not None
+        assert table.lookup(IPv4Address.parse("10.0.1.9")) is None
+
+    def test_higher_priority_wins(self):
+        table = FlowTable()
+        low = rule("10.0.0.0/8", priority=1)
+        high = rule("10.0.0.0/8", priority=9)
+        table.install(low)
+        table.install(high)
+        assert table.lookup(IPv4Address.parse("10.1.1.1")) is high
+
+    def test_priority_tie_breaks_on_length(self):
+        table = FlowTable()
+        coarse = rule("10.0.0.0/8", priority=5)
+        fine = rule("10.0.0.0/24", priority=5)
+        table.install(coarse)
+        table.install(fine)
+        assert table.lookup(IPv4Address.parse("10.0.0.1")) is fine
+        assert table.lookup(IPv4Address.parse("10.5.0.1")) is coarse
+
+    def test_lookup_counts_packets(self):
+        table = FlowTable()
+        entry = rule("10.0.0.0/8")
+        table.install(entry)
+        table.lookup(IPv4Address.parse("10.0.0.1"))
+        table.lookup(IPv4Address.parse("10.0.0.2"))
+        assert entry.packets == 2
+
+
+class TestMutation:
+    def test_install_replaces_same_match_and_priority(self):
+        table = FlowTable()
+        table.install(rule("10.0.0.0/24", priority=5))
+        table.install(rule("10.0.0.0/24", priority=5))
+        assert len(table) == 1
+
+    def test_different_priority_coexists(self):
+        table = FlowTable()
+        table.install(rule("10.0.0.0/24", priority=1))
+        table.install(rule("10.0.0.0/24", priority=2))
+        assert len(table) == 2
+
+    def test_remove_by_match(self):
+        table = FlowTable()
+        table.install(rule("10.0.0.0/24", priority=1))
+        table.install(rule("10.0.0.0/24", priority=2))
+        assert table.remove(Prefix.parse("10.0.0.0/24")) == 2
+
+    def test_remove_by_match_and_priority(self):
+        table = FlowTable()
+        table.install(rule("10.0.0.0/24", priority=1))
+        table.install(rule("10.0.0.0/24", priority=2))
+        assert table.remove(Prefix.parse("10.0.0.0/24"), priority=1) == 1
+        assert len(table) == 1
+
+    def test_remove_by_cookie(self):
+        table = FlowTable()
+        table.install(rule("10.0.0.0/24", cookie="idr:x"))
+        table.install(rule("10.0.1.0/24", cookie="static"))
+        assert table.remove_by_cookie("idr:x") == 1
+        assert len(table) == 1
+
+    def test_version_bumps(self):
+        table = FlowTable()
+        v0 = table.version
+        table.install(rule("10.0.0.0/24"))
+        assert table.version > v0
+
+    def test_remove_missing_is_zero_and_quiet(self):
+        table = FlowTable()
+        assert table.remove(Prefix.parse("10.0.0.0/24")) == 0
+
+
+# property: highest-priority matching rule always returned
+prefixes = st.tuples(
+    st.integers(min_value=0, max_value=0xFFFFFFFF),
+    st.integers(min_value=0, max_value=32),
+).map(lambda t: Prefix.of(IPv4Address(t[0]), t[1]))
+
+rules = st.builds(
+    lambda p, pr: FlowRule(match=p, action=FlowAction.drop(), priority=pr),
+    prefixes,
+    st.integers(min_value=0, max_value=40),
+)
+
+
+@given(st.lists(rules, min_size=1, max_size=25),
+       st.integers(min_value=0, max_value=0xFFFFFFFF))
+def test_lookup_matches_bruteforce(rule_list, addr_value):
+    table = FlowTable()
+    for r in rule_list:
+        table.install(r)
+    address = IPv4Address(addr_value)
+    surviving = list(table)
+    matching = [r for r in surviving if address in r.match]
+    hit = table.lookup(address)
+    if not matching:
+        assert hit is None
+    else:
+        best = max(matching, key=lambda r: (r.priority, r.match.length))
+        assert hit is not None
+        assert (hit.priority, hit.match.length) == (best.priority, best.match.length)

@@ -1,0 +1,107 @@
+"""Unit tests for artificial topology builders."""
+
+import pytest
+
+from repro.bgp.policy import Relationship
+from repro.topology.builders import (
+    barabasi_albert,
+    binary_tree,
+    clique,
+    erdos_renyi,
+    line,
+    ring,
+    star,
+)
+from repro.topology.model import TopologyError
+
+
+class TestClique:
+    def test_edge_count(self):
+        topo = clique(16)
+        assert len(topo) == 16
+        assert len(topo.links) == 16 * 15 // 2
+
+    def test_every_pair_linked(self):
+        topo = clique(5)
+        for a in topo.asns:
+            assert topo.degree(a) == 4
+
+    def test_minimum_size(self):
+        with pytest.raises(TopologyError):
+            clique(1)
+
+    def test_flat_relationships(self):
+        assert all(
+            link.relationship is Relationship.FLAT for link in clique(4).links
+        )
+
+
+class TestSimpleShapes:
+    def test_line(self):
+        topo = line(5)
+        assert len(topo.links) == 4
+        assert topo.degree(1) == 1 and topo.degree(3) == 2
+
+    def test_ring(self):
+        topo = ring(5)
+        assert len(topo.links) == 5
+        assert all(topo.degree(a) == 2 for a in topo.asns)
+
+    def test_ring_minimum(self):
+        with pytest.raises(TopologyError):
+            ring(2)
+
+    def test_star_hub_is_provider(self):
+        topo = star(5)
+        assert topo.degree(1) == 4
+        assert topo.customers_of(1) == [2, 3, 4, 5]
+
+    def test_binary_tree_structure(self):
+        topo = binary_tree(2)
+        assert len(topo) == 7
+        assert topo.customers_of(1) == [2, 3]
+        assert topo.customers_of(3) == [6, 7]
+
+    def test_tree_depth_validation(self):
+        with pytest.raises(TopologyError):
+            binary_tree(0)
+
+
+class TestRandomModels:
+    def test_erdos_renyi_is_connected(self):
+        for seed in range(5):
+            assert erdos_renyi(20, 0.05, seed=seed).is_connected()
+
+    def test_erdos_renyi_deterministic_per_seed(self):
+        a = erdos_renyi(15, 0.2, seed=3)
+        b = erdos_renyi(15, 0.2, seed=3)
+        assert [(l.a, l.b) for l in a.links] == [(l.a, l.b) for l in b.links]
+
+    def test_erdos_renyi_seed_changes_graph(self):
+        a = erdos_renyi(15, 0.2, seed=1)
+        b = erdos_renyi(15, 0.2, seed=2)
+        assert [(l.a, l.b) for l in a.links] != [(l.a, l.b) for l in b.links]
+
+    def test_erdos_renyi_p_validation(self):
+        with pytest.raises(TopologyError):
+            erdos_renyi(10, 1.5)
+
+    def test_barabasi_albert_connected_and_sized(self):
+        topo = barabasi_albert(30, 2, seed=1)
+        assert len(topo) == 30
+        assert topo.is_connected()
+        # BA(n, m) has (n - m) * m edges
+        assert len(topo.links) == (30 - 2) * 2
+
+    def test_barabasi_albert_hub_emerges(self):
+        topo = barabasi_albert(50, 2, seed=1)
+        degrees = sorted(topo.degree(a) for a in topo.asns)
+        assert degrees[-1] >= 3 * degrees[0]
+
+    def test_barabasi_albert_validation(self):
+        with pytest.raises(TopologyError):
+            barabasi_albert(3, 5)
+
+    def test_asns_are_one_based_consecutive(self):
+        topo = barabasi_albert(10, 2, seed=0)
+        assert topo.asns == list(range(1, 11))

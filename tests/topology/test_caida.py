@@ -1,0 +1,116 @@
+"""Unit + property tests for CAIDA as-rel parsing and generation."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.bgp.policy import Relationship
+from repro.topology.caida import (
+    dump_as_rel,
+    generate_as_rel,
+    parse_as_rel,
+    synthetic_caida_topology,
+)
+from repro.topology.model import TopologyError
+
+
+SAMPLE = """\
+# sample as-rel
+1|2|-1
+1|3|-1
+2|3|0
+3|4|-1
+"""
+
+
+class TestParse:
+    def test_parse_counts(self):
+        topo = parse_as_rel(SAMPLE)
+        assert len(topo) == 4
+        assert len(topo.links) == 4
+
+    def test_p2c_direction(self):
+        topo = parse_as_rel(SAMPLE)
+        assert topo.customers_of(1) == [2, 3]
+        assert topo.providers_of(4) == [3]
+
+    def test_p2p(self):
+        topo = parse_as_rel(SAMPLE)
+        assert topo.peers_of(2) == [3]
+
+    def test_comments_and_blanks_ignored(self):
+        topo = parse_as_rel("# only comments\n\n1|2|0\n")
+        assert len(topo.links) == 1
+
+    def test_duplicate_edges_keep_first(self):
+        topo = parse_as_rel("1|2|-1\n2|1|0\n")
+        assert len(topo.links) == 1
+        assert topo.customers_of(1) == [2]
+
+    @pytest.mark.parametrize("bad", ["1|2", "1|2|5", "a|2|0"])
+    def test_malformed_lines_rejected(self, bad):
+        with pytest.raises(TopologyError):
+            parse_as_rel(bad)
+
+
+class TestDump:
+    def test_roundtrip_preserves_relationships(self):
+        topo = parse_as_rel(SAMPLE)
+        again = parse_as_rel(dump_as_rel(topo))
+        assert again.customers_of(1) == topo.customers_of(1)
+        assert again.peers_of(2) == topo.peers_of(2)
+        assert len(again.links) == len(topo.links)
+
+
+class TestGenerator:
+    def test_deterministic(self):
+        assert generate_as_rel(seed=5) == generate_as_rel(seed=5)
+
+    def test_seed_matters(self):
+        assert generate_as_rel(seed=1) != generate_as_rel(seed=2)
+
+    def test_tier1_full_peering(self):
+        topo = synthetic_caida_topology(tier1=4, transit=4, stubs=4, seed=0)
+        for a in range(1, 5):
+            peers = topo.peers_of(a)
+            assert set(peers).issuperset(set(range(1, 5)) - {a})
+
+    def test_every_nontier1_has_a_provider(self):
+        topo = synthetic_caida_topology(tier1=3, transit=5, stubs=10, seed=1)
+        for asn in topo.asns:
+            if asn > 3:
+                assert topo.providers_of(asn), f"AS{asn} has no provider"
+
+    def test_hierarchy_is_acyclic(self):
+        synthetic_caida_topology(tier1=3, transit=6, stubs=12, seed=2).validate()
+
+    def test_roles_annotated(self):
+        topo = synthetic_caida_topology(tier1=2, transit=3, stubs=4, seed=0)
+        assert topo.spec(1).role == "tier1"
+        assert topo.spec(3).role == "transit"
+        assert topo.spec(9).role == "stub"
+
+    def test_size_params(self):
+        topo = synthetic_caida_topology(tier1=2, transit=3, stubs=4, seed=0)
+        assert len(topo) == 9
+
+    def test_param_validation(self):
+        with pytest.raises(TopologyError):
+            generate_as_rel(tier1=0)
+
+
+@given(st.integers(min_value=0, max_value=1000))
+def test_generated_files_always_parse_and_validate(seed):
+    topo = parse_as_rel(generate_as_rel(tier1=3, transit=4, stubs=6, seed=seed))
+    topo.validate()
+    assert topo.is_connected()
+
+
+def _body(dump_text):
+    return [l for l in dump_text.splitlines() if not l.startswith("#")]
+
+
+@given(st.integers(min_value=0, max_value=200))
+def test_dump_parse_roundtrip_stable(seed):
+    topo = synthetic_caida_topology(tier1=2, transit=3, stubs=5, seed=seed)
+    again = parse_as_rel(dump_as_rel(topo))
+    assert _body(dump_as_rel(again)) == _body(dump_as_rel(topo))

@@ -1,0 +1,77 @@
+"""Unit + property tests for iPlane inter-PoP parsing and generation."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.topology.iplane import (
+    generate_interpop,
+    parse_interpop,
+    synthetic_iplane_topology,
+)
+from repro.topology.model import TopologyError
+
+
+SAMPLE = """\
+# sample inter-PoP links
+1_0 2_0 10.0
+1_1 2_1 20.0
+2_0 3_0 5.0
+3_0 3_1 1.0
+"""
+
+
+class TestParse:
+    def test_pops_collapse_to_ases(self):
+        topo = parse_interpop(SAMPLE)
+        assert topo.asns == [1, 2, 3]
+        assert len(topo.links) == 2
+
+    def test_intra_as_pop_links_dropped(self):
+        topo = parse_interpop(SAMPLE)
+        assert topo.link_between(3, 3) is None
+
+    def test_latency_is_median_in_seconds(self):
+        topo = parse_interpop(SAMPLE)
+        link = topo.link_between(1, 2)
+        assert link.latency == pytest.approx(0.015)  # median(10, 20) ms
+
+    def test_bare_asn_pop_ids(self):
+        topo = parse_interpop("7 9 3.0\n")
+        assert topo.asns == [7, 9]
+
+    def test_missing_latency_uses_default(self):
+        topo = parse_interpop("1_0 2_0\n")
+        assert topo.link_between(1, 2).latency == pytest.approx(0.010)
+
+    @pytest.mark.parametrize("bad", ["1_0", "x_0 2_0 1.0", "1_0 2_0 fast"])
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(TopologyError):
+            parse_interpop(bad)
+
+
+class TestGenerator:
+    def test_deterministic(self):
+        assert generate_interpop(seed=4) == generate_interpop(seed=4)
+
+    def test_connected(self):
+        for seed in range(5):
+            assert synthetic_iplane_topology(n_as=12, seed=seed).is_connected()
+
+    def test_size(self):
+        topo = synthetic_iplane_topology(n_as=10, seed=0)
+        assert len(topo) == 10
+
+    def test_latencies_positive(self):
+        topo = synthetic_iplane_topology(n_as=10, seed=0)
+        assert all(link.latency > 0 for link in topo.links)
+
+    def test_param_validation(self):
+        with pytest.raises(TopologyError):
+            generate_interpop(n_as=1)
+
+
+@given(st.integers(min_value=0, max_value=500))
+def test_generated_files_parse_connected(seed):
+    topo = synthetic_iplane_topology(n_as=8, seed=seed)
+    assert topo.is_connected()
+    assert all(link.latency > 0 for link in topo.links)

@@ -1,0 +1,112 @@
+"""Unit tests for the AS-level topology model."""
+
+import pytest
+
+from repro.bgp.policy import Relationship
+from repro.topology.model import Topology, TopologyError
+
+
+def tiny():
+    topo = Topology("t")
+    for asn in (1, 2, 3):
+        topo.add_as(asn)
+    topo.add_link(1, 2, relationship=Relationship.CUSTOMER)  # 2 = 1's customer
+    topo.add_link(2, 3, relationship=Relationship.PEER)
+    return topo
+
+
+class TestConstruction:
+    def test_duplicate_as_rejected(self):
+        topo = Topology()
+        topo.add_as(1)
+        with pytest.raises(TopologyError):
+            topo.add_as(1)
+
+    def test_nonpositive_asn_rejected(self):
+        with pytest.raises(TopologyError):
+            Topology().add_as(0)
+
+    def test_self_loop_rejected(self):
+        topo = Topology()
+        topo.add_as(1)
+        with pytest.raises(TopologyError):
+            topo.add_link(1, 1)
+
+    def test_duplicate_link_rejected(self):
+        topo = tiny()
+        with pytest.raises(TopologyError):
+            topo.add_link(2, 1)
+
+    def test_unknown_as_in_link_rejected(self):
+        topo = Topology()
+        topo.add_as(1)
+        with pytest.raises(TopologyError):
+            topo.add_link(1, 9)
+
+
+class TestQueries:
+    def test_neighbors(self):
+        topo = tiny()
+        assert topo.neighbors(2) == [1, 3]
+        assert topo.degree(2) == 2
+
+    def test_contains_and_len(self):
+        topo = tiny()
+        assert 1 in topo and 9 not in topo
+        assert len(topo) == 3
+
+    def test_link_between(self):
+        topo = tiny()
+        assert topo.link_between(2, 1) is not None
+        assert topo.link_between(1, 3) is None
+
+    def test_relationship_views(self):
+        topo = tiny()
+        assert topo.customers_of(1) == [2]
+        assert topo.providers_of(2) == [1]
+        assert topo.peers_of(2) == [3]
+        assert topo.peers_of(1) == []
+
+    def test_relationship_for_each_endpoint(self):
+        link = tiny().link_between(1, 2)
+        assert link.relationship_for(1) is Relationship.CUSTOMER
+        assert link.relationship_for(2) is Relationship.PROVIDER
+        with pytest.raises(TopologyError):
+            link.relationship_for(9)
+
+    def test_other(self):
+        link = tiny().link_between(1, 2)
+        assert link.other(1) == 2 and link.other(2) == 1
+
+
+class TestValidation:
+    def test_valid_topology_passes(self):
+        tiny().validate()
+
+    def test_empty_topology_fails(self):
+        with pytest.raises(TopologyError):
+            Topology().validate()
+
+    def test_provider_cycle_detected(self):
+        topo = Topology()
+        for asn in (1, 2, 3):
+            topo.add_as(asn)
+        # 1 provider of 2, 2 provider of 3, 3 provider of 1: cycle
+        topo.add_link(1, 2, relationship=Relationship.CUSTOMER)
+        topo.add_link(2, 3, relationship=Relationship.CUSTOMER)
+        topo.add_link(3, 1, relationship=Relationship.CUSTOMER)
+        with pytest.raises(TopologyError, match="cycle"):
+            topo.validate()
+
+    def test_is_connected(self):
+        topo = tiny()
+        assert topo.is_connected()
+        topo.add_as(9)
+        assert not topo.is_connected()
+
+
+class TestExport:
+    def test_to_networkx_carries_attributes(self):
+        graph = tiny().to_networkx()
+        assert graph.number_of_nodes() == 3
+        assert graph.edges[1, 2]["relationship"] == "customer"
