@@ -11,7 +11,7 @@ linear fit of medians (the paper's claim is the linearity, not the
 absolute seconds — our substrate is a simulator, not their testbed).
 """
 
-from conftest import bench_n, bench_runs, publish
+from conftest import bench_n, bench_runs, publish, runner_kwargs
 
 from repro.analysis import ascii_boxplot_chart
 from repro.experiments import withdrawal_sweep
@@ -25,6 +25,7 @@ def run_fig2():
     counts = sorted({c for c in DEFAULT_SDN_COUNTS if c < n} | {n - 1})
     return withdrawal_sweep(
         n=n, sdn_counts=counts, runs=bench_runs(10), mrai=30.0,
+        **runner_kwargs(),
     )
 
 

@@ -7,7 +7,7 @@ buys ~3x the convergence improvement of converting stubs, because hubs
 sit on the most exploration paths.
 """
 
-from conftest import bench_n, bench_runs, publish
+from conftest import bench_n, bench_runs, publish, runner_kwargs
 
 from repro.experiments.placement import placement_sweep
 
@@ -16,6 +16,7 @@ def run():
     n = bench_n()
     return placement_sweep(
         n=n, sdn_count=max(2, n // 3), runs=bench_runs(5),
+        **runner_kwargs(),
     )
 
 

@@ -7,7 +7,7 @@ almost nothing for centralization to remove — and the controller's
 delayed recomputation adds a small floor — so the sweep is flat.
 """
 
-from conftest import bench_n, bench_runs, publish
+from conftest import bench_n, bench_runs, publish, runner_kwargs
 
 from repro.experiments import announcement_sweep
 from repro.experiments.announcement import DEFAULT_SDN_COUNTS
@@ -18,6 +18,7 @@ def run_sweep():
     counts = [c for c in DEFAULT_SDN_COUNTS if c < n]
     return announcement_sweep(
         n=n, sdn_counts=counts, runs=bench_runs(5), mrai=30.0,
+        **runner_kwargs(),
     )
 
 

@@ -13,35 +13,29 @@ sees — the paper's measurement) and routing-state convergence (last
 FIB/decision change).
 """
 
-from conftest import bench_n, bench_runs, publish
+from conftest import bench_n, bench_runs, publish, runner_kwargs
 
 from repro.analysis.stats import boxplot_stats
-from repro.experiments.common import (
-    FailoverScenario,
-    paper_config,
-    run_scenario_once,
-    sdn_set_for,
-)
+from repro.experiments.failover import failover_sweep
 
 
 def run_sweep():
     n = bench_n()
     counts = [c for c in (0, 4, 8, 12, n - 2, n - 1) if c <= n - 1]
-    runs = bench_runs(5)
-    points = []
-    for k in counts:
-        activity, state = [], []
-        for run_index in range(runs):
-            scenario = FailoverScenario()
-            topology = scenario.topology(n)
-            members = sdn_set_for(topology, k, scenario.reserved_legacy)
-            m = run_scenario_once(
-                scenario, topology, members,
-                paper_config(seed=200 + 1000 * k + run_index, mrai=30.0),
-            )
-            activity.append(m.convergence_time)
-            state.append(m.state_convergence_time)
-        points.append((k, boxplot_stats(activity), boxplot_stats(state)))
+    result = failover_sweep(
+        n=n, sdn_counts=counts, runs=bench_runs(5), mrai=30.0,
+        **runner_kwargs(),
+    )
+    points = [
+        (
+            point.sdn_count,
+            point.stats,
+            boxplot_stats(
+                [r.measurement.state_convergence_time for r in point.runs]
+            ),
+        )
+        for point in result.points
+    ]
     return n, points
 
 

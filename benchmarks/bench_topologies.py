@@ -7,7 +7,7 @@ synthetic iPlane — at 0% and 50% SDN deployment, showing how topology
 and policy shape both BGP exploration and the benefit of centralization.
 """
 
-from conftest import bench_n, bench_runs, publish
+from conftest import bench_n, bench_runs, publish, runner_kwargs
 
 from repro.experiments import topology_family_sweep
 
@@ -15,6 +15,7 @@ from repro.experiments import topology_family_sweep
 def run():
     return topology_family_sweep(
         n=bench_n(), sdn_fraction=0.5, runs=bench_runs(3),
+        **runner_kwargs(),
     )
 
 

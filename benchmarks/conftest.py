@@ -7,9 +7,14 @@ text report under ``benchmarks/results/``.
 
 Environment knobs:
 
-- ``REPRO_BENCH_RUNS``  — seeded runs per sweep point (default: 10 for
+- ``REPRO_BENCH_RUNS``    — seeded runs per sweep point (default: 10 for
   Fig. 2, 5 elsewhere; lower it for a quick smoke pass).
-- ``REPRO_BENCH_N``     — clique size (default 16, the paper's).
+- ``REPRO_BENCH_N``       — clique size (default 16, the paper's).
+- ``REPRO_BENCH_WORKERS`` — worker processes for sweep benches (default
+  1 = serial; results are bit-identical at any count, see
+  docs/runner.md).
+- ``REPRO_BENCH_CACHE``   — result-cache directory; re-runs of a bench
+  only execute trials missing from the cache.
 """
 
 import os
@@ -24,6 +29,19 @@ def bench_runs(default):
 
 def bench_n():
     return int(os.environ.get("REPRO_BENCH_N", 16))
+
+
+def bench_workers():
+    return int(os.environ.get("REPRO_BENCH_WORKERS", 1))
+
+
+def bench_cache():
+    return os.environ.get("REPRO_BENCH_CACHE") or None
+
+
+def runner_kwargs():
+    """Keyword arguments routing a sweep through the parallel runner."""
+    return {"workers": bench_workers(), "cache": bench_cache()}
 
 
 def publish(name, text):

@@ -2,13 +2,19 @@
 
 Usage (also ``python -m repro --help``)::
 
-    python -m repro fig2 --n 16 --runs 10
+    python -m repro fig2 --n 16 --runs 10 --workers 4 --cache-dir .cache
     python -m repro failover --runs 5
     python -m repro announcement --runs 5
+    python -m repro sweep --scenario withdrawal --workers 8
+    python -m repro sweep --self-check
     python -m repro subcluster
     python -m repro topologies --runs 3
     python -m repro demo --n 8 --sdn 5,6,7,8
     python -m repro dot --topology clique:8 --sdn 5,6,7,8
+
+Every sweep command accepts ``--workers/--cache-dir/--no-cache`` (see
+``docs/runner.md``): parallel execution is bit-identical to serial, and
+a warm cache re-runs only missing trials.
 
 Every command prints the same rows/series the corresponding paper
 artifact reports; the benchmarks under ``benchmarks/`` are the
@@ -18,15 +24,18 @@ pytest-integrated equivalents.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
 from .analysis import ascii_boxplot_chart, topology_dot
 from .experiments import (
+    WithdrawalScenario,
     announcement_sweep,
     failover_sweep,
     flap_storm_sweep,
     paper_config,
+    run_fraction_sweep,
     run_subcluster_experiment,
     sweep_to_csv,
     sweep_to_json,
@@ -37,6 +46,14 @@ from .framework import Experiment, measure_event
 from .topology import barabasi_albert, clique, line, ring, star
 
 __all__ = ["main"]
+
+#: environment fallback for ``--cache-dir`` on every sweep command.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def _ba8(n: int) -> object:
+    # module-level (not a lambda): sweep factories must be picklable.
+    return barabasi_albert(n, 2, seed=0)
 
 
 def _parse_sdn(text: Optional[str]) -> set:
@@ -61,7 +78,7 @@ def _parse_topology(text: str):
         "line": line,
         "ring": ring,
         "star": star,
-        "ba": lambda n: barabasi_albert(n, 2, seed=0),
+        "ba": _ba8,
     }
     if kind not in builders:
         raise SystemExit(
@@ -92,6 +109,19 @@ def _print_sweep(result, title: str) -> None:
     )
 
 
+def _runner_kwargs(args) -> dict:
+    """Map the shared --workers/--cache-dir/--no-cache/--progress flags
+    onto the sweep functions' runner options."""
+    cache = getattr(args, "cache_dir", None) or os.environ.get(CACHE_DIR_ENV)
+    if getattr(args, "no_cache", False):
+        cache = None
+    return {
+        "workers": getattr(args, "workers", 1),
+        "cache": cache,
+        "progress": "log" if getattr(args, "progress", False) else None,
+    }
+
+
 def _export_sweep(result, args) -> None:
     if getattr(args, "csv", None):
         with open(args.csv, "w") as handle:
@@ -107,6 +137,7 @@ def cmd_fig2(args) -> int:
     result = withdrawal_sweep(
         n=args.n, runs=args.runs, mrai=args.mrai,
         recompute_delay=args.recompute_delay,
+        **_runner_kwargs(args),
     )
     _print_sweep(result, f"Fig. 2 — withdrawal on a {args.n}-AS clique")
     _export_sweep(result, args)
@@ -117,6 +148,7 @@ def cmd_failover(args) -> int:
     result = failover_sweep(
         n=args.n, runs=args.runs, mrai=args.mrai,
         recompute_delay=args.recompute_delay,
+        **_runner_kwargs(args),
     )
     _print_sweep(result, f"§4 — fail-over (dual-homed origin, {args.n}-AS clique)")
     _export_sweep(result, args)
@@ -127,6 +159,7 @@ def cmd_announcement(args) -> int:
     result = announcement_sweep(
         n=args.n, runs=args.runs, mrai=args.mrai,
         recompute_delay=args.recompute_delay,
+        **_runner_kwargs(args),
     )
     _print_sweep(result, f"§4 — announcement ({args.n}-AS clique)")
     _export_sweep(result, args)
@@ -146,7 +179,10 @@ def cmd_subcluster(args) -> int:
 
 
 def cmd_topologies(args) -> int:
-    results = topology_family_sweep(n=args.n, runs=args.runs, mrai=args.mrai)
+    results = topology_family_sweep(
+        n=args.n, runs=args.runs, mrai=args.mrai,
+        workers=args.workers,
+    )
     print("Topology families — withdrawal, 0% vs 50% SDN")
     for r in results:
         print(
@@ -172,6 +208,90 @@ def cmd_flapstorm(args) -> int:
             f"ok={r.final_state_correct}"
         )
     return 0 if all(r.final_state_correct for r in results) else 1
+
+
+#: name -> sweep function for the generic ``sweep`` command.
+SWEEPS = {
+    "withdrawal": withdrawal_sweep,
+    "failover": failover_sweep,
+    "announcement": announcement_sweep,
+}
+
+
+def _self_check(args) -> int:
+    """Run one tiny clique sweep serially and in parallel and assert the
+    per-run convergence times are identical — the runner's determinism
+    guarantee, checked on this very machine."""
+    # clamp to a tiny grid: this checks the machinery, not the paper.
+    n = min(args.n, 6)
+    runs = min(args.runs, 3)
+    kwargs = dict(
+        n=n, sdn_counts=[0, n // 2, n - 1], runs=runs, mrai=1.0,
+    )
+    workers = max(2, args.workers)
+    print(
+        f"runner self-check: withdrawal on a {n}-AS clique, "
+        f"{runs} runs/point, serial vs {workers} workers"
+    )
+    serial = run_fraction_sweep(WithdrawalScenario, **kwargs, workers=1)
+    parallel = run_fraction_sweep(
+        WithdrawalScenario, **kwargs, workers=workers,
+    )
+    serial_times = [
+        (r.sdn_count, r.seed, r.convergence_time)
+        for p in serial.points for r in p.runs
+    ]
+    parallel_times = [
+        (r.sdn_count, r.seed, r.convergence_time)
+        for p in parallel.points for r in p.runs
+    ]
+    if serial.failed_runs or parallel.failed_runs:
+        print("FAIL: some runs did not complete")
+        return 1
+    for s, q in zip(serial_times, parallel_times):
+        marker = "ok" if s == q else "MISMATCH"
+        print(
+            f"  sdn={s[0]:2d} seed={s[1]:5d}  "
+            f"serial {s[2]:.6f}s  parallel {q[2]:.6f}s  {marker}"
+        )
+    if serial_times != parallel_times:
+        print("FAIL: parallel execution changed the results")
+        return 1
+    print(
+        f"PASS: {len(serial_times)} runs bit-identical across "
+        f"serial and parallel execution"
+    )
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    if args.self_check:
+        return _self_check(args)
+    sweep = SWEEPS[args.scenario]
+    result = sweep(
+        n=args.n, runs=args.runs, mrai=args.mrai,
+        recompute_delay=args.recompute_delay,
+        **_runner_kwargs(args),
+    )
+    _print_sweep(result, f"{args.scenario} sweep ({args.n}-AS clique)")
+    if result.failed_runs:
+        print(f"\nWARNING: {len(result.failed_runs)} run(s) failed:")
+        for failure in result.failed_runs:
+            first_line = failure.error.strip().splitlines()[-1]
+            print(
+                f"  sdn={failure.sdn_count} seed={failure.seed} "
+                f"after {failure.attempts} attempt(s): {first_line}"
+            )
+    if result.timing is not None:
+        t = result.timing
+        print(
+            f"\nexecuted {t.executed}/{t.jobs} trials "
+            f"({t.cached} cached, {t.failed} failed) in {t.elapsed:.1f}s "
+            f"with {t.workers} worker(s); "
+            f"job time {t.total_job_wall:.1f}s (speedup {t.speedup:.2f}x)"
+        )
+    _export_sweep(result, args)
+    return 0 if not result.failed_runs else 1
 
 
 def cmd_demo(args) -> int:
@@ -213,6 +333,17 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write per-run results as CSV")
         p.add_argument("--json", type=str, default=None,
                        help="write summary + runs as JSON")
+        p.add_argument("--workers", type=int, default=1,
+                       help="worker processes (1 = serial; results are "
+                            "identical at any count)")
+        p.add_argument("--cache-dir", type=str, default=None,
+                       help="result-cache directory (also via "
+                            f"${CACHE_DIR_ENV}); re-runs only execute "
+                            "missing trials")
+        p.add_argument("--no-cache", action="store_true",
+                       help="ignore any result cache for this run")
+        p.add_argument("--progress", action="store_true",
+                       help="log one line per trial to stderr")
 
     p = sub.add_parser("fig2", help="withdrawal sweep (paper Fig. 2)")
     sweep_args(p)
@@ -226,6 +357,19 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_args(p)
     p.set_defaults(func=cmd_announcement)
 
+    p = sub.add_parser(
+        "sweep",
+        help="generic parallel sweep runner (and --self-check)",
+    )
+    p.add_argument("--scenario", choices=sorted(SWEEPS), default="withdrawal")
+    p.add_argument(
+        "--self-check", action="store_true",
+        help="run a tiny clique sweep serially and in parallel and "
+             "assert identical per-run convergence times",
+    )
+    sweep_args(p)
+    p.set_defaults(func=cmd_sweep)
+
     p = sub.add_parser("subcluster", help="sub-cluster split experiment")
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=cmd_subcluster)
@@ -234,6 +378,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--n", type=int, default=16)
     p.add_argument("--runs", type=int, default=3)
     p.add_argument("--mrai", type=float, default=30.0)
+    p.add_argument("--workers", type=int, default=1)
     p.set_defaults(func=cmd_topologies)
 
     p = sub.add_parser("flapstorm", help="bursty-input controller ablation")

@@ -9,6 +9,7 @@ from .ablations import (
 from .announcement import announcement_sweep
 from .common import (
     AnnouncementScenario,
+    FailedRun,
     FailoverScenario,
     RunResult,
     Scenario,
@@ -44,6 +45,7 @@ __all__ = [
     "recompute_delay_sweep",
     "announcement_sweep",
     "AnnouncementScenario",
+    "FailedRun",
     "FailoverScenario",
     "RunResult",
     "Scenario",

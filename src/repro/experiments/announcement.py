@@ -26,8 +26,16 @@ def announcement_sweep(
     mrai: float = 30.0,
     recompute_delay: float = 0.5,
     seed_base: int = 300,
+    workers: int = 1,
+    cache=None,
+    progress=None,
+    timeout: Optional[float] = None,
+    retries: int = 1,
 ) -> SweepResult:
-    """The announcement counterpart of Fig. 2 (text-only result in §4)."""
+    """The announcement counterpart of Fig. 2 (text-only result in §4).
+
+    Runner options as in :func:`repro.experiments.withdrawal_sweep`.
+    """
     if sdn_counts is None:
         max_sdn = n - 1
         sdn_counts = sorted(
@@ -41,4 +49,9 @@ def announcement_sweep(
         mrai=mrai,
         recompute_delay=recompute_delay,
         seed_base=seed_base,
+        workers=workers,
+        cache=cache,
+        progress=progress,
+        timeout=timeout,
+        retries=retries,
     )

@@ -22,6 +22,7 @@ from ..controller.idr import ControllerConfig
 from ..framework.convergence import ConvergenceMeasurement, measure_event
 from ..framework.experiment import Experiment, ExperimentConfig
 from ..net.addr import Prefix
+from ..runner import ParallelRunner, RunSpec, SweepTiming
 from ..topology.builders import clique
 from ..topology.model import Topology
 
@@ -33,6 +34,7 @@ __all__ = [
     "FailoverScenario",
     "AnnouncementScenario",
     "RunResult",
+    "FailedRun",
     "SweepPoint",
     "SweepResult",
     "run_scenario_once",
@@ -191,17 +193,38 @@ class AnnouncementScenario(Scenario):
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
 class RunResult:
-    """One (sdn_count, seed) run."""
+    """One (sdn_count, seed) run.
+
+    The trailing metadata fields describe *how* the run executed (they
+    never affect the measured statistics): wall-clock seconds inside
+    the worker, which worker ran it (``serial``/``pid-N``), whether it
+    was served from the result cache, and how many attempts it took.
+    """
 
     sdn_count: int
     fraction: float
     seed: int
     measurement: ConvergenceMeasurement
+    wall_time: float = 0.0
+    worker: str = ""
+    cached: bool = False
+    attempts: int = 1
 
     @property
     def convergence_time(self) -> float:
         """Seconds from firing to the last routing activity."""
         return self.measurement.convergence_time
+
+
+@dataclass(frozen=True)
+class FailedRun:
+    """A run that exhausted its retry budget (crash/timeout/exception)."""
+
+    sdn_count: int
+    fraction: float
+    seed: int
+    error: str
+    attempts: int = 1
 
 
 @dataclass
@@ -211,6 +234,7 @@ class SweepPoint:
     sdn_count: int
     fraction: float
     runs: List[RunResult] = field(default_factory=list)
+    failures: List[FailedRun] = field(default_factory=list)
 
     @property
     def times(self) -> List[float]:
@@ -236,6 +260,14 @@ class SweepResult:
     scenario: str
     n_ases: int
     points: List[SweepPoint]
+    #: how the sweep executed (elapsed, per-job wall-clock, cache hits);
+    #: None for results assembled outside the runner.
+    timing: Optional[SweepTiming] = None
+
+    @property
+    def failed_runs(self) -> List[FailedRun]:
+        """Every run that failed for good, across all points."""
+        return [f for p in self.points for f in p.failures]
 
     def medians(self) -> List[float]:
         """Median convergence times of all sweep points."""
@@ -300,35 +332,86 @@ def run_fraction_sweep(
     recompute_delay: float = 0.5,
     seed_base: int = 100,
     topology_factory=clique,
+    workers: int = 1,
+    cache=None,
+    progress=None,
+    timeout: Optional[float] = None,
+    retries: int = 1,
 ) -> SweepResult:
     """The Fig. 2 harness: sweep SDN deployment over seeded runs.
 
     ``scenario_factory`` must return a *fresh* scenario per run (scenarios
-    carry per-run state such as the announced prefix).
+    carry per-run state such as the announced prefix) and must be a
+    module-level callable (it is pickled to workers and digested for the
+    cache — see ``docs/runner.md``).
+
+    The trials are independent, so the grid routes through
+    :class:`~repro.runner.ParallelRunner`: ``workers`` processes,
+    ``cache`` (a directory path or :class:`~repro.runner.ResultCache`)
+    to skip already-computed trials, ``progress`` (``'log'``, a
+    callable, or a sink) for reporting, and ``timeout``/``retries`` for
+    fault tolerance.  Results are bit-identical across worker counts:
+    every run is seeded from the spec alone and ``SweepPoint.runs``
+    keeps the serial ordering.  Runs that fail for good land in
+    ``SweepPoint.failures`` instead of aborting the sweep.
     """
     probe = scenario_factory()
     if sdn_counts is None:
         max_sdn = n - len(probe.reserved_legacy)
         sdn_counts = list(range(0, max_sdn + 1))
-    points: List[SweepPoint] = []
+    specs: List[RunSpec] = []
     for sdn_count in sdn_counts:
-        point = SweepPoint(sdn_count=sdn_count, fraction=sdn_count / n)
         for run_index in range(runs):
             seed = seed_base + 1000 * sdn_count + run_index
-            scenario = scenario_factory()
-            topology = scenario.topology(n, topology_factory)
-            members = sdn_set_for(topology, sdn_count, scenario.reserved_legacy)
-            config = paper_config(
-                seed=seed, mrai=mrai, recompute_delay=recompute_delay
-            )
-            measurement = run_scenario_once(scenario, topology, members, config)
-            point.runs.append(
-                RunResult(
+            specs.append(
+                RunSpec(
+                    scenario_factory=scenario_factory,
+                    topology_factory=topology_factory,
+                    n=n,
                     sdn_count=sdn_count,
-                    fraction=sdn_count / n,
                     seed=seed,
-                    measurement=measurement,
+                    mrai=mrai,
+                    recompute_delay=recompute_delay,
+                    label=f"{probe.name} sdn={sdn_count} seed={seed}",
                 )
             )
+    runner = ParallelRunner(
+        workers, timeout=timeout, retries=retries,
+        cache=cache, progress=progress,
+    )
+    records = runner.run(specs)
+
+    points: List[SweepPoint] = []
+    by_spec = iter(zip(specs, records))
+    for sdn_count in sdn_counts:
+        point = SweepPoint(sdn_count=sdn_count, fraction=sdn_count / n)
+        for _ in range(runs):
+            spec, record = next(by_spec)
+            if record.ok:
+                point.runs.append(
+                    RunResult(
+                        sdn_count=sdn_count,
+                        fraction=sdn_count / n,
+                        seed=spec.seed,
+                        measurement=record.measurement,
+                        wall_time=record.wall_time,
+                        worker=record.worker,
+                        cached=record.cached,
+                        attempts=record.attempts,
+                    )
+                )
+            else:
+                point.failures.append(
+                    FailedRun(
+                        sdn_count=sdn_count,
+                        fraction=sdn_count / n,
+                        seed=spec.seed,
+                        error=record.error or "unknown failure",
+                        attempts=record.attempts,
+                    )
+                )
         points.append(point)
-    return SweepResult(scenario=probe.name, n_ases=n, points=points)
+    return SweepResult(
+        scenario=probe.name, n_ases=n, points=points,
+        timing=runner.last_timing,
+    )

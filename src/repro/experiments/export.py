@@ -36,6 +36,12 @@ def sweep_rows(result: SweepResult) -> List[dict]:
                     "decision_changes": m.decision_changes,
                     "fib_changes": m.fib_changes,
                     "recomputations": m.recomputations,
+                    # execution metadata (default-populated via getattr
+                    # so pre-runner RunResult-like objects still export)
+                    "wall_time": round(getattr(run, "wall_time", 0.0), 6),
+                    "worker": getattr(run, "worker", ""),
+                    "cached": bool(getattr(run, "cached", False)),
+                    "attempts": getattr(run, "attempts", 1),
                 }
             )
     return rows
@@ -56,6 +62,18 @@ def sweep_to_csv(result: SweepResult) -> str:
 def sweep_to_json(result: SweepResult, *, indent: int = 2) -> str:
     """JSON with per-point boxplot summaries plus the raw runs."""
     fit = result.fit()
+    timing = getattr(result, "timing", None)
+    failures = [
+        {
+            "sdn_count": f.sdn_count,
+            "fraction": round(f.fraction, 6),
+            "seed": f.seed,
+            "attempts": f.attempts,
+            "error": f.error,
+        }
+        for point in result.points
+        for f in getattr(point, "failures", [])
+    ]
     payload = {
         "scenario": result.scenario,
         "n_ases": result.n_ases,
@@ -64,6 +82,20 @@ def sweep_to_json(result: SweepResult, *, indent: int = 2) -> str:
             "intercept": fit.intercept,
             "r_squared": fit.r_squared,
         },
+        "timing": (
+            {
+                "elapsed": timing.elapsed,
+                "jobs": timing.jobs,
+                "cached": timing.cached,
+                "failed": timing.failed,
+                "total_job_wall": timing.total_job_wall,
+                "max_job_wall": timing.max_job_wall,
+                "mean_job_wall": timing.mean_job_wall,
+                "workers": timing.workers,
+            }
+            if timing is not None else None
+        ),
+        "failures": failures,
         "points": [
             {
                 "sdn_count": point.sdn_count,

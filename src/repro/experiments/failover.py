@@ -29,8 +29,16 @@ def failover_sweep(
     mrai: float = 30.0,
     recompute_delay: float = 0.5,
     seed_base: int = 200,
+    workers: int = 1,
+    cache=None,
+    progress=None,
+    timeout: Optional[float] = None,
+    retries: int = 1,
 ) -> SweepResult:
-    """The fail-over counterpart of Fig. 2 (text-only result in §4)."""
+    """The fail-over counterpart of Fig. 2 (text-only result in §4).
+
+    Runner options as in :func:`repro.experiments.withdrawal_sweep`.
+    """
     if sdn_counts is None:
         # origin + primary gateway reserved; the backup gateway is the
         # last convertible AS (n - 1 total candidates).
@@ -46,4 +54,9 @@ def failover_sweep(
         mrai=mrai,
         recompute_delay=recompute_delay,
         seed_base=seed_base,
+        workers=workers,
+        cache=cache,
+        progress=progress,
+        timeout=timeout,
+        retries=retries,
     )

@@ -12,12 +12,13 @@ system incrementally would actually ask.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from ..analysis.stats import BoxplotStats, boxplot_stats
+from ..runner import ParallelRunner, RunSpec
 from ..topology.builders import barabasi_albert
 from ..topology.model import Topology
-from .common import WithdrawalScenario, paper_config, run_scenario_once
+from .common import WithdrawalScenario
 
 __all__ = ["PlacementResult", "placement_sweep", "STRATEGIES", "pick_members"]
 
@@ -83,6 +84,12 @@ class PlacementResult:
     mean_member_degree: float
 
 
+def _ba_seed11(n: int) -> Topology:
+    # module-level (not a lambda) so sweep specs can pickle it to
+    # worker processes and digest it for the result cache.
+    return barabasi_albert(n, 2, seed=11)
+
+
 def placement_sweep(
     *,
     n: int = 16,
@@ -90,28 +97,57 @@ def placement_sweep(
     runs: int = 5,
     mrai: float = 30.0,
     seed_base: int = 800,
-    topology_factory: Callable[[int], Topology] = lambda n: barabasi_albert(
-        n, 2, seed=11
-    ),
+    topology_factory: Callable[[int], Topology] = _ba_seed11,
     strategies: Sequence[str] = ("hubs-first", "stubs-first", "spread"),
+    workers: int = 1,
+    cache=None,
+    progress=None,
+    timeout: Optional[float] = None,
+    retries: int = 1,
 ) -> List[PlacementResult]:
-    """Same budget, different member choices, same withdrawal event."""
+    """Same budget, different member choices, same withdrawal event.
+
+    Member sets are picked up front (the topology factory is
+    deterministic) and carried in each spec explicitly; the grid then
+    runs through :class:`~repro.runner.ParallelRunner`.
+    """
+    sample = topology_factory(n)
+    chosen: Dict[str, frozenset] = {
+        strategy: pick_members(
+            strategy, sample, sdn_count,
+            WithdrawalScenario().reserved_legacy,
+        )
+        for strategy in strategies
+    }
+    specs: List[RunSpec] = []
+    for strategy in strategies:
+        for run_index in range(runs):
+            specs.append(
+                RunSpec(
+                    scenario_factory=WithdrawalScenario,
+                    topology_factory=topology_factory,
+                    n=n,
+                    sdn_count=sdn_count,
+                    seed=seed_base + run_index,
+                    mrai=mrai,
+                    sdn_members=tuple(sorted(chosen[strategy])),
+                    label=f"placement-{strategy} run={run_index}",
+                )
+            )
+    runner = ParallelRunner(
+        workers, timeout=timeout, retries=retries,
+        cache=cache, progress=progress,
+    )
+    records = iter(runner.run(specs))
+
     results: List[PlacementResult] = []
     for strategy in strategies:
-        times: List[float] = []
-        members: frozenset = frozenset()
-        sample = topology_factory(n)
-        for run_index in range(runs):
-            scenario = WithdrawalScenario()
-            topology = scenario.topology(n, topology_factory)
-            members = pick_members(
-                strategy, topology, sdn_count, scenario.reserved_legacy
-            )
-            config = paper_config(seed=seed_base + run_index, mrai=mrai)
-            measurement = run_scenario_once(
-                scenario, topology, members, config
-            )
-            times.append(measurement.convergence_time)
+        members = chosen[strategy]
+        times = [
+            record.measurement.convergence_time
+            for record in (next(records) for _ in range(runs))
+            if record.ok
+        ]
         degree_sum = sum(sample.degree(a) for a in members)
         results.append(
             PlacementResult(

@@ -10,19 +10,25 @@ how much centralizing a fixed fraction of ASes helps.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from ..analysis.stats import BoxplotStats, boxplot_stats
-from ..framework.convergence import measure_event
-from ..framework.experiment import Experiment
+from ..runner import ParallelRunner, RunSpec
 from ..topology.builders import barabasi_albert, clique
 from ..topology.caida import synthetic_caida_topology
 from ..topology.iplane import synthetic_iplane_topology
 from ..topology.model import Topology
-from .common import paper_config, sdn_set_for
+from .common import WithdrawalScenario
 
 __all__ = ["TopologyFamilyResult", "topology_family_sweep", "FAMILIES"]
+
+
+def _ba(n: int) -> Topology:
+    # module-level (not a lambda) so sweep specs can pickle it to
+    # worker processes and digest it for the result cache.
+    return barabasi_albert(n, 2, seed=7)
 
 
 def _caida(n_unused: int) -> Topology:
@@ -36,7 +42,7 @@ def _iplane(n: int) -> Topology:
 #: name -> (topology factory(n), policy_mode)
 FAMILIES: Dict[str, tuple] = {
     "clique": (clique, "flat"),
-    "barabasi-albert": (lambda n: barabasi_albert(n, 2, seed=7), "flat"),
+    "barabasi-albert": (_ba, "flat"),
     "caida-synth": (_caida, "gao_rexford"),
     "iplane-synth": (_iplane, "flat"),
 }
@@ -68,31 +74,55 @@ def topology_family_sweep(
     mrai: float = 30.0,
     seed_base: int = 600,
     families: Optional[Dict[str, tuple]] = None,
+    workers: int = 1,
+    cache=None,
+    progress=None,
+    timeout: Optional[float] = None,
+    retries: int = 1,
 ) -> List[TopologyFamilyResult]:
-    """Withdrawal convergence per family, 0% vs ``sdn_fraction`` SDN."""
-    results: List[TopologyFamilyResult] = []
+    """Withdrawal convergence per family, 0% vs ``sdn_fraction`` SDN.
+
+    The whole grid (all families x both deployments x runs) is one
+    declarative job matrix executed by
+    :class:`~repro.runner.ParallelRunner` (see ``docs/runner.md``).
+    """
+    grid: List[tuple] = []  # (family, sample, sdn_count)
+    specs: List[RunSpec] = []
     for family, (factory, policy_mode) in (families or FAMILIES).items():
         sample = factory(n)
         origin = sample.asns[0]
         sdn_count = int(len(sample) * sdn_fraction)
-        times: Dict[int, List[float]] = {0: [], sdn_count: []}
+        grid.append((family, sample, sdn_count))
         for k in (0, sdn_count):
             for run_index in range(runs):
-                topology = factory(n)
-                members = sdn_set_for(topology, k, frozenset({origin}))
-                config = paper_config(
-                    seed=seed_base + run_index + k,
-                    mrai=mrai,
-                    policy_mode=policy_mode,
+                specs.append(
+                    RunSpec(
+                        scenario_factory=functools.partial(
+                            WithdrawalScenario, origin=origin
+                        ),
+                        topology_factory=factory,
+                        n=n,
+                        sdn_count=k,
+                        seed=seed_base + run_index + k,
+                        mrai=mrai,
+                        policy_mode=policy_mode,
+                        label=f"family-{family} sdn={k} run={run_index}",
+                    )
                 )
-                exp = Experiment(
-                    topology, sdn_members=members, config=config,
-                    name=f"family-{family}",
-                ).start()
-                prefix = exp.announce(origin)
-                exp.wait_converged()
-                m = measure_event(exp, lambda: exp.withdraw(origin, prefix))
-                times[k].append(m.convergence_time)
+    runner = ParallelRunner(
+        workers, timeout=timeout, retries=retries,
+        cache=cache, progress=progress,
+    )
+    records = iter(runner.run(specs))
+
+    results: List[TopologyFamilyResult] = []
+    for family, sample, sdn_count in grid:
+        times: Dict[int, List[float]] = {0: [], sdn_count: []}
+        for k in (0, sdn_count):
+            for _ in range(runs):
+                record = next(records)
+                if record.ok:
+                    times[k].append(record.measurement.convergence_time)
         results.append(
             TopologyFamilyResult(
                 family=family,

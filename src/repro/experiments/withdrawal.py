@@ -31,8 +31,18 @@ def withdrawal_sweep(
     mrai: float = 30.0,
     recompute_delay: float = 0.5,
     seed_base: int = 100,
+    workers: int = 1,
+    cache=None,
+    progress=None,
+    timeout: Optional[float] = None,
+    retries: int = 1,
 ) -> SweepResult:
-    """Reproduce Fig. 2; returns per-fraction convergence boxplot data."""
+    """Reproduce Fig. 2; returns per-fraction convergence boxplot data.
+
+    ``workers``/``cache``/``progress``/``timeout``/``retries`` route the
+    grid through :class:`~repro.runner.ParallelRunner` (results are
+    bit-identical at any worker count; see ``docs/runner.md``).
+    """
     if sdn_counts is None:
         max_sdn = n - 1
         sdn_counts = sorted(
@@ -46,4 +56,9 @@ def withdrawal_sweep(
         mrai=mrai,
         recompute_delay=recompute_delay,
         seed_base=seed_base,
+        workers=workers,
+        cache=cache,
+        progress=progress,
+        timeout=timeout,
+        retries=retries,
     )

@@ -1,0 +1,47 @@
+"""Parallel sweep orchestration: job matrices, worker pool, cache.
+
+The paper's sweeps are embarrassingly parallel grids of independent
+``(topology, sdn_fraction, seed)`` trials.  This package turns them
+into declarative :class:`RunSpec` matrices executed by a
+:class:`ParallelRunner` — process-parallel, fault-tolerant (bounded
+retry of crashed/hung workers), content-addressed result caching, and
+pluggable progress reporting — while keeping results bit-identical to
+serial execution.  See ``docs/runner.md``.
+"""
+
+from .cache import CACHE_SCHEMA, ResultCache, current_code_version
+from .jobs import (
+    RunRecord,
+    RunSpec,
+    SpecError,
+    callable_token,
+    execute_spec,
+    run_trial,
+)
+from .pool import ParallelRunner, default_workers
+from .progress import (
+    CallbackProgress,
+    LogProgress,
+    ProgressSink,
+    SweepTiming,
+    resolve_progress,
+)
+
+__all__ = [
+    "CACHE_SCHEMA",
+    "ResultCache",
+    "current_code_version",
+    "RunRecord",
+    "RunSpec",
+    "SpecError",
+    "callable_token",
+    "execute_spec",
+    "run_trial",
+    "ParallelRunner",
+    "default_workers",
+    "CallbackProgress",
+    "LogProgress",
+    "ProgressSink",
+    "SweepTiming",
+    "resolve_progress",
+]

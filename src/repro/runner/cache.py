@@ -1,0 +1,142 @@
+"""Content-addressed on-disk result cache for sweep trials.
+
+Layout: one JSON file per trial under the cache directory, named
+``<spec-digest>.json``.  Each file records the code version that wrote
+it; a version mismatch (or any unreadable/foreign file) is treated as a
+miss, so bumping ``repro.__version__`` invalidates the whole cache
+without deleting anything.  Writes are atomic (temp file + rename) so a
+killed run never leaves a half-written entry.
+
+Only *successful* records are stored — failures and timeouts always
+re-execute on the next run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import tempfile
+from typing import Optional, Union
+
+from .jobs import RunRecord, RunSpec
+
+__all__ = ["ResultCache", "current_code_version", "CACHE_SCHEMA"]
+
+#: bump when the cache file format itself changes.
+CACHE_SCHEMA = 1
+
+
+def current_code_version() -> str:
+    """The running code's version tag (part of every cache entry)."""
+    from .. import __version__
+
+    return __version__
+
+
+class ResultCache:
+    """Digest-keyed store of completed trial measurements."""
+
+    def __init__(
+        self,
+        directory: Union[str, os.PathLike],
+        *,
+        code_version: Optional[str] = None,
+    ) -> None:
+        self.directory = pathlib.Path(directory)
+        self.code_version = (
+            code_version if code_version is not None else current_code_version()
+        )
+
+    # ------------------------------------------------------------------
+    def _path(self, digest: str) -> pathlib.Path:
+        return self.directory / f"{digest}.json"
+
+    def get(self, spec: RunSpec) -> Optional[RunRecord]:
+        """The cached record for a spec, or None on any kind of miss."""
+        path = self._path(spec.digest())
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None
+        if not isinstance(payload, dict):
+            return None
+        if payload.get("schema") != CACHE_SCHEMA:
+            return None
+        if payload.get("code_version") != self.code_version:
+            return None
+        measurement_data = payload.get("measurement")
+        if not isinstance(measurement_data, dict):
+            return None
+        meta = payload.get("record", {})
+        return RunRecord(
+            digest=spec.digest(),
+            ok=True,
+            measurement=RunRecord.measurement_from_dict(measurement_data),
+            wall_time=float(meta.get("wall_time", 0.0)),
+            worker=str(meta.get("worker", "")),
+            attempts=int(meta.get("attempts", 1)),
+            cached=True,
+        )
+
+    def put(self, spec: RunSpec, record: RunRecord) -> None:
+        """Store a successful record (failed records are never cached)."""
+        if not record.ok or record.measurement is None:
+            return
+        self.directory.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "schema": CACHE_SCHEMA,
+            "code_version": self.code_version,
+            "digest": record.digest,
+            "spec": spec.describe(),
+            "record": {
+                "wall_time": record.wall_time,
+                "worker": record.worker,
+                "attempts": record.attempts,
+            },
+            "measurement": record.measurement_dict(),
+        }
+        # Atomic publish: a reader either sees the old entry or the new
+        # complete one, never a torn write.
+        fd, tmp_name = tempfile.mkstemp(
+            dir=self.directory, prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(payload, handle, indent=1)
+            os.replace(tmp_name, self._path(record.digest))
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        if not self.directory.is_dir():
+            return 0
+        return sum(
+            1 for p in self.directory.iterdir()
+            if p.suffix == ".json" and not p.name.startswith(".")
+        )
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        if not self.directory.is_dir():
+            return removed
+        for path in self.directory.iterdir():
+            if path.suffix == ".json" and not path.name.startswith("."):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
+    def __repr__(self) -> str:
+        return (
+            f"<ResultCache {str(self.directory)!r} "
+            f"entries={len(self)} version={self.code_version!r}>"
+        )

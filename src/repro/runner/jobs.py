@@ -1,0 +1,219 @@
+"""Declarative job descriptions for experiment sweeps.
+
+A sweep is an embarrassingly parallel grid of independent trials; a
+:class:`RunSpec` is the picklable, hashable description of exactly one
+of them — scenario type, topology recipe, SDN membership, timer config
+and seed.  Because the spec is *data* (no live objects, no closures) it
+can cross process boundaries to a worker pool and it has a stable
+content digest that keys the on-disk result cache.
+
+The worker entry point is :func:`execute_spec`: it rebuilds the trial
+from the spec, runs it, and returns a :class:`RunRecord` carrying the
+measurement plus wall-clock/worker metadata.  Soft failures (a scenario
+raising) are caught and returned as failed records so the pool can
+apply its retry policy uniformly.
+"""
+
+from __future__ import annotations
+
+import functools
+import hashlib
+import json
+import os
+import time
+import traceback
+from dataclasses import dataclass, field, fields
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from ..framework.convergence import ConvergenceMeasurement
+
+__all__ = [
+    "SpecError",
+    "RunSpec",
+    "RunRecord",
+    "callable_token",
+    "execute_spec",
+    "run_trial",
+]
+
+
+class SpecError(ValueError):
+    """A :class:`RunSpec` that cannot be executed or digested."""
+
+
+def callable_token(fn: Callable) -> str:
+    """A stable, process-independent identity for a factory callable.
+
+    Only *importable* callables qualify — module-level functions and
+    classes (referenced as ``module:qualname``) and ``functools.partial``
+    wrappers over them.  Lambdas and local closures are rejected: they
+    neither pickle across processes nor admit a stable digest.
+    """
+    if isinstance(fn, functools.partial):
+        inner = callable_token(fn.func)
+        kwargs = sorted(fn.keywords.items()) if fn.keywords else []
+        return f"partial({inner}, args={fn.args!r}, kwargs={kwargs!r})"
+    module = getattr(fn, "__module__", None)
+    qualname = getattr(fn, "__qualname__", None)
+    if not module or not qualname:
+        raise SpecError(f"factory {fn!r} has no importable identity")
+    if "<lambda>" in qualname or "<locals>" in qualname:
+        raise SpecError(
+            f"factory {module}:{qualname} is a lambda/local function; "
+            "sweep factories must be module-level callables so they can "
+            "be pickled to workers and digested for the result cache"
+        )
+    return f"{module}:{qualname}"
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One trial of a sweep, as pure data.
+
+    ``sdn_count`` picks members via the standard highest-ASNs-first
+    rule (:func:`~repro.experiments.common.sdn_set_for`); an explicit
+    ``sdn_members`` tuple overrides it for placement-style experiments.
+    ``label`` is cosmetic (progress lines) and excluded from the digest.
+    """
+
+    scenario_factory: Callable
+    topology_factory: Callable
+    n: int
+    sdn_count: int
+    seed: int
+    mrai: float = 30.0
+    recompute_delay: float = 0.5
+    policy_mode: str = "flat"
+    sdn_members: Optional[Tuple[int, ...]] = None
+    horizon: Optional[float] = None
+    label: str = field(default="", compare=False)
+
+    def describe(self) -> Dict[str, Any]:
+        """The digest payload: every result-determining field, as
+        process-independent primitives (factories become tokens)."""
+        return {
+            "scenario": callable_token(self.scenario_factory),
+            "topology": callable_token(self.topology_factory),
+            "n": self.n,
+            "sdn_count": self.sdn_count,
+            "seed": self.seed,
+            "mrai": self.mrai,
+            "recompute_delay": self.recompute_delay,
+            "policy_mode": self.policy_mode,
+            "sdn_members": (
+                sorted(self.sdn_members)
+                if self.sdn_members is not None else None
+            ),
+            "horizon": self.horizon,
+        }
+
+    def digest(self) -> str:
+        """Stable content digest — the cache key of this trial."""
+        payload = json.dumps(self.describe(), sort_keys=True)
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    def display(self) -> str:
+        """Short human-readable tag for progress lines."""
+        if self.label:
+            return self.label
+        return (
+            f"{callable_token(self.scenario_factory).rsplit(':', 1)[-1]}"
+            f"(n={self.n}, sdn={self.sdn_count}, seed={self.seed})"
+        )
+
+
+@dataclass
+class RunRecord:
+    """Outcome of executing one :class:`RunSpec` (success or failure)."""
+
+    digest: str
+    ok: bool
+    measurement: Optional[ConvergenceMeasurement] = None
+    error: Optional[str] = None
+    #: wall-clock seconds the trial took inside its worker.
+    wall_time: float = 0.0
+    #: ``pid-<n>`` of the worker process, or ``serial`` for in-process.
+    worker: str = ""
+    #: total execution attempts this record reflects (>= 2 after retry).
+    attempts: int = 1
+    #: True when the record came from the result cache, not execution.
+    cached: bool = False
+
+    def measurement_dict(self) -> Dict[str, Any]:
+        """JSON-ready measurement fields (for the cache)."""
+        if self.measurement is None:
+            return {}
+        return {
+            f.name: getattr(self.measurement, f.name)
+            for f in fields(ConvergenceMeasurement)
+        }
+
+    @staticmethod
+    def measurement_from_dict(data: Dict[str, Any]) -> ConvergenceMeasurement:
+        known = {f.name for f in fields(ConvergenceMeasurement)}
+        return ConvergenceMeasurement(
+            **{k: v for k, v in data.items() if k in known}
+        )
+
+
+def run_trial(spec: RunSpec) -> ConvergenceMeasurement:
+    """Rebuild the trial a spec describes and run it to completion.
+
+    This is the exact serial recipe of ``run_fraction_sweep``: fresh
+    scenario, scenario-shaped topology, standard member selection,
+    paper config seeded from the spec.
+    """
+    # Imported here, not at module top: repro.experiments.common imports
+    # the runner package, so the dependency must stay one-directional at
+    # import time.
+    from ..experiments.common import (
+        paper_config,
+        run_scenario_once,
+        sdn_set_for,
+    )
+
+    scenario = spec.scenario_factory()
+    topology = scenario.topology(spec.n, spec.topology_factory)
+    if spec.sdn_members is not None:
+        members = frozenset(spec.sdn_members)
+    else:
+        members = sdn_set_for(topology, spec.sdn_count, scenario.reserved_legacy)
+    config = paper_config(
+        seed=spec.seed,
+        mrai=spec.mrai,
+        recompute_delay=spec.recompute_delay,
+        policy_mode=spec.policy_mode,
+    )
+    return run_scenario_once(
+        scenario, topology, members, config, horizon=spec.horizon
+    )
+
+
+def execute_spec(spec: RunSpec) -> RunRecord:
+    """Pool worker entry point: run one spec, never raise.
+
+    Scenario exceptions come back as ``ok=False`` records (with the
+    traceback) so the caller's retry policy sees soft and hard failures
+    the same way; only interpreter death (crash/kill/timeout) surfaces
+    through the pool machinery itself.
+    """
+    digest = spec.digest()
+    started = time.perf_counter()
+    worker = f"pid-{os.getpid()}"
+    try:
+        measurement = run_trial(spec)
+    except Exception:
+        return RunRecord(
+            digest=digest,
+            ok=False,
+            error=traceback.format_exc(limit=20),
+            wall_time=time.perf_counter() - started,
+            worker=worker,
+        )
+    return RunRecord(
+        digest=digest,
+        ok=True,
+        measurement=measurement,
+        wall_time=time.perf_counter() - started,
+        worker=worker,
+    )

@@ -1,0 +1,169 @@
+"""Pluggable progress reporting for sweep execution.
+
+The runner emits a small, fixed set of events; a sink decides what to
+do with them.  Three built-ins cover the common cases:
+
+- :class:`ProgressSink` — the no-op base class (quiet mode);
+- :class:`LogProgress` — one log line per event to a stream;
+- :class:`CallbackProgress` — forwards ``(event, payload)`` pairs to a
+  callable (GUIs, notebooks, tests).
+
+:func:`resolve_progress` maps the user-facing shorthand (``None``,
+``"quiet"``, ``"log"``, a callable, or a sink instance) onto a sink.
+:class:`SweepTiming` is the aggregate the runner hands to
+``sweep_finished`` and that sweeps surface on ``SweepResult.timing``.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional, TextIO, Union
+
+from .jobs import RunRecord, RunSpec
+
+__all__ = [
+    "ProgressSink",
+    "LogProgress",
+    "CallbackProgress",
+    "SweepTiming",
+    "resolve_progress",
+]
+
+
+@dataclass
+class SweepTiming:
+    """Per-sweep timing/bookkeeping stats (surfaced on ``SweepResult``)."""
+
+    #: wall-clock seconds for the whole sweep (submit to last result).
+    elapsed: float = 0.0
+    #: trials in the sweep, and how they resolved.
+    jobs: int = 0
+    cached: int = 0
+    failed: int = 0
+    #: summed / max wall-clock seconds of executed (non-cached) trials.
+    total_job_wall: float = 0.0
+    max_job_wall: float = 0.0
+    #: worker processes used (1 == serial in-process).
+    workers: int = 1
+
+    @property
+    def executed(self) -> int:
+        """Trials that actually ran (cache misses)."""
+        return self.jobs - self.cached
+
+    @property
+    def mean_job_wall(self) -> float:
+        """Mean wall-clock of executed trials."""
+        return self.total_job_wall / self.executed if self.executed else 0.0
+
+    @property
+    def speedup(self) -> float:
+        """Summed job time over elapsed time (> 1 means real overlap)."""
+        return self.total_job_wall / self.elapsed if self.elapsed > 0 else 0.0
+
+
+class ProgressSink:
+    """Event receiver for a sweep run.  Base class is the quiet sink."""
+
+    def sweep_started(self, total: int, cached: int, workers: int) -> None:
+        """Called once before execution; ``cached`` jobs are already done."""
+
+    def job_started(self, index: int, spec: RunSpec, attempt: int) -> None:
+        """A trial was handed to a worker (attempt is 1-based)."""
+
+    def job_finished(self, index: int, spec: RunSpec, record: RunRecord) -> None:
+        """A trial resolved — successfully, from cache, or failed for good."""
+
+    def sweep_finished(self, timing: SweepTiming) -> None:
+        """Called once after the last trial resolves."""
+
+
+class LogProgress(ProgressSink):
+    """One human-readable line per event, to ``stream`` (default stderr)."""
+
+    def __init__(self, stream: Optional[TextIO] = None) -> None:
+        self.stream = stream if stream is not None else sys.stderr
+
+    def _emit(self, line: str) -> None:
+        print(line, file=self.stream, flush=True)
+
+    def sweep_started(self, total: int, cached: int, workers: int) -> None:
+        self._emit(
+            f"[runner] {total} trials ({cached} cached), "
+            f"{workers} worker{'s' if workers != 1 else ''}"
+        )
+
+    def job_started(self, index: int, spec: RunSpec, attempt: int) -> None:
+        retry = f" (attempt {attempt})" if attempt > 1 else ""
+        self._emit(f"[runner] > {spec.display()}{retry}")
+
+    def job_finished(self, index: int, spec: RunSpec, record: RunRecord) -> None:
+        if record.cached:
+            status = "cached"
+        elif record.ok:
+            status = f"ok in {record.wall_time:.2f}s on {record.worker}"
+        else:
+            reason = (record.error or "").strip().splitlines()
+            status = (
+                f"FAILED after {record.attempts} attempt(s)"
+                + (f": {reason[-1]}" if reason else "")
+            )
+        self._emit(f"[runner] < {spec.display()}: {status}")
+
+    def sweep_finished(self, timing: SweepTiming) -> None:
+        self._emit(
+            f"[runner] done: {timing.jobs} trials "
+            f"({timing.cached} cached, {timing.failed} failed) "
+            f"in {timing.elapsed:.2f}s "
+            f"(job time {timing.total_job_wall:.2f}s, "
+            f"speedup {timing.speedup:.2f}x)"
+        )
+
+
+class CallbackProgress(ProgressSink):
+    """Forward every event as ``callback(event_name, payload_dict)``."""
+
+    def __init__(self, callback: Callable[[str, Dict[str, Any]], None]) -> None:
+        self.callback = callback
+
+    def sweep_started(self, total: int, cached: int, workers: int) -> None:
+        self.callback(
+            "sweep_started",
+            {"total": total, "cached": cached, "workers": workers},
+        )
+
+    def job_started(self, index: int, spec: RunSpec, attempt: int) -> None:
+        self.callback(
+            "job_started", {"index": index, "spec": spec, "attempt": attempt}
+        )
+
+    def job_finished(self, index: int, spec: RunSpec, record: RunRecord) -> None:
+        self.callback(
+            "job_finished", {"index": index, "spec": spec, "record": record}
+        )
+
+    def sweep_finished(self, timing: SweepTiming) -> None:
+        self.callback("sweep_finished", {"timing": timing})
+
+
+def resolve_progress(
+    progress: Union[None, str, Callable, ProgressSink]
+) -> ProgressSink:
+    """Map the user-facing ``progress=`` shorthand onto a sink."""
+    if progress is None:
+        return ProgressSink()
+    if isinstance(progress, ProgressSink):
+        return progress
+    if isinstance(progress, str):
+        if progress in ("quiet", "none", ""):
+            return ProgressSink()
+        if progress == "log":
+            return LogProgress()
+        raise ValueError(
+            f"unknown progress mode {progress!r}; use 'quiet', 'log', "
+            "a callable, or a ProgressSink"
+        )
+    if callable(progress):
+        return CallbackProgress(progress)
+    raise TypeError(f"cannot interpret progress={progress!r}")

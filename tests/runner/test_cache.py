@@ -1,0 +1,105 @@
+"""Result cache: hit/miss, invalidation, atomicity of the contract."""
+
+from repro.experiments.common import run_fraction_sweep, WithdrawalScenario
+from repro.runner import ResultCache, RunRecord, execute_spec
+
+from .test_jobs import make_spec
+
+
+class TestHitMiss:
+    def test_empty_cache_misses(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.get(make_spec()) is None
+        assert len(cache) == 0
+
+    def test_put_then_get_round_trips(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = make_spec()
+        record = execute_spec(spec)
+        cache.put(spec, record)
+        assert len(cache) == 1
+
+        hit = cache.get(spec)
+        assert hit is not None
+        assert hit.cached is True
+        assert hit.ok is True
+        assert (
+            hit.measurement.convergence_time
+            == record.measurement.convergence_time
+        )
+        assert hit.measurement.updates_tx == record.measurement.updates_tx
+        assert hit.worker == record.worker
+
+    def test_different_spec_misses(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = make_spec()
+        cache.put(spec, execute_spec(spec))
+        assert cache.get(make_spec(seed=99)) is None
+
+    def test_failed_records_never_stored(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = make_spec()
+        cache.put(spec, RunRecord(digest=spec.digest(), ok=False, error="x"))
+        assert len(cache) == 0
+        assert cache.get(spec) is None
+
+
+class TestInvalidation:
+    def test_code_version_mismatch_is_a_miss(self, tmp_path):
+        spec = make_spec()
+        writer = ResultCache(tmp_path, code_version="1.0.0")
+        writer.put(spec, execute_spec(spec))
+        assert writer.get(spec) is not None
+
+        reader = ResultCache(tmp_path, code_version="2.0.0")
+        assert reader.get(spec) is None
+        # and the new version overwrites in place
+        reader.put(spec, execute_spec(spec))
+        assert reader.get(spec) is not None
+        assert writer.get(spec) is None
+
+    def test_corrupt_file_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = make_spec()
+        cache.put(spec, execute_spec(spec))
+        (tmp_path / f"{spec.digest()}.json").write_text("{not json")
+        assert cache.get(spec) is None
+
+    def test_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        for seed in (1, 2, 3):
+            spec = make_spec(seed=seed)
+            cache.put(spec, execute_spec(spec))
+        assert len(cache) == 3
+        assert cache.clear() == 3
+        assert len(cache) == 0
+
+
+class TestSweepIntegration:
+    def test_warm_cache_executes_zero_trials(self, tmp_path):
+        kwargs = dict(n=4, sdn_counts=[0, 2], runs=2, mrai=1.0)
+        cold = run_fraction_sweep(
+            WithdrawalScenario, cache=str(tmp_path), **kwargs
+        )
+        assert cold.timing.executed == 4
+        assert cold.timing.cached == 0
+
+        warm = run_fraction_sweep(
+            WithdrawalScenario, cache=str(tmp_path), **kwargs
+        )
+        assert warm.timing.executed == 0
+        assert warm.timing.cached == 4
+        assert all(r.cached for p in warm.points for r in p.runs)
+        assert [p.times for p in warm.points] == [p.times for p in cold.points]
+
+    def test_partial_cache_fills_the_gap(self, tmp_path):
+        run_fraction_sweep(
+            WithdrawalScenario, n=4, sdn_counts=[0], runs=2, mrai=1.0,
+            cache=str(tmp_path),
+        )
+        widened = run_fraction_sweep(
+            WithdrawalScenario, n=4, sdn_counts=[0, 2], runs=2, mrai=1.0,
+            cache=str(tmp_path),
+        )
+        assert widened.timing.cached == 2
+        assert widened.timing.executed == 2

@@ -1,0 +1,149 @@
+"""RunSpec digests, picklability, and the worker entry point."""
+
+import functools
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+
+import pytest
+
+from repro.experiments.common import FailoverScenario, WithdrawalScenario
+from repro.runner import RunSpec, SpecError, callable_token, execute_spec
+from repro.topology.builders import clique, ring
+
+from .scenarios import RaisingScenario
+
+
+def make_spec(**overrides):
+    base = dict(
+        scenario_factory=WithdrawalScenario,
+        topology_factory=clique,
+        n=4,
+        sdn_count=2,
+        seed=7,
+        mrai=1.0,
+    )
+    base.update(overrides)
+    return RunSpec(**base)
+
+
+def _digest_in_subprocess(spec):
+    return spec.digest()
+
+
+class TestCallableToken:
+    def test_module_level_class(self):
+        token = callable_token(WithdrawalScenario)
+        assert token == "repro.experiments.common:WithdrawalScenario"
+
+    def test_module_level_function(self):
+        assert callable_token(clique) == "repro.topology.builders:clique"
+
+    def test_partial_includes_bound_arguments(self):
+        a = callable_token(functools.partial(WithdrawalScenario, origin=2))
+        b = callable_token(functools.partial(WithdrawalScenario, origin=3))
+        assert a != b
+        assert "WithdrawalScenario" in a
+
+    def test_lambda_rejected(self):
+        with pytest.raises(SpecError):
+            callable_token(lambda n: clique(n))
+
+    def test_local_function_rejected(self):
+        def local_factory(n):
+            return clique(n)
+
+        with pytest.raises(SpecError):
+            callable_token(local_factory)
+
+
+class TestDigestStability:
+    def test_identical_specs_identical_digests(self):
+        assert make_spec().digest() == make_spec().digest()
+
+    def test_digest_is_sha256_hex(self):
+        digest = make_spec().digest()
+        assert len(digest) == 64
+        int(digest, 16)  # parses as hex
+
+    def test_every_result_determining_field_changes_digest(self):
+        base = make_spec().digest()
+        assert make_spec(scenario_factory=FailoverScenario).digest() != base
+        assert make_spec(topology_factory=ring).digest() != base
+        assert make_spec(n=5).digest() != base
+        assert make_spec(sdn_count=1).digest() != base
+        assert make_spec(seed=8).digest() != base
+        assert make_spec(mrai=2.0).digest() != base
+        assert make_spec(recompute_delay=1.0).digest() != base
+        assert make_spec(policy_mode="gao_rexford").digest() != base
+        assert make_spec(sdn_members=(3, 4)).digest() != base
+        assert make_spec(horizon=100.0).digest() != base
+
+    def test_label_is_cosmetic(self):
+        assert make_spec(label="x").digest() == make_spec(label="y").digest()
+        assert make_spec(label="x") == make_spec(label="y")
+
+    def test_member_order_does_not_matter(self):
+        assert (
+            make_spec(sdn_members=(4, 3)).digest()
+            == make_spec(sdn_members=(3, 4)).digest()
+        )
+
+    def test_stable_across_processes(self):
+        spec = make_spec()
+        with ProcessPoolExecutor(max_workers=1) as pool:
+            remote = pool.submit(_digest_in_subprocess, spec).result()
+        assert remote == spec.digest()
+
+    def test_partial_factory_digest_stable(self):
+        a = make_spec(
+            scenario_factory=functools.partial(WithdrawalScenario, origin=1)
+        )
+        b = make_spec(
+            scenario_factory=functools.partial(WithdrawalScenario, origin=1)
+        )
+        assert a.digest() == b.digest()
+
+
+class TestPicklability:
+    def test_spec_round_trips(self):
+        spec = make_spec(
+            scenario_factory=functools.partial(WithdrawalScenario, origin=1),
+        )
+        clone = pickle.loads(pickle.dumps(spec))
+        assert clone.digest() == spec.digest()
+
+    def test_spec_hashable(self):
+        assert len({make_spec(), make_spec(), make_spec(seed=9)}) == 2
+
+
+class TestExecuteSpec:
+    def test_success_record(self):
+        record = execute_spec(make_spec())
+        assert record.ok
+        assert record.measurement.convergence_time > 0
+        assert record.digest == make_spec().digest()
+        assert record.wall_time > 0
+        assert record.worker.startswith("pid-")
+
+    def test_matches_direct_serial_run(self):
+        from repro.experiments.common import (
+            paper_config,
+            run_scenario_once,
+            sdn_set_for,
+        )
+
+        scenario = WithdrawalScenario()
+        topology = scenario.topology(4, clique)
+        members = sdn_set_for(topology, 2, scenario.reserved_legacy)
+        direct = run_scenario_once(
+            scenario, topology, members, paper_config(seed=7, mrai=1.0)
+        )
+        record = execute_spec(make_spec())
+        assert record.measurement.convergence_time == direct.convergence_time
+        assert record.measurement.updates_tx == direct.updates_tx
+
+    def test_exception_becomes_failed_record(self):
+        record = execute_spec(make_spec(scenario_factory=RaisingScenario))
+        assert not record.ok
+        assert record.measurement is None
+        assert "scenario exploded on purpose" in record.error
