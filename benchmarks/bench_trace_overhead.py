@@ -1,0 +1,137 @@
+"""Instrumentation-bus micro-benchmark: records/sec per capture policy.
+
+Not a paper artifact — this benchmarks the repro harness itself.  The
+bus is on the hot path of every simulated message, so its overhead per
+record bounds how large an emulation the framework can drive.  We push
+a fixed record stream through four configurations:
+
+- ``no subscribers``   — counts only (the floor every run pays),
+- ``metrics only``     — the registry's per-category counters,
+- ``filtered trace``   — TraceLog retaining only route-affecting records,
+- ``full trace``       — TraceLog retaining everything (the old default).
+
+The archived baseline records throughput and the retained-record count
+of each configuration, so both a dispatch-speed regression and a
+bounded-memory regression (a "filtered" config that silently retains
+everything) show up in the diff.
+
+Knobs: ``REPRO_BENCH_TRACE_RECORDS`` (stream length, default 200_000).
+"""
+
+import os
+import time
+
+from conftest import publish
+
+from repro.eventsim import (
+    ROUTE_AFFECTING,
+    InstrumentationBus,
+    MetricsRegistry,
+    Simulator,
+    TraceLog,
+)
+
+#: mix mirroring a real withdrawal run: mostly updates, some decisions.
+STREAM_MIX = (
+    "bgp.update.tx",
+    "bgp.update.rx",
+    "bgp.update.tx",
+    "bgp.update.rx",
+    "bgp.decision",
+    "fib.change",
+    "bgp.keepalive",          # not route-affecting
+    "controller.route_event",  # not route-affecting
+)
+
+
+def stream_length():
+    return int(os.environ.get("REPRO_BENCH_TRACE_RECORDS", 200_000))
+
+
+def build(config):
+    """One (bus, retained-records-callable) pair per configuration."""
+    sim = Simulator(seed=0)
+    bus = InstrumentationBus(sim)
+    if config == "no subscribers":
+        return bus, lambda: 0
+    if config == "metrics only":
+        registry = MetricsRegistry()
+        registry.observe_bus(bus)
+        return bus, lambda: 0
+    if config == "filtered trace":
+        trace = TraceLog(bus, categories=tuple(sorted(ROUTE_AFFECTING)))
+        return bus, lambda: len(trace.records)
+    if config == "full trace":
+        trace = TraceLog(bus)
+        return bus, lambda: len(trace.records)
+    raise ValueError(config)
+
+
+def run_config(config, n):
+    bus, retained = build(config)
+    categories = [STREAM_MIX[i % len(STREAM_MIX)] for i in range(n)]
+    started = time.perf_counter()
+    record = bus.record
+    for category in categories:
+        record(category, "as1", peer="as2")
+    elapsed = time.perf_counter() - started
+    return {
+        "config": config,
+        "elapsed": elapsed,
+        "rate": n / elapsed if elapsed > 0 else float("inf"),
+        "retained": retained(),
+        "counted": bus.records_published,
+    }
+
+
+def run_all():
+    n = stream_length()
+    return [
+        run_config(config, n)
+        for config in (
+            "no subscribers", "metrics only", "filtered trace", "full trace",
+        )
+    ]
+
+
+def report(rows):
+    n = rows[0]["counted"]
+    lines = [
+        f"Instrumentation bus overhead — {n} records "
+        f"({len(STREAM_MIX)}-category mix, 6/8 route-affecting)",
+        "",
+        f"{'config':>16} {'records/sec':>14} {'retained':>10} {'counted':>10}",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row['config']:>16} {row['rate']:>13,.0f} "
+            f"{row['retained']:>10} {row['counted']:>10}"
+        )
+    full = next(r for r in rows if r["config"] == "full trace")
+    floor = next(r for r in rows if r["config"] == "no subscribers")
+    lines += [
+        "",
+        f"capture cost: full trace runs at "
+        f"{full['rate'] / floor['rate']:.0%} of the no-subscriber floor;",
+        "counts stay complete in every configuration (the 'counted'",
+        "column), so measurement never depends on what was retained.",
+    ]
+    return "\n".join(lines)
+
+
+def test_trace_overhead(benchmark):
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    publish("trace_overhead", report(rows))
+    by_config = {row["config"]: row for row in rows}
+    n = stream_length()
+    # every configuration counts every record
+    assert all(row["counted"] == n for row in rows), rows
+    # bounded memory: only the trace configs retain records, and the
+    # filter retains exactly the route-affecting share of the mix
+    assert by_config["no subscribers"]["retained"] == 0
+    assert by_config["metrics only"]["retained"] == 0
+    route_share = sum(
+        1 for c in STREAM_MIX if c in ROUTE_AFFECTING
+    ) / len(STREAM_MIX)
+    assert by_config["filtered trace"]["retained"] == int(n * route_share)
+    assert by_config["full trace"]["retained"] == n

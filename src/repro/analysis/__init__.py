@@ -3,6 +3,8 @@
 from .graphs import GraphSummary, as_graph, cut_links, summarize_topology
 from .report import experiment_report
 from .logs import (
+    ChurnTracker,
+    NodeUpdateCounter,
     RouteChange,
     churn_timeline,
     convergence_instant,
@@ -10,7 +12,7 @@ from .logs import (
     route_history,
     update_counts_by_node,
 )
-from .stats import BoxplotStats, LinearFit, boxplot_stats, linear_fit
+from .stats import BoxplotStats, LinearFit, OnlineStats, boxplot_stats, linear_fit
 from .viz import (
     ascii_boxplot_chart,
     churn_sparkline,
@@ -24,6 +26,8 @@ __all__ = [
     "as_graph",
     "cut_links",
     "summarize_topology",
+    "ChurnTracker",
+    "NodeUpdateCounter",
     "RouteChange",
     "churn_timeline",
     "convergence_instant",
@@ -32,6 +36,7 @@ __all__ = [
     "update_counts_by_node",
     "BoxplotStats",
     "LinearFit",
+    "OnlineStats",
     "boxplot_stats",
     "linear_fit",
     "ascii_boxplot_chart",

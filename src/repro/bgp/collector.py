@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional
 
-from ..eventsim import Simulator, TraceLog
+from ..eventsim import Simulator
 from ..net.addr import Prefix
 from .messages import BGPUpdate
 from .policy import PeerPolicy, RouteMap, RouteMapEntry
@@ -62,14 +62,14 @@ class RouteCollector(BGPRouter):
     def __init__(
         self,
         sim: Simulator,
-        trace: TraceLog,
+        instrument,
         name: str = "collector",
         *,
         asn: int = COLLECTOR_ASN,
         timers: Optional[BGPTimers] = None,
     ) -> None:
         timers = timers if timers is not None else BGPTimers(mrai=0.0)
-        super().__init__(sim, trace, name, asn=asn, timers=timers)
+        super().__init__(sim, instrument, name, asn=asn, timers=timers)
         self.feed: List[CollectedUpdate] = []
 
     def add_peer(self, link, **kwargs) -> BGPSession:
@@ -90,7 +90,7 @@ class RouteCollector(BGPRouter):
                 withdrawn=tuple(update.withdrawn),
             )
         )
-        self.trace.record(
+        self.bus.record(
             "collector.update", self.name,
             peer=session.peer_name,
             announced=len(update.announced),

@@ -16,7 +16,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Dict, Iterable, List, Optional, Tuple
 
-from ..eventsim import Simulator, TraceLog
+from ..eventsim import Simulator
 from ..net.addr import Prefix
 from ..net.dataplane import FibEntry
 from ..net.link import Link
@@ -38,7 +38,7 @@ class BGPRouter(Node):
     def __init__(
         self,
         sim: Simulator,
-        trace: TraceLog,
+        instrument,
         name: str,
         *,
         asn: int,
@@ -46,7 +46,7 @@ class BGPRouter(Node):
         decision: Optional[DecisionConfig] = None,
         damping: Optional[DampingConfig] = None,
     ) -> None:
-        super().__init__(sim, trace, name)
+        super().__init__(sim, instrument, name)
         if asn <= 0:
             raise ValueError(f"ASN must be positive: {asn!r}")
         self.asn = asn
@@ -140,7 +140,7 @@ class BGPRouter(Node):
         attrs = add_community(LOCAL_COMMUNITY)(attrs)
         self.originated[prefix] = attrs
         self.add_local_prefix(prefix)
-        self.trace.record("bgp.originate", self.name, prefix=str(prefix))
+        self.bus.record("bgp.originate", self.name, prefix=str(prefix))
         self._run_decision(prefix)
 
     def withdraw(self, prefix: Prefix) -> None:
@@ -149,7 +149,7 @@ class BGPRouter(Node):
             raise KeyError(f"{self.name} does not originate {prefix}")
         del self.originated[prefix]
         self.remove_local_prefix(prefix)
-        self.trace.record("bgp.withdraw", self.name, prefix=str(prefix))
+        self.bus.record("bgp.withdraw", self.name, prefix=str(prefix))
         self._run_decision(prefix)
 
     # ------------------------------------------------------------------
@@ -160,7 +160,7 @@ class BGPRouter(Node):
         link_id = session.link.link_id
         self._rib_in[link_id] = AdjRibIn(session.peer_asn, session.peer_name)
         self._rib_out[link_id] = AdjRibOut(session.peer_asn, session.peer_name)
-        self.trace.record(
+        self.bus.record(
             "bgp.session.up", self.name,
             peer=session.peer_name, peer_asn=session.peer_asn,
         )
@@ -176,7 +176,7 @@ class BGPRouter(Node):
         rib_out = self._rib_out.get(link_id)
         if rib_out is not None:
             rib_out.clear()
-        self.trace.record(
+        self.bus.record(
             "bgp.session.down", self.name,
             peer=session.link.other(self).name, reason=reason,
         )
@@ -188,7 +188,7 @@ class BGPRouter(Node):
     # ------------------------------------------------------------------
     def enqueue_update(self, session: BGPSession, update: BGPUpdate) -> None:
         """Queue a received UPDATE for serialized processing."""
-        self.trace.record(
+        self.bus.record(
             "bgp.update.rx", self.name,
             peer=session.link.other(self).name,
             announced=[(str(p), str(a.as_path)) for p, a in update.announced],
@@ -255,7 +255,7 @@ class BGPRouter(Node):
             return
         suppressed = self.damper.record_flap((link_id, prefix), kind=kind)
         if suppressed:
-            self.trace.record(
+            self.bus.record(
                 "bgp.damping.suppress", self.name,
                 prefix=str(prefix), link_id=link_id,
                 penalty=round(self.damper.penalty_of((link_id, prefix)), 1),
@@ -263,7 +263,7 @@ class BGPRouter(Node):
 
     def _on_damping_reuse(self, key) -> None:
         link_id, prefix = key
-        self.trace.record(
+        self.bus.record(
             "bgp.damping.reuse", self.name,
             prefix=str(prefix), link_id=link_id,
         )
@@ -313,7 +313,7 @@ class BGPRouter(Node):
     def _on_best_changed(
         self, prefix: Prefix, old: Optional[Route], new: Optional[Route]
     ) -> None:
-        self.trace.record(
+        self.bus.record(
             "bgp.decision", self.name,
             prefix=str(prefix),
             old=str(old.attrs.as_path) if old else None,
@@ -326,7 +326,7 @@ class BGPRouter(Node):
     def _install_fib(self, prefix: Prefix, route: Optional[Route]) -> None:
         if route is None:
             if self.fib.remove(prefix):
-                self.trace.record(
+                self.bus.record(
                     "fib.change", self.name, prefix=str(prefix), via=None
                 )
             return
@@ -340,7 +340,7 @@ class BGPRouter(Node):
                 prefix, session.link, via=route.peer_name, source="bgp",
             )
         if self.fib.install(entry):
-            self.trace.record(
+            self.bus.record(
                 "fib.change", self.name, prefix=str(prefix), via=entry.via
             )
 

@@ -403,7 +403,7 @@ class BGPSession:
             withdrawn=tuple(withdrawn),
         )
         self.updates_sent += 1
-        self.router.trace.record(
+        self.router.bus.record(
             "bgp.update.tx",
             self.router.name,
             peer=self.link.other(self.router).name,

@@ -14,7 +14,10 @@ Usage (also ``python -m repro --help``)::
 
 Every sweep command accepts ``--workers/--cache-dir/--no-cache`` (see
 ``docs/runner.md``): parallel execution is bit-identical to serial, and
-a warm cache re-runs only missing trials.
+a warm cache re-runs only missing trials.  ``--trace-level`` bounds
+per-run trace memory (``off`` keeps zero records), ``--metrics``
+collects per-run metric snapshots, and a global ``--quiet`` silences
+informational output (primary artifacts and warnings still print).
 
 Every command prints the same rows/series the corresponding paper
 artifact reports; the benchmarks under ``benchmarks/`` are the
@@ -29,6 +32,7 @@ import sys
 from typing import List, Optional
 
 from .analysis import ascii_boxplot_chart, topology_dot
+from .eventsim import format_snapshot
 from .experiments import (
     WithdrawalScenario,
     announcement_sweep,
@@ -45,10 +49,33 @@ from .experiments import (
 from .framework import Experiment, measure_event
 from .topology import barabasi_albert, clique, line, ring, star
 
-__all__ = ["main"]
+__all__ = ["main", "Output"]
 
 #: environment fallback for ``--cache-dir`` on every sweep command.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+class Output:
+    """The CLI's single output gate.
+
+    Every command writes through one of these instead of calling
+    ``print()`` directly, so ``--quiet`` has exactly one switch to
+    flip: :meth:`info` lines vanish, :meth:`emit` lines (primary
+    artifacts and warnings) always reach stdout.
+    """
+
+    def __init__(self, quiet: bool = False, stream=None) -> None:
+        self.quiet = quiet
+        self.stream = stream if stream is not None else sys.stdout
+
+    def info(self, text: str = "") -> None:
+        """Informational line; suppressed by ``--quiet``."""
+        if not self.quiet:
+            print(text, file=self.stream)
+
+    def emit(self, text: str = "") -> None:
+        """Primary artifact or warning; never suppressed."""
+        print(text, file=self.stream)
 
 
 def _ba8(n: int) -> object:
@@ -87,26 +114,35 @@ def _parse_topology(text: str):
     return builders[kind](size)
 
 
-def _print_sweep(result, title: str) -> None:
-    print(title)
-    print("-" * len(title))
+def _print_sweep(result, title: str, out: Output) -> None:
+    out.info(title)
+    out.info("-" * len(title))
     rows = []
     for point in result.points:
         s = point.stats
-        print(
+        out.info(
             f"  {point.sdn_count:2d}/{result.n_ases} SDN  "
             f"median {s.median:8.1f}s  q1 {s.q1:8.1f}  q3 {s.q3:8.1f}  "
             f"updates {point.median_updates:5.0f}"
         )
         rows.append((f"{point.sdn_count:2d}/{result.n_ases}", s))
-    print()
-    print(ascii_boxplot_chart(rows, unit="s"))
+    out.info()
+    out.info(ascii_boxplot_chart(rows, unit="s"))
     fit = result.fit()
-    print(
+    out.info(
         f"\nlinear fit of medians: slope {fit.slope:.1f}s/fraction, "
         f"R^2 {fit.r_squared:.3f}; "
         f"reduction at max deployment {result.reduction_at_full():.0%}"
     )
+
+
+def _print_metrics(result, out: Output) -> None:
+    """Merged metrics summary for sweeps launched with --metrics."""
+    merged = result.merged_metrics()
+    if merged is None:
+        return
+    out.info("\nmetrics (merged over all runs)")
+    out.info(format_snapshot(merged))
 
 
 def _runner_kwargs(args) -> dict:
@@ -119,18 +155,20 @@ def _runner_kwargs(args) -> dict:
         "workers": getattr(args, "workers", 1),
         "cache": cache,
         "progress": "log" if getattr(args, "progress", False) else None,
+        "trace_level": getattr(args, "trace_level", "full"),
+        "metrics": getattr(args, "metrics", False),
     }
 
 
-def _export_sweep(result, args) -> None:
+def _export_sweep(result, args, out: Output) -> None:
     if getattr(args, "csv", None):
         with open(args.csv, "w") as handle:
             handle.write(sweep_to_csv(result))
-        print(f"\nwrote {args.csv}")
+        out.info(f"\nwrote {args.csv}")
     if getattr(args, "json", None):
         with open(args.json, "w") as handle:
             handle.write(sweep_to_json(result))
-        print(f"wrote {args.json}")
+        out.info(f"wrote {args.json}")
 
 
 def cmd_fig2(args) -> int:
@@ -139,8 +177,9 @@ def cmd_fig2(args) -> int:
         recompute_delay=args.recompute_delay,
         **_runner_kwargs(args),
     )
-    _print_sweep(result, f"Fig. 2 — withdrawal on a {args.n}-AS clique")
-    _export_sweep(result, args)
+    _print_sweep(result, f"Fig. 2 — withdrawal on a {args.n}-AS clique", args.out)
+    _print_metrics(result, args.out)
+    _export_sweep(result, args, args.out)
     return 0
 
 
@@ -150,8 +189,9 @@ def cmd_failover(args) -> int:
         recompute_delay=args.recompute_delay,
         **_runner_kwargs(args),
     )
-    _print_sweep(result, f"§4 — fail-over (dual-homed origin, {args.n}-AS clique)")
-    _export_sweep(result, args)
+    _print_sweep(result, f"§4 — fail-over (dual-homed origin, {args.n}-AS clique)", args.out)
+    _print_metrics(result, args.out)
+    _export_sweep(result, args, args.out)
     return 0
 
 
@@ -161,20 +201,22 @@ def cmd_announcement(args) -> int:
         recompute_delay=args.recompute_delay,
         **_runner_kwargs(args),
     )
-    _print_sweep(result, f"§4 — announcement ({args.n}-AS clique)")
-    _export_sweep(result, args)
+    _print_sweep(result, f"§4 — announcement ({args.n}-AS clique)", args.out)
+    _print_metrics(result, args.out)
+    _export_sweep(result, args, args.out)
     return 0
 
 
 def cmd_subcluster(args) -> int:
+    out = args.out
     result = run_subcluster_experiment(seed=args.seed)
-    print("Sub-cluster split experiment (bar-bell cluster)")
-    print(f"  sub-clusters before: {result.sub_clusters_before}")
-    print(f"  sub-clusters after : {result.sub_clusters_after}")
-    print(f"  reachable after    : {result.reachable_after}")
-    print(f"  cross-cluster path : {' -> '.join(result.cross_path_after)}")
-    print(f"  convergence        : "
-          f"{result.measurement.convergence_time:.2f}s")
+    out.info("Sub-cluster split experiment (bar-bell cluster)")
+    out.info(f"  sub-clusters before: {result.sub_clusters_before}")
+    out.info(f"  sub-clusters after : {result.sub_clusters_after}")
+    out.info(f"  reachable after    : {result.reachable_after}")
+    out.info(f"  cross-cluster path : {' -> '.join(result.cross_path_after)}")
+    out.info(f"  convergence        : "
+             f"{result.measurement.convergence_time:.2f}s")
     return 0 if result.reachable_after else 1
 
 
@@ -183,9 +225,9 @@ def cmd_topologies(args) -> int:
         n=args.n, runs=args.runs, mrai=args.mrai,
         workers=args.workers,
     )
-    print("Topology families — withdrawal, 0% vs 50% SDN")
+    args.out.info("Topology families — withdrawal, 0% vs 50% SDN")
     for r in results:
-        print(
+        args.out.info(
             f"  {r.family:>16}: pure {r.pure_bgp.median:7.1f}s  "
             f"hybrid {r.hybrid.median:7.1f}s  reduction {r.reduction:.0%}"
         )
@@ -197,11 +239,11 @@ def cmd_flapstorm(args) -> int:
         n=args.n, sdn_count=args.n // 2, flaps=args.flaps,
         delays=tuple(args.delays), seed=args.seed,
     )
-    print("Flap storm — controller churn vs recompute discipline")
-    print(f"({args.flaps} flaps at 0.2s intervals, {args.n}-AS clique)")
+    args.out.info("Flap storm — controller churn vs recompute discipline")
+    args.out.info(f"({args.flaps} flaps at 0.2s intervals, {args.n}-AS clique)")
     for r in results:
         mode = "extend " if r.extend_on_burst else "ratelim"
-        print(
+        args.out.info(
             f"  {mode} delay={r.recompute_delay:4.1f}s: "
             f"recomputes={r.recomputations:3d} flow-mods={r.flow_mods:3d} "
             f"settle-after={r.settle_after_storm:5.1f}s "
@@ -228,8 +270,9 @@ def _self_check(args) -> int:
     kwargs = dict(
         n=n, sdn_counts=[0, n // 2, n - 1], runs=runs, mrai=1.0,
     )
+    out = args.out
     workers = max(2, args.workers)
-    print(
+    out.info(
         f"runner self-check: withdrawal on a {n}-AS clique, "
         f"{runs} runs/point, serial vs {workers} workers"
     )
@@ -246,18 +289,18 @@ def _self_check(args) -> int:
         for p in parallel.points for r in p.runs
     ]
     if serial.failed_runs or parallel.failed_runs:
-        print("FAIL: some runs did not complete")
+        out.emit("FAIL: some runs did not complete")
         return 1
     for s, q in zip(serial_times, parallel_times):
         marker = "ok" if s == q else "MISMATCH"
-        print(
+        out.info(
             f"  sdn={s[0]:2d} seed={s[1]:5d}  "
             f"serial {s[2]:.6f}s  parallel {q[2]:.6f}s  {marker}"
         )
     if serial_times != parallel_times:
-        print("FAIL: parallel execution changed the results")
+        out.emit("FAIL: parallel execution changed the results")
         return 1
-    print(
+    out.info(
         f"PASS: {len(serial_times)} runs bit-identical across "
         f"serial and parallel execution"
     )
@@ -273,47 +316,57 @@ def cmd_sweep(args) -> int:
         recompute_delay=args.recompute_delay,
         **_runner_kwargs(args),
     )
-    _print_sweep(result, f"{args.scenario} sweep ({args.n}-AS clique)")
+    out = args.out
+    _print_sweep(result, f"{args.scenario} sweep ({args.n}-AS clique)", out)
+    _print_metrics(result, out)
     if result.failed_runs:
-        print(f"\nWARNING: {len(result.failed_runs)} run(s) failed:")
+        out.emit(f"\nWARNING: {len(result.failed_runs)} run(s) failed:")
         for failure in result.failed_runs:
             first_line = failure.error.strip().splitlines()[-1]
-            print(
+            out.emit(
                 f"  sdn={failure.sdn_count} seed={failure.seed} "
                 f"after {failure.attempts} attempt(s): {first_line}"
             )
     if result.timing is not None:
         t = result.timing
-        print(
+        out.info(
             f"\nexecuted {t.executed}/{t.jobs} trials "
             f"({t.cached} cached, {t.failed} failed) in {t.elapsed:.1f}s "
             f"with {t.workers} worker(s); "
             f"job time {t.total_job_wall:.1f}s (speedup {t.speedup:.2f}x)"
         )
-    _export_sweep(result, args)
+    _export_sweep(result, args, out)
     return 0 if not result.failed_runs else 1
 
 
 def cmd_demo(args) -> int:
+    out = args.out
     sdn = _parse_sdn(args.sdn)
     exp = Experiment(
         clique(args.n), sdn_members=sdn,
-        config=paper_config(seed=args.seed, mrai=args.mrai),
+        config=paper_config(
+            seed=args.seed, mrai=args.mrai,
+            trace_level=args.trace_level, metrics=args.metrics,
+        ),
     ).start()
     prefix = exp.announce(1)
     exp.wait_converged()
     m = measure_event(exp, lambda: exp.withdraw(1, prefix))
-    print(
+    out.info(
         f"{args.n}-AS clique, SDN members {sorted(sdn) or 'none'}: "
         f"withdrawal converged in {m.convergence_time:.1f}s "
         f"({m.updates_tx} updates)"
     )
+    snapshot = exp.metrics_snapshot()
+    if snapshot is not None:
+        out.info("\nmetrics")
+        out.info(format_snapshot(snapshot))
     return 0
 
 
 def cmd_dot(args) -> int:
     topo = _parse_topology(args.topology)
-    print(topology_dot(topo, sdn_members=sorted(_parse_sdn(args.sdn))))
+    args.out.emit(topology_dot(topo, sdn_members=sorted(_parse_sdn(args.sdn))))
     return 0
 
 
@@ -321,6 +374,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Hybrid BGP-SDN emulation framework (SIGCOMM'14 repro)",
+    )
+    parser.add_argument(
+        "-q", "--quiet", action="store_true",
+        help="suppress informational output (artifacts and warnings "
+             "still print; exit codes carry pass/fail)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -344,6 +402,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="ignore any result cache for this run")
         p.add_argument("--progress", action="store_true",
                        help="log one line per trial to stderr")
+        p.add_argument("--trace-level", choices=["full", "route", "off"],
+                       default="full",
+                       help="per-run trace retention: full trace, "
+                            "route-affecting only, or none (streaming "
+                            "measurement still sees everything)")
+        p.add_argument("--metrics", action="store_true",
+                       help="collect per-run metric snapshots and print "
+                            "a merged summary")
 
     p = sub.add_parser("fig2", help="withdrawal sweep (paper Fig. 2)")
     sweep_args(p)
@@ -394,6 +460,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="comma list / ranges, e.g. 5,6,7 or 5-8")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--mrai", type=float, default=30.0)
+    p.add_argument("--trace-level", choices=["full", "route", "off"],
+                   default="full")
+    p.add_argument("--metrics", action="store_true",
+                   help="print the run's metrics snapshot")
     p.set_defaults(func=cmd_demo)
 
     p = sub.add_parser("dot", help="Graphviz export of a topology")
@@ -407,6 +477,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    args.out = Output(quiet=args.quiet)
     return args.func(args)
 
 

@@ -26,7 +26,7 @@ from typing import Dict, List, Optional, Set
 
 from ..bgp.attrs import AsPath, Origin, PathAttributes
 from ..bgp.policy import Relationship
-from ..eventsim import DebounceTimer, Simulator, TraceLog
+from ..eventsim import DebounceTimer, Simulator
 from ..net.addr import Prefix
 from ..net.link import Link
 from ..net.messages import Message
@@ -62,12 +62,12 @@ class IDRController(Node):
     def __init__(
         self,
         sim: Simulator,
-        trace: TraceLog,
+        instrument,
         name: str = "controller",
         *,
         config: Optional[ControllerConfig] = None,
     ) -> None:
-        super().__init__(sim, trace, name)
+        super().__init__(sim, instrument, name)
         self.config = config if config is not None else ControllerConfig()
         self.switch_graph = SwitchGraph()
         self.speaker: Optional[ClusterBGPSpeaker] = None
@@ -122,7 +122,7 @@ class IDRController(Node):
             raise KeyError(f"not a member: {member!r}")
         self.originations.setdefault(prefix, set()).add(member)
         self._members[member].add_local_prefix(prefix)
-        self.trace.record(
+        self.bus.record(
             "bgp.originate", member, prefix=str(prefix), via="controller"
         )
         self.mark_dirty([prefix])
@@ -136,7 +136,7 @@ class IDRController(Node):
         if not members:
             self.originations.pop(prefix, None)
         self._members[member].remove_local_prefix(prefix)
-        self.trace.record(
+        self.bus.record(
             "bgp.withdraw", member, prefix=str(prefix), via="controller"
         )
         self.mark_dirty([prefix])
@@ -146,7 +146,7 @@ class IDRController(Node):
     # ------------------------------------------------------------------
     def route_event(self, peering: Peering, prefixes: List[Prefix]) -> None:
         """External BGP input changed some prefixes at one peering."""
-        self.trace.record(
+        self.bus.record(
             "controller.route_event", self.name,
             peering=str(peering), prefixes=[str(p) for p in prefixes],
         )
@@ -154,13 +154,13 @@ class IDRController(Node):
 
     def peering_established(self, peering: Peering) -> None:
         """Speaker callback: a peering came up."""
-        self.trace.record(
+        self.bus.record(
             "controller.peering.up", self.name, peering=str(peering)
         )
 
     def peering_lost(self, peering: Peering, affected: List[Prefix]) -> None:
         """Speaker callback: a peering went down."""
-        self.trace.record(
+        self.bus.record(
             "controller.peering.down", self.name,
             peering=str(peering), prefixes=[str(p) for p in affected],
         )
@@ -182,7 +182,7 @@ class IDRController(Node):
             self._handle_port_status(message)
         elif isinstance(message, PacketIn):
             self.packet_ins += 1
-            self.trace.record(
+            self.bus.record(
                 "controller.packet_in", self.name,
                 switch=message.switch, dst=message.dst,
             )
@@ -190,7 +190,7 @@ class IDRController(Node):
             pass
 
     def _handle_port_status(self, status: PortStatus) -> None:
-        self.trace.record(
+        self.bus.record(
             "controller.port_status", self.name,
             switch=status.switch, peer=status.peer, up=status.up,
         )
@@ -201,7 +201,7 @@ class IDRController(Node):
         # link) can invalidate every computed route: recompute all.
         self.mark_dirty(self.known_prefixes())
         if changed:
-            self.trace.record(
+            self.bus.record(
                 "controller.switch_graph", self.name,
                 sub_clusters=[sorted(c) for c in self.switch_graph.sub_clusters()],
             )
@@ -214,7 +214,7 @@ class IDRController(Node):
         if not dirty:
             return
         self.recomputations += 1
-        self.trace.record(
+        self.bus.record(
             "controller.recompute", self.name,
             prefixes=[str(p) for p in sorted(dirty)],
             coalesced=self._recompute_timer.triggers_coalesced,
@@ -247,7 +247,7 @@ class IDRController(Node):
         for member, removal in plan.removals:
             self._send_to_switch(member, removal)
         if decisions != old_decisions and self.speaker is not None:
-            self.trace.record(
+            self.bus.record(
                 "controller.advertise", self.name, prefix=str(prefix)
             )
             self.speaker.schedule_all_sessions(prefix)
@@ -255,12 +255,12 @@ class IDRController(Node):
     def _send_to_switch(self, member: str, message: Message) -> None:
         link = self._control_links.get(member)
         if link is None or not link.up:
-            self.trace.record(
+            self.bus.record(
                 "controller.control_link_down", self.name, member=member
             )
             return
         self.flow_mods_sent += 1
-        self.trace.record(
+        self.bus.record(
             "controller.flow_install", self.name,
             member=member, message=type(message).__name__,
         )

@@ -25,7 +25,7 @@ from ..bgp.attrs import PathAttributes
 from ..bgp.messages import BGPMessage, BGPUpdate
 from ..bgp.rib import AdjRibIn, AdjRibOut, Route
 from ..bgp.session import BGPSession, BGPTimers
-from ..eventsim import Simulator, TraceLog
+from ..eventsim import Simulator
 from ..net.addr import Prefix
 from ..net.link import Link
 from ..net.messages import Message
@@ -62,12 +62,12 @@ class ClusterBGPSpeaker(Node):
     def __init__(
         self,
         sim: Simulator,
-        trace: TraceLog,
+        instrument,
         name: str = "speaker",
         *,
         timers: Optional[BGPTimers] = None,
     ) -> None:
-        super().__init__(sim, trace, name)
+        super().__init__(sim, instrument, name)
         self.asn = SPEAKER_ASN
         #: ExaBGP applies no MRAI; the controller's delayed recomputation
         #: is the cluster's rate limiter (paper §3).
@@ -152,7 +152,7 @@ class ClusterBGPSpeaker(Node):
         session = self.sessions.get(link.link_id)
         if session is None:
             return
-        self.trace.record(
+        self.bus.record(
             "speaker.peering", self.name,
             switch=status.switch, peer=status.peer, up=status.up,
         )
@@ -176,7 +176,7 @@ class ClusterBGPSpeaker(Node):
         self._rib_in[link_id] = AdjRibIn(session.peer_asn, session.peer_name)
         self._rib_out[link_id] = AdjRibOut(session.peer_asn, session.peer_name)
         peering = self.peering_of[link_id]
-        self.trace.record(
+        self.bus.record(
             "speaker.session.up", self.name,
             peering=str(peering), peer_asn=session.peer_asn,
         )
@@ -190,7 +190,7 @@ class ClusterBGPSpeaker(Node):
         peering = self.peering_of[link_id]
         affected = self._rib_in[link_id].clear()
         self._rib_out[link_id].clear()
-        self.trace.record(
+        self.bus.record(
             "speaker.session.down", self.name,
             peering=str(peering), reason=reason,
         )
@@ -199,7 +199,7 @@ class ClusterBGPSpeaker(Node):
 
     def enqueue_update(self, session: BGPSession, update: BGPUpdate) -> None:
         """Queue a received UPDATE for serialized processing."""
-        self.trace.record(
+        self.bus.record(
             "bgp.update.rx", self.name,
             peer=session.peer_name, peering=str(self.peering_of[session.link.link_id]),
             announced=[(str(p), str(a.as_path)) for p, a in update.announced],

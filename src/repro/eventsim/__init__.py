@@ -7,13 +7,25 @@ Public surface:
   foreground/background event classification.
 - :class:`Timer`, :class:`PeriodicTimer`, :class:`DebounceTimer` —
   the timer disciplines BGP and the IDR controller need.
-- :class:`TraceLog` / :class:`TraceRecord` — structured logging consumed
-  by the analysis tools.
+- :class:`InstrumentationBus` — the publish/subscribe hub every
+  component emits typed records on.
+- :class:`TraceLog` / :class:`TraceRecord` — bounded record capture
+  (one bus subscriber) consumed by the analysis tools.
+- :class:`MetricsRegistry` — streaming counters/gauges/histograms.
 """
 
+from .bus import InstrumentationBus, ROUTE_AFFECTING, Subscription, bus_of
 from .core import Event, SimulationError, Simulator
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    format_snapshot,
+    merge_snapshots,
+)
 from .timer import DebounceTimer, PeriodicTimer, Timer
-from .trace import ROUTE_AFFECTING, TraceLog, TraceRecord
+from .trace import TraceLog, TraceRecord
 
 __all__ = [
     "Event",
@@ -22,7 +34,16 @@ __all__ = [
     "Timer",
     "PeriodicTimer",
     "DebounceTimer",
+    "InstrumentationBus",
+    "Subscription",
+    "bus_of",
     "TraceLog",
     "TraceRecord",
     "ROUTE_AFFECTING",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "merge_snapshots",
+    "format_snapshot",
 ]

@@ -1,0 +1,236 @@
+"""Streaming instrumentation bus — the framework's logging backbone.
+
+Every component publishes typed :class:`TraceRecord` events here instead
+of appending to a log directly; subscribers (the bounded
+:class:`~repro.eventsim.trace.TraceLog`, the streaming convergence
+tracker, the metrics registry, live visualizers) each receive exactly
+the records they asked for.  This is the publish/subscribe layer that
+lets large sweeps keep bounded — or zero — trace memory while online
+consumers compute in O(1) per record what previously required full-trace
+scans.
+
+Records carry a dotted ``category`` (``bgp.update.rx``, ``fib.change``,
+``controller.recompute`` ...), the node name, and a free-form payload
+dict.  Categories listed in :data:`ROUTE_AFFECTING` are the ones whose
+last occurrence after an injected event defines the convergence instant.
+
+Subscriptions take an optional category filter (dotted-prefix matching,
+same convention as :meth:`TraceRecord.matches`) and an optional sampling
+stride (deliver every Nth matching record), so a subscriber can bound
+its own cost independently of the publishing rate.  The bus itself
+maintains per-category record counts in O(1) regardless of who is
+subscribed — counting is the one piece of state every consumer needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+__all__ = [
+    "TraceRecord",
+    "Subscription",
+    "InstrumentationBus",
+    "ROUTE_AFFECTING",
+    "bus_of",
+]
+
+#: Categories that indicate routing state is still in flux.  The
+#: convergence time of an injected event is the timestamp of the last
+#: record in one of these categories (see ``framework.convergence``).
+ROUTE_AFFECTING = frozenset(
+    {
+        "bgp.update.tx",
+        "bgp.update.rx",
+        "bgp.decision",
+        "bgp.originate",
+        "bgp.withdraw",
+        "fib.change",
+        "controller.recompute",
+        "controller.flow_install",
+        "controller.advertise",
+    }
+)
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One timestamped instrumentation record."""
+
+    time: float
+    category: str
+    node: str
+    data: dict = field(default_factory=dict)
+
+    def matches(self, prefix: str) -> bool:
+        """True if this record's category equals or is nested under ``prefix``."""
+        return self.category == prefix or self.category.startswith(prefix + ".")
+
+
+@dataclass
+class Subscription:
+    """One subscriber's standing request for records.
+
+    ``categories`` is None for "everything" or an iterable of dotted
+    prefixes; a record is delivered when its category equals a prefix or
+    nests under it.  ``sample`` delivers every Nth matching record (the
+    first match always delivers, so short runs are never empty).
+    """
+
+    callback: Callable[[TraceRecord], None]
+    categories: Optional[Tuple[str, ...]] = None
+    sample: int = 1
+    name: str = ""
+    _seen: int = field(default=0, repr=False)
+
+    def wants(self, category: str) -> bool:
+        """Category-filter check (prefix semantics, no sampling)."""
+        if self.categories is None:
+            return True
+        for prefix in self.categories:
+            if category == prefix or category.startswith(prefix + "."):
+                return True
+        return False
+
+    def deliver(self, record: TraceRecord) -> None:
+        """Hand one matching record to the callback, honoring sampling."""
+        seen = self._seen
+        self._seen = seen + 1
+        if self.sample <= 1 or seen % self.sample == 0:
+            self.callback(record)
+
+
+class InstrumentationBus:
+    """Publish/subscribe hub for all emulation instrumentation.
+
+    Components publish via :meth:`record`; the per-category dispatch
+    list is cached, so the steady-state cost of a record is one dict
+    lookup plus one callback per interested subscriber.  Per-category
+    totals (:attr:`counts`) are maintained unconditionally — they are
+    the O(1) backbone of activity counting (update/decision/FIB deltas)
+    and survive even a zero-subscriber, zero-trace run.
+    """
+
+    def __init__(self, sim) -> None:
+        self._sim = sim
+        self._subscriptions: List[Subscription] = []
+        #: total records published per exact category.
+        self.counts: Dict[str, int] = {}
+        #: category -> subscriptions that want it (dispatch cache).
+        self._routes: Dict[str, Tuple[Subscription, ...]] = {}
+        self.records_published = 0
+
+    @property
+    def now(self) -> float:
+        """Current virtual time of the owning simulator."""
+        return self._sim.now
+
+    # ------------------------------------------------------------------
+    # subscription management
+    # ------------------------------------------------------------------
+    def subscribe(
+        self,
+        callback: Callable[[TraceRecord], None],
+        *,
+        categories=None,
+        sample: int = 1,
+        name: str = "",
+    ) -> Subscription:
+        """Attach a subscriber; returns the handle for :meth:`unsubscribe`.
+
+        ``categories``: None (everything) or an iterable of dotted
+        prefixes.  ``sample``: deliver every Nth matching record.
+        """
+        if sample < 1:
+            raise ValueError(f"sample stride must be >= 1: {sample!r}")
+        subscription = Subscription(
+            callback=callback,
+            categories=tuple(sorted(categories)) if categories is not None else None,
+            sample=sample,
+            name=name,
+        )
+        self._subscriptions.append(subscription)
+        self._routes.clear()
+        return subscription
+
+    def unsubscribe(self, subscription: Subscription) -> None:
+        """Detach a subscriber (idempotent)."""
+        try:
+            self._subscriptions.remove(subscription)
+        except ValueError:
+            return
+        self._routes.clear()
+
+    @property
+    def subscriptions(self) -> List[Subscription]:
+        """The live subscriptions (read-only view)."""
+        return list(self._subscriptions)
+
+    # ------------------------------------------------------------------
+    # publishing
+    # ------------------------------------------------------------------
+    def record(self, category: str, node: str, **data: Any) -> None:
+        """Publish a record stamped with the current virtual time."""
+        self.counts[category] = self.counts.get(category, 0) + 1
+        self.records_published += 1
+        routes = self._routes.get(category)
+        if routes is None:
+            routes = tuple(
+                s for s in self._subscriptions if s.wants(category)
+            )
+            self._routes[category] = routes
+        if not routes:
+            return
+        rec = TraceRecord(self._sim.now, category, node, data)
+        for subscription in routes:
+            subscription.deliver(rec)
+
+    def publish(self, record: TraceRecord) -> None:
+        """Publish a pre-built record (replay / testing entry point)."""
+        self.counts[record.category] = self.counts.get(record.category, 0) + 1
+        self.records_published += 1
+        routes = self._routes.get(record.category)
+        if routes is None:
+            routes = tuple(
+                s for s in self._subscriptions if s.wants(record.category)
+            )
+            self._routes[record.category] = routes
+        for subscription in routes:
+            subscription.deliver(record)
+
+    # ------------------------------------------------------------------
+    # counting
+    # ------------------------------------------------------------------
+    def count(self, category: str) -> int:
+        """Total records whose category equals or nests under ``category``."""
+        return sum(
+            n for cat, n in self.counts.items()
+            if cat == category or cat.startswith(category + ".")
+        )
+
+    def clear_counts(self) -> None:
+        """Reset the per-category totals (subscribers are untouched)."""
+        self.counts.clear()
+
+    def __repr__(self) -> str:
+        return (
+            f"<InstrumentationBus subscribers={len(self._subscriptions)} "
+            f"published={self.records_published}>"
+        )
+
+
+def bus_of(instrument) -> InstrumentationBus:
+    """Normalize a bus-or-trace handle to the underlying bus.
+
+    Emitting layers accept either an :class:`InstrumentationBus` or a
+    legacy :class:`~repro.eventsim.trace.TraceLog` (which owns a bus),
+    so existing construction code keeps working.
+    """
+    if isinstance(instrument, InstrumentationBus):
+        return instrument
+    bus = getattr(instrument, "bus", None)
+    if isinstance(bus, InstrumentationBus):
+        return bus
+    raise TypeError(
+        f"expected an InstrumentationBus or TraceLog, got {instrument!r}"
+    )

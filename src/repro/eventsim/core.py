@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
@@ -65,6 +66,7 @@ class Simulator:
         self._rngs: dict[str, Any] = {}
         self._live_foreground = 0
         self.events_processed = 0
+        self._dispatch_hook: Optional[Callable[[Event, float], None]] = None
 
     # ------------------------------------------------------------------
     # clock & randomness
@@ -149,6 +151,17 @@ class Simulator:
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
+    def set_dispatch_hook(
+        self, hook: Optional[Callable[[Event, float], None]]
+    ) -> None:
+        """Install a wall-clock profiling hook around event dispatch.
+
+        ``hook(event, wall_seconds)`` runs after every processed event;
+        pass None to uninstall.  With no hook the per-event overhead is
+        a single None check (see ``MetricsRegistry.profile_simulator``).
+        """
+        self._dispatch_hook = hook
+
     def step(self) -> bool:
         """Run the single next live event.  Returns False if queue is empty."""
         event = self._pop_live()
@@ -158,7 +171,13 @@ class Simulator:
         if not event.background:
             self._live_foreground -= 1
         self.events_processed += 1
-        event.callback()
+        hook = self._dispatch_hook
+        if hook is None:
+            event.callback()
+        else:
+            started = time.perf_counter()
+            event.callback()
+            hook(event, time.perf_counter() - started)
         return True
 
     def run(self, until: Optional[float] = None, max_events: int = 10_000_000) -> float:

@@ -1,0 +1,354 @@
+"""Online metrics: counters, gauges, histograms over the bus.
+
+The registry is the streaming replacement for "re-scan the trace and
+count": components (or the bus itself) update metrics in O(1) per
+record, and a run-end :meth:`MetricsRegistry.snapshot` travels with
+every sweep artifact (JSON export, CLI summary) instead of megabytes of
+raw trace.
+
+Metrics are keyed by name plus optional labels (``category=...``,
+``node=...``), rendered Prometheus-style as ``name{k=v,...}``.  The
+registry can observe an :class:`~repro.eventsim.bus.InstrumentationBus`
+directly, which maintains ``records_total`` counters by category (and
+optionally by node) — the built-in instrumentation every run gets for
+free — and it can profile simulator event dispatch with a wall-clock
+histogram via :meth:`profile_simulator`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "merge_snapshots",
+    "format_snapshot",
+]
+
+
+@dataclass
+class Counter:
+    """Monotonically increasing count."""
+
+    value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be >= 0)."""
+        if amount < 0:
+            raise ValueError(f"counters only go up: {amount!r}")
+        self.value += amount
+
+
+@dataclass
+class Gauge:
+    """A value that can go up and down (queue depth, RIB size...)."""
+
+    value: float = 0.0
+
+    def set(self, value: float) -> None:
+        """Overwrite the current value."""
+        self.value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Adjust upward."""
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        """Adjust downward."""
+        self.value -= amount
+
+
+#: default histogram bucket upper bounds: powers of ten from 1 µs to
+#: 100 s — wide enough for both wall-clock dispatch times and virtual
+#: convergence gaps.
+DEFAULT_BUCKETS: Tuple[float, ...] = tuple(
+    10.0 ** e for e in range(-6, 3)
+)
+
+
+@dataclass
+class Histogram:
+    """Streaming histogram: running moments plus cumulative-style buckets.
+
+    Keeps count/sum/min/max and per-bucket counts in O(1) per
+    observation — enough to report mean, spread, and a coarse
+    distribution without retaining observations.
+    """
+
+    buckets: Tuple[float, ...] = DEFAULT_BUCKETS
+    bucket_counts: List[int] = field(default_factory=list)
+    count: int = 0
+    total: float = 0.0
+    minimum: float = math.inf
+    maximum: float = -math.inf
+
+    def __post_init__(self) -> None:
+        if not self.bucket_counts:
+            # one extra bucket for "over the top bound"
+            self.bucket_counts = [0] * (len(self.buckets) + 1)
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self.count += 1
+        self.total += value
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.bucket_counts[i] += 1
+                return
+        self.bucket_counts[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of all observations (0.0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def to_dict(self) -> dict:
+        """JSON-ready summary."""
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.minimum if self.count else None,
+            "max": self.maximum if self.count else None,
+            "mean": self.mean,
+            "buckets": {
+                (f"le_{bound:g}" if i < len(self.buckets) else "inf"): n
+                for i, (bound, n) in enumerate(
+                    zip(list(self.buckets) + [math.inf], self.bucket_counts)
+                )
+                if n
+            },
+        }
+
+
+def _key(name: str, labels: Dict[str, str]) -> str:
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+class MetricsRegistry:
+    """Get-or-create store of named metrics with label support.
+
+    One registry serves a whole run; components reach it through
+    ``network.metrics`` (when enabled) and register custom metrics with
+    plain calls — no declaration step::
+
+        registry.counter("controller.recompute.skipped", node="ctl").inc()
+        registry.histogram("bgp.rib.size").observe(len(rib))
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._subscription = None
+        self._bus = None
+        self._profiled_sim = None
+
+    # ------------------------------------------------------------------
+    # metric accessors (get-or-create)
+    # ------------------------------------------------------------------
+    def counter(self, name: str, **labels: str) -> Counter:
+        """The counter for ``name`` + labels, created on first use."""
+        key = _key(name, labels)
+        metric = self._counters.get(key)
+        if metric is None:
+            metric = self._counters[key] = Counter()
+        return metric
+
+    def gauge(self, name: str, **labels: str) -> Gauge:
+        """The gauge for ``name`` + labels, created on first use."""
+        key = _key(name, labels)
+        metric = self._gauges.get(key)
+        if metric is None:
+            metric = self._gauges[key] = Gauge()
+        return metric
+
+    def histogram(
+        self, name: str, *, buckets: Optional[Iterable[float]] = None,
+        **labels: str,
+    ) -> Histogram:
+        """The histogram for ``name`` + labels, created on first use."""
+        key = _key(name, labels)
+        metric = self._histograms.get(key)
+        if metric is None:
+            metric = Histogram(
+                buckets=tuple(buckets) if buckets is not None else DEFAULT_BUCKETS
+            )
+            self._histograms[key] = metric
+        return metric
+
+    # ------------------------------------------------------------------
+    # bus + simulator integration
+    # ------------------------------------------------------------------
+    def observe_bus(self, bus, *, per_node: bool = False, categories=None) -> None:
+        """Subscribe the built-in record counters to a bus.
+
+        Maintains ``records_total{category=...}`` and — when ``per_node``
+        — ``node_records_total{category=...,node=...}``.
+        """
+        if self._subscription is not None:
+            raise RuntimeError("registry already observes a bus")
+
+        if per_node:
+            def on_record(rec) -> None:
+                self.counter("records_total", category=rec.category).inc()
+                self.counter(
+                    "node_records_total",
+                    category=rec.category, node=rec.node,
+                ).inc()
+        else:
+            def on_record(rec) -> None:
+                self.counter("records_total", category=rec.category).inc()
+
+        self._bus = bus
+        self._subscription = bus.subscribe(
+            on_record, categories=categories, name="metrics",
+        )
+
+    def detach(self) -> None:
+        """Stop observing the bus and/or simulator."""
+        if self._subscription is not None and self._bus is not None:
+            self._bus.unsubscribe(self._subscription)
+            self._subscription = None
+            self._bus = None
+        if self._profiled_sim is not None:
+            self._profiled_sim.set_dispatch_hook(None)
+            self._profiled_sim = None
+
+    def profile_simulator(self, sim) -> None:
+        """Install a wall-clock histogram around event dispatch.
+
+        Each processed simulator event contributes one observation to
+        ``sim.dispatch_seconds`` (and bumps ``sim.events_total``); the
+        hook is a single callback, so the overhead when disabled is one
+        ``None`` check per event.
+        """
+        events = self.counter("sim.events_total")
+        dispatch = self.histogram("sim.dispatch_seconds")
+
+        def hook(event, wall_seconds: float) -> None:
+            events.inc()
+            dispatch.observe(wall_seconds)
+
+        sim.set_dispatch_hook(hook)
+        self._profiled_sim = sim
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """JSON-ready dump of every metric (stable key order)."""
+        return {
+            "counters": {
+                k: self._counters[k].value for k in sorted(self._counters)
+            },
+            "gauges": {
+                k: self._gauges[k].value for k in sorted(self._gauges)
+            },
+            "histograms": {
+                k: self._histograms[k].to_dict()
+                for k in sorted(self._histograms)
+            },
+        }
+
+    def clear(self) -> None:
+        """Drop every metric (subscriptions stay attached)."""
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+    def __repr__(self) -> str:
+        return (
+            f"<MetricsRegistry counters={len(self._counters)} "
+            f"gauges={len(self._gauges)} histograms={len(self._histograms)}>"
+        )
+
+
+def merge_snapshots(snapshots: Iterable[dict]) -> dict:
+    """Combine per-run snapshots into one sweep-level summary.
+
+    Counters and histogram counts/sums add; histogram min/max widen;
+    gauges keep the last seen value (they describe instantaneous state,
+    so summing would be meaningless).
+    """
+    counters: Dict[str, float] = {}
+    gauges: Dict[str, float] = {}
+    histograms: Dict[str, dict] = {}
+    for snap in snapshots:
+        if not snap:
+            continue
+        for key, value in snap.get("counters", {}).items():
+            counters[key] = counters.get(key, 0.0) + value
+        for key, value in snap.get("gauges", {}).items():
+            gauges[key] = value
+        for key, hist in snap.get("histograms", {}).items():
+            merged = histograms.setdefault(
+                key,
+                {"count": 0, "sum": 0.0, "min": None, "max": None,
+                 "mean": 0.0, "buckets": {}},
+            )
+            merged["count"] += hist.get("count", 0)
+            merged["sum"] += hist.get("sum", 0.0)
+            for bound in ("min", "max"):
+                value = hist.get(bound)
+                if value is None:
+                    continue
+                if merged[bound] is None:
+                    merged[bound] = value
+                elif bound == "min":
+                    merged[bound] = min(merged[bound], value)
+                else:
+                    merged[bound] = max(merged[bound], value)
+            for bucket, n in hist.get("buckets", {}).items():
+                merged["buckets"][bucket] = (
+                    merged["buckets"].get(bucket, 0) + n
+                )
+    for merged in histograms.values():
+        if merged["count"]:
+            merged["mean"] = merged["sum"] / merged["count"]
+    return {
+        "counters": dict(sorted(counters.items())),
+        "gauges": dict(sorted(gauges.items())),
+        "histograms": dict(sorted(histograms.items())),
+    }
+
+
+def format_snapshot(snapshot: dict, *, top: int = 20) -> str:
+    """Human-readable metrics summary (the CLI's ``--metrics`` output)."""
+    lines: List[str] = []
+    counters = snapshot.get("counters", {})
+    if counters:
+        lines.append("counters:")
+        ranked = sorted(counters.items(), key=lambda kv: (-kv[1], kv[0]))
+        for key, value in ranked[:top]:
+            lines.append(f"  {key:<56} {value:12.0f}")
+        if len(ranked) > top:
+            lines.append(f"  ... and {len(ranked) - top} more")
+    gauges = snapshot.get("gauges", {})
+    if gauges:
+        lines.append("gauges:")
+        for key in sorted(gauges):
+            lines.append(f"  {key:<56} {gauges[key]:12.3f}")
+    histograms = snapshot.get("histograms", {})
+    if histograms:
+        lines.append("histograms:")
+        for key in sorted(histograms):
+            h = histograms[key]
+            if not h.get("count"):
+                continue
+            lines.append(
+                f"  {key}: n={h['count']} mean={h['mean']:.3g} "
+                f"min={h['min']:.3g} max={h['max']:.3g}"
+            )
+    return "\n".join(lines) if lines else "(no metrics recorded)"

@@ -1,71 +1,115 @@
-"""Structured trace log — the framework's "log files".
+"""Bounded trace capture — one subscriber on the instrumentation bus.
 
-Every component appends typed records here instead of writing text logs;
-the analysis package (``repro.analysis``) then plays the role of the
-paper's "automatic log file analysis" tools: convergence-time extraction,
-update counting, route-change visualization.
+Historically the ``TraceLog`` *was* the instrumentation layer: every
+component appended frozen records to one unbounded list, and the
+analysis package re-scanned it after the run.  Publishing now happens on
+the :class:`~repro.eventsim.bus.InstrumentationBus`; the trace log is
+just the subscriber that retains records for offline "log file
+analysis" (``repro.analysis``), with three capture controls for large
+runs:
 
-Records carry a dotted ``category`` (``bgp.update.rx``, ``fib.change``,
-``controller.recompute`` ...), the node name, and a free-form payload
-dict.  Categories listed in :data:`ROUTE_AFFECTING` are the ones whose
-last occurrence after an injected event defines the convergence instant.
+- ``categories`` — dotted-prefix filter; retain only matching records;
+- ``max_records`` — ring buffer bound; old records fall off the front;
+- ``sample`` — keep every Nth matching record.
+
+The full query API (``filter``/``last_time``/``count``) is unchanged.
+Per-category *counts* always reflect everything published on the bus —
+even with capture disabled or filtered — because the bus maintains them
+in O(1) independent of any subscriber.
+
+For backward compatibility ``TraceLog(sim)`` still works: given a
+:class:`~repro.eventsim.core.Simulator` it creates a private bus, so
+unit-level code (build a router, pass a trace) needs no changes, and
+``TraceLog.record`` republishes through the bus.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Callable, Iterator, Optional
+from collections import deque
+from typing import Any, Callable, Dict, Iterator, Optional
+
+from .bus import ROUTE_AFFECTING, InstrumentationBus, Subscription, TraceRecord
 
 __all__ = ["TraceRecord", "TraceLog", "ROUTE_AFFECTING"]
 
-#: Categories that indicate routing state is still in flux.  The
-#: convergence time of an injected event is the timestamp of the last
-#: record in one of these categories (see ``analysis.convergence``).
-ROUTE_AFFECTING = frozenset(
-    {
-        "bgp.update.tx",
-        "bgp.update.rx",
-        "bgp.decision",
-        "bgp.originate",
-        "bgp.withdraw",
-        "fib.change",
-        "controller.recompute",
-        "controller.flow_install",
-        "controller.advertise",
-    }
-)
-
-
-@dataclass(frozen=True)
-class TraceRecord:
-    """One timestamped log record."""
-
-    time: float
-    category: str
-    node: str
-    data: dict = field(default_factory=dict)
-
-    def matches(self, prefix: str) -> bool:
-        """True if this record's category equals or is nested under ``prefix``."""
-        return self.category == prefix or self.category.startswith(prefix + ".")
-
 
 class TraceLog:
-    """Append-only in-memory log with category filters and live taps.
+    """Record-retaining subscriber with category filters and live taps.
 
-    Taps (callbacks) let live tooling — the convergence detector, the
-    route collector's feed, visualizers — observe records as they are
-    produced, mirroring how the paper's monitoring tools watch BGP update
-    streams in real time.
+    Taps (callbacks) observe every record published on the underlying
+    bus — they are plain bus subscriptions kept here so live tooling
+    written against the old API (the silence detector, visualizers)
+    keeps working unchanged.
     """
 
-    def __init__(self, sim) -> None:
-        self._sim = sim
-        self._records: list[TraceRecord] = []
-        self._taps: list[Callable[[TraceRecord], None]] = []
-        self._enabled = True
-        self.counts: dict[str, int] = {}
+    def __init__(
+        self,
+        source,
+        *,
+        categories=None,
+        max_records: Optional[int] = None,
+        sample: int = 1,
+        capture: bool = True,
+    ) -> None:
+        if isinstance(source, InstrumentationBus):
+            self.bus = source
+        else:
+            # legacy construction: TraceLog(sim) owns a private bus.
+            self.bus = InstrumentationBus(source)
+        self._records: deque = deque(maxlen=max_records)
+        self._taps: Dict[Callable[[TraceRecord], None], Subscription] = {}
+        self._enabled = capture
+        self.categories = (
+            tuple(sorted(categories)) if categories is not None else None
+        )
+        self.max_records = max_records
+        self._subscription = self.bus.subscribe(
+            self._on_record,
+            categories=categories,
+            sample=sample,
+            name="trace",
+        )
 
+    # ------------------------------------------------------------------
+    # subscriber side
+    # ------------------------------------------------------------------
+    def _on_record(self, record: TraceRecord) -> None:
+        if self._enabled:
+            self._records.append(record)
+
+    def set_enabled(self, enabled: bool) -> None:
+        """Disable to cut memory/time for very large parameter sweeps."""
+        self._enabled = enabled
+
+    def detach(self) -> None:
+        """Stop receiving records from the bus entirely."""
+        if self._subscription is not None:
+            self.bus.unsubscribe(self._subscription)
+            self._subscription = None
+
+    # ------------------------------------------------------------------
+    # publisher compatibility (records go through the bus)
+    # ------------------------------------------------------------------
+    def record(self, category: str, node: str, **data: Any) -> None:
+        """Publish a record on the underlying bus."""
+        self.bus.record(category, node, **data)
+
+    @property
+    def counts(self) -> Dict[str, int]:
+        """Per-category totals of everything published (bus-maintained)."""
+        return self.bus.counts
+
+    def add_tap(self, tap: Callable[[TraceRecord], None]) -> None:
+        """Attach a live observer callback (sees every bus record)."""
+        self._taps[tap] = self.bus.subscribe(tap, name="tap")
+
+    def remove_tap(self, tap: Callable[[TraceRecord], None]) -> None:
+        """Detach a previously added observer."""
+        self.bus.unsubscribe(self._taps.pop(tap))
+
+    # ------------------------------------------------------------------
+    # retained records
+    # ------------------------------------------------------------------
     def __len__(self) -> int:
         return len(self._records)
 
@@ -73,30 +117,9 @@ class TraceLog:
         return iter(self._records)
 
     @property
-    def records(self) -> list[TraceRecord]:
-        """The raw record list (append-only)."""
-        return self._records
-
-    def add_tap(self, tap: Callable[[TraceRecord], None]) -> None:
-        """Attach a live observer callback."""
-        self._taps.append(tap)
-
-    def remove_tap(self, tap: Callable[[TraceRecord], None]) -> None:
-        """Detach a previously added observer."""
-        self._taps.remove(tap)
-
-    def set_enabled(self, enabled: bool) -> None:
-        """Disable to cut memory/time for very large parameter sweeps."""
-        self._enabled = enabled
-
-    def record(self, category: str, node: str, **data: Any) -> None:
-        """Append a record stamped with the current virtual time."""
-        rec = TraceRecord(self._sim.now, category, node, data)
-        self.counts[category] = self.counts.get(category, 0) + 1
-        if self._enabled:
-            self._records.append(rec)
-        for tap in self._taps:
-            tap(rec)
+    def records(self) -> list:
+        """The retained records, oldest first."""
+        return list(self._records)
 
     # ------------------------------------------------------------------
     # queries (the "log file analysis" entry points)
@@ -107,7 +130,7 @@ class TraceLog:
         node: Optional[str] = None,
         since: Optional[float] = None,
         until: Optional[float] = None,
-    ) -> list[TraceRecord]:
+    ) -> list:
         """Records matching all given criteria (category matches by prefix)."""
         out = []
         for rec in self._records:
@@ -134,13 +157,21 @@ class TraceLog:
         return latest
 
     def count(self, category: str) -> int:
-        """Total records whose category equals or nests under ``category``."""
-        return sum(
-            n for cat, n in self.counts.items()
-            if cat == category or cat.startswith(category + ".")
-        )
+        """Total published records equal to or nested under ``category``.
+
+        Counts come from the bus, so they are complete even when capture
+        is filtered, sampled, bounded, or disabled.
+        """
+        return self.bus.count(category)
 
     def clear(self) -> None:
-        """Drop all stored state."""
+        """Drop retained records and reset the bus counters."""
         self._records.clear()
-        self.counts.clear()
+        self.bus.clear_counts()
+
+    def __repr__(self) -> str:
+        bound = self.max_records if self.max_records is not None else "inf"
+        return (
+            f"<TraceLog records={len(self._records)} bound={bound} "
+            f"capture={self._enabled}>"
+        )

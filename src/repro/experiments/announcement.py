@@ -31,6 +31,8 @@ def announcement_sweep(
     progress=None,
     timeout: Optional[float] = None,
     retries: int = 1,
+    trace_level: str = "full",
+    metrics: bool = False,
 ) -> SweepResult:
     """The announcement counterpart of Fig. 2 (text-only result in §4).
 
@@ -54,4 +56,6 @@ def announcement_sweep(
         progress=progress,
         timeout=timeout,
         retries=retries,
+        trace_level=trace_level,
+        metrics=metrics,
     )

@@ -38,6 +38,7 @@ __all__ = [
     "SweepPoint",
     "SweepResult",
     "run_scenario_once",
+    "run_scenario_instrumented",
     "run_fraction_sweep",
     "sdn_set_for",
 ]
@@ -54,6 +55,8 @@ def paper_config(
     mrai: float = 30.0,
     recompute_delay: float = 0.5,
     policy_mode: str = "flat",
+    trace_level: str = "full",
+    metrics: bool = False,
 ) -> ExperimentConfig:
     """The configuration matching the paper's clique experiments."""
     return ExperimentConfig(
@@ -61,6 +64,8 @@ def paper_config(
         policy_mode=policy_mode,
         timers=paper_timers(mrai),
         controller=ControllerConfig(recompute_delay=recompute_delay),
+        trace_level=trace_level,
+        metrics=metrics,
     )
 
 
@@ -209,6 +214,8 @@ class RunResult:
     worker: str = ""
     cached: bool = False
     attempts: int = 1
+    #: per-run metrics snapshot (sweeps launched with ``metrics=True``).
+    metrics: Optional[dict] = None
 
     @property
     def convergence_time(self) -> float:
@@ -287,6 +294,19 @@ class SweepResult:
         last = self.points[-1].stats.median
         return (base - last) / base if base > 0 else 0.0
 
+    def merged_metrics(self) -> Optional[dict]:
+        """All per-run metric snapshots merged into one registry dump.
+
+        None when the sweep ran without ``metrics=True``.
+        """
+        from ..eventsim import merge_snapshots
+
+        snapshots = [
+            r.metrics for p in self.points for r in p.runs
+            if r.metrics is not None
+        ]
+        return merge_snapshots(snapshots) if snapshots else None
+
 
 def sdn_set_for(
     topology: Topology, sdn_count: int, reserved_legacy: frozenset
@@ -312,6 +332,26 @@ def run_scenario_once(
     horizon: Optional[float] = None,
 ) -> ConvergenceMeasurement:
     """Build, configure, prepare, inject, measure — one full run."""
+    measurement, _ = run_scenario_instrumented(
+        scenario, topology, sdn_members, config, horizon=horizon
+    )
+    return measurement
+
+
+def run_scenario_instrumented(
+    scenario: Scenario,
+    topology: Topology,
+    sdn_members: frozenset,
+    config: ExperimentConfig,
+    *,
+    horizon: Optional[float] = None,
+) -> tuple:
+    """One full run, returning ``(measurement, metrics_snapshot)``.
+
+    The snapshot is ``None`` unless ``config.metrics`` is set, in which
+    case it is the JSON-ready registry dump taken after the measured
+    event settled.
+    """
     exp = Experiment(
         topology, sdn_members=sdn_members, config=config,
         name=scenario.name,
@@ -319,7 +359,10 @@ def run_scenario_once(
     scenario.configure(exp)
     exp.start()
     scenario.prepare(exp)
-    return measure_event(exp, lambda: scenario.event(exp), horizon=horizon)
+    measurement = measure_event(
+        exp, lambda: scenario.event(exp), horizon=horizon
+    )
+    return measurement, exp.metrics_snapshot()
 
 
 def run_fraction_sweep(
@@ -337,6 +380,8 @@ def run_fraction_sweep(
     progress=None,
     timeout: Optional[float] = None,
     retries: int = 1,
+    trace_level: str = "full",
+    metrics: bool = False,
 ) -> SweepResult:
     """The Fig. 2 harness: sweep SDN deployment over seeded runs.
 
@@ -350,7 +395,10 @@ def run_fraction_sweep(
     ``cache`` (a directory path or :class:`~repro.runner.ResultCache`)
     to skip already-computed trials, ``progress`` (``'log'``, a
     callable, or a sink) for reporting, and ``timeout``/``retries`` for
-    fault tolerance.  Results are bit-identical across worker counts:
+    fault tolerance.  ``trace_level`` bounds per-run trace memory
+    (``"off"`` retains zero records while measuring identically) and
+    ``metrics=True`` attaches a per-run metrics snapshot to every
+    :class:`RunResult`.  Results are bit-identical across worker counts:
     every run is seeded from the spec alone and ``SweepPoint.runs``
     keeps the serial ordering.  Runs that fail for good land in
     ``SweepPoint.failures`` instead of aborting the sweep.
@@ -372,6 +420,8 @@ def run_fraction_sweep(
                     seed=seed,
                     mrai=mrai,
                     recompute_delay=recompute_delay,
+                    trace_level=trace_level,
+                    metrics=metrics,
                     label=f"{probe.name} sdn={sdn_count} seed={seed}",
                 )
             )
@@ -398,6 +448,7 @@ def run_fraction_sweep(
                         worker=record.worker,
                         cached=record.cached,
                         attempts=record.attempts,
+                        metrics=record.metrics,
                     )
                 )
             else:

@@ -17,33 +17,41 @@ from .common import SweepResult
 __all__ = ["sweep_to_csv", "sweep_to_json", "sweep_rows"]
 
 
-def sweep_rows(result: SweepResult) -> List[dict]:
-    """One dict per individual run (long/tidy format)."""
+def sweep_rows(
+    result: SweepResult, *, include_metrics: bool = False
+) -> List[dict]:
+    """One dict per individual run (long/tidy format).
+
+    ``include_metrics`` attaches the per-run metrics snapshot as a
+    ``run_metrics`` dict column — kept out of the CSV path, where a
+    nested dict would not be a scalar cell.
+    """
     rows: List[dict] = []
     for point in result.points:
         for run in point.runs:
             m = run.measurement
-            rows.append(
-                {
-                    "scenario": result.scenario,
-                    "n_ases": result.n_ases,
-                    "sdn_count": point.sdn_count,
-                    "fraction": round(point.fraction, 6),
-                    "seed": run.seed,
-                    "convergence_time": m.convergence_time,
-                    "state_convergence_time": m.state_convergence_time,
-                    "updates_tx": m.updates_tx,
-                    "decision_changes": m.decision_changes,
-                    "fib_changes": m.fib_changes,
-                    "recomputations": m.recomputations,
-                    # execution metadata (default-populated via getattr
-                    # so pre-runner RunResult-like objects still export)
-                    "wall_time": round(getattr(run, "wall_time", 0.0), 6),
-                    "worker": getattr(run, "worker", ""),
-                    "cached": bool(getattr(run, "cached", False)),
-                    "attempts": getattr(run, "attempts", 1),
-                }
-            )
+            row = {
+                "scenario": result.scenario,
+                "n_ases": result.n_ases,
+                "sdn_count": point.sdn_count,
+                "fraction": round(point.fraction, 6),
+                "seed": run.seed,
+                "convergence_time": m.convergence_time,
+                "state_convergence_time": m.state_convergence_time,
+                "updates_tx": m.updates_tx,
+                "decision_changes": m.decision_changes,
+                "fib_changes": m.fib_changes,
+                "recomputations": m.recomputations,
+                # execution metadata (default-populated via getattr
+                # so pre-runner RunResult-like objects still export)
+                "wall_time": round(getattr(run, "wall_time", 0.0), 6),
+                "worker": getattr(run, "worker", ""),
+                "cached": bool(getattr(run, "cached", False)),
+                "attempts": getattr(run, "attempts", 1),
+            }
+            if include_metrics:
+                row["run_metrics"] = getattr(run, "metrics", None)
+            rows.append(row)
     return rows
 
 
@@ -96,6 +104,10 @@ def sweep_to_json(result: SweepResult, *, indent: int = 2) -> str:
             if timing is not None else None
         ),
         "failures": failures,
+        # merged per-run metric snapshots (None without metrics=True);
+        # per-run snapshots ride on the "runs" rows via run_metrics.
+        "metrics": result.merged_metrics()
+        if hasattr(result, "merged_metrics") else None,
         "points": [
             {
                 "sdn_count": point.sdn_count,
@@ -110,6 +122,6 @@ def sweep_to_json(result: SweepResult, *, indent: int = 2) -> str:
             }
             for point in result.points
         ],
-        "runs": sweep_rows(result),
+        "runs": sweep_rows(result, include_metrics=True),
     }
     return json.dumps(payload, indent=indent)

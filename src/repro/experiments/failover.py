@@ -34,6 +34,8 @@ def failover_sweep(
     progress=None,
     timeout: Optional[float] = None,
     retries: int = 1,
+    trace_level: str = "full",
+    metrics: bool = False,
 ) -> SweepResult:
     """The fail-over counterpart of Fig. 2 (text-only result in §4).
 
@@ -59,4 +61,6 @@ def failover_sweep(
         progress=progress,
         timeout=timeout,
         retries=retries,
+        trace_level=trace_level,
+        metrics=metrics,
     )

@@ -36,6 +36,8 @@ def withdrawal_sweep(
     progress=None,
     timeout: Optional[float] = None,
     retries: int = 1,
+    trace_level: str = "full",
+    metrics: bool = False,
 ) -> SweepResult:
     """Reproduce Fig. 2; returns per-fraction convergence boxplot data.
 
@@ -61,4 +63,6 @@ def withdrawal_sweep(
         progress=progress,
         timeout=timeout,
         retries=retries,
+        trace_level=trace_level,
+        metrics=metrics,
     )

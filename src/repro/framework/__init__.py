@@ -1,6 +1,12 @@
 """Experiment lifecycle orchestration: the framework's high-level API."""
 
-from .convergence import STATE_CHANGING, ConvergenceMeasurement, measure_event
+from .convergence import (
+    STATE_CHANGING,
+    ConvergenceMeasurement,
+    ConvergenceTracker,
+    measure_event,
+    measure_event_from_trace,
+)
 from .detector import SilenceDetection, SilenceDetector, compare_with_oracle
 from .events import EventReport, EventSchedule, ScheduledEvent
 from .experiment import Experiment, ExperimentConfig, ExperimentError
@@ -9,7 +15,9 @@ from .traffic import LossReport, ProbeStream
 __all__ = [
     "STATE_CHANGING",
     "ConvergenceMeasurement",
+    "ConvergenceTracker",
     "measure_event",
+    "measure_event_from_trace",
     "SilenceDetection",
     "SilenceDetector",
     "compare_with_oracle",

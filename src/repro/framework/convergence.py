@@ -3,10 +3,18 @@
 "The framework detects when the network has converged and whether there
 is stable connectivity between all hosts" (paper §3).  Convergence is
 detected exactly: the simulator knows when no routing work (foreground
-events) remains.  The convergence *time* of an injected event is then
-read from the trace — the timestamp of the last route-affecting record —
-which matches how the paper measures it from BGP update logs, minus the
-sampling noise of a real testbed.
+events) remains.  The convergence *time* of an injected event is read
+from the instrumentation stream — the timestamp of the last
+route-affecting record — which matches how the paper measures it from
+BGP update logs, minus the sampling noise of a real testbed.
+
+Measurement is streaming: a :class:`ConvergenceTracker` subscribed to
+the instrumentation bus maintains the last route-affecting / last
+state-changing timestamps and the per-category activity counters in
+O(1) per record, so :func:`measure_event` needs no post-run trace scan
+and works with trace capture disabled entirely.  The scan-based
+implementation survives as :func:`measure_event_from_trace` — it is the
+reference the streaming path is tested bit-identical against.
 """
 
 from __future__ import annotations
@@ -17,7 +25,13 @@ from typing import Callable, Dict, Optional
 from ..eventsim import ROUTE_AFFECTING
 from .experiment import Experiment
 
-__all__ = ["ConvergenceMeasurement", "measure_event", "STATE_CHANGING"]
+__all__ = [
+    "ConvergenceMeasurement",
+    "ConvergenceTracker",
+    "measure_event",
+    "measure_event_from_trace",
+    "STATE_CHANGING",
+]
 
 #: Categories that represent an actual routing-state change, as opposed
 #: to update *activity* (which includes MRAI-paced re-advertisements of
@@ -41,8 +55,10 @@ class ConvergenceMeasurement:
     #: timestamp of the last actual routing-state change (decision/FIB).
     #: Trailing MRAI-paced re-advertisements of an already-made decision
     #: count as activity but not as state change, so this can be earlier
-    #: than ``t_converged``.
-    t_state_converged: float = 0.0
+    #: than ``t_converged``.  None (the default) means "no state change
+    #: occurred" and resolves to ``t_event``, so that
+    #: ``t_converged >= t_state_converged >= t_event`` always holds.
+    t_state_converged: Optional[float] = None
     #: update messages sent / received network-wide during convergence.
     updates_tx: int = 0
     updates_rx: int = 0
@@ -55,6 +71,10 @@ class ConvergenceMeasurement:
     #: whether every AS pair was data-plane reachable afterwards.
     all_reachable: Optional[bool] = None
     extra: Dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.t_state_converged is None:
+            self.t_state_converged = self.t_event
 
     @property
     def convergence_time(self) -> float:
@@ -69,31 +89,95 @@ class ConvergenceMeasurement:
         return self.t_state_converged - self.t_event
 
 
-def measure_event(
+class ConvergenceTracker:
+    """Streaming convergence state — O(1) per record, no trace needed.
+
+    Subscribes to the instrumentation bus and maintains exactly the
+    state :func:`measure_event` reads after a run: the timestamp of the
+    last route-affecting record, the timestamp of the last
+    state-changing record, and per-category counters (which the bus
+    already keeps globally).  Because virtual time is monotonic, "last
+    seen" equals "maximum over records since any earlier instant", so
+    the streaming answers are bit-identical to a full trace scan.
+    """
+
+    def __init__(
+        self,
+        bus,
+        *,
+        route_affecting=ROUTE_AFFECTING,
+        state_changing=STATE_CHANGING,
+    ) -> None:
+        self.bus = bus
+        self.route_affecting = frozenset(route_affecting)
+        self.state_changing = frozenset(state_changing)
+        #: timestamp of the most recent route-affecting record, if any.
+        self.last_route_affecting: Optional[float] = None
+        #: timestamp of the most recent state-changing record, if any.
+        self.last_state_change: Optional[float] = None
+        self._subscription = bus.subscribe(
+            self._on_record,
+            categories=self.route_affecting | self.state_changing,
+            name="convergence-tracker",
+        )
+
+    def _on_record(self, record) -> None:
+        if record.category in self.route_affecting:
+            self.last_route_affecting = record.time
+        if record.category in self.state_changing:
+            self.last_state_change = record.time
+
+    def detach(self) -> None:
+        """Stop observing the bus."""
+        if self._subscription is not None:
+            self.bus.unsubscribe(self._subscription)
+            self._subscription = None
+
+    # ------------------------------------------------------------------
+    # the streaming equivalents of TraceLog.last_time / count deltas
+    # ------------------------------------------------------------------
+    def last_activity_since(self, since: float) -> Optional[float]:
+        """Timestamp of the last route-affecting record at/after ``since``."""
+        last = self.last_route_affecting
+        return last if last is not None and last >= since else None
+
+    def last_state_change_since(self, since: float) -> Optional[float]:
+        """Timestamp of the last state-changing record at/after ``since``."""
+        last = self.last_state_change
+        return last if last is not None and last >= since else None
+
+    def counters(self) -> Dict[str, int]:
+        """A point-in-time copy of the bus's per-category totals."""
+        return dict(self.bus.counts)
+
+    def count(self, category: str) -> int:
+        """Prefix-aware total for one category (bus-backed, O(#cats))."""
+        return self.bus.count(category)
+
+
+def _measure(
     experiment: Experiment,
     event: Callable[[], None],
     *,
-    horizon: Optional[float] = None,
-    check_reachability: bool = False,
+    horizon: Optional[float],
+    check_reachability: bool,
+    counts,
+    last_activity_since: Callable[[float], Optional[float]],
+    last_state_since: Callable[[float], Optional[float]],
 ) -> ConvergenceMeasurement:
-    """Inject ``event`` on a converged experiment and measure the fallout.
-
-    The experiment must already be started and settled; the function
-    runs the simulator until it settles again and extracts the
-    convergence time and per-category activity counters from the trace.
-    """
-    trace = experiment.net.trace
     t_event = experiment.now
-    counts_before = dict(trace.counts)
+    counts_before = dict(counts())
     event()
     t_settled = experiment.wait_converged(horizon)
-    last = trace.last_time(ROUTE_AFFECTING, since=t_event)
+    last = last_activity_since(t_event)
     t_converged = last if last is not None else t_event
-    last_state = trace.last_time(STATE_CHANGING, since=t_event)
+    last_state = last_state_since(t_event)
     t_state_converged = last_state if last_state is not None else t_event
 
+    counts_after = counts()
+
     def delta(category: str) -> int:
-        return _count(trace.counts, category) - _count(counts_before, category)
+        return _count(counts_after, category) - _count(counts_before, category)
 
     measurement = ConvergenceMeasurement(
         t_event=t_event,
@@ -109,6 +193,63 @@ def measure_event(
     if check_reachability:
         measurement.all_reachable = experiment.all_reachable()
     return measurement
+
+
+def measure_event(
+    experiment: Experiment,
+    event: Callable[[], None],
+    *,
+    horizon: Optional[float] = None,
+    check_reachability: bool = False,
+) -> ConvergenceMeasurement:
+    """Inject ``event`` on a converged experiment and measure the fallout.
+
+    The experiment must already be started and settled; the function
+    runs the simulator until it settles again and reads the convergence
+    time and per-category activity counters from the experiment's
+    streaming :class:`ConvergenceTracker` — no trace scan, so it works
+    with trace capture disabled and its cost is independent of run size.
+    """
+    tracker = experiment.tracker
+    if tracker is None:
+        return measure_event_from_trace(
+            experiment, event,
+            horizon=horizon, check_reachability=check_reachability,
+        )
+    return _measure(
+        experiment, event,
+        horizon=horizon, check_reachability=check_reachability,
+        counts=lambda: experiment.net.bus.counts,
+        last_activity_since=tracker.last_activity_since,
+        last_state_since=tracker.last_state_change_since,
+    )
+
+
+def measure_event_from_trace(
+    experiment: Experiment,
+    event: Callable[[], None],
+    *,
+    horizon: Optional[float] = None,
+    check_reachability: bool = False,
+) -> ConvergenceMeasurement:
+    """The scan-based reference implementation of :func:`measure_event`.
+
+    Reads the convergence instants by re-scanning the retained trace
+    (requires full trace capture).  Kept as the oracle the streaming
+    path is verified bit-identical against.
+    """
+    trace = experiment.net.trace
+    return _measure(
+        experiment, event,
+        horizon=horizon, check_reachability=check_reachability,
+        counts=lambda: trace.counts,
+        last_activity_since=lambda since: trace.last_time(
+            ROUTE_AFFECTING, since=since
+        ),
+        last_state_since=lambda since: trace.last_time(
+            STATE_CHANGING, since=since
+        ),
+    )
 
 
 def _count(counts: Dict[str, int], category: str) -> int:

@@ -53,7 +53,12 @@ class SilenceDetection:
 
 
 class SilenceDetector:
-    """Live tap that tracks route-affecting activity gaps."""
+    """Streaming bus subscriber that tracks route-affecting activity gaps.
+
+    Subscribes directly to the instrumentation bus with a category
+    filter, so it works with trace capture reduced or disabled — the
+    heuristic needs no retained records, only the live stream.
+    """
 
     def __init__(
         self,
@@ -70,7 +75,10 @@ class SilenceDetector:
         self._last_activity: Optional[float] = None
         self._first_fire: Optional[float] = None
         self._armed = False
-        experiment.net.trace.add_tap(self._tap)
+        self._bus = experiment.net.bus
+        self._subscription = self._bus.subscribe(
+            self._tap, categories=self.categories, name="silence-detector",
+        )
 
     # ------------------------------------------------------------------
     def _tap(self, record: TraceRecord) -> None:
@@ -117,8 +125,10 @@ class SilenceDetector:
         )
 
     def detach(self) -> None:
-        """Stop observing the experiment's trace."""
-        self.experiment.net.trace.remove_tap(self._tap)
+        """Stop observing the experiment's instrumentation bus."""
+        if self._subscription is not None:
+            self._bus.unsubscribe(self._subscription)
+            self._subscription = None
 
 
 def compare_with_oracle(

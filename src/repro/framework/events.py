@@ -148,24 +148,28 @@ class EventSchedule:
             return []
         base = exp.now
         reports: List[EventReport] = []
-        trace = exp.net.trace
+        bus = exp.net.bus
+        tracker = exp.tracker
         for event in sorted(self.events, key=lambda e: e.at):
             target = base + event.at
             if target > exp.now:
                 exp.net.sim.run(until=target)
             t_fired = exp.now
-            tx_before = trace.count("bgp.update.tx")
+            tx_before = bus.count("bgp.update.tx")
             event.action(exp)
             if self.settle_between:
                 exp.wait_converged()
-            last = trace.last_time(ROUTE_AFFECTING, since=t_fired)
+            if tracker is not None:
+                last = tracker.last_activity_since(t_fired)
+            else:
+                last = exp.net.trace.last_time(ROUTE_AFFECTING, since=t_fired)
             reports.append(
                 EventReport(
                     label=event.label,
                     t_scheduled=target,
                     t_fired=t_fired,
                     t_converged=last if last is not None else t_fired,
-                    updates_tx=trace.count("bgp.update.tx") - tx_before,
+                    updates_tx=bus.count("bgp.update.tx") - tx_before,
                 )
             )
         return reports

@@ -77,6 +77,22 @@ class ExperimentConfig:
     host_latency: float = 0.0005
     #: settle horizon for :meth:`Experiment.wait_converged`.
     horizon: float = 1e5
+    #: trace capture level: "full" (every record), "route" (only
+    #: route-affecting categories), or "off" (zero trace memory —
+    #: streaming subscribers still see everything).
+    trace_level: str = "full"
+    #: retain at most this many trace records (ring buffer); None =
+    #: unbounded.
+    trace_max_records: Optional[int] = None
+    #: retain every Nth matching trace record.
+    trace_sample: int = 1
+    #: attach a MetricsRegistry to the bus (per-category counters plus
+    #: any custom metrics components register).
+    metrics: bool = False
+    #: with metrics: also count records per (category, node).
+    metrics_per_node: bool = False
+    #: with metrics: wall-clock histogram around simulator dispatch.
+    profile_dispatch: bool = False
 
     def session_timers(self) -> BGPTimers:
         """A private copy of the session timer config."""
@@ -111,6 +127,9 @@ class Experiment:
         if unknown:
             raise ExperimentError(f"SDN members not in topology: {sorted(unknown)}")
         self.net: Optional[Network] = None
+        #: streaming convergence tracker, attached at build time; the
+        #: source measure_event reads instead of scanning the trace.
+        self.tracker = None
         self.allocator = PrefixAllocator()
         self.controller: Optional[IDRController] = None
         self.speaker: Optional[ClusterBGPSpeaker] = None
@@ -130,7 +149,22 @@ class Experiment:
         if self._built:
             raise ExperimentError("experiment already built")
         self._built = True
-        self.net = Network(seed=self.config.seed)
+        self.net = Network(
+            seed=self.config.seed,
+            trace_level=self.config.trace_level,
+            trace_max_records=self.config.trace_max_records,
+            trace_sample=self.config.trace_sample,
+        )
+        # imported here: framework.convergence imports this module for
+        # its type annotations, so the dependency is lazy at import time.
+        from .convergence import ConvergenceTracker
+
+        self.tracker = ConvergenceTracker(self.net.bus)
+        if self.config.metrics:
+            self.net.enable_metrics(
+                per_node=self.config.metrics_per_node,
+                profile_dispatch=self.config.profile_dispatch,
+            )
         self._build_cluster_core()
         self._build_as_nodes()
         self._build_phys_links()
@@ -142,13 +176,13 @@ class Experiment:
             return
         self.controller = self.net.add_node(
             IDRController(
-                self.net.sim, self.net.trace, "controller",
+                self.net.sim, self.net.bus, "controller",
                 config=self.config.controller,
             )
         )
         self.speaker = self.net.add_node(
             ClusterBGPSpeaker(
-                self.net.sim, self.net.trace, "speaker",
+                self.net.sim, self.net.bus, "speaker",
                 timers=self.config.speaker_timers(),
             )
         )
@@ -159,7 +193,7 @@ class Experiment:
             asn = spec.asn
             node_name = spec.label()
             if asn in self.sdn_asns:
-                node = SDNSwitch(self.net.sim, self.net.trace, node_name, asn=asn)
+                node = SDNSwitch(self.net.sim, self.net.bus, node_name, asn=asn)
                 self.net.add_node(node)
                 control = self.net.add_link(
                     self.controller, node,
@@ -170,7 +204,7 @@ class Experiment:
                 self.controller.register_member(node, control)
             else:
                 node = BGPRouter(
-                    self.net.sim, self.net.trace, node_name,
+                    self.net.sim, self.net.bus, node_name,
                     asn=asn, timers=self.config.session_timers(),
                     damping=self.config.damping,
                 )
@@ -244,7 +278,7 @@ class Experiment:
         if not self.config.with_collector:
             return
         self.collector = self.net.add_node(
-            RouteCollector(self.net.sim, self.net.trace, "collector")
+            RouteCollector(self.net.sim, self.net.bus, "collector")
         )
         for asn, node in sorted(self._as_node.items()):
             if isinstance(node, BGPRouter):
@@ -312,6 +346,16 @@ class Experiment:
         """Current virtual time of the experiment."""
         self._require_built()
         return self.net.sim.now
+
+    @property
+    def metrics(self):
+        """The metrics registry (None unless ``config.metrics``)."""
+        return self.net.metrics if self.net is not None else None
+
+    def metrics_snapshot(self) -> Optional[dict]:
+        """JSON-ready metrics dump, or None when metrics are disabled."""
+        registry = self.metrics
+        return registry.snapshot() if registry is not None else None
 
     # ------------------------------------------------------------------
     # node / address accessors
@@ -486,7 +530,7 @@ class Experiment:
         node_name = spec.label()
         if sdn:
             self.sdn_asns.add(asn)
-            node = SDNSwitch(self.net.sim, self.net.trace, node_name, asn=asn)
+            node = SDNSwitch(self.net.sim, self.net.bus, node_name, asn=asn)
             self.net.add_node(node)
             control = self.net.add_link(
                 self.controller, node,
@@ -497,7 +541,7 @@ class Experiment:
             self.controller.register_member(node, control)
         else:
             node = BGPRouter(
-                self.net.sim, self.net.trace, node_name,
+                self.net.sim, self.net.bus, node_name,
                 asn=asn, timers=self.config.session_timers(),
                 damping=self.config.damping,
             )
@@ -530,7 +574,7 @@ class Experiment:
         as_node = self.node(asn)
         address = self.allocator.host_address(asn)
         host_name = name or f"h{asn}-{len(self.hosts.get(asn, [])) + 1}"
-        host = Host(self.net.sim, self.net.trace, host_name)
+        host = Host(self.net.sim, self.net.bus, host_name)
         host.address = address
         self.net.add_node(host)
         stub = self.net.add_link(

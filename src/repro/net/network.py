@@ -13,7 +13,13 @@ from typing import Callable, Dict, Iterable, List, Optional
 
 import networkx as nx
 
-from ..eventsim import Simulator, TraceLog
+from ..eventsim import (
+    ROUTE_AFFECTING,
+    InstrumentationBus,
+    MetricsRegistry,
+    Simulator,
+    TraceLog,
+)
 from .addr import IPv4Address
 from .link import Link
 from .node import Node
@@ -33,14 +39,71 @@ class PathTrace:
         return self.reached
 
 
-class Network:
-    """Inventory of emulated devices sharing one event loop and trace log."""
+#: trace capture levels: category filter (None = everything) per level.
+TRACE_LEVELS = {
+    "full": None,
+    "route": tuple(sorted(ROUTE_AFFECTING)),
+    "off": None,
+}
 
-    def __init__(self, sim: Optional[Simulator] = None, seed: int = 0) -> None:
+
+class Network:
+    """Inventory of emulated devices sharing one event loop and bus.
+
+    The network owns the :class:`InstrumentationBus` every device
+    publishes on, plus the default subscribers: a :class:`TraceLog`
+    (record capture, tunable via ``trace_level``/``trace_max_records``/
+    ``trace_sample``) and — opt-in via :meth:`enable_metrics` — a
+    :class:`MetricsRegistry`.
+
+    ``trace_level``: ``"full"`` retains every record, ``"route"``
+    retains only route-affecting categories, ``"off"`` retains nothing
+    (counters and streaming subscribers still see everything).
+    """
+
+    def __init__(
+        self,
+        sim: Optional[Simulator] = None,
+        seed: int = 0,
+        *,
+        trace_level: str = "full",
+        trace_max_records: Optional[int] = None,
+        trace_sample: int = 1,
+    ) -> None:
+        if trace_level not in TRACE_LEVELS:
+            raise ValueError(
+                f"unknown trace level {trace_level!r}; "
+                f"choose from {sorted(TRACE_LEVELS)}"
+            )
         self.sim = sim if sim is not None else Simulator(seed=seed)
-        self.trace = TraceLog(self.sim)
+        self.bus = InstrumentationBus(self.sim)
+        self.trace = TraceLog(
+            self.bus,
+            categories=TRACE_LEVELS[trace_level],
+            max_records=trace_max_records,
+            sample=trace_sample,
+            capture=trace_level != "off",
+        )
+        self.trace_level = trace_level
+        self.metrics: Optional[MetricsRegistry] = None
         self.nodes: Dict[str, Node] = {}
         self.links: List[Link] = []
+
+    def enable_metrics(
+        self, *, per_node: bool = False, profile_dispatch: bool = False
+    ) -> MetricsRegistry:
+        """Attach a metrics registry to the bus (idempotent).
+
+        ``per_node`` adds per-(category, node) record counters;
+        ``profile_dispatch`` wraps simulator event dispatch with a
+        wall-clock histogram.
+        """
+        if self.metrics is None:
+            self.metrics = MetricsRegistry()
+            self.metrics.observe_bus(self.bus, per_node=per_node)
+            if profile_dispatch:
+                self.metrics.profile_simulator(self.sim)
+        return self.metrics
 
     # ------------------------------------------------------------------
     # inventory
@@ -53,8 +116,8 @@ class Network:
         return node
 
     def create(self, factory: Callable[..., Node], name: str, **kwargs) -> Node:
-        """Instantiate ``factory(sim, trace, name, **kwargs)`` and register it."""
-        return self.add_node(factory(self.sim, self.trace, name, **kwargs))
+        """Instantiate ``factory(sim, bus, name, **kwargs)`` and register it."""
+        return self.add_node(factory(self.sim, self.bus, name, **kwargs))
 
     def get(self, name: str) -> Node:
         """Exact-match lookup; None if absent."""

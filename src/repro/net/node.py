@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Iterable, Optional
 
-from ..eventsim import Simulator, TraceLog
+from ..eventsim import InstrumentationBus, Simulator, bus_of
 from .addr import IPv4Address, Prefix
 from .dataplane import Fib, FibEntry
 from .link import Link
@@ -31,9 +31,15 @@ class Node:
     to one of the node's own prefixes.
     """
 
-    def __init__(self, sim: Simulator, trace: TraceLog, name: str) -> None:
+    def __init__(self, sim: Simulator, instrument, name: str) -> None:
         self.sim = sim
-        self.trace = trace
+        #: the bus all instrumentation records are published on.
+        #: ``instrument`` may be the bus itself or a legacy
+        #: :class:`~repro.eventsim.trace.TraceLog` (which owns a bus).
+        self.bus: InstrumentationBus = bus_of(instrument)
+        #: kept for callers that still reach node.trace for queries;
+        #: identical to ``instrument`` as passed in.
+        self.trace = instrument
         self.name = name
         self.links: list[Link] = []
         self.fib = Fib()
@@ -141,7 +147,7 @@ class Node:
         if packet.proto == PING_PROTO:
             if packet.payload == "reply":
                 self.echo_replies_received[packet.seq] = self.sim.now
-                self.trace.record(
+                self.bus.record(
                     "ping.reply", self.name, seq=packet.seq, src=str(packet.src)
                 )
             else:
@@ -180,7 +186,7 @@ class Node:
 
     def _drop(self, packet: Packet, reason: str) -> bool:
         self.packets_dropped += 1
-        self.trace.record(
+        self.bus.record(
             "packet.drop", self.name, reason=reason,
             src=str(packet.src), dst=str(packet.dst), proto=packet.proto,
         )
@@ -205,8 +211,8 @@ class Host(Node):
     application" stand-in consume.
     """
 
-    def __init__(self, sim: Simulator, trace: TraceLog, name: str) -> None:
-        super().__init__(sim, trace, name)
+    def __init__(self, sim: Simulator, instrument, name: str) -> None:
+        super().__init__(sim, instrument, name)
         self.probes_received: list[Packet] = []
 
     def handle_local_packet(self, link: Optional[Link], packet: Packet) -> None:
@@ -215,7 +221,7 @@ class Host(Node):
 
         if packet.proto == PROBE_PROTO:
             self.probes_received.append(packet)
-            self.trace.record(
+            self.bus.record(
                 "probe.rx", self.name, seq=packet.seq, src=str(packet.src)
             )
             return

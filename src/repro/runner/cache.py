@@ -69,10 +69,12 @@ class ResultCache:
         if not isinstance(measurement_data, dict):
             return None
         meta = payload.get("record", {})
+        metrics = payload.get("metrics")
         return RunRecord(
             digest=spec.digest(),
             ok=True,
             measurement=RunRecord.measurement_from_dict(measurement_data),
+            metrics=metrics if isinstance(metrics, dict) else None,
             wall_time=float(meta.get("wall_time", 0.0)),
             worker=str(meta.get("worker", "")),
             attempts=int(meta.get("attempts", 1)),
@@ -96,6 +98,8 @@ class ResultCache:
             },
             "measurement": record.measurement_dict(),
         }
+        if record.metrics is not None:
+            payload["metrics"] = record.metrics
         # Atomic publish: a reader either sees the old entry or the new
         # complete one, never a torn write.
         fd, tmp_name = tempfile.mkstemp(

@@ -34,6 +34,7 @@ __all__ = [
     "callable_token",
     "execute_spec",
     "run_trial",
+    "run_trial_instrumented",
 ]
 
 
@@ -86,6 +87,8 @@ class RunSpec:
     policy_mode: str = "flat"
     sdn_members: Optional[Tuple[int, ...]] = None
     horizon: Optional[float] = None
+    trace_level: str = "full"
+    metrics: bool = False
     label: str = field(default="", compare=False)
 
     def describe(self) -> Dict[str, Any]:
@@ -105,6 +108,8 @@ class RunSpec:
                 if self.sdn_members is not None else None
             ),
             "horizon": self.horizon,
+            "trace_level": self.trace_level,
+            "metrics": self.metrics,
         }
 
     def digest(self) -> str:
@@ -129,6 +134,8 @@ class RunRecord:
     digest: str
     ok: bool
     measurement: Optional[ConvergenceMeasurement] = None
+    #: per-run metrics snapshot (``spec.metrics=True``), JSON-ready.
+    metrics: Optional[Dict[str, Any]] = None
     error: Optional[str] = None
     #: wall-clock seconds the trial took inside its worker.
     wall_time: float = 0.0
@@ -163,12 +170,24 @@ def run_trial(spec: RunSpec) -> ConvergenceMeasurement:
     scenario, scenario-shaped topology, standard member selection,
     paper config seeded from the spec.
     """
+    measurement, _ = run_trial_instrumented(spec)
+    return measurement
+
+
+def run_trial_instrumented(
+    spec: RunSpec,
+) -> Tuple[ConvergenceMeasurement, Optional[Dict[str, Any]]]:
+    """Like :func:`run_trial`, also returning the metrics snapshot.
+
+    The snapshot is ``None`` unless the spec asked for metrics
+    (``spec.metrics=True``).
+    """
     # Imported here, not at module top: repro.experiments.common imports
     # the runner package, so the dependency must stay one-directional at
     # import time.
     from ..experiments.common import (
         paper_config,
-        run_scenario_once,
+        run_scenario_instrumented,
         sdn_set_for,
     )
 
@@ -183,8 +202,10 @@ def run_trial(spec: RunSpec) -> ConvergenceMeasurement:
         mrai=spec.mrai,
         recompute_delay=spec.recompute_delay,
         policy_mode=spec.policy_mode,
+        trace_level=spec.trace_level,
+        metrics=spec.metrics,
     )
-    return run_scenario_once(
+    return run_scenario_instrumented(
         scenario, topology, members, config, horizon=spec.horizon
     )
 
@@ -201,7 +222,7 @@ def execute_spec(spec: RunSpec) -> RunRecord:
     started = time.perf_counter()
     worker = f"pid-{os.getpid()}"
     try:
-        measurement = run_trial(spec)
+        measurement, metrics = run_trial_instrumented(spec)
     except Exception:
         return RunRecord(
             digest=digest,
@@ -214,6 +235,7 @@ def execute_spec(spec: RunSpec) -> RunRecord:
         digest=digest,
         ok=True,
         measurement=measurement,
+        metrics=metrics,
         wall_time=time.perf_counter() - started,
         worker=worker,
     )

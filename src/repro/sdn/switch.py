@@ -18,7 +18,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Dict, Optional
 
 from ..bgp.messages import BGPMessage
-from ..eventsim import Simulator, TraceLog
+from ..eventsim import Simulator
 from ..net.addr import IPv4Address
 from ..net.dataplane import FibEntry
 from ..net.link import Link
@@ -47,13 +47,13 @@ class SDNSwitch(Node):
     def __init__(
         self,
         sim: Simulator,
-        trace: TraceLog,
+        instrument,
         name: str,
         *,
         asn: int,
         packet_in_enabled: bool = False,
     ) -> None:
-        super().__init__(sim, trace, name)
+        super().__init__(sim, instrument, name)
         if asn <= 0:
             raise ValueError(f"ASN must be positive: {asn!r}")
         self.asn = asn
@@ -118,7 +118,7 @@ class SDNSwitch(Node):
             if phys.up:
                 phys.transmit(self, message)
             return
-        self.trace.record(
+        self.bus.record(
             "switch.bgp.unrelayable", self.name, link=link.name,
             message=message.describe(),
         )
@@ -138,7 +138,7 @@ class SDNSwitch(Node):
         if mod.action_type == "output":
             link = self._link_by_name(mod.out_link_name)
             if link is None:
-                self.trace.record(
+                self.bus.record(
                     "switch.flowmod.bad_port", self.name,
                     match=str(mod.match), port=mod.out_link_name,
                 )
@@ -155,7 +155,7 @@ class SDNSwitch(Node):
             )
         )
         self.flow_mods_applied += 1
-        self.trace.record(
+        self.bus.record(
             "fib.change", self.name,
             prefix=str(mod.match),
             via=mod.out_link_name or mod.action_type,
@@ -170,7 +170,7 @@ class SDNSwitch(Node):
             removed = len(self.flow_table)
             self.flow_table.clear()
         if removed:
-            self.trace.record(
+            self.bus.record(
                 "fib.change", self.name,
                 prefix=str(msg.match) if msg.match else "*",
                 via=None, removed=removed,

@@ -1,0 +1,134 @@
+"""Streaming analysis subscribers vs their scan-based twins."""
+
+import pytest
+
+from repro.analysis.logs import (
+    ChurnTracker,
+    NodeUpdateCounter,
+    churn_timeline,
+    update_counts_by_node,
+)
+from repro.analysis.stats import OnlineStats
+from repro.eventsim import Simulator, TraceLog
+
+
+@pytest.fixture
+def busy_trace():
+    sim = Simulator()
+    trace = TraceLog(sim)
+    events = [
+        (0.5, "bgp.update.tx", "as1"),
+        (0.6, "bgp.update.rx", "as2"),
+        (1.2, "bgp.update.tx", "as2"),
+        (1.3, "bgp.update.tx", "as2"),
+        (2.8, "bgp.update.tx", "as3"),
+        (4.0, "bgp.update.rx", "as1"),
+        (7.5, "bgp.update.tx", "as1"),
+    ]
+    for t, cat, node in events:
+        sim.schedule(t, lambda c=cat, n=node: trace.record(c, n))
+    return sim, trace
+
+
+class TestChurnTracker:
+    def test_matches_scan_timeline(self, busy_trace):
+        sim, trace = busy_trace
+        tracker = ChurnTracker(trace.bus, bin_size=1.0)
+        sim.run()
+        assert tracker.timeline() == churn_timeline(trace, bin_size=1.0)
+
+    def test_matches_scan_with_offset_and_bins(self, busy_trace):
+        sim, trace = busy_trace
+        tracker = ChurnTracker(trace.bus, bin_size=2.0, since=0.5)
+        sim.run()
+        assert tracker.timeline() == churn_timeline(
+            trace, bin_size=2.0, since=0.5
+        )
+
+    def test_until_truncates(self, busy_trace):
+        sim, trace = busy_trace
+        tracker = ChurnTracker(trace.bus, bin_size=1.0)
+        sim.run()
+        assert tracker.timeline(until=2.0) == churn_timeline(
+            trace, bin_size=1.0, until=2.0
+        )
+
+    def test_invalid_bin_size(self, busy_trace):
+        _, trace = busy_trace
+        with pytest.raises(ValueError):
+            ChurnTracker(trace.bus, bin_size=0)
+
+    def test_detach_stops_binning(self, busy_trace):
+        sim, trace = busy_trace
+        tracker = ChurnTracker(trace.bus)
+        tracker.detach()
+        sim.run()
+        assert tracker.timeline() == []
+
+
+class TestNodeUpdateCounter:
+    def test_matches_scan_counts_tx(self, busy_trace):
+        sim, trace = busy_trace
+        counter = NodeUpdateCounter(trace.bus, direction="tx")
+        sim.run()
+        assert counter.counts == update_counts_by_node(trace, direction="tx")
+
+    def test_matches_scan_counts_rx(self, busy_trace):
+        sim, trace = busy_trace
+        counter = NodeUpdateCounter(trace.bus, direction="rx")
+        sim.run()
+        assert counter.counts == update_counts_by_node(trace, direction="rx")
+
+    def test_since_filters(self, busy_trace):
+        sim, trace = busy_trace
+        counter = NodeUpdateCounter(trace.bus, direction="tx", since=1.0)
+        sim.run()
+        assert counter.counts == update_counts_by_node(
+            trace, direction="tx", since=1.0
+        )
+
+    def test_invalid_direction(self, busy_trace):
+        _, trace = busy_trace
+        with pytest.raises(ValueError):
+            NodeUpdateCounter(trace.bus, direction="both")
+
+    def test_works_with_capture_off(self):
+        """The whole point: counts stay correct with zero retained records."""
+        sim = Simulator()
+        trace = TraceLog(sim, capture=False)
+        counter = NodeUpdateCounter(trace.bus, direction="tx")
+        sim.schedule(1.0, lambda: trace.record("bgp.update.tx", "as1"))
+        sim.run()
+        assert trace.records == []
+        assert counter.counts == {"as1": 1}
+
+
+class TestOnlineStats:
+    def test_matches_numpy_moments(self):
+        import numpy as np
+
+        values = [3.0, 1.5, 4.25, 0.5, 9.0, 2.0]
+        stats = OnlineStats()
+        stats.extend(values)
+        assert stats.n == len(values)
+        assert stats.mean == pytest.approx(np.mean(values))
+        assert stats.stdev == pytest.approx(np.std(values, ddof=1))
+        assert stats.minimum == min(values)
+        assert stats.maximum == max(values)
+
+    def test_single_value(self):
+        stats = OnlineStats()
+        stats.add(5.0)
+        assert stats.variance == 0.0
+        assert stats.mean == 5.0
+
+    def test_to_dict_empty(self):
+        d = OnlineStats().to_dict()
+        assert d == {"n": 0, "mean": 0.0, "stdev": 0.0,
+                     "min": None, "max": None}
+
+    def test_numerically_stable_around_large_offset(self):
+        # naive sum-of-squares loses all precision here; Welford doesn't
+        stats = OnlineStats()
+        stats.extend([1e9 + v for v in (0.0, 1.0, 2.0)])
+        assert stats.variance == pytest.approx(1.0)

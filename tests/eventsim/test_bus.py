@@ -1,0 +1,160 @@
+"""Unit tests for the instrumentation bus (publish/subscribe core)."""
+
+import pytest
+
+from repro.eventsim import (
+    InstrumentationBus,
+    Simulator,
+    TraceLog,
+    TraceRecord,
+    bus_of,
+)
+
+
+@pytest.fixture
+def bus(sim):
+    return InstrumentationBus(sim)
+
+
+class TestPublishing:
+    def test_record_reaches_subscriber(self, bus):
+        got = []
+        bus.subscribe(got.append)
+        bus.record("bgp.update.tx", "as1", peer="as2")
+        assert len(got) == 1
+        rec = got[0]
+        assert rec.category == "bgp.update.tx"
+        assert rec.node == "as1"
+        assert rec.data == {"peer": "as2"}
+
+    def test_record_stamped_with_virtual_time(self, sim, bus):
+        got = []
+        bus.subscribe(got.append)
+        sim.schedule_at(7.5, lambda: bus.record("fib.change", "as1"))
+        sim.run()
+        assert got[0].time == 7.5
+
+    def test_counts_maintained_without_subscribers(self, bus):
+        bus.record("bgp.update.tx", "as1")
+        bus.record("bgp.update.tx", "as1")
+        bus.record("bgp.update.rx", "as2")
+        assert bus.counts["bgp.update.tx"] == 2
+        assert bus.count("bgp.update") == 3
+        assert bus.records_published == 3
+
+    def test_count_uses_prefix_semantics(self, bus):
+        bus.record("bgp.update.tx", "as1")
+        bus.record("bgp.updatex", "as1")  # not nested under bgp.update
+        assert bus.count("bgp.update") == 1
+
+    def test_no_record_object_built_without_interest(self, bus):
+        # A filtered-out category never constructs a TraceRecord; the
+        # only observable effect is the count.
+        got = []
+        bus.subscribe(got.append, categories=("fib.change",))
+        bus.record("bgp.update.tx", "as1")
+        assert got == []
+        assert bus.count("bgp.update.tx") == 1
+
+    def test_publish_prebuilt_record(self, bus):
+        got = []
+        bus.subscribe(got.append)
+        rec = TraceRecord(3.0, "bgp.decision", "as9")
+        bus.publish(rec)
+        assert got == [rec]
+        assert bus.counts["bgp.decision"] == 1
+
+    def test_clear_counts_keeps_subscribers(self, bus):
+        got = []
+        bus.subscribe(got.append)
+        bus.record("fib.change", "as1")
+        bus.clear_counts()
+        assert bus.counts == {}
+        bus.record("fib.change", "as1")
+        assert len(got) == 2
+
+
+class TestFiltering:
+    def test_category_prefix_filter(self, bus):
+        got = []
+        bus.subscribe(got.append, categories=("bgp.update",))
+        bus.record("bgp.update.tx", "as1")
+        bus.record("bgp.update.rx", "as1")
+        bus.record("bgp.decision", "as1")
+        assert [r.category for r in got] == ["bgp.update.tx", "bgp.update.rx"]
+
+    def test_exact_category_matches_itself(self, bus):
+        got = []
+        bus.subscribe(got.append, categories=("fib.change",))
+        bus.record("fib.change", "as1")
+        assert len(got) == 1
+
+    def test_multiple_subscribers_independent_filters(self, bus):
+        updates, decisions = [], []
+        bus.subscribe(updates.append, categories=("bgp.update",))
+        bus.subscribe(decisions.append, categories=("bgp.decision",))
+        bus.record("bgp.update.tx", "as1")
+        bus.record("bgp.decision", "as1")
+        assert len(updates) == 1 and len(decisions) == 1
+
+    def test_subscribe_after_publishing_invalidates_routes(self, bus):
+        bus.record("bgp.update.tx", "as1")  # caches the empty route
+        got = []
+        bus.subscribe(got.append)
+        bus.record("bgp.update.tx", "as1")
+        assert len(got) == 1
+
+    def test_unsubscribe_stops_delivery(self, bus):
+        got = []
+        handle = bus.subscribe(got.append)
+        bus.record("fib.change", "as1")
+        bus.unsubscribe(handle)
+        bus.record("fib.change", "as1")
+        assert len(got) == 1
+
+    def test_unsubscribe_is_idempotent(self, bus):
+        handle = bus.subscribe(lambda r: None)
+        bus.unsubscribe(handle)
+        bus.unsubscribe(handle)  # no error
+        assert bus.subscriptions == []
+
+
+class TestSampling:
+    def test_sampling_stride(self, bus):
+        got = []
+        bus.subscribe(got.append, sample=3)
+        for _ in range(9):
+            bus.record("fib.change", "as1")
+        # records 1, 4, 7 (first match always delivers)
+        assert len(got) == 3
+
+    def test_first_match_always_delivered(self, bus):
+        got = []
+        bus.subscribe(got.append, sample=100)
+        bus.record("fib.change", "as1")
+        assert len(got) == 1
+
+    def test_sampling_counts_only_matching_records(self, bus):
+        got = []
+        bus.subscribe(got.append, categories=("fib.change",), sample=2)
+        for _ in range(4):
+            bus.record("bgp.update.tx", "as1")  # never matches
+            bus.record("fib.change", "as1")
+        assert len(got) == 2
+
+    def test_invalid_stride_rejected(self, bus):
+        with pytest.raises(ValueError):
+            bus.subscribe(lambda r: None, sample=0)
+
+
+class TestBusOf:
+    def test_bus_passthrough(self, bus):
+        assert bus_of(bus) is bus
+
+    def test_tracelog_unwraps_to_bus(self, sim):
+        trace = TraceLog(sim)
+        assert bus_of(trace) is trace.bus
+
+    def test_rejects_other_objects(self):
+        with pytest.raises(TypeError):
+            bus_of(object())

@@ -1,0 +1,183 @@
+"""Unit tests for the online metrics registry."""
+
+import pytest
+
+from repro.eventsim import (
+    Counter,
+    Gauge,
+    Histogram,
+    InstrumentationBus,
+    MetricsRegistry,
+    Simulator,
+    format_snapshot,
+    merge_snapshots,
+)
+
+
+class TestPrimitives:
+    def test_counter_monotonic(self):
+        c = Counter()
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_gauge_moves_both_ways(self):
+        g = Gauge()
+        g.set(10)
+        g.dec(4)
+        g.inc()
+        assert g.value == 7
+
+    def test_histogram_moments(self):
+        h = Histogram()
+        for v in (0.001, 0.01, 0.1):
+            h.observe(v)
+        assert h.count == 3
+        assert h.minimum == 0.001
+        assert h.maximum == 0.1
+        assert h.mean == pytest.approx(0.037)
+
+    def test_histogram_buckets_cumulative_style(self):
+        h = Histogram(buckets=(1.0, 10.0))
+        h.observe(0.5)
+        h.observe(5.0)
+        h.observe(500.0)  # over the top bound
+        d = h.to_dict()
+        assert d["buckets"] == {"le_1": 1, "le_10": 1, "inf": 1}
+
+    def test_empty_histogram_dict(self):
+        d = Histogram().to_dict()
+        assert d["count"] == 0
+        assert d["min"] is None and d["max"] is None
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_metric(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x") is reg.counter("x")
+        assert reg.counter("x", node="a") is not reg.counter("x", node="b")
+
+    def test_label_keys_are_order_independent(self):
+        reg = MetricsRegistry()
+        a = reg.counter("m", node="n1", category="c1")
+        b = reg.counter("m", category="c1", node="n1")
+        assert a is b
+
+    def test_snapshot_shape(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.gauge("g").set(2)
+        reg.histogram("h").observe(0.5)
+        snap = reg.snapshot()
+        assert snap["counters"] == {"c": 1.0}
+        assert snap["gauges"] == {"g": 2.0}
+        assert snap["histograms"]["h"]["count"] == 1
+
+    def test_clear_drops_metrics(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.clear()
+        assert reg.snapshot()["counters"] == {}
+
+
+class TestBusObservation:
+    def test_records_total_by_category(self, sim):
+        bus = InstrumentationBus(sim)
+        reg = MetricsRegistry()
+        reg.observe_bus(bus)
+        bus.record("bgp.update.tx", "as1")
+        bus.record("bgp.update.tx", "as2")
+        bus.record("fib.change", "as1")
+        snap = reg.snapshot()
+        assert snap["counters"]["records_total{category=bgp.update.tx}"] == 2
+        assert snap["counters"]["records_total{category=fib.change}"] == 1
+
+    def test_per_node_counters(self, sim):
+        bus = InstrumentationBus(sim)
+        reg = MetricsRegistry()
+        reg.observe_bus(bus, per_node=True)
+        bus.record("fib.change", "as1")
+        snap = reg.snapshot()
+        assert (
+            "node_records_total{category=fib.change,node=as1}"
+            in snap["counters"]
+        )
+
+    def test_double_observe_rejected(self, sim):
+        bus = InstrumentationBus(sim)
+        reg = MetricsRegistry()
+        reg.observe_bus(bus)
+        with pytest.raises(RuntimeError):
+            reg.observe_bus(bus)
+
+    def test_detach_stops_counting(self, sim):
+        bus = InstrumentationBus(sim)
+        reg = MetricsRegistry()
+        reg.observe_bus(bus)
+        bus.record("fib.change", "as1")
+        reg.detach()
+        bus.record("fib.change", "as1")
+        assert reg.snapshot()["counters"] == {
+            "records_total{category=fib.change}": 1.0
+        }
+
+
+class TestDispatchProfiling:
+    def test_profile_counts_every_event(self):
+        sim = Simulator(seed=1)
+        reg = MetricsRegistry()
+        reg.profile_simulator(sim)
+        for delay in (1.0, 2.0, 3.0):
+            sim.schedule(delay, lambda: None)
+        sim.run()
+        snap = reg.snapshot()
+        assert snap["counters"]["sim.events_total"] == 3
+        assert snap["histograms"]["sim.dispatch_seconds"]["count"] == 3
+
+    def test_detach_removes_hook(self):
+        sim = Simulator(seed=1)
+        reg = MetricsRegistry()
+        reg.profile_simulator(sim)
+        reg.detach()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        # the metrics exist (created at install time) but saw no events
+        snap = reg.snapshot()
+        assert snap["counters"]["sim.events_total"] == 0
+        assert snap["histograms"]["sim.dispatch_seconds"]["count"] == 0
+
+
+class TestSnapshotTools:
+    def test_merge_adds_counters_and_histograms(self):
+        a = MetricsRegistry()
+        a.counter("c").inc(2)
+        a.histogram("h").observe(1.0)
+        b = MetricsRegistry()
+        b.counter("c").inc(3)
+        b.histogram("h").observe(3.0)
+        merged = merge_snapshots([a.snapshot(), b.snapshot()])
+        assert merged["counters"]["c"] == 5.0
+        h = merged["histograms"]["h"]
+        assert h["count"] == 2
+        assert h["mean"] == pytest.approx(2.0)
+        assert h["min"] == 1.0 and h["max"] == 3.0
+
+    def test_merge_gauges_last_wins(self):
+        snaps = [
+            {"counters": {}, "gauges": {"g": 1.0}, "histograms": {}},
+            {"counters": {}, "gauges": {"g": 9.0}, "histograms": {}},
+        ]
+        assert merge_snapshots(snaps)["gauges"]["g"] == 9.0
+
+    def test_merge_skips_none_snapshots(self):
+        merged = merge_snapshots([None, {}, {"counters": {"c": 1.0}}])
+        assert merged["counters"] == {"c": 1.0}
+
+    def test_format_snapshot_readable(self):
+        reg = MetricsRegistry()
+        reg.counter("records_total", category="bgp.update.tx").inc(5)
+        text = format_snapshot(reg.snapshot())
+        assert "records_total" in text
+        assert "bgp.update.tx" in text

@@ -62,3 +62,51 @@ class TestCommands:
     def test_missing_command_exits(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestQuietFlag:
+    def test_quiet_silences_info_output(self, capsys):
+        rc = main(["--quiet", "demo", "--n", "4", "--mrai", "1"])
+        assert rc == 0
+        assert capsys.readouterr().out == ""
+
+    def test_quiet_keeps_primary_artifacts(self, capsys):
+        rc = main(["--quiet", "dot", "--topology", "clique:4"])
+        assert rc == 0
+        assert capsys.readouterr().out.startswith("graph")
+
+    def test_quiet_sweep_exit_code_still_reports(self, capsys):
+        rc = main([
+            "--quiet", "fig2", "--n", "4", "--runs", "1", "--mrai", "1",
+        ])
+        assert rc == 0
+        assert capsys.readouterr().out == ""
+
+
+class TestInstrumentationFlags:
+    def test_demo_metrics_prints_snapshot(self, capsys):
+        rc = main(["demo", "--n", "4", "--mrai", "1", "--metrics"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "records_total" in out
+
+    def test_sweep_metrics_summary(self, capsys):
+        rc = main([
+            "fig2", "--n", "4", "--runs", "1", "--mrai", "1",
+            "--metrics", "--trace-level", "off",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "metrics (merged over all runs)" in out
+        assert "records_total" in out
+
+    def test_trace_level_off_measures_normally(self, capsys):
+        rc = main([
+            "demo", "--n", "4", "--mrai", "1", "--trace-level", "off",
+        ])
+        assert rc == 0
+        assert "withdrawal converged" in capsys.readouterr().out
+
+    def test_bad_trace_level_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["demo", "--trace-level", "verbose"])

@@ -42,6 +42,25 @@ class TestAgainstOracle:
         assert detection.premature
         assert detection.t_declared < detection.t_oracle
 
+    def test_window_shorter_than_mrai_gap_fires_early(self):
+        """Paper-default MRAI (30s) with a 5s silence window: withdrawal
+        exploration pauses longer than the window between MRAI rounds,
+        so the heuristic declares convergence inside a gap — before the
+        oracle's true instant — and the declared time is exactly the
+        last-seen activity plus the window."""
+        exp = experiment(mrai=30.0, n=6)
+        prefix = exp.announce(1)
+        exp.wait_converged()
+        detection = compare_with_oracle(
+            exp, lambda: exp.withdraw(1, prefix), silence_window=5.0,
+        )
+        assert detection.premature
+        assert detection.t_last_activity < detection.t_oracle
+        assert detection.t_declared == pytest.approx(
+            detection.t_last_activity + detection.silence_window
+        )
+        assert detection.t_declared < detection.t_oracle
+
     def test_no_event_declares_after_window(self):
         exp = experiment()
         detection = compare_with_oracle(

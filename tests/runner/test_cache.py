@@ -30,6 +30,30 @@ class TestHitMiss:
         assert hit.measurement.updates_tx == record.measurement.updates_tx
         assert hit.worker == record.worker
 
+    def test_metrics_round_trip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = make_spec(metrics=True, trace_level="off")
+        record = execute_spec(spec)
+        assert record.metrics is not None
+        cache.put(spec, record)
+
+        hit = cache.get(spec)
+        assert hit.metrics == record.metrics
+
+    def test_metrics_absent_when_not_requested(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = make_spec()
+        record = execute_spec(spec)
+        assert record.metrics is None
+        cache.put(spec, record)
+        assert cache.get(spec).metrics is None
+
+    def test_metrics_flag_changes_digest(self):
+        assert make_spec().digest() != make_spec(metrics=True).digest()
+        assert (
+            make_spec().digest() != make_spec(trace_level="off").digest()
+        )
+
     def test_different_spec_misses(self, tmp_path):
         cache = ResultCache(tmp_path)
         spec = make_spec()
