@@ -184,6 +184,53 @@ class BGPRouter(Node):
             self._run_decision(prefix)
 
     # ------------------------------------------------------------------
+    # crash / restart (fault-injection semantics)
+    # ------------------------------------------------------------------
+    def crash(self) -> None:
+        """Power-fail the router: sessions drop and all learned state is lost.
+
+        The fault layer fails the attached links first, so peers see fast
+        fallover and the sessions here are usually already IDLE; stopping
+        them again covers slow-detection timer configurations.  Learned
+        RIB state and BGP-derived FIB entries are wiped, but
+        ``originated`` survives — origination is configuration, not
+        protocol state — and is re-announced by :meth:`restart`.
+        """
+        for session in self.sessions.values():
+            session.stop(notify_peer=False, reason="crash")
+        self._update_queue.clear()
+        self._processing = False
+        for link_id, rib_in in self._rib_in.items():
+            rib_in.clear()
+            self._rib_out[link_id].clear()
+            if self.damper is not None:
+                self.damper.clear_peer(link_id)
+        lost = 0
+        for prefix in list(self.loc_rib.prefixes()):
+            if self.loc_rib.remove(prefix):
+                lost += 1
+        for entry in [
+            e for e in list(self.fib) if e.source.startswith("bgp")
+        ]:
+            if self.fib.remove(entry.prefix):
+                self.bus.record(
+                    "fib.change", self.name, prefix=str(entry.prefix), via=None
+                )
+        self.bus.record("bgp.crash", self.name, lost_routes=lost)
+
+    def restart(self) -> None:
+        """Boot after :meth:`crash`: re-install configured originations.
+
+        Re-running the decision process for every originated prefix puts
+        the local routes back into Loc-RIB/FIB; the outward re-announce
+        happens via session resync once links are restored and sessions
+        re-establish (the fault layer restores links after calling this).
+        """
+        self.bus.record("bgp.restart", self.name)
+        for prefix in sorted(self.originated):
+            self._run_decision(prefix)
+
+    # ------------------------------------------------------------------
     # update processing (serialized, with CPU delay)
     # ------------------------------------------------------------------
     def enqueue_update(self, session: BGPSession, update: BGPUpdate) -> None:

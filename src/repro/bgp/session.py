@@ -158,6 +158,16 @@ class BGPSession:
         if was_established:
             self.router.session_down(self, reason=reason)
 
+    def reset(self, *, reason: str = "admin_reset") -> None:
+        """Administratively bounce the session (``clear ip bgp neighbor``).
+
+        Sends a NOTIFICATION so the peer drops its side too, then
+        reconnects after ``reconnect_delay``; the peer reconnects on its
+        own schedule when it processes the notification.
+        """
+        self.stop(notify_peer=True, reason=reason)
+        self.start(delay=self.timers.reconnect_delay)
+
     def link_state_changed(self) -> None:
         """Called by the router when the session's link flips state."""
         if not self.link.up:

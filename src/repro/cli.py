@@ -9,6 +9,9 @@ Usage (also ``python -m repro --help``)::
     python -m repro sweep --self-check
     python -m repro subcluster
     python -m repro topologies --runs 3
+    python -m repro faults list
+    python -m repro faults run --scenario gateway-outage --fault-seed 3
+    python -m repro scenarios --suites gateway-outage,router-crash
     python -m repro demo --n 8 --sdn 5,6,7,8
     python -m repro dot --topology clique:8 --sdn 5,6,7,8
 
@@ -41,10 +44,19 @@ from .experiments import (
     paper_config,
     run_fraction_sweep,
     run_subcluster_experiment,
+    scenarios_sweep,
+    sdn_counts_for_fractions,
     sweep_to_csv,
     sweep_to_json,
     topology_family_sweep,
     withdrawal_sweep,
+)
+from .experiments.common import sdn_set_for
+from .faults import (
+    FaultInjector,
+    FaultSchedule,
+    canned_names,
+    get_canned,
 )
 from .framework import Experiment, measure_event
 from .topology import barabasi_albert, clique, line, ring, star
@@ -339,6 +351,147 @@ def cmd_sweep(args) -> int:
     return 0 if not result.failed_runs else 1
 
 
+def _parse_fractions(text: str) -> List[float]:
+    try:
+        fractions = [float(part) for part in text.split(",") if part.strip()]
+    except ValueError:
+        raise SystemExit(f"bad --fractions value {text!r} (want e.g. 0,0.5,1)")
+    if not fractions or any(not 0.0 <= f <= 1.0 for f in fractions):
+        raise SystemExit("--fractions must be values in [0, 1]")
+    return fractions
+
+
+def cmd_faults_list(args) -> int:
+    out = args.out
+    out.emit("canned fault scenarios")
+    out.emit("----------------------")
+    for name in canned_names():
+        canned = get_canned(name)
+        schedule = canned.schedule(0)
+        out.emit(
+            f"  {name:20s} {len(schedule)} event(s), "
+            f"reserved AS {','.join(map(str, canned.reserved))}: "
+            f"{canned.summary}"
+        )
+        if args.verbose:
+            for event in schedule:
+                out.emit(f"      {event.describe()}")
+    return 0
+
+
+def cmd_faults_run(args) -> int:
+    out = args.out
+    if args.spec:
+        with open(args.spec) as handle:
+            schedule = FaultSchedule.from_spec(handle.read())
+        schedule.fault_seed = args.fault_seed
+        reserved: frozenset = frozenset()
+        origins = tuple(sorted(_parse_sdn(args.origins))) or (1,)
+        title = f"fault spec {args.spec}"
+    else:
+        canned = get_canned(args.scenario)
+        schedule = canned.schedule(args.fault_seed)
+        reserved = frozenset(canned.reserved)
+        origins = canned.origins
+        title = f"fault scenario {args.scenario!r}"
+    fractions = _parse_fractions(args.fractions)
+    out.info(
+        f"{title} on a {args.n}-AS clique "
+        f"(fault-seed {args.fault_seed}, seed {args.seed}, "
+        f"mrai {args.mrai:g}s)"
+    )
+    all_ok = True
+    for fraction in fractions:
+        sdn_count = min(round(fraction * args.n), args.n - len(reserved))
+        topo = clique(args.n)
+        members = sdn_set_for(topo, sdn_count, reserved)
+        exp = Experiment(
+            topo, sdn_members=members,
+            config=paper_config(
+                seed=args.seed, mrai=args.mrai,
+                recompute_delay=args.recompute_delay,
+            ),
+        ).start()
+        for asn in origins:
+            exp.announce(asn, exp.as_prefix(asn))
+        exp.wait_converged()
+        injector = FaultInjector(
+            exp, schedule, check_invariants=not args.no_invariants
+        )
+        result = injector.run()
+        out.info(
+            f"\nSDN fraction {fraction:.2f} ({sdn_count}/{args.n} converted)"
+        )
+        for report in result.reports:
+            if report.skipped:
+                out.info(
+                    f"  #{report.index} {report.kind:20s} "
+                    f"t={report.t_fired:8.3f}  skipped"
+                )
+                continue
+            m = report.measurement
+            conv = f"{m.convergence_time:7.3f}s" if m else "      ?"
+            state = f"{m.state_convergence_time:7.3f}s" if m else "      ?"
+            tx = f"{m.updates_tx:4d}" if m else "   ?"
+            out.info(
+                f"  #{report.index} {report.kind:20s} "
+                f"t={report.t_fired:8.3f}  conv={conv}  state={state}  "
+                f"updates={tx}"
+            )
+        status = "PASS" if result.ok else f"FAIL ({len(result.violations)})"
+        out.emit(
+            f"  invariants: {status}  "
+            f"settled t={result.t_end:.3f}  "
+            f"trace digest {result.trace_digest[:16]}"
+        )
+        for violation in result.violations:
+            out.emit(f"    {violation}")
+        all_ok = all_ok and result.ok
+    out.emit(f"\n{'PASS' if all_ok else 'FAIL'}: {title}, "
+             f"{len(fractions)} fraction(s)")
+    return 0 if all_ok else 1
+
+
+def cmd_scenarios(args) -> int:
+    out = args.out
+    fractions = _parse_fractions(args.fractions)
+    suites = args.suites.split(",") if args.suites else None
+    if suites:
+        for suite in suites:
+            get_canned(suite)  # fail fast on typos
+    results = scenarios_sweep(
+        n=args.n, suites=suites, fractions=fractions, runs=args.runs,
+        fault_seed=args.fault_seed, mrai=args.mrai,
+        recompute_delay=args.recompute_delay,
+        **{k: v for k, v in _runner_kwargs(args).items() if k != "metrics"},
+    )
+    out.info(
+        f"Fault suites vs SDN deployment ({args.n}-AS clique, "
+        f"{args.runs} runs/point, whole-suite convergence time)"
+    )
+    failures = 0
+    for suite, result in results.items():
+        out.info(f"\n{suite}")
+        for point in result.points:
+            s = point.stats
+            out.info(
+                f"  {point.sdn_count:2d}/{result.n_ases} SDN  "
+                f"median {s.median:8.2f}s  q1 {s.q1:8.2f}  q3 {s.q3:8.2f}"
+            )
+        for failure in result.failed_runs:
+            failures += 1
+            first_line = failure.error.strip().splitlines()[-1]
+            out.emit(
+                f"  FAILED sdn={failure.sdn_count} seed={failure.seed}: "
+                f"{first_line}"
+            )
+    out.emit(
+        f"\n{'PASS' if failures == 0 else 'FAIL'}: "
+        f"{len(results)} suite(s), {failures} failed run(s)"
+    )
+    return 0 if failures == 0 else 1
+
+
 def cmd_demo(args) -> int:
     out = args.out
     sdn = _parse_sdn(args.sdn)
@@ -453,6 +606,53 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--delays", type=float, nargs="+", default=[0.1, 0.5, 2.0])
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=cmd_flapstorm)
+
+    p = sub.add_parser(
+        "faults", help="fault-injection scenarios with invariant checking"
+    )
+    fsub = p.add_subparsers(dest="faults_command", required=True)
+
+    fp = fsub.add_parser("list", help="list the canned fault scenarios")
+    fp.add_argument("-v", "--verbose", action="store_true",
+                    help="also show each scenario's event schedule")
+    fp.set_defaults(func=cmd_faults_list)
+
+    fp = fsub.add_parser(
+        "run",
+        help="run one fault scenario across SDN fractions, "
+             "checking invariants",
+    )
+    fp.add_argument("--scenario", choices=canned_names(),
+                    default="gateway-outage")
+    fp.add_argument("--spec", type=str, default=None,
+                    help="JSON fault-schedule file (overrides --scenario)")
+    fp.add_argument("--origins", type=str, default="1",
+                    help="with --spec: ASes that announce their /24 "
+                         "before the faults start (comma list / ranges)")
+    fp.add_argument("--n", type=int, default=16, help="clique size")
+    fp.add_argument("--fractions", type=str, default="0,0.5,1",
+                    help="SDN deployment fractions to compare")
+    fp.add_argument("--fault-seed", type=int, default=0,
+                    help="seed for fault timing jitter; same schedule + "
+                         "seed reproduces the identical trace")
+    fp.add_argument("--seed", type=int, default=1,
+                    help="experiment base seed")
+    fp.add_argument("--mrai", type=float, default=5.0)
+    fp.add_argument("--recompute-delay", type=float, default=0.5)
+    fp.add_argument("--no-invariants", action="store_true",
+                    help="skip invariant checking (timing only)")
+    fp.set_defaults(func=cmd_faults_run)
+
+    p = sub.add_parser(
+        "scenarios",
+        help="fault-suite sweep: canned suites vs SDN fraction",
+    )
+    p.add_argument("--suites", type=str, default="",
+                   help="comma list of canned suites (default: all)")
+    p.add_argument("--fractions", type=str, default="0,0.5,1")
+    p.add_argument("--fault-seed", type=int, default=0)
+    sweep_args(p)
+    p.set_defaults(func=cmd_scenarios, mrai=5.0, runs=3)
 
     p = sub.add_parser("demo", help="one withdrawal run, custom SDN set")
     p.add_argument("--n", type=int, default=8)

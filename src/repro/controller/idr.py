@@ -90,6 +90,11 @@ class IDRController(Node):
         self.recomputations = 0
         self.flow_mods_sent = 0
         self.packet_ins = 0
+        #: False while the controller process is "dead" (failover fault):
+        #: inputs are dropped, no recomputation runs.  The speaker keeps
+        #: advertising the last computed decisions, like a real route
+        #: server surviving its policy engine.
+        self.active = True
 
     # ------------------------------------------------------------------
     # cluster wiring (done by the framework's cluster builder)
@@ -142,10 +147,66 @@ class IDRController(Node):
         self.mark_dirty([prefix])
 
     # ------------------------------------------------------------------
+    # failover / crash-recovery (fault-injection semantics)
+    # ------------------------------------------------------------------
+    def fail(self) -> None:
+        """Kill the controller process: pending work lost, inputs ignored.
+
+        Compiled state and the speaker's last advertisements survive (the
+        data plane keeps forwarding on installed rules); only the
+        decision process stops.
+        """
+        if not self.active:
+            return
+        self.active = False
+        self._recompute_timer.cancel()
+        self._dirty.clear()
+        self.bus.record("controller.fail", self.name)
+
+    def recover(self) -> None:
+        """Restart after :meth:`fail`: resync and recompute everything.
+
+        PortStatus events that arrived during the outage are gone, so the
+        switch graph is rebuilt from every member's actual link state (a
+        real controller re-learns this in the reconnect handshake), then
+        every known prefix is marked dirty for one recomputation round.
+        """
+        if self.active:
+            return
+        self.active = True
+        self.bus.record("controller.recover", self.name)
+        for name, switch in sorted(self._members.items()):
+            for link in switch.links:
+                if link.kind != "phys":
+                    continue
+                self.switch_graph.set_link_state(
+                    name, link.other(switch).name, link.up
+                )
+        self.mark_dirty(self.known_prefixes())
+
+    def member_rebooted(self, member: str) -> None:
+        """A member switch lost its flow table (crash/restart).
+
+        Forget what we believe is installed there and recompute, so the
+        next round re-pushes the member's rules from scratch.
+        """
+        for rules in self._compiled.values():
+            rules.pop(member, None)
+        self.bus.record("controller.member_reboot", self.name, member=member)
+        if self.active:
+            self.mark_dirty(self.known_prefixes())
+
+    def _drop_while_down(self, what: str) -> None:
+        self.bus.record("controller.dropped", self.name, event=what)
+
+    # ------------------------------------------------------------------
     # events from the speaker
     # ------------------------------------------------------------------
     def route_event(self, peering: Peering, prefixes: List[Prefix]) -> None:
         """External BGP input changed some prefixes at one peering."""
+        if not self.active:
+            self._drop_while_down("route_event")
+            return
         self.bus.record(
             "controller.route_event", self.name,
             peering=str(peering), prefixes=[str(p) for p in prefixes],
@@ -154,12 +215,18 @@ class IDRController(Node):
 
     def peering_established(self, peering: Peering) -> None:
         """Speaker callback: a peering came up."""
+        if not self.active:
+            self._drop_while_down("peering_established")
+            return
         self.bus.record(
             "controller.peering.up", self.name, peering=str(peering)
         )
 
     def peering_lost(self, peering: Peering, affected: List[Prefix]) -> None:
         """Speaker callback: a peering went down."""
+        if not self.active:
+            self._drop_while_down("peering_lost")
+            return
         self.bus.record(
             "controller.peering.down", self.name,
             peering=str(peering), prefixes=[str(p) for p in affected],
@@ -168,6 +235,8 @@ class IDRController(Node):
 
     def mark_dirty(self, prefixes) -> None:
         """Queue prefixes for the next (debounced) recompute."""
+        if not self.active:
+            return
         before = len(self._dirty)
         self._dirty.update(prefixes)
         if self._dirty:
@@ -178,6 +247,9 @@ class IDRController(Node):
     # ------------------------------------------------------------------
     def handle_message(self, link: Link, message: Message) -> None:
         """Control-plane dispatch for one delivered message."""
+        if not self.active:
+            self._drop_while_down(type(message).__name__)
+            return
         if isinstance(message, PortStatus):
             self._handle_port_status(message)
         elif isinstance(message, PacketIn):

@@ -52,6 +52,8 @@ class _ControllerRibView:
 
     def prefixes(self) -> List[Prefix]:
         """All prefixes currently held, as a list."""
+        if not self._speaker.controller_reachable:
+            return []
         controller = self._speaker.controller
         return controller.known_prefixes() if controller is not None else []
 
@@ -79,6 +81,11 @@ class ClusterBGPSpeaker(Node):
         self._rib_in: Dict[int, AdjRibIn] = {}
         self._rib_out: Dict[int, AdjRibOut] = {}
         self.updates_processed = 0
+        #: False while the speaker-controller channel is partitioned:
+        #: callbacks to the controller are dropped and advertisements
+        #: freeze at the last pushed policy (an ExaBGP process that lost
+        #: its API pipe keeps announcing what it was last told).
+        self.controller_reachable = True
 
     # ------------------------------------------------------------------
     # wiring
@@ -115,6 +122,39 @@ class ClusterBGPSpeaker(Node):
         """Begin connecting all configured sessions."""
         for session in self.sessions.values():
             session.start()
+
+    # ------------------------------------------------------------------
+    # controller-speaker partition (fault-injection semantics)
+    # ------------------------------------------------------------------
+    def partition(self) -> None:
+        """Cut the speaker-controller channel (both directions)."""
+        if not self.controller_reachable:
+            return
+        self.controller_reachable = False
+        self.bus.record("speaker.partition", self.name)
+
+    def heal_partition(self) -> None:
+        """Restore the channel and resynchronize both directions.
+
+        Route/peering events that happened during the partition were
+        dropped; the controller re-reads the speaker's current RIBs by
+        recomputing every known prefix, and every session reconsiders
+        its advertisement against the controller's current decisions.
+        """
+        if self.controller_reachable:
+            return
+        self.controller_reachable = True
+        self.bus.record("speaker.partition.heal", self.name)
+        if self.controller is None:
+            return
+        prefixes = set(self.controller.known_prefixes())
+        prefixes.update(self.known_external_prefixes())
+        self.controller.mark_dirty(sorted(prefixes))
+        for prefix in sorted(prefixes):
+            self.schedule_all_sessions(prefix)
+
+    def _drop_partitioned(self, what: str) -> None:
+        self.bus.record("speaker.partition.drop", self.name, event=what)
 
     def peerings(self) -> List[Peering]:
         """All configured peerings, deterministic order."""
@@ -181,8 +221,12 @@ class ClusterBGPSpeaker(Node):
             peering=str(peering), peer_asn=session.peer_asn,
         )
         session.resync()
-        if self.controller is not None:
-            self.controller.peering_established(peering)
+        if self.controller is None:
+            return
+        if not self.controller_reachable:
+            self._drop_partitioned("peering_established")
+            return
+        self.controller.peering_established(peering)
 
     def session_down(self, session: BGPSession, *, reason: str = "") -> None:
         """Session lost: flush per-peer state, re-decide."""
@@ -194,8 +238,12 @@ class ClusterBGPSpeaker(Node):
             "speaker.session.down", self.name,
             peering=str(peering), reason=reason,
         )
-        if self.controller is not None:
-            self.controller.peering_lost(peering, affected)
+        if self.controller is None:
+            return
+        if not self.controller_reachable:
+            self._drop_partitioned("peering_lost")
+            return
+        self.controller.peering_lost(peering, affected)
 
     def enqueue_update(self, session: BGPSession, update: BGPUpdate) -> None:
         """Queue a received UPDATE for serialized processing."""
@@ -239,12 +287,20 @@ class ClusterBGPSpeaker(Node):
             if rib_in.update(route):
                 affected.append(prefix)
         if affected and self.controller is not None:
+            if not self.controller_reachable:
+                self._drop_partitioned("route_event")
+                return
             self.controller.route_event(peering, affected)
 
     def outbound_diff(
         self, session: BGPSession, prefix: Prefix
     ) -> Optional[Tuple[str, Optional[PathAttributes]]]:
         """Ask the controller what this peering should see, diff vs sent."""
+        if not self.controller_reachable:
+            # Partitioned: no policy input, so the current advertisement
+            # stands (returning None attrs here would send a spurious
+            # withdrawal for routes the controller still wants out).
+            return None
         peering = self.peering_of[session.link.link_id]
         attrs: Optional[PathAttributes] = None
         if self.controller is not None:
@@ -286,5 +342,8 @@ class ClusterBGPSpeaker(Node):
 
     def schedule_all_sessions(self, prefix: Prefix) -> None:
         """Let every peering reconsider its advertisement for ``prefix``."""
+        if not self.controller_reachable:
+            self._drop_partitioned("advertise")
+            return
         for link_id in sorted(self.sessions):
             self.sessions[link_id].schedule_route(prefix)

@@ -26,6 +26,13 @@ from .export import sweep_rows, sweep_to_csv, sweep_to_json
 from .failover import failover_sweep
 from .flapstorm import FlapStormResult, flap_storm_sweep, run_flap_storm
 from .placement import STRATEGIES, PlacementResult, pick_members, placement_sweep
+from .scenarios import (
+    DEFAULT_FRACTIONS,
+    FaultSuiteScenario,
+    fault_suite_scenario,
+    scenarios_sweep,
+    sdn_counts_for_fractions,
+)
 from .subcluster import (
     SubClusterResult,
     barbell_topology,
@@ -64,6 +71,11 @@ __all__ = [
     "FlapStormResult",
     "flap_storm_sweep",
     "run_flap_storm",
+    "DEFAULT_FRACTIONS",
+    "FaultSuiteScenario",
+    "fault_suite_scenario",
+    "scenarios_sweep",
+    "sdn_counts_for_fractions",
     "STRATEGIES",
     "PlacementResult",
     "pick_members",

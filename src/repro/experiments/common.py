@@ -19,6 +19,8 @@ from typing import List, Optional, Sequence
 from ..analysis.stats import BoxplotStats, LinearFit, boxplot_stats, linear_fit
 from ..bgp.session import BGPTimers
 from ..controller.idr import ControllerConfig
+from ..faults.engine import FaultInjector
+from ..faults.schedule import FaultSchedule
 from ..framework.convergence import ConvergenceMeasurement, measure_event
 from ..framework.experiment import Experiment, ExperimentConfig
 from ..net.addr import Prefix
@@ -98,6 +100,9 @@ class Scenario:
         """The measured routing event."""
         raise NotImplementedError
 
+    def finish(self, exp: Experiment) -> None:
+        """Hook after the event settled (fault scenarios finalize here)."""
+
 
 @dataclass
 class WithdrawalScenario(Scenario):
@@ -174,8 +179,16 @@ class FailoverScenario(Scenario):
         exp.wait_converged()
 
     def event(self, exp: Experiment) -> None:
-        """The measured routing event."""
-        exp.fail_link(self.origin, self.primary_gw)
+        """The measured routing event, expressed as a fault schedule.
+
+        A ``link_down`` at offset 0 is bit-identical to calling
+        ``exp.fail_link`` synchronously — all protocol timing is
+        delay-based — which the differential oracle tests pin down.
+        """
+        schedule = FaultSchedule().link_down(
+            self.origin, self.primary_gw, at=0.0
+        )
+        FaultInjector(exp, schedule, check_invariants=False).inject()
 
 
 @dataclass
@@ -362,6 +375,7 @@ def run_scenario_instrumented(
     measurement = measure_event(
         exp, lambda: scenario.event(exp), horizon=horizon
     )
+    scenario.finish(exp)
     return measurement, exp.metrics_snapshot()
 
 
@@ -382,6 +396,7 @@ def run_fraction_sweep(
     retries: int = 1,
     trace_level: str = "full",
     metrics: bool = False,
+    faults=None,
 ) -> SweepResult:
     """The Fig. 2 harness: sweep SDN deployment over seeded runs.
 
@@ -398,7 +413,10 @@ def run_fraction_sweep(
     fault tolerance.  ``trace_level`` bounds per-run trace memory
     (``"off"`` retains zero records while measuring identically) and
     ``metrics=True`` attaches a per-run metrics snapshot to every
-    :class:`RunResult`.  Results are bit-identical across worker counts:
+    :class:`RunResult`.  ``faults`` (a
+    :class:`~repro.faults.FaultSchedule` or its canonical tuple) is
+    embedded in every spec — scenarios that understand fault schedules
+    (``FaultSuiteScenario``) read it back from ``scenario.faults``.  Results are bit-identical across worker counts:
     every run is seeded from the spec alone and ``SweepPoint.runs``
     keeps the serial ordering.  Runs that fail for good land in
     ``SweepPoint.failures`` instead of aborting the sweep.
@@ -407,6 +425,8 @@ def run_fraction_sweep(
     if sdn_counts is None:
         max_sdn = n - len(probe.reserved_legacy)
         sdn_counts = list(range(0, max_sdn + 1))
+    if isinstance(faults, FaultSchedule):
+        faults = faults.canonical()
     specs: List[RunSpec] = []
     for sdn_count in sdn_counts:
         for run_index in range(runs):
@@ -422,6 +442,7 @@ def run_fraction_sweep(
                     recompute_delay=recompute_delay,
                     trace_level=trace_level,
                     metrics=metrics,
+                    faults=faults,
                     label=f"{probe.name} sdn={sdn_count} seed={seed}",
                 )
             )

@@ -15,6 +15,8 @@ from dataclasses import dataclass
 from typing import List, Optional
 
 from ..controller.idr import ControllerConfig
+from ..faults.engine import FaultInjector
+from ..faults.schedule import FaultSchedule
 from ..framework.convergence import measure_event
 from ..framework.experiment import Experiment
 from ..topology.builders import clique
@@ -80,15 +82,16 @@ def run_flap_storm(
     speaker_tx_before = len(trace.filter(category="bgp.update.tx",
                                          node="speaker"))
 
+    # The burst is a prefix_flap fault schedule: withdraw first, one
+    # flip every ``flap_interval`` — bit-identical to the hand-scheduled
+    # loop this replaced (pinned by the differential oracle tests).
+    storm_schedule = FaultSchedule().prefix_flap(
+        1, at=0.0, count=flaps, interval=flap_interval,
+        prefix=str(prefix), first="withdraw",
+    )
+
     def storm() -> None:
-        # odd flap count ends announced; schedule the burst
-        for i in range(flaps):
-            def flip(index=i):
-                if index % 2 == 0:
-                    exp.withdraw(1, prefix)
-                else:
-                    exp.announce(1, prefix)
-            exp.net.sim.schedule(i * flap_interval, flip, label="flap")
+        FaultInjector(exp, storm_schedule, check_invariants=False).inject()
 
     t_last_flap_offset = (flaps - 1) * flap_interval
     measurement = measure_event(exp, storm)

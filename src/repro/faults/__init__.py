@@ -1,0 +1,46 @@
+"""Declarative fault injection with invariant checking.
+
+Three layers:
+
+- :mod:`~repro.faults.schedule` — what breaks and when
+  (:class:`FaultSchedule`: builder / JSON spec / canonical tuple);
+- :mod:`~repro.faults.engine` — the :class:`FaultInjector` that turns a
+  schedule into simulator events, opens a per-fault measurement window,
+  and runs the checker at quiet boundaries;
+- :mod:`~repro.faults.invariants` — the :class:`InvariantChecker`
+  (no forwarding loops, no stale Loc-RIB state, controller/switch sync,
+  per-fault time ordering).
+
+:mod:`~repro.faults.scenarios` registers canned, named suites for the
+CLI (``repro faults run --scenario gateway-outage``) and sweeps.
+"""
+
+from .engine import FaultError, FaultInjector, FaultReport, ScenarioResult
+from .invariants import InvariantChecker, InvariantError, InvariantViolation
+from .scenarios import (
+    CANNED_SCENARIOS,
+    CannedScenario,
+    canned_names,
+    canned_schedule,
+    get_canned,
+)
+from .schedule import FAULT_KINDS, FaultEvent, FaultSchedule, FaultSpecError
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultEvent",
+    "FaultSchedule",
+    "FaultSpecError",
+    "FaultError",
+    "FaultInjector",
+    "FaultReport",
+    "ScenarioResult",
+    "InvariantChecker",
+    "InvariantError",
+    "InvariantViolation",
+    "CANNED_SCENARIOS",
+    "CannedScenario",
+    "canned_names",
+    "canned_schedule",
+    "get_canned",
+]

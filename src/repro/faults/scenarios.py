@@ -1,0 +1,209 @@
+"""Canned fault suites — named, curated schedules for sweeps and the CLI.
+
+Each :class:`CannedScenario` pairs a :class:`~repro.faults.schedule.FaultSchedule`
+builder with the metadata a fraction sweep needs:
+
+- ``reserved`` — ASNs that stay legacy BGP routers at every SDN
+  deployment fraction, so the fault's actors are identical across the
+  sweep and only the *surrounding* deployment varies (the same rule
+  :class:`~repro.experiments.common.Scenario` uses for its event actors);
+- ``origins`` — ASNs that announce their own /24 during preparation, so
+  the invariant checker has real routing state to validate.
+
+All canned suites keep every schedule parameter explicit so two
+processes building the same suite produce canonically equal schedules.
+The suites that degrade links are latency-only: the loss process drops
+*any* message including BGP (there is no TCP retransmission model), so
+a lossy window can legitimately leave sessions in flux — fine for
+stress runs, wrong for invariant-checked canned suites.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
+
+from .schedule import FaultSchedule
+
+__all__ = [
+    "CannedScenario",
+    "CANNED_SCENARIOS",
+    "canned_names",
+    "get_canned",
+    "canned_schedule",
+]
+
+
+@dataclass(frozen=True)
+class CannedScenario:
+    """One named fault suite."""
+
+    name: str
+    summary: str
+    #: ASNs pinned to legacy BGP in fraction sweeps (the fault's actors).
+    reserved: Tuple[int, ...]
+    #: ASNs announcing their own /24 before the faults start.
+    origins: Tuple[int, ...]
+    build: Callable[[int], FaultSchedule]
+
+    def schedule(self, fault_seed: int = 0) -> FaultSchedule:
+        return self.build(fault_seed)
+
+
+def _gateway_flap(fault_seed: int) -> FaultSchedule:
+    return FaultSchedule(fault_seed=fault_seed).link_flap(
+        1, 2, at=1.0, count=3, interval=1.0, jitter=0.25
+    )
+
+
+def _gateway_outage(fault_seed: int) -> FaultSchedule:
+    return (
+        FaultSchedule(fault_seed=fault_seed)
+        .link_down(1, 2, at=1.0)
+        .link_up(1, 2, at=6.0)
+    )
+
+
+def _session_reset(fault_seed: int) -> FaultSchedule:
+    return FaultSchedule(fault_seed=fault_seed).session_reset(1, 2, at=1.0)
+
+
+def _router_crash(fault_seed: int) -> FaultSchedule:
+    return FaultSchedule(fault_seed=fault_seed).router_crash(
+        2, at=1.0, down_for=5.0
+    )
+
+
+def _controller_blackout(fault_seed: int) -> FaultSchedule:
+    # The withdraw lands mid-outage: the controller must defer the
+    # recompute and reconcile on recovery.
+    return (
+        FaultSchedule(fault_seed=fault_seed)
+        .controller_fail(at=1.0, outage=4.0)
+        .withdraw(1, at=2.0)
+        .announce(1, at=8.0)
+    )
+
+
+def _speaker_partition(fault_seed: int) -> FaultSchedule:
+    return (
+        FaultSchedule(fault_seed=fault_seed)
+        .controller_partition(at=1.0, duration=4.0)
+        .withdraw(1, at=2.0)
+        .announce(1, at=8.0)
+    )
+
+
+def _flap_burst(fault_seed: int) -> FaultSchedule:
+    return FaultSchedule(fault_seed=fault_seed).prefix_flap(
+        1, at=1.0, count=6, interval=0.3, first="withdraw"
+    )
+
+
+def _degraded_gateway(fault_seed: int) -> FaultSchedule:
+    return FaultSchedule(fault_seed=fault_seed).link_degrade(
+        1, 2, at=1.0, duration=5.0, latency=0.5
+    )
+
+
+def _stress_composite(fault_seed: int) -> FaultSchedule:
+    # Deliberately overlapping: the withdraw fires while the link outage
+    # is still converging, and the session reset lands right after the
+    # link heals — measurement windows overlap.
+    return (
+        FaultSchedule(fault_seed=fault_seed)
+        .link_down(1, 2, at=1.0)
+        .withdraw(3, at=1.2)
+        .link_up(1, 2, at=6.0)
+        .session_reset(2, 1, at=6.5)
+        .announce(3, at=10.0)
+    )
+
+
+CANNED_SCENARIOS: Dict[str, CannedScenario] = {
+    s.name: s
+    for s in (
+        CannedScenario(
+            name="gateway-outage",
+            summary="gateway link fails, heals 5s later",
+            reserved=(1, 2),
+            origins=(1, 2),
+            build=_gateway_outage,
+        ),
+        CannedScenario(
+            name="gateway-flap",
+            summary="gateway link flaps 3x with jittered timing",
+            reserved=(1, 2),
+            origins=(1, 2),
+            build=_gateway_flap,
+        ),
+        CannedScenario(
+            name="session-reset",
+            summary="admin reset of the AS1-AS2 BGP session",
+            reserved=(1, 2),
+            origins=(1, 2),
+            build=_session_reset,
+        ),
+        CannedScenario(
+            name="router-crash",
+            summary="AS2 crashes (RIB loss), restarts after 5s",
+            reserved=(2,),
+            origins=(1, 2),
+            build=_router_crash,
+        ),
+        CannedScenario(
+            name="controller-blackout",
+            summary="controller outage with a withdrawal mid-outage",
+            reserved=(1,),
+            origins=(1,),
+            build=_controller_blackout,
+        ),
+        CannedScenario(
+            name="speaker-partition",
+            summary="controller-speaker partition with a mid-partition withdraw",
+            reserved=(1,),
+            origins=(1,),
+            build=_speaker_partition,
+        ),
+        CannedScenario(
+            name="flap-burst",
+            summary="AS1 flaps its prefix 6x at 0.3s intervals",
+            reserved=(1,),
+            origins=(1,),
+            build=_flap_burst,
+        ),
+        CannedScenario(
+            name="degraded-gateway",
+            summary="gateway link latency degraded 10x for 5s",
+            reserved=(1, 2),
+            origins=(1, 2),
+            build=_degraded_gateway,
+        ),
+        CannedScenario(
+            name="stress-composite",
+            summary="overlapping link outage, withdraw, and session reset",
+            reserved=(1, 2, 3),
+            origins=(1, 2, 3),
+            build=_stress_composite,
+        ),
+    )
+}
+
+
+def canned_names() -> List[str]:
+    """All registered suite names, sorted."""
+    return sorted(CANNED_SCENARIOS)
+
+
+def get_canned(name: str) -> CannedScenario:
+    try:
+        return CANNED_SCENARIOS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown fault scenario {name!r}; choose from {canned_names()}"
+        ) from None
+
+
+def canned_schedule(name: str, *, fault_seed: int = 0) -> FaultSchedule:
+    """Build one canned suite's schedule."""
+    return get_canned(name).schedule(fault_seed)

@@ -4,6 +4,7 @@ from .convergence import (
     STATE_CHANGING,
     ConvergenceMeasurement,
     ConvergenceTracker,
+    MeasurementWindow,
     measure_event,
     measure_event_from_trace,
 )
@@ -16,6 +17,7 @@ __all__ = [
     "STATE_CHANGING",
     "ConvergenceMeasurement",
     "ConvergenceTracker",
+    "MeasurementWindow",
     "measure_event",
     "measure_event_from_trace",
     "SilenceDetection",

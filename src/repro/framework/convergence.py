@@ -28,6 +28,7 @@ from .experiment import Experiment
 __all__ = [
     "ConvergenceMeasurement",
     "ConvergenceTracker",
+    "MeasurementWindow",
     "measure_event",
     "measure_event_from_trace",
     "STATE_CHANGING",
@@ -155,6 +156,29 @@ class ConvergenceTracker:
         return self.bus.count(category)
 
 
+def _finalize_instants(
+    t_event: float,
+    last_activity: Optional[float],
+    last_state: Optional[float],
+) -> tuple:
+    """Resolve raw tracker maxima into ``(t_converged, t_state_converged)``.
+
+    ``None`` means nothing happened in the window and resolves to
+    ``t_event``.  When the tracker's category sets are not nested
+    (custom ``state_changing`` not a subset of ``route_affecting``), or
+    when a fault fires while a prior event is still converging and its
+    window only catches the tail of the earlier activity, the raw maxima
+    can place the last *state change* after the last tracked *activity*.
+    Convergence cannot precede the final state change, so ``t_converged``
+    is raised to match.  With the stock category sets (STATE_CHANGING is
+    a subset of ROUTE_AFFECTING) the clamp is a no-op, so existing
+    results stay bit-identical.
+    """
+    t_state = last_state if last_state is not None else t_event
+    t_converged = last_activity if last_activity is not None else t_event
+    return max(t_converged, t_state), t_state
+
+
 def _measure(
     experiment: Experiment,
     event: Callable[[], None],
@@ -169,10 +193,9 @@ def _measure(
     counts_before = dict(counts())
     event()
     t_settled = experiment.wait_converged(horizon)
-    last = last_activity_since(t_event)
-    t_converged = last if last is not None else t_event
-    last_state = last_state_since(t_event)
-    t_state_converged = last_state if last_state is not None else t_event
+    t_converged, t_state_converged = _finalize_instants(
+        t_event, last_activity_since(t_event), last_state_since(t_event)
+    )
 
     counts_after = counts()
 
@@ -250,6 +273,77 @@ def measure_event_from_trace(
             STATE_CHANGING, since=since
         ),
     )
+
+
+class MeasurementWindow:
+    """An open per-fault measurement interval over the streaming tracker.
+
+    Opening a window snapshots the bus counters at the fault instant;
+    :meth:`close` reads the tracker maxima filtered to the window and
+    produces a :class:`ConvergenceMeasurement` without advancing the
+    simulator or scanning the trace, so the fault engine can keep one
+    window per injected fault at O(1) cost each.
+
+    Windows may overlap — a second fault can fire while the first is
+    still converging.  Each window measures from its own ``t_open``, so
+    activity in the overlap is attributed to every window that was open
+    while it happened (causality across overlapping faults is not
+    attributable from global counters).  The per-window ordering chain
+    ``t_settled >= t_converged >= t_state_converged >= t_event`` is
+    guaranteed by :func:`_finalize_instants` even in the overlap case.
+    """
+
+    def __init__(self, experiment: Experiment, *, label: str = "") -> None:
+        tracker = experiment.tracker
+        if tracker is None:
+            raise ValueError(
+                "MeasurementWindow requires an experiment with a streaming "
+                "ConvergenceTracker (experiment.tracker)"
+            )
+        self.experiment = experiment
+        self.tracker = tracker
+        self.label = label
+        self.t_open: float = experiment.now
+        self._counts_before: Dict[str, int] = dict(experiment.net.bus.counts)
+        self.closed = False
+
+    def close(
+        self,
+        t_close: Optional[float] = None,
+        *,
+        check_reachability: bool = False,
+    ) -> ConvergenceMeasurement:
+        """Seal the window at ``t_close`` (default: now) and measure it."""
+        if self.closed:
+            raise ValueError(f"window {self.label!r} already closed")
+        self.closed = True
+        t_settled = self.experiment.now if t_close is None else t_close
+        t_converged, t_state_converged = _finalize_instants(
+            self.t_open,
+            self.tracker.last_activity_since(self.t_open),
+            self.tracker.last_state_change_since(self.t_open),
+        )
+        counts_after = dict(self.experiment.net.bus.counts)
+
+        def delta(category: str) -> int:
+            return _count(counts_after, category) - _count(
+                self._counts_before, category
+            )
+
+        measurement = ConvergenceMeasurement(
+            t_event=self.t_open,
+            t_converged=t_converged,
+            t_settled=t_settled,
+            t_state_converged=t_state_converged,
+            updates_tx=delta("bgp.update.tx"),
+            updates_rx=delta("bgp.update.rx"),
+            decision_changes=delta("bgp.decision"),
+            fib_changes=delta("fib.change"),
+            recomputations=delta("controller.recompute"),
+        )
+        if check_reachability:
+            measurement.all_reachable = self.experiment.all_reachable()
+        return measurement
 
 
 def _count(counts: Dict[str, int], category: str) -> int:

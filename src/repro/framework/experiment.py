@@ -455,6 +455,120 @@ class Experiment:
         session.policy = session.policy.with_export_prepend(asn, count)
 
     # ------------------------------------------------------------------
+    # fault commands (the building blocks repro.faults schedules)
+    # ------------------------------------------------------------------
+    def degrade_link(
+        self,
+        a: int,
+        b: int,
+        *,
+        latency: Optional[float] = None,
+        loss: Optional[float] = None,
+    ) -> Dict[str, float]:
+        """Degrade the a<->b physical link's quality.
+
+        Returns the previous value of each changed attribute so a
+        degradation *window* can restore them afterwards.  Note the loss
+        process drops any message, including BGP ones — the model has no
+        TCP retransmit — so lossy windows can leave neighbors with stale
+        routes until the next session event.
+        """
+        self._require_built()
+        return self.net.set_link_quality(
+            self.phys_link(a, b), latency=latency, loss=loss
+        )
+
+    def reset_session(self, asn: int, toward: int) -> None:
+        """Administratively bounce the BGP session between two ASes.
+
+        For a legacy AS this is ``clear ip bgp neighbor`` on its router;
+        for a cluster member the session lives on the cluster speaker,
+        so the speaker session of that peering is bounced instead.
+        """
+        self._require_built()
+        link = self.phys_link(asn, toward)
+        node = self.node(asn)
+        if isinstance(node, SDNSwitch):
+            if self.speaker is None:
+                raise ExperimentError("no speaker to reset a session on")
+            for link_id in sorted(self.speaker.peering_of):
+                if self.speaker.peering_of[link_id].phys_link_name == link.name:
+                    self.speaker.sessions[link_id].reset()
+                    return
+            raise ExperimentError(f"no peering AS{asn}->AS{toward}")
+        session = node.session_on(link)
+        if session is None:
+            raise ExperimentError(f"no session AS{asn}->AS{toward}")
+        session.reset()
+
+    def crash_router(self, asn: int) -> None:
+        """Power-fail an AS's device: every link drops, learned state is
+        lost.  Pair with :meth:`restart_router` to model crash/recovery.
+
+        Links fail first so peers see fast fallover; a legacy router then
+        wipes its RIBs and BGP FIB entries (origination config survives),
+        a member switch loses its entire flow table.
+        """
+        self._require_built()
+        node = self.node(asn)
+        for link in node.links:
+            link.fail()
+        if isinstance(node, SDNSwitch):
+            node.flow_table.clear()
+            self.net.bus.record("switch.crash", node.name)
+        else:
+            node.crash()
+
+    def restart_router(self, asn: int) -> None:
+        """Boot a crashed AS device and restore its links.
+
+        Control and relay links come up before physical ones so the
+        PortStatus/PeeringStatus notifications the restored physical
+        links generate actually reach the controller and speaker.
+        """
+        self._require_built()
+        node = self.node(asn)
+        if isinstance(node, SDNSwitch):
+            self.net.bus.record("switch.restart", node.name)
+            if self.controller is not None:
+                self.controller.member_rebooted(node.name)
+        else:
+            node.restart()
+        order = {"control": 0, "relay": 1}
+        for link in sorted(
+            node.links, key=lambda l: (order.get(l.kind, 2), l.link_id)
+        ):
+            link.restore()
+
+    def fail_controller(self) -> None:
+        """Kill the IDR controller process (members keep forwarding)."""
+        self._require_built()
+        if self.controller is None:
+            raise ExperimentError("no controller in a pure-BGP experiment")
+        self.controller.fail()
+
+    def recover_controller(self) -> None:
+        """Restart the IDR controller; it resyncs and recomputes."""
+        self._require_built()
+        if self.controller is None:
+            raise ExperimentError("no controller in a pure-BGP experiment")
+        self.controller.recover()
+
+    def partition_controller(self) -> None:
+        """Partition the controller from the cluster BGP speaker."""
+        self._require_built()
+        if self.speaker is None:
+            raise ExperimentError("no speaker in a pure-BGP experiment")
+        self.speaker.partition()
+
+    def heal_controller_partition(self) -> None:
+        """Heal the controller-speaker partition and resynchronize."""
+        self._require_built()
+        if self.speaker is None:
+            raise ExperimentError("no speaker in a pure-BGP experiment")
+        self.speaker.heal_partition()
+
+    # ------------------------------------------------------------------
     # dynamic topology changes (paper §2: "dynamically changing the
     # topology and verifying the effects of changes")
     # ------------------------------------------------------------------

@@ -143,6 +143,27 @@ class Link:
         for node in (self.a, self.b):
             node.link_state_changed(self)
 
+    def set_latency(self, latency: float) -> float:
+        """Change propagation delay; returns the previous value.
+
+        In-flight messages keep the latency they were sent with (their
+        delivery is already scheduled); only new transmissions see the
+        new value — the same semantics as reconfiguring a live veth.
+        """
+        if latency < 0:
+            raise ValueError(f"latency must be >= 0: {latency!r}")
+        previous = self.latency
+        self.latency = latency
+        return previous
+
+    def set_loss(self, loss: float) -> float:
+        """Change the drop probability; returns the previous value."""
+        if not 0.0 <= loss < 1.0:
+            raise ValueError(f"loss must be in [0, 1): {loss!r}")
+        previous = self.loss
+        self.loss = loss
+        return previous
+
     def fail(self) -> None:
         """Convenience: take the link down."""
         self.set_up(False)

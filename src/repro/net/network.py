@@ -147,6 +147,30 @@ class Network:
         """All registered nodes of one class."""
         return [n for n in self.nodes.values() if isinstance(n, cls)]
 
+    def set_link_quality(
+        self,
+        link: Link,
+        *,
+        latency: Optional[float] = None,
+        loss: Optional[float] = None,
+    ) -> Dict[str, float]:
+        """Degrade or restore a link's quality, recorded on the bus.
+
+        Returns the previous value of each changed attribute so callers
+        (the fault engine's degradation windows) can restore it later.
+        """
+        previous: Dict[str, float] = {}
+        if latency is not None:
+            previous["latency"] = link.set_latency(latency)
+        if loss is not None:
+            previous["loss"] = link.set_loss(loss)
+        if previous:
+            self.bus.record(
+                "link.quality", link.a.name,
+                link=link.name, latency=link.latency, loss=link.loss,
+            )
+        return previous
+
     # ------------------------------------------------------------------
     # data-plane queries
     # ------------------------------------------------------------------

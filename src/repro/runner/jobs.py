@@ -74,7 +74,11 @@ class RunSpec:
     ``sdn_count`` picks members via the standard highest-ASNs-first
     rule (:func:`~repro.experiments.common.sdn_set_for`); an explicit
     ``sdn_members`` tuple overrides it for placement-style experiments.
-    ``label`` is cosmetic (progress lines) and excluded from the digest.
+    ``faults`` is a fault schedule in canonical tuple form
+    (:meth:`~repro.faults.FaultSchedule.canonical`) — already sorted and
+    order-free, so the digest is stable no matter how the schedule was
+    expressed.  ``label`` is cosmetic (progress lines) and excluded
+    from the digest.
     """
 
     scenario_factory: Callable
@@ -89,12 +93,13 @@ class RunSpec:
     horizon: Optional[float] = None
     trace_level: str = "full"
     metrics: bool = False
+    faults: Optional[Tuple] = None
     label: str = field(default="", compare=False)
 
     def describe(self) -> Dict[str, Any]:
         """The digest payload: every result-determining field, as
         process-independent primitives (factories become tokens)."""
-        return {
+        out: Dict[str, Any] = {
             "scenario": callable_token(self.scenario_factory),
             "topology": callable_token(self.topology_factory),
             "n": self.n,
@@ -111,6 +116,11 @@ class RunSpec:
             "trace_level": self.trace_level,
             "metrics": self.metrics,
         }
+        if self.faults is not None:
+            # Only present when set, so fault-free specs keep the digests
+            # (and cache entries) they had before faults existed.
+            out["faults"] = self.faults
+        return out
 
     def digest(self) -> str:
         """Stable content digest — the cache key of this trial."""
@@ -192,6 +202,8 @@ def run_trial_instrumented(
     )
 
     scenario = spec.scenario_factory()
+    if spec.faults is not None:
+        scenario.faults = spec.faults
     topology = scenario.topology(spec.n, spec.topology_factory)
     if spec.sdn_members is not None:
         members = frozenset(spec.sdn_members)

@@ -1,0 +1,80 @@
+"""Differential tests: schedule-based experiments vs pre-refactor oracles.
+
+``fixtures/fault_oracles.json`` was captured from the failover and
+flap-storm experiments BEFORE they were rebased onto the fault engine.
+Every value is compared with exact equality (``==`` on floats): routing
+events expressed as fault schedules must be *bit-identical* to the
+direct calls they replaced, not merely close.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.experiments.common import (
+    FailoverScenario,
+    paper_config,
+    run_scenario_once,
+    sdn_set_for,
+)
+from repro.experiments.flapstorm import run_flap_storm
+from repro.topology.builders import clique
+
+FIXTURE = pathlib.Path(__file__).parent / "fixtures" / "fault_oracles.json"
+ORACLES = json.loads(FIXTURE.read_text())
+
+FAILOVER_FIELDS = (
+    "t_event",
+    "convergence_time",
+    "state_convergence_time",
+    "updates_tx",
+    "updates_rx",
+    "decision_changes",
+    "fib_changes",
+    "recomputations",
+)
+FLAPSTORM_FIELDS = (
+    "recomputations",
+    "flow_mods",
+    "speaker_updates",
+    "settle_after_storm",
+    "final_state_correct",
+)
+
+
+@pytest.mark.parametrize(
+    "case",
+    ORACLES["failover"],
+    ids=[f"sdn{c['sdn_count']}-seed{c['seed']}" for c in ORACLES["failover"]],
+)
+def test_failover_bit_identical_to_oracle(case):
+    scenario = FailoverScenario()
+    topology = scenario.topology(case["n"], clique)
+    members = sdn_set_for(
+        topology, case["sdn_count"], scenario.reserved_legacy
+    )
+    measurement = run_scenario_once(
+        scenario, topology, members,
+        paper_config(
+            seed=case["seed"], mrai=case["mrai"],
+            recompute_delay=case["recompute_delay"],
+        ),
+    )
+    for field in FAILOVER_FIELDS:
+        assert getattr(measurement, field) == case[field], field
+
+
+@pytest.mark.parametrize(
+    "case",
+    ORACLES["flapstorm"],
+    ids=[
+        f"n{c['params']['n']}-sdn{c['params']['sdn_count']}"
+        f"-ext{int(c['params'].get('extend_on_burst', False))}"
+        for c in ORACLES["flapstorm"]
+    ],
+)
+def test_flapstorm_bit_identical_to_oracle(case):
+    result = run_flap_storm(**case["params"])
+    for field in FLAPSTORM_FIELDS:
+        assert getattr(result, field) == case[field], field

@@ -1,0 +1,178 @@
+"""Unit tests for fault schedules: builders, specs, canonical form."""
+
+import json
+
+import pytest
+
+from repro.faults import FAULT_KINDS, FaultEvent, FaultSchedule, FaultSpecError
+
+
+def sample_schedule(fault_seed=3) -> FaultSchedule:
+    return (
+        FaultSchedule(fault_seed=fault_seed)
+        .link_down(1, 2, at=1.0)
+        .link_flap(2, 3, at=2.0, count=2, interval=0.5, jitter=0.1)
+        .link_degrade(1, 3, at=3.0, duration=2.0, latency=0.4)
+        .session_reset(1, 2, at=4.0)
+        .router_crash(3, at=5.0, down_for=2.0)
+        .controller_fail(at=6.0, outage=1.0)
+        .controller_partition(at=7.0, duration=1.0)
+        .withdraw(1, at=8.0)
+        .announce(1, at=9.0)
+        .prefix_flap(2, at=10.0, count=3, interval=0.25, first="announce")
+    )
+
+
+class TestBuilders:
+    def test_every_kind_buildable(self):
+        schedule = sample_schedule()
+        assert len(schedule) == 10
+        assert {e.kind for e in schedule} == set(FAULT_KINDS) - {"link_up"}
+
+    def test_builders_chain(self):
+        schedule = FaultSchedule().link_down(1, 2, at=0.0).link_up(1, 2, at=1.0)
+        assert [e.kind for e in schedule] == ["link_down", "link_up"]
+
+    def test_params_sorted_and_accessible(self):
+        event = FaultSchedule().link_flap(3, 1, at=0.5, jitter=0.2).events[0]
+        assert event.params == tuple(sorted(event.params))
+        assert event.param("a") == 3
+        assert event.param("jitter") == 0.2
+        assert event.param("missing", 42) == 42
+
+    def test_describe_is_readable(self):
+        event = FaultSchedule().link_down(1, 2, at=1.5).events[0]
+        assert "link_down" in event.describe()
+        assert "a=1" in event.describe()
+
+
+class TestValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(FaultSpecError, match="unknown fault kind"):
+            FaultSchedule().add("meteor_strike", at=0.0)
+
+    def test_unknown_parameter_rejected(self):
+        with pytest.raises(FaultSpecError, match="unknown parameters"):
+            FaultSchedule().add("link_down", at=0.0, a=1, b=2, colour="red")
+
+    def test_missing_required_parameter_rejected(self):
+        with pytest.raises(FaultSpecError, match="missing required"):
+            FaultSchedule().add("link_down", at=0.0, a=1)
+
+    def test_negative_offset_rejected(self):
+        with pytest.raises(FaultSpecError):
+            FaultSchedule().link_down(1, 2, at=-1.0)
+
+    def test_bool_is_not_a_number(self):
+        with pytest.raises(FaultSpecError):
+            FaultSchedule().add("router_crash", at=0.0, asn=2, down_for=True)
+
+    def test_bool_is_not_an_asn(self):
+        with pytest.raises(FaultSpecError):
+            FaultSchedule().add("link_down", at=0.0, a=True, b=2)
+
+    def test_loss_range_enforced(self):
+        with pytest.raises(FaultSpecError, match="loss"):
+            FaultSchedule().link_degrade(1, 2, at=0.0, duration=1.0, loss=1.0)
+
+    def test_degrade_needs_latency_or_loss(self):
+        with pytest.raises(FaultSpecError, match="latency and/or loss"):
+            FaultSchedule().add("link_degrade", at=0.0, a=1, b=2, duration=1.0)
+
+    def test_flap_count_must_be_positive(self):
+        with pytest.raises(FaultSpecError, match="count"):
+            FaultSchedule().link_flap(1, 2, at=0.0, count=0)
+
+    def test_prefix_must_look_like_a_prefix(self):
+        with pytest.raises(FaultSpecError, match="prefix"):
+            FaultSchedule().announce(1, at=0.0, prefix="10.0.0.1")
+
+    def test_flap_first_constrained(self):
+        with pytest.raises(FaultSpecError, match="first"):
+            FaultSchedule().prefix_flap(1, at=0.0, first="explode")
+
+
+class TestSpecRoundTrip:
+    def test_dict_spec_round_trip(self):
+        schedule = sample_schedule()
+        assert FaultSchedule.from_spec(schedule.to_spec()) == schedule
+
+    def test_json_round_trip(self):
+        schedule = sample_schedule()
+        assert FaultSchedule.from_spec(schedule.to_json()) == schedule
+
+    def test_fault_seed_preserved(self):
+        assert FaultSchedule.from_spec(
+            sample_schedule(fault_seed=9).to_spec()
+        ).fault_seed == 9
+
+    def test_spec_key_order_irrelevant(self):
+        ordered = FaultSchedule.from_spec(
+            {"events": [{"kind": "link_down", "at": 1.0, "a": 1, "b": 2}]}
+        )
+        reversed_keys = FaultSchedule.from_spec(
+            {"events": [{"b": 2, "a": 1, "at": 1.0, "kind": "link_down"}]}
+        )
+        assert ordered == reversed_keys
+        assert hash(ordered) == hash(reversed_keys)
+
+    def test_builder_and_spec_agree(self):
+        built = FaultSchedule().link_down(1, 2, at=1.0)
+        parsed = FaultSchedule.from_spec(
+            {"events": [{"kind": "link_down", "at": 1.0, "a": 1, "b": 2}]}
+        )
+        assert built == parsed
+
+    def test_unknown_spec_keys_rejected(self):
+        with pytest.raises(FaultSpecError, match="unknown spec keys"):
+            FaultSchedule.from_spec({"events": [], "extra": 1})
+
+    def test_event_must_be_dict_with_kind(self):
+        with pytest.raises(FaultSpecError, match="kind"):
+            FaultSchedule.from_spec({"events": [{"at": 1.0}]})
+
+    def test_spec_must_be_dict(self):
+        with pytest.raises(FaultSpecError, match="dict"):
+            FaultSchedule.from_spec([1, 2, 3])
+
+    def test_spec_events_are_validated(self):
+        with pytest.raises(FaultSpecError):
+            FaultSchedule.from_spec(
+                {"events": [{"kind": "link_down", "at": 0.0, "a": 1}]}
+            )
+
+
+class TestCanonicalForm:
+    def test_canonical_round_trip(self):
+        schedule = sample_schedule()
+        assert FaultSchedule.from_canonical(schedule.canonical()) == schedule
+
+    def test_canonical_survives_json(self):
+        schedule = sample_schedule()
+        revived = FaultSchedule.from_canonical(
+            json.loads(json.dumps(schedule.canonical()))
+        )
+        assert revived == schedule
+
+    def test_canonical_is_hashable(self):
+        assert hash(sample_schedule().canonical()) == hash(
+            sample_schedule().canonical()
+        )
+
+    def test_bad_canonical_rejected(self):
+        with pytest.raises(FaultSpecError):
+            FaultSchedule.from_canonical(("wrong-tag", 0, ()))
+        with pytest.raises(FaultSpecError):
+            FaultSchedule.from_canonical(42)
+
+    def test_schedules_usable_as_dict_keys(self):
+        table = {sample_schedule(): "a"}
+        assert table[sample_schedule()] == "a"
+
+    def test_different_seed_not_equal(self):
+        assert sample_schedule(fault_seed=1) != sample_schedule(fault_seed=2)
+
+    def test_event_is_frozen(self):
+        event = FaultEvent(kind="link_down", at=1.0)
+        with pytest.raises(AttributeError):
+            event.at = 2.0

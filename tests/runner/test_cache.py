@@ -1,6 +1,12 @@
 """Result cache: hit/miss, invalidation, atomicity of the contract."""
 
+import os
+import pathlib
+import subprocess
+import sys
+
 from repro.experiments.common import run_fraction_sweep, WithdrawalScenario
+from repro.faults import FaultSchedule
 from repro.runner import ResultCache, RunRecord, execute_spec
 
 from .test_jobs import make_spec
@@ -97,6 +103,76 @@ class TestInvalidation:
         assert len(cache) == 3
         assert cache.clear() == 3
         assert len(cache) == 0
+
+
+def _schedule_built_forward() -> FaultSchedule:
+    return (
+        FaultSchedule(fault_seed=7)
+        .link_down(1, 2, at=1.0)
+        .router_crash(3, at=2.0, down_for=4.0)
+    )
+
+
+def _schedule_from_shuffled_spec() -> FaultSchedule:
+    # same schedule expressed as a dict spec with every key order
+    # scrambled relative to the builder's
+    return FaultSchedule.from_spec(
+        {
+            "events": [
+                {"b": 2, "kind": "link_down", "a": 1, "at": 1.0},
+                {"down_for": 4.0, "at": 2.0, "asn": 3, "kind": "router_crash"},
+            ],
+            "fault_seed": 7,
+        }
+    )
+
+
+class TestFaultScheduleDigests:
+    """RunSpecs embedding fault schedules must hash deterministically
+    regardless of how (and in which process) the schedule was built."""
+
+    def test_faults_change_the_digest(self):
+        plain = make_spec()
+        faulted = make_spec(faults=_schedule_built_forward().canonical())
+        assert plain.digest() != faulted.digest()
+
+    def test_fault_free_digest_unchanged_by_the_faults_field(self):
+        # faults=None must not perturb digests of pre-existing specs
+        # (warm caches stay valid across the feature's introduction)
+        assert "faults" not in make_spec().describe()
+
+    def test_dict_ordering_does_not_change_digest(self):
+        built = make_spec(faults=_schedule_built_forward().canonical())
+        shuffled = make_spec(faults=_schedule_from_shuffled_spec().canonical())
+        assert built.digest() == shuffled.digest()
+
+    def test_different_schedules_different_digests(self):
+        a = make_spec(faults=_schedule_built_forward().canonical())
+        other = FaultSchedule(fault_seed=8).link_down(1, 2, at=1.0)
+        b = make_spec(faults=other.canonical())
+        assert a.digest() != b.digest()
+
+    def test_digest_stable_across_processes(self):
+        """A fresh interpreter (different PYTHONHASHSEED, so different
+        set/dict iteration hashing) must produce the same digest."""
+        spec = make_spec(faults=_schedule_built_forward().canonical())
+        code = (
+            "from tests.runner.test_cache import _schedule_built_forward\n"
+            "from tests.runner.test_jobs import make_spec\n"
+            "spec = make_spec(faults=_schedule_built_forward().canonical())\n"
+            "print(spec.digest())\n"
+        )
+        root = pathlib.Path(__file__).parents[2]
+        for hashseed in ("1", "2"):
+            env = dict(os.environ)
+            env["PYTHONPATH"] = f"{root / 'src'}{os.pathsep}{root}"
+            env["PYTHONHASHSEED"] = hashseed
+            out = subprocess.run(
+                [sys.executable, "-c", code],
+                capture_output=True, text=True, check=True,
+                env=env, cwd=str(root),
+            )
+            assert out.stdout.strip() == spec.digest()
 
 
 class TestSweepIntegration:
