@@ -3,12 +3,14 @@
 Not a paper artifact — this benchmarks the repro harness itself.  The
 bus is on the hot path of every simulated message, so its overhead per
 record bounds how large an emulation the framework can drive.  We push
-a fixed record stream through four configurations:
+a fixed record stream through five configurations:
 
 - ``no subscribers``   — counts only (the floor every run pays),
 - ``metrics only``     — the registry's per-category counters,
 - ``filtered trace``   — TraceLog retaining only route-affecting records,
-- ``full trace``       — TraceLog retaining everything (the old default).
+- ``full trace``       — TraceLog retaining everything (the old default),
+- ``spans``            — a SpanTracker building the causal provenance
+  DAG (one span per route-affecting record).
 
 The archived baseline records throughput and the retained-record count
 of each configuration, so both a dispatch-speed regression and a
@@ -30,6 +32,7 @@ from repro.eventsim import (
     Simulator,
     TraceLog,
 )
+from repro.obs import SpanTracker
 
 #: mix mirroring a real withdrawal run: mostly updates, some decisions.
 STREAM_MIX = (
@@ -64,6 +67,10 @@ def build(config):
     if config == "full trace":
         trace = TraceLog(bus)
         return bus, lambda: len(trace.records)
+    if config == "spans":
+        obs = SpanTracker(sim)
+        bus.obs = obs
+        return bus, lambda: len(obs.spans)
     raise ValueError(config)
 
 
@@ -89,7 +96,8 @@ def run_all():
     return [
         run_config(config, n)
         for config in (
-            "no subscribers", "metrics only", "filtered trace", "full trace",
+            "no subscribers", "metrics only", "filtered trace",
+            "full trace", "spans",
         )
     ]
 
@@ -135,3 +143,6 @@ def test_trace_overhead(benchmark):
     ) / len(STREAM_MIX)
     assert by_config["filtered trace"]["retained"] == int(n * route_share)
     assert by_config["full trace"]["retained"] == n
+    # the span tracker materializes exactly one span per route-affecting
+    # record — the invariant the provenance DAG's accounting rests on
+    assert by_config["spans"]["retained"] == int(n * route_share)

@@ -1,0 +1,153 @@
+"""Tolerance gate between two benchmark result directories.
+
+Usage::
+
+    python benchmarks/compare_baselines.py BASELINE_DIR CANDIDATE_DIR \
+        [--tolerance 0.5] [--require name1.txt name2.txt ...]
+
+Compares every ``*.txt`` report in ``BASELINE_DIR`` against the file of
+the same name in ``CANDIDATE_DIR``, token by token:
+
+- non-numeric tokens must match exactly (a changed label or a missing
+  table row is a structural regression, not noise);
+- plain integers (counts, retained records, span totals) must match
+  exactly — the simulator is virtual-time deterministic, so these can
+  never legitimately drift;
+- every other number (throughput rates, wall-clock-derived percentages,
+  decimal readings) must agree within ``--tolerance`` relative error,
+  absorbing shared-runner timing noise while still catching large
+  regressions.
+
+Exit status 0 when every file passes, 1 otherwise — wire it into CI as
+a gate after re-running the quick-mode benches.  Stdlib only.
+"""
+
+import argparse
+import pathlib
+import re
+import sys
+
+#: number with optional comma grouping, decimal part, and % suffix.
+_NUMBER = re.compile(r"^[+-]?\d{1,3}(?:,\d{3})*(?:\.\d+)?%?$|^[+-]?\d+(?:\.\d+)?%?$")
+#: punctuation that clings to numeric tokens in prose ("10%;", "(2.5s)").
+_STRIP = "()[]{};:,"
+
+
+def _tokens(text):
+    return text.split()
+
+
+def _parse_number(token):
+    """Return (value, is_plain_int) or None when not numeric."""
+    core = token.strip(_STRIP)
+    for suffix in ("s", "x"):  # units glued to readings: "2.5s", "1.3x"
+        trimmed = core[: -len(suffix)]
+        if core.endswith(suffix) and trimmed and _NUMBER.match(trimmed):
+            core = trimmed
+            break
+    if not _NUMBER.match(core):
+        return None
+    percent = core.endswith("%")
+    if percent:
+        core = core[:-1]
+    grouped = "," in core
+    value = float(core.replace(",", ""))
+    plain_int = "." not in core and not grouped and not percent
+    return value, plain_int
+
+
+def compare_texts(baseline, candidate, tolerance):
+    """Return a list of human-readable mismatch descriptions."""
+    problems = []
+    base_tokens, cand_tokens = _tokens(baseline), _tokens(candidate)
+    if len(base_tokens) != len(cand_tokens):
+        problems.append(
+            f"structure changed: {len(base_tokens)} tokens in baseline "
+            f"vs {len(cand_tokens)} in candidate"
+        )
+        return problems
+    for base, cand in zip(base_tokens, cand_tokens):
+        base_num, cand_num = _parse_number(base), _parse_number(cand)
+        if base_num is None or cand_num is None:
+            if base != cand:
+                problems.append(f"token mismatch: {base!r} vs {cand!r}")
+            continue
+        (b_val, b_int), (c_val, _) = base_num, cand_num
+        if b_int:
+            if b_val != c_val:
+                problems.append(
+                    f"deterministic count drifted: {base!r} vs {cand!r}"
+                )
+            continue
+        scale = max(abs(b_val), abs(c_val))
+        if scale and abs(b_val - c_val) / scale > tolerance:
+            problems.append(
+                f"outside {tolerance:.0%} tolerance: {base!r} vs {cand!r}"
+            )
+    return problems
+
+
+def compare_dirs(baseline_dir, candidate_dir, tolerance, require=()):
+    baseline_dir = pathlib.Path(baseline_dir)
+    candidate_dir = pathlib.Path(candidate_dir)
+    names = sorted(p.name for p in baseline_dir.glob("*.txt"))
+    missing_required = [n for n in require if n not in names]
+    failures = {}
+    for name in missing_required:
+        failures[name] = [f"required report missing from baseline: {name}"]
+    for name in names:
+        candidate = candidate_dir / name
+        if not candidate.exists():
+            failures[name] = ["missing from candidate directory"]
+            continue
+        problems = compare_texts(
+            (baseline_dir / name).read_text(),
+            candidate.read_text(),
+            tolerance,
+        )
+        if problems:
+            failures[name] = problems
+    return names, failures
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="tolerance gate between benchmark result directories"
+    )
+    parser.add_argument("baseline", help="directory of baseline *.txt reports")
+    parser.add_argument("candidate", help="directory of candidate reports")
+    parser.add_argument(
+        "--tolerance", type=float, default=0.5,
+        help="max relative error for timing-derived numbers (default 0.5)",
+    )
+    parser.add_argument(
+        "--require", nargs="*", default=[],
+        help="report names that must exist in the baseline directory",
+    )
+    args = parser.parse_args(argv)
+
+    names, failures = compare_dirs(
+        args.baseline, args.candidate, args.tolerance, args.require
+    )
+    if not names:
+        print(f"no *.txt reports under {args.baseline}", file=sys.stderr)
+        return 1
+    for name in names:
+        status = "FAIL" if name in failures else "ok"
+        print(f"{status:>4}  {name}")
+        for problem in failures.get(name, []):
+            print(f"        {problem}")
+    for name in failures:
+        if name not in names:
+            print(f"FAIL  {name}")
+            for problem in failures[name]:
+                print(f"        {problem}")
+    if failures:
+        print(f"\n{len(failures)} report(s) failed the gate", file=sys.stderr)
+        return 1
+    print(f"\nall {len(names)} report(s) within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,7 +1,7 @@
 """Log analysis, statistics, and visualization tools."""
 
 from .graphs import GraphSummary, as_graph, cut_links, summarize_topology
-from .report import experiment_report
+from .report import experiment_report, provenance_markdown, provenance_report
 from .logs import (
     ChurnTracker,
     NodeUpdateCounter,
@@ -22,6 +22,8 @@ from .viz import (
 
 __all__ = [
     "experiment_report",
+    "provenance_report",
+    "provenance_markdown",
     "GraphSummary",
     "as_graph",
     "cut_links",

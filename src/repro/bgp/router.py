@@ -18,6 +18,7 @@ from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..eventsim import Simulator
 from ..net.addr import Prefix
+from ..obs.spans import activation, last_span_activation
 from ..net.dataplane import FibEntry
 from ..net.link import Link
 from ..net.node import Node
@@ -141,7 +142,10 @@ class BGPRouter(Node):
         self.originated[prefix] = attrs
         self.add_local_prefix(prefix)
         self.bus.record("bgp.originate", self.name, prefix=str(prefix))
-        self._run_decision(prefix)
+        # Provenance: the origination span (a root cause when injected
+        # from scenario code) covers the local decision and its fallout.
+        with last_span_activation(self.bus.obs):
+            self._run_decision(prefix)
 
     def withdraw(self, prefix: Prefix) -> None:
         """Stop originating ``prefix`` (the paper's withdrawal event)."""
@@ -150,7 +154,8 @@ class BGPRouter(Node):
         del self.originated[prefix]
         self.remove_local_prefix(prefix)
         self.bus.record("bgp.withdraw", self.name, prefix=str(prefix))
-        self._run_decision(prefix)
+        with last_span_activation(self.bus.obs):
+            self._run_decision(prefix)
 
     # ------------------------------------------------------------------
     # session callbacks
@@ -164,7 +169,18 @@ class BGPRouter(Node):
             "bgp.session.up", self.name,
             peer=session.peer_name, peer_asn=session.peer_asn,
         )
-        session.resync()
+        obs = self.bus.obs
+        if obs is not None and obs.current is None:
+            # Timer-driven establishment (initial bring-up, re-establish
+            # after repair): the session event is itself the root cause
+            # of the resync traffic.
+            ctx = obs.emit_root(
+                "bgp.session.up", self.name, peer=session.peer_name
+            )
+            with activation(obs, ctx):
+                session.resync()
+        else:
+            session.resync()
 
     def session_down(self, session: BGPSession, *, reason: str = "") -> None:
         """Session lost: flush per-peer state, re-decide."""
@@ -180,8 +196,21 @@ class BGPRouter(Node):
             "bgp.session.down", self.name,
             peer=session.link.other(self).name, reason=reason,
         )
-        for prefix in affected:
-            self._run_decision(prefix)
+        obs = self.bus.obs
+        if obs is not None and obs.current is None:
+            # Session loss with no surrounding cause (hold-timer expiry,
+            # injected session reset) starts its own causal tree; losses
+            # inside a link-down or crash context inherit that root.
+            ctx = obs.emit_root(
+                "bgp.session.down", self.name,
+                peer=session.link.other(self).name, reason=reason,
+            )
+            with activation(obs, ctx):
+                for prefix in affected:
+                    self._run_decision(prefix)
+        else:
+            for prefix in affected:
+                self._run_decision(prefix)
 
     # ------------------------------------------------------------------
     # crash / restart (fault-injection semantics)
@@ -196,27 +225,31 @@ class BGPRouter(Node):
         ``originated`` survives — origination is configuration, not
         protocol state — and is re-announced by :meth:`restart`.
         """
-        for session in self.sessions.values():
-            session.stop(notify_peer=False, reason="crash")
-        self._update_queue.clear()
-        self._processing = False
-        for link_id, rib_in in self._rib_in.items():
-            rib_in.clear()
-            self._rib_out[link_id].clear()
-            if self.damper is not None:
-                self.damper.clear_peer(link_id)
-        lost = 0
-        for prefix in list(self.loc_rib.prefixes()):
-            if self.loc_rib.remove(prefix):
-                lost += 1
-        for entry in [
-            e for e in list(self.fib) if e.source.startswith("bgp")
-        ]:
-            if self.fib.remove(entry.prefix):
-                self.bus.record(
-                    "fib.change", self.name, prefix=str(entry.prefix), via=None
-                )
-        self.bus.record("bgp.crash", self.name, lost_routes=lost)
+        obs = self.bus.obs
+        ctx = obs.emit_root("bgp.crash", self.name) if obs is not None else None
+        with activation(obs, ctx):
+            for session in self.sessions.values():
+                session.stop(notify_peer=False, reason="crash")
+            self._update_queue.clear()
+            self._processing = False
+            for link_id, rib_in in self._rib_in.items():
+                rib_in.clear()
+                self._rib_out[link_id].clear()
+                if self.damper is not None:
+                    self.damper.clear_peer(link_id)
+            lost = 0
+            for prefix in list(self.loc_rib.prefixes()):
+                if self.loc_rib.remove(prefix):
+                    lost += 1
+            for entry in [
+                e for e in list(self.fib) if e.source.startswith("bgp")
+            ]:
+                if self.fib.remove(entry.prefix):
+                    self.bus.record(
+                        "fib.change", self.name, prefix=str(entry.prefix),
+                        via=None,
+                    )
+            self.bus.record("bgp.crash", self.name, lost_routes=lost)
 
     def restart(self) -> None:
         """Boot after :meth:`crash`: re-install configured originations.
@@ -227,8 +260,13 @@ class BGPRouter(Node):
         re-establish (the fault layer restores links after calling this).
         """
         self.bus.record("bgp.restart", self.name)
-        for prefix in sorted(self.originated):
-            self._run_decision(prefix)
+        obs = self.bus.obs
+        ctx = (
+            obs.emit_root("bgp.restart", self.name) if obs is not None else None
+        )
+        with activation(obs, ctx):
+            for prefix in sorted(self.originated):
+                self._run_decision(prefix)
 
     # ------------------------------------------------------------------
     # update processing (serialized, with CPU delay)
@@ -242,7 +280,11 @@ class BGPRouter(Node):
             withdrawn=[str(p) for p in update.withdrawn],
             update_id=update.update_id,
         )
-        self._update_queue.append((session, update))
+        # Provenance: queue entries carry the rx span's context (the
+        # record above) so deferred processing re-enters it.
+        obs = self.bus.obs
+        ctx = obs.last_ctx if obs is not None else None
+        self._update_queue.append((session, update, ctx))
         self._schedule_processing()
 
     def _schedule_processing(self) -> None:
@@ -257,9 +299,10 @@ class BGPRouter(Node):
         self._processing = False
         if not self._update_queue:
             return
-        session, update = self._update_queue.popleft()
+        session, update, ctx = self._update_queue.popleft()
         if session.established:
-            self._apply_update(session, update)
+            with activation(self.bus.obs, ctx):
+                self._apply_update(session, update)
         self._schedule_processing()
 
     def _apply_update(self, session: BGPSession, update: BGPUpdate) -> None:
@@ -366,9 +409,12 @@ class BGPRouter(Node):
             old=str(old.attrs.as_path) if old else None,
             new=str(new.attrs.as_path) if new else None,
         )
-        self._install_fib(prefix, new)
-        for session in self.sessions.values():
-            session.schedule_route(prefix)
+        # Provenance: the FIB change and the advertisements this decision
+        # schedules are consequences of the decision span just recorded.
+        with last_span_activation(self.bus.obs):
+            self._install_fib(prefix, new)
+            for session in self.sessions.values():
+                session.schedule_route(prefix)
 
     def _install_fib(self, prefix: Prefix, route: Optional[Route]) -> None:
         if route is None:

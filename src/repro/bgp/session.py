@@ -119,6 +119,10 @@ class BGPSession:
             jitter_rng=sim.rng("bgp.keepalive"),
         )
         self._dirty: Set[Prefix] = set()
+        #: provenance of pending advertisements: prefix -> (context, time
+        #: it first went dirty).  First cause wins; consumed at send time
+        #: to parent the tx span and measure the pacing wait.
+        self._pending_obs: dict = {}
         self._flush_event = None
         self._open_received = False
 
@@ -206,6 +210,7 @@ class BGPSession:
         self.peer_name = ""
         self._open_received = False
         self._dirty.clear()
+        self._pending_obs.clear()
         if self._flush_event is not None:
             self._sim.cancel(self._flush_event)
             self._flush_event = None
@@ -326,7 +331,7 @@ class BGPSession:
         """
         if not self.established:
             return
-        self._dirty.add(prefix)
+        self._note_dirty(prefix)
         if not self._mrai_timer.running:
             self._request_flush()
             return
@@ -338,6 +343,13 @@ class BGPSession:
                 self._send_update(announced=(), withdrawn=(prefix,))
                 self.router.adj_rib_out(self).mark_sent(prefix, None)
 
+    def _note_dirty(self, prefix: Prefix) -> None:
+        """Mark a prefix dirty, capturing the causal context that did it."""
+        self._dirty.add(prefix)
+        obs = self.router.bus.obs
+        if obs is not None and prefix not in self._pending_obs:
+            self._pending_obs[prefix] = (obs.current, self._sim.now)
+
     def resync(self) -> None:
         """Mark every Loc-RIB prefix (plus stale Adj-RIB-Out entries) dirty.
 
@@ -346,9 +358,9 @@ class BGPSession:
         if not self.established:
             return
         for prefix in self.router.loc_rib.prefixes():
-            self._dirty.add(prefix)
+            self._note_dirty(prefix)
         for prefix in self.router.adj_rib_out(self).prefixes():
-            self._dirty.add(prefix)
+            self._note_dirty(prefix)
         if not self._mrai_timer.running:
             self._request_flush()
 
@@ -413,6 +425,42 @@ class BGPSession:
             withdrawn=tuple(withdrawn),
         )
         self.updates_sent += 1
+        obs = self.router.bus.obs
+        if obs is None:
+            self._record_tx(update)
+            self._send(update)
+            return
+        # Provenance: parent the tx span under the earliest cause that
+        # dirtied any prefix this UPDATE covers (deterministic tie-break
+        # by span id), stretch it back to that dirty instant, and make
+        # it current while transmitting so the message carries it.
+        pending = []
+        for prefix, _attrs in update.announced:
+            entry = self._pending_obs.pop(prefix, None)
+            if entry is not None:
+                pending.append(entry)
+        for prefix in update.withdrawn:
+            entry = self._pending_obs.pop(prefix, None)
+            if entry is not None:
+                pending.append(entry)
+        if pending:
+            ctx, t_dirty = min(
+                pending,
+                key=lambda e: (e[1], e[0][1] if e[0] is not None else -1),
+            )
+            wait = self._sim.now - t_dirty
+        else:
+            ctx, t_dirty, wait = obs.current, self._sim.now, 0.0
+        prev = obs.swap(ctx)
+        try:
+            self._record_tx(update)
+            obs.annotate_last(t_start=t_dirty, mrai_wait=wait)
+            obs.swap(obs.last_ctx)
+            self._send(update)
+        finally:
+            obs.swap(prev)
+
+    def _record_tx(self, update: BGPUpdate) -> None:
         self.router.bus.record(
             "bgp.update.tx",
             self.router.name,
@@ -421,7 +469,6 @@ class BGPSession:
             withdrawn=[str(p) for p in update.withdrawn],
             update_id=update.update_id,
         )
-        self._send(update)
 
     def _send(self, message: BGPMessage) -> None:
         if self.link.up:

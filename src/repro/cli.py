@@ -13,6 +13,9 @@ Usage (also ``python -m repro --help``)::
     python -m repro faults run --scenario gateway-outage --fault-seed 3
     python -m repro scenarios --suites gateway-outage,router-crash
     python -m repro demo --n 8 --sdn 5,6,7,8
+    python -m repro trace run --n 16 --sdn-count 4 --chrome trace.json
+    python -m repro trace report spans.jsonl --markdown report.md
+    python -m repro trace export spans.jsonl -o trace.json
     python -m repro dot --topology clique:8 --sdn 5,6,7,8
 
 Every sweep command accepts ``--workers/--cache-dir/--no-cache`` (see
@@ -34,9 +37,16 @@ import os
 import sys
 from typing import List, Optional
 
-from .analysis import ascii_boxplot_chart, topology_dot
+from .analysis import (
+    ascii_boxplot_chart,
+    provenance_markdown,
+    provenance_report,
+    topology_dot,
+)
 from .eventsim import format_snapshot
 from .experiments import (
+    AnnouncementScenario,
+    FailoverScenario,
     WithdrawalScenario,
     announcement_sweep,
     failover_sweep,
@@ -51,7 +61,8 @@ from .experiments import (
     topology_family_sweep,
     withdrawal_sweep,
 )
-from .experiments.common import sdn_set_for
+from .experiments.common import run_scenario_full, sdn_set_for
+from .obs import chrome_trace_json, spans_from_jsonl, spans_to_jsonl
 from .faults import (
     FaultInjector,
     FaultSchedule,
@@ -517,6 +528,107 @@ def cmd_demo(args) -> int:
     return 0
 
 
+#: scenario classes the ``trace run`` command can instrument.
+TRACE_SCENARIOS = {
+    "withdrawal": WithdrawalScenario,
+    "failover": FailoverScenario,
+    "announcement": AnnouncementScenario,
+}
+
+
+def _export_spans(spans, args, out: Output, *, root_id=None) -> None:
+    """Shared --jsonl/--chrome/--markdown export flags."""
+    if getattr(args, "jsonl", None):
+        with open(args.jsonl, "w") as handle:
+            handle.write(spans_to_jsonl(spans))
+        out.info(f"wrote {args.jsonl} ({len(spans)} spans)")
+    if getattr(args, "chrome", None):
+        with open(args.chrome, "w") as handle:
+            handle.write(chrome_trace_json(spans))
+        out.info(
+            f"wrote {args.chrome} (Chrome trace-event JSON; open in "
+            "Perfetto or chrome://tracing)"
+        )
+    if getattr(args, "markdown", None):
+        with open(args.markdown, "w") as handle:
+            handle.write(
+                provenance_markdown(
+                    spans, root_id=root_id,
+                    max_timeline=getattr(args, "timeline", 20),
+                )
+            )
+        out.info(f"wrote {args.markdown}")
+
+
+def cmd_trace_run(args) -> int:
+    out = args.out
+    scenario = TRACE_SCENARIOS[args.scenario]()
+    topology = scenario.topology(args.n, clique)
+    sdn_count = min(
+        args.sdn_count, len(topology) - len(scenario.reserved_legacy)
+    )
+    members = sdn_set_for(topology, sdn_count, scenario.reserved_legacy)
+    config = paper_config(
+        seed=args.seed, mrai=args.mrai,
+        recompute_delay=args.recompute_delay, spans=True,
+    )
+    out.info(
+        f"tracing {args.scenario} on a {len(topology)}-AS topology "
+        f"({sdn_count} SDN, seed {args.seed}, mrai {args.mrai:g}s)"
+    )
+    measurement, _, spans = run_scenario_full(
+        scenario, topology, members, config
+    )
+    root_id = measurement.extra.get("event_root_span")
+    out.info(
+        f"converged in {measurement.convergence_time:.3f}s "
+        f"({measurement.updates_tx} updates); {len(spans)} spans\n"
+    )
+    out.emit(
+        provenance_report(spans, root_id=root_id, max_timeline=args.timeline)
+    )
+    _export_spans(spans, args, out, root_id=root_id)
+    return 0
+
+
+def _load_spans(path: str) -> list:
+    with open(path) as handle:
+        return [span.to_dict() for span in spans_from_jsonl(handle.read())]
+
+
+def cmd_trace_report(args) -> int:
+    spans = _load_spans(args.spans)
+    args.out.emit(
+        provenance_report(
+            spans, root_id=args.root, max_timeline=args.timeline
+        )
+    )
+    if args.markdown:
+        with open(args.markdown, "w") as handle:
+            handle.write(
+                provenance_markdown(
+                    spans, root_id=args.root, max_timeline=args.timeline
+                )
+            )
+        args.out.info(f"\nwrote {args.markdown}")
+    return 0
+
+
+def cmd_trace_export(args) -> int:
+    spans = _load_spans(args.spans)
+    text = chrome_trace_json(spans, indent=1 if args.pretty else None)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text)
+        args.out.info(
+            f"wrote {args.output} ({len(spans)} spans; open in Perfetto "
+            "or chrome://tracing)"
+        )
+    else:
+        args.out.emit(text)
+    return 0
+
+
 def cmd_dot(args) -> int:
     topo = _parse_topology(args.topology)
     args.out.emit(topology_dot(topo, sdn_members=sorted(_parse_sdn(args.sdn))))
@@ -665,6 +777,57 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--metrics", action="store_true",
                    help="print the run's metrics snapshot")
     p.set_defaults(func=cmd_demo)
+
+    p = sub.add_parser(
+        "trace",
+        help="causal provenance tracing: traced runs, reports, exports",
+    )
+    tsub = p.add_subparsers(dest="trace_command", required=True)
+
+    tp = tsub.add_parser(
+        "run",
+        help="run one scenario with spans on and print its causal report",
+    )
+    tp.add_argument("--scenario", choices=sorted(TRACE_SCENARIOS),
+                    default="withdrawal")
+    tp.add_argument("--n", type=int, default=16, help="clique size")
+    tp.add_argument("--sdn-count", type=int, default=0,
+                    help="ASes converted to SDN (highest ASNs first)")
+    tp.add_argument("--seed", type=int, default=0)
+    tp.add_argument("--mrai", type=float, default=30.0)
+    tp.add_argument("--recompute-delay", type=float, default=0.5)
+    tp.add_argument("--timeline", type=int, default=20,
+                    help="causal-timeline rows to show")
+    tp.add_argument("--jsonl", type=str, default=None,
+                    help="write the run's spans as JSONL")
+    tp.add_argument("--chrome", type=str, default=None,
+                    help="write Chrome trace-event JSON (open in "
+                         "Perfetto or chrome://tracing)")
+    tp.add_argument("--markdown", type=str, default=None,
+                    help="write a Markdown run report")
+    tp.set_defaults(func=cmd_trace_run)
+
+    tp = tsub.add_parser(
+        "report", help="causal report from a saved JSONL span file"
+    )
+    tp.add_argument("spans", help="JSONL span file (trace run --jsonl)")
+    tp.add_argument("--root", type=int, default=None,
+                    help="root span id (default: largest causal tree)")
+    tp.add_argument("--timeline", type=int, default=20)
+    tp.add_argument("--markdown", type=str, default=None,
+                    help="also write the report as Markdown")
+    tp.set_defaults(func=cmd_trace_report)
+
+    tp = tsub.add_parser(
+        "export",
+        help="convert a JSONL span file to Chrome trace-event JSON",
+    )
+    tp.add_argument("spans", help="JSONL span file (trace run --jsonl)")
+    tp.add_argument("-o", "--output", type=str, default=None,
+                    help="output path (default: stdout)")
+    tp.add_argument("--pretty", action="store_true",
+                    help="indent the JSON output")
+    tp.set_defaults(func=cmd_trace_export)
 
     p = sub.add_parser("dot", help="Graphviz export of a topology")
     p.add_argument("--topology", type=str, default="clique:8",

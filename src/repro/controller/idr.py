@@ -31,6 +31,7 @@ from ..net.addr import Prefix
 from ..net.link import Link
 from ..net.messages import Message
 from ..net.node import Node
+from ..obs.spans import activation, last_span_activation
 from ..sdn.messages import BarrierReply, PacketIn, PortStatus
 from ..sdn.switch import SDNSwitch
 from .compiler import CompiledRule, compile_decisions
@@ -80,6 +81,9 @@ class IDRController(Node):
         #: prefix -> set of originating member names
         self.originations: Dict[Prefix, Set[str]] = {}
         self._dirty: Set[Prefix] = set()
+        #: provenance of pending recomputation: prefix -> (context, time
+        #: it went dirty); first cause wins, consumed by the recompute.
+        self._dirty_ctx: Dict[Prefix, tuple] = {}
         self._recompute_timer = DebounceTimer(
             sim,
             self._recompute_dirty,
@@ -130,7 +134,9 @@ class IDRController(Node):
         self.bus.record(
             "bgp.originate", member, prefix=str(prefix), via="controller"
         )
-        self.mark_dirty([prefix])
+        # Provenance: the origination span roots the recompute cascade.
+        with last_span_activation(self.bus.obs):
+            self.mark_dirty([prefix])
 
     def withdraw(self, member: str, prefix: Prefix) -> None:
         """Member AS ``member`` stops originating ``prefix``."""
@@ -144,7 +150,8 @@ class IDRController(Node):
         self.bus.record(
             "bgp.withdraw", member, prefix=str(prefix), via="controller"
         )
-        self.mark_dirty([prefix])
+        with last_span_activation(self.bus.obs):
+            self.mark_dirty([prefix])
 
     # ------------------------------------------------------------------
     # failover / crash-recovery (fault-injection semantics)
@@ -161,6 +168,7 @@ class IDRController(Node):
         self.active = False
         self._recompute_timer.cancel()
         self._dirty.clear()
+        self._dirty_ctx.clear()
         self.bus.record("controller.fail", self.name)
 
     def recover(self) -> None:
@@ -182,7 +190,15 @@ class IDRController(Node):
                 self.switch_graph.set_link_state(
                     name, link.other(switch).name, link.up
                 )
-        self.mark_dirty(self.known_prefixes())
+        obs = self.bus.obs
+        if obs is not None and obs.current is None:
+            # Recovery is a root cause: the catch-up recompute it queues
+            # hangs off this span rather than appearing uncaused.
+            ctx = obs.emit_root("controller.recover", self.name)
+            with activation(obs, ctx):
+                self.mark_dirty(self.known_prefixes())
+        else:
+            self.mark_dirty(self.known_prefixes())
 
     def member_rebooted(self, member: str) -> None:
         """A member switch lost its flow table (crash/restart).
@@ -237,7 +253,15 @@ class IDRController(Node):
         """Queue prefixes for the next (debounced) recompute."""
         if not self.active:
             return
-        before = len(self._dirty)
+        prefixes = list(prefixes)
+        obs = self.bus.obs
+        if obs is not None:
+            # Provenance: remember what first dirtied each prefix so the
+            # eventual recompute span is parented under its true cause.
+            now = self.sim.now
+            for prefix in prefixes:
+                if prefix not in self._dirty_ctx:
+                    self._dirty_ctx[prefix] = (obs.current, now)
         self._dirty.update(prefixes)
         if self._dirty:
             self._recompute_timer.trigger()
@@ -286,13 +310,45 @@ class IDRController(Node):
         if not dirty:
             return
         self.recomputations += 1
+        obs = self.bus.obs
+        if obs is None:
+            self._record_recompute(dirty)
+            for prefix in sorted(dirty):
+                self._recompute_prefix(prefix)
+            return
+        # Provenance: the recompute fires from a debounce timer, so the
+        # causal context was captured when the prefixes went dirty.
+        # Parent under the earliest cause (deterministic tie-break by
+        # span id) and stretch the span across the debounce wait.
+        entries = []
+        for prefix in dirty:
+            entry = self._dirty_ctx.pop(prefix, None)
+            if entry is not None:
+                entries.append(entry)
+        if entries:
+            ctx, t_first = min(
+                entries,
+                key=lambda e: (e[1], e[0][1] if e[0] is not None else -1),
+            )
+            wait = self.sim.now - t_first
+        else:
+            ctx, t_first, wait = obs.current, self.sim.now, 0.0
+        prev = obs.swap(ctx)
+        try:
+            self._record_recompute(dirty)
+            obs.annotate_last(t_start=t_first, debounce_wait=wait)
+            obs.swap(obs.last_ctx)
+            for prefix in sorted(dirty):
+                self._recompute_prefix(prefix)
+        finally:
+            obs.swap(prev)
+
+    def _record_recompute(self, dirty) -> None:
         self.bus.record(
             "controller.recompute", self.name,
             prefixes=[str(p) for p in sorted(dirty)],
             coalesced=self._recompute_timer.triggers_coalesced,
         )
-        for prefix in sorted(dirty):
-            self._recompute_prefix(prefix)
 
     def _recompute_prefix(self, prefix: Prefix) -> None:
         routes = (
@@ -322,7 +378,8 @@ class IDRController(Node):
             self.bus.record(
                 "controller.advertise", self.name, prefix=str(prefix)
             )
-            self.speaker.schedule_all_sessions(prefix)
+            with last_span_activation(self.bus.obs):
+                self.speaker.schedule_all_sessions(prefix)
 
     def _send_to_switch(self, member: str, message: Message) -> None:
         link = self._control_links.get(member)
@@ -336,7 +393,10 @@ class IDRController(Node):
             "controller.flow_install", self.name,
             member=member, message=type(message).__name__,
         )
-        link.transmit(self, message)
+        # Provenance: the FlowMod carries the flow_install span so the
+        # switch's fib.change lands under it.
+        with last_span_activation(self.bus.obs):
+            link.transmit(self, message)
 
     # ------------------------------------------------------------------
     # advertisement generation (asked by the speaker per peering)

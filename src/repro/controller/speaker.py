@@ -30,6 +30,7 @@ from ..net.addr import Prefix
 from ..net.link import Link
 from ..net.messages import Message
 from ..net.node import Node
+from ..obs.spans import activation
 from ..sdn.messages import PeeringStatus
 from .graphs import ExternalRoute, Peering
 
@@ -220,7 +221,17 @@ class ClusterBGPSpeaker(Node):
             "speaker.session.up", self.name,
             peering=str(peering), peer_asn=session.peer_asn,
         )
-        session.resync()
+        obs = self.bus.obs
+        if obs is not None and obs.current is None:
+            # Timer-driven establishment is its own root cause (mirrors
+            # BGPRouter.session_up).
+            ctx = obs.emit_root(
+                "bgp.session.up", self.name, peering=str(peering)
+            )
+            with activation(obs, ctx):
+                session.resync()
+        else:
+            session.resync()
         if self.controller is None:
             return
         if not self.controller_reachable:
@@ -243,7 +254,16 @@ class ClusterBGPSpeaker(Node):
         if not self.controller_reachable:
             self._drop_partitioned("peering_lost")
             return
-        self.controller.peering_lost(peering, affected)
+        obs = self.bus.obs
+        if obs is not None and obs.current is None:
+            ctx = obs.emit_root(
+                "bgp.session.down", self.name,
+                peering=str(peering), reason=reason,
+            )
+            with activation(obs, ctx):
+                self.controller.peering_lost(peering, affected)
+        else:
+            self.controller.peering_lost(peering, affected)
 
     def enqueue_update(self, session: BGPSession, update: BGPUpdate) -> None:
         """Queue a received UPDATE for serialized processing."""
@@ -255,11 +275,20 @@ class ClusterBGPSpeaker(Node):
             update_id=update.update_id,
         )
         # Small parse delay, then apply (the speaker is a thin proxy; it
-        # does not serialize like a full bgpd).
+        # does not serialize like a full bgpd).  The deferred apply
+        # re-enters the rx span's causal context captured here.
+        obs = self.bus.obs
+        ctx = obs.last_ctx if obs is not None else None
         self.sim.schedule(
-            0.002, lambda: self._apply_update(session, update),
+            0.002, lambda: self._apply_in_context(session, update, ctx),
             label=f"{self.name}:proc",
         )
+
+    def _apply_in_context(
+        self, session: BGPSession, update: BGPUpdate, ctx
+    ) -> None:
+        with activation(self.bus.obs, ctx):
+            self._apply_update(session, update)
 
     def _apply_update(self, session: BGPSession, update: BGPUpdate) -> None:
         if not session.established:

@@ -119,6 +119,10 @@ class InstrumentationBus:
         #: category -> subscriptions that want it (dispatch cache).
         self._routes: Dict[str, Tuple[Subscription, ...]] = {}
         self.records_published = 0
+        #: attached provenance tracker (repro.obs.SpanTracker) or None.
+        #: Kept a plain attribute so the off-path cost is one load and a
+        #: None check, same discipline as the simulator dispatch hook.
+        self.obs = None
 
     @property
     def now(self) -> float:
@@ -173,6 +177,9 @@ class InstrumentationBus:
         """Publish a record stamped with the current virtual time."""
         self.counts[category] = self.counts.get(category, 0) + 1
         self.records_published += 1
+        obs = self.obs
+        if obs is not None:
+            obs.on_record(category, node, data)
         routes = self._routes.get(category)
         if routes is None:
             routes = tuple(

@@ -129,10 +129,26 @@ class Histogram:
         }
 
 
+def _escape_label(value: str) -> str:
+    """Escape the characters the key syntax itself uses, so distinct
+    label sets can never render to the same key (``a="1,b=2"`` must not
+    collide with ``a="1", b="2"``)."""
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace(",", "\\,")
+        .replace("=", "\\=")
+        .replace("}", "\\}")
+    )
+
+
 def _key(name: str, labels: Dict[str, str]) -> str:
     if not labels:
         return name
-    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    inner = ",".join(
+        f"{_escape_label(k)}={_escape_label(labels[k])}"
+        for k in sorted(labels)
+    )
     return f"{name}{{{inner}}}"
 
 
@@ -275,12 +291,29 @@ class MetricsRegistry:
         )
 
 
+def _bucket_sort_key(item: Tuple[str, int]) -> float:
+    """Numeric order for bucket labels: ``le_<bound>`` ascending by
+    bound, anything unparsable (``inf`` included) last."""
+    label = item[0]
+    if label.startswith("le_"):
+        try:
+            return float(label[3:])
+        except ValueError:
+            pass
+    return math.inf
+
+
 def merge_snapshots(snapshots: Iterable[dict]) -> dict:
     """Combine per-run snapshots into one sweep-level summary.
 
     Counters and histogram counts/sums add; histogram min/max widen;
     gauges keep the last seen value (they describe instantaneous state,
-    so summing would be meaningless).
+    so summing would be meaningless).  Degenerate inputs are tolerated:
+    ``None``/empty snapshots are skipped, missing or ``None`` sections
+    contribute nothing, and histograms recorded with *different* bucket
+    boundaries merge by bound label (each count stays attributed to its
+    own upper bound; the merged bucket dict is sorted by bound value so
+    mixed boundary sets still read in order).
     """
     counters: Dict[str, float] = {}
     gauges: Dict[str, float] = {}
@@ -288,11 +321,11 @@ def merge_snapshots(snapshots: Iterable[dict]) -> dict:
     for snap in snapshots:
         if not snap:
             continue
-        for key, value in snap.get("counters", {}).items():
+        for key, value in (snap.get("counters") or {}).items():
             counters[key] = counters.get(key, 0.0) + value
-        for key, value in snap.get("gauges", {}).items():
+        for key, value in (snap.get("gauges") or {}).items():
             gauges[key] = value
-        for key, hist in snap.get("histograms", {}).items():
+        for key, hist in (snap.get("histograms") or {}).items():
             merged = histograms.setdefault(
                 key,
                 {"count": 0, "sum": 0.0, "min": None, "max": None,
@@ -310,13 +343,16 @@ def merge_snapshots(snapshots: Iterable[dict]) -> dict:
                     merged[bound] = min(merged[bound], value)
                 else:
                     merged[bound] = max(merged[bound], value)
-            for bucket, n in hist.get("buckets", {}).items():
+            for bucket, n in (hist.get("buckets") or {}).items():
                 merged["buckets"][bucket] = (
                     merged["buckets"].get(bucket, 0) + n
                 )
     for merged in histograms.values():
         if merged["count"]:
             merged["mean"] = merged["sum"] / merged["count"]
+        merged["buckets"] = dict(
+            sorted(merged["buckets"].items(), key=_bucket_sort_key)
+        )
     return {
         "counters": dict(sorted(counters.items())),
         "gauges": dict(sorted(gauges.items())),
@@ -347,8 +383,16 @@ def format_snapshot(snapshot: dict, *, top: int = 20) -> str:
             h = histograms[key]
             if not h.get("count"):
                 continue
+            # min/max can be None even with count > 0 (snapshots merged
+            # from sources that never reported extremes) — skip the
+            # fields rather than crash the whole report.
+            extremes = "".join(
+                f" {bound}={h[bound]:.3g}"
+                for bound in ("min", "max")
+                if h.get(bound) is not None
+            )
             lines.append(
-                f"  {key}: n={h['count']} mean={h['mean']:.3g} "
-                f"min={h['min']:.3g} max={h['max']:.3g}"
+                f"  {key}: n={h['count']} mean={h.get('mean', 0.0):.3g}"
+                f"{extremes}"
             )
     return "\n".join(lines) if lines else "(no metrics recorded)"

@@ -59,6 +59,11 @@ class TraceLog:
         self._records: deque = deque(maxlen=max_records)
         self._taps: Dict[Callable[[TraceRecord], None], Subscription] = {}
         self._enabled = capture
+        #: records silently evicted from the front of the ring buffer.
+        #: Non-zero means queries over :attr:`records` saw a truncated
+        #: history — surfaced in run reports so bounded captures cannot
+        #: masquerade as complete ones.
+        self.dropped_records = 0
         self.categories = (
             tuple(sorted(categories)) if categories is not None else None
         )
@@ -75,7 +80,10 @@ class TraceLog:
     # ------------------------------------------------------------------
     def _on_record(self, record: TraceRecord) -> None:
         if self._enabled:
-            self._records.append(record)
+            records = self._records
+            if records.maxlen is not None and len(records) == records.maxlen:
+                self.dropped_records += 1
+            records.append(record)
 
     def set_enabled(self, enabled: bool) -> None:
         """Disable to cut memory/time for very large parameter sweeps."""
@@ -167,11 +175,12 @@ class TraceLog:
     def clear(self) -> None:
         """Drop retained records and reset the bus counters."""
         self._records.clear()
+        self.dropped_records = 0
         self.bus.clear_counts()
 
     def __repr__(self) -> str:
         bound = self.max_records if self.max_records is not None else "inf"
         return (
             f"<TraceLog records={len(self._records)} bound={bound} "
-            f"capture={self._enabled}>"
+            f"dropped={self.dropped_records} capture={self._enabled}>"
         )

@@ -41,6 +41,7 @@ __all__ = [
     "SweepResult",
     "run_scenario_once",
     "run_scenario_instrumented",
+    "run_scenario_full",
     "run_fraction_sweep",
     "sdn_set_for",
 ]
@@ -59,6 +60,7 @@ def paper_config(
     policy_mode: str = "flat",
     trace_level: str = "full",
     metrics: bool = False,
+    spans: bool = False,
 ) -> ExperimentConfig:
     """The configuration matching the paper's clique experiments."""
     return ExperimentConfig(
@@ -68,6 +70,7 @@ def paper_config(
         controller=ControllerConfig(recompute_delay=recompute_delay),
         trace_level=trace_level,
         metrics=metrics,
+        spans=spans,
     )
 
 
@@ -229,6 +232,8 @@ class RunResult:
     attempts: int = 1
     #: per-run metrics snapshot (sweeps launched with ``metrics=True``).
     metrics: Optional[dict] = None
+    #: per-run provenance spans (sweeps launched with ``spans=True``).
+    spans: Optional[list] = None
 
     @property
     def convergence_time(self) -> float:
@@ -365,6 +370,29 @@ def run_scenario_instrumented(
     case it is the JSON-ready registry dump taken after the measured
     event settled.
     """
+    measurement, metrics, _ = run_scenario_full(
+        scenario, topology, sdn_members, config, horizon=horizon
+    )
+    return measurement, metrics
+
+
+def run_scenario_full(
+    scenario: Scenario,
+    topology: Topology,
+    sdn_members: frozenset,
+    config: ExperimentConfig,
+    *,
+    horizon: Optional[float] = None,
+) -> tuple:
+    """One full run, returning ``(measurement, metrics, spans)``.
+
+    ``metrics`` is None unless ``config.metrics``; ``spans`` (JSON-ready
+    provenance span dicts) is None unless ``config.spans``.  The
+    measurement's ``extra`` dict also carries ``event_root_span`` — the
+    span id of the measured event's root cause — when spans are on, so
+    downstream reports can find the event's causal tree without
+    heuristics.
+    """
     exp = Experiment(
         topology, sdn_members=sdn_members, config=config,
         name=scenario.name,
@@ -372,11 +400,21 @@ def run_scenario_instrumented(
     scenario.configure(exp)
     exp.start()
     scenario.prepare(exp)
+    spans_before = len(exp.spans.spans) if exp.spans is not None else 0
     measurement = measure_event(
         exp, lambda: scenario.event(exp), horizon=horizon
     )
     scenario.finish(exp)
-    return measurement, exp.metrics_snapshot()
+    spans = exp.spans_snapshot()
+    if spans is not None:
+        # The event's root is the first new root-cause span created at
+        # or after injection (scenario events fire outside any message
+        # context, so the event always opens a fresh causal tree).
+        for span in spans[spans_before:]:
+            if span["parent_id"] is None and span["t_end"] >= measurement.t_event:
+                measurement.extra["event_root_span"] = span["span_id"]
+                break
+    return measurement, exp.metrics_snapshot(), spans
 
 
 def run_fraction_sweep(
@@ -396,6 +434,7 @@ def run_fraction_sweep(
     retries: int = 1,
     trace_level: str = "full",
     metrics: bool = False,
+    spans: bool = False,
     faults=None,
 ) -> SweepResult:
     """The Fig. 2 harness: sweep SDN deployment over seeded runs.
@@ -411,9 +450,10 @@ def run_fraction_sweep(
     to skip already-computed trials, ``progress`` (``'log'``, a
     callable, or a sink) for reporting, and ``timeout``/``retries`` for
     fault tolerance.  ``trace_level`` bounds per-run trace memory
-    (``"off"`` retains zero records while measuring identically) and
+    (``"off"`` retains zero records while measuring identically),
     ``metrics=True`` attaches a per-run metrics snapshot to every
-    :class:`RunResult`.  ``faults`` (a
+    :class:`RunResult`, and ``spans=True`` attaches the run's causal
+    provenance spans (results stay bit-identical either way).  ``faults`` (a
     :class:`~repro.faults.FaultSchedule` or its canonical tuple) is
     embedded in every spec — scenarios that understand fault schedules
     (``FaultSuiteScenario``) read it back from ``scenario.faults``.  Results are bit-identical across worker counts:
@@ -442,6 +482,7 @@ def run_fraction_sweep(
                     recompute_delay=recompute_delay,
                     trace_level=trace_level,
                     metrics=metrics,
+                    spans=spans,
                     faults=faults,
                     label=f"{probe.name} sdn={sdn_count} seed={seed}",
                 )
@@ -470,6 +511,7 @@ def run_fraction_sweep(
                         cached=record.cached,
                         attempts=record.attempts,
                         metrics=record.metrics,
+                        spans=record.spans,
                     )
                 )
             else:

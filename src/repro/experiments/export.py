@@ -18,13 +18,17 @@ __all__ = ["sweep_to_csv", "sweep_to_json", "sweep_rows"]
 
 
 def sweep_rows(
-    result: SweepResult, *, include_metrics: bool = False
+    result: SweepResult,
+    *,
+    include_metrics: bool = False,
+    include_spans: bool = False,
 ) -> List[dict]:
     """One dict per individual run (long/tidy format).
 
     ``include_metrics`` attaches the per-run metrics snapshot as a
-    ``run_metrics`` dict column — kept out of the CSV path, where a
-    nested dict would not be a scalar cell.
+    ``run_metrics`` dict column; ``include_spans`` attaches the run's
+    provenance spans as a ``run_spans`` list column — both kept out of
+    the CSV path, where a nested value would not be a scalar cell.
     """
     rows: List[dict] = []
     for point in result.points:
@@ -51,6 +55,8 @@ def sweep_rows(
             }
             if include_metrics:
                 row["run_metrics"] = getattr(run, "metrics", None)
+            if include_spans:
+                row["run_spans"] = getattr(run, "spans", None)
             rows.append(row)
     return rows
 
@@ -122,6 +128,6 @@ def sweep_to_json(result: SweepResult, *, indent: int = 2) -> str:
             }
             for point in result.points
         ],
-        "runs": sweep_rows(result, include_metrics=True),
+        "runs": sweep_rows(result, include_metrics=True, include_spans=True),
     }
     return json.dumps(payload, indent=indent)

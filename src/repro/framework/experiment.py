@@ -93,6 +93,10 @@ class ExperimentConfig:
     metrics_per_node: bool = False
     #: with metrics: wall-clock histogram around simulator dispatch.
     profile_dispatch: bool = False
+    #: attach a causal-provenance SpanTracker to the bus: every
+    #: route-affecting record becomes a span with (cause_id, parent_id)
+    #: lineage.  Passive — results are bit-identical with spans on/off.
+    spans: bool = False
 
     def session_timers(self) -> BGPTimers:
         """A private copy of the session timer config."""
@@ -165,6 +169,8 @@ class Experiment:
                 per_node=self.config.metrics_per_node,
                 profile_dispatch=self.config.profile_dispatch,
             )
+        if self.config.spans:
+            self.net.enable_spans()
         self._build_cluster_core()
         self._build_as_nodes()
         self._build_phys_links()
@@ -356,6 +362,16 @@ class Experiment:
         """JSON-ready metrics dump, or None when metrics are disabled."""
         registry = self.metrics
         return registry.snapshot() if registry is not None else None
+
+    @property
+    def spans(self):
+        """The span tracker (None unless ``config.spans``)."""
+        return self.net.spans if self.net is not None else None
+
+    def spans_snapshot(self) -> Optional[list]:
+        """All provenance spans as dicts, or None when spans are off."""
+        tracker = self.spans
+        return tracker.snapshot() if tracker is not None else None
 
     # ------------------------------------------------------------------
     # node / address accessors

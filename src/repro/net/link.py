@@ -121,6 +121,11 @@ class Link:
             self.drop_count += 1
             return False
         self.tx_count += 1
+        obs = sender.bus.obs
+        if obs is not None and obs.current is not None:
+            # Provenance: the in-flight message carries its sender's
+            # causal context; the receiving node restores it on delivery.
+            message._prov = obs.current
         self._sim.schedule(
             self.latency,
             lambda: receiver.receive(self, message),
@@ -140,8 +145,23 @@ class Link:
         if self.up == up:
             return
         self.up = up
-        for node in (self.a, self.b):
-            node.link_state_changed(self)
+        obs = self.a.bus.obs
+        if obs is None:
+            for node in (self.a, self.b):
+                node.link_state_changed(self)
+            return
+        # Provenance: a link transition is a root cause — session resets
+        # and the withdrawals they trigger hang off this span.
+        ctx = obs.emit_root(
+            "link.up" if up else "link.down", self.name,
+            a=self.a.name, b=self.b.name,
+        )
+        prev = obs.swap(ctx)
+        try:
+            for node in (self.a, self.b):
+                node.link_state_changed(self)
+        finally:
+            obs.swap(prev)
 
     def set_latency(self, latency: float) -> float:
         """Change propagation delay; returns the previous value.

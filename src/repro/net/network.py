@@ -20,6 +20,7 @@ from ..eventsim import (
     Simulator,
     TraceLog,
 )
+from ..obs.spans import SpanTracker
 from .addr import IPv4Address
 from .link import Link
 from .node import Node
@@ -86,6 +87,7 @@ class Network:
         )
         self.trace_level = trace_level
         self.metrics: Optional[MetricsRegistry] = None
+        self.spans: Optional[SpanTracker] = None
         self.nodes: Dict[str, Node] = {}
         self.links: List[Link] = []
 
@@ -104,6 +106,20 @@ class Network:
             if profile_dispatch:
                 self.metrics.profile_simulator(self.sim)
         return self.metrics
+
+    def enable_spans(self) -> SpanTracker:
+        """Attach a causal-provenance span tracker to the bus (idempotent).
+
+        Every route-affecting record then becomes a :class:`Span` with a
+        ``(cause_id, parent_id)`` lineage; components propagate causal
+        context through message delivery and deferred work.  Purely
+        passive — convergence results are bit-identical with spans on or
+        off.
+        """
+        if self.spans is None:
+            self.spans = SpanTracker(self.sim)
+            self.bus.obs = self.spans
+        return self.spans
 
     # ------------------------------------------------------------------
     # inventory

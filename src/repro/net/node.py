@@ -102,6 +102,19 @@ class Node:
     # ------------------------------------------------------------------
     def receive(self, link: Link, message: Message) -> None:
         """Entry point for anything delivered by a link."""
+        obs = self.bus.obs
+        if obs is None:
+            self._dispatch(link, message)
+            return
+        # Provenance: process the delivery inside the causal context the
+        # sender stamped on the message (None for unattributed traffic).
+        prev = obs.swap(getattr(message, "_prov", None))
+        try:
+            self._dispatch(link, message)
+        finally:
+            obs.swap(prev)
+
+    def _dispatch(self, link: Link, message: Message) -> None:
         if isinstance(message, Packet):
             self._receive_packet(link, message)
         else:

@@ -1,0 +1,38 @@
+"""repro.obs — causal provenance tracing.
+
+Spans attribute every RIB/FIB change to the root event that caused it;
+the DAG derives per-run explanations (path-exploration depth, MRAI
+wait, update fan-out, per-AS convergence instants); exporters produce
+Perfetto-loadable Chrome traces and JSONL.  See docs/observability.md.
+"""
+
+from .dag import STATE_CHANGING, ProvenanceDAG
+from .export import (
+    as_spans,
+    chrome_trace_json,
+    spans_from_jsonl,
+    spans_to_jsonl,
+    to_chrome_trace,
+)
+from .spans import (
+    SPAN_CATEGORIES,
+    Span,
+    SpanTracker,
+    activation,
+    last_span_activation,
+)
+
+__all__ = [
+    "Span",
+    "SpanTracker",
+    "SPAN_CATEGORIES",
+    "ProvenanceDAG",
+    "STATE_CHANGING",
+    "to_chrome_trace",
+    "chrome_trace_json",
+    "spans_to_jsonl",
+    "spans_from_jsonl",
+    "as_spans",
+    "activation",
+    "last_span_activation",
+]

@@ -1,0 +1,146 @@
+"""Span exporters — Chrome trace-event JSON (Perfetto) and JSONL.
+
+The Chrome exporter emits the trace-event format's JSON object form
+(https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU):
+one ``"X"`` (complete) event per span with microsecond timestamps, one
+process per simulation, one named thread per node, and ``"s"``/``"f"``
+flow events tracing every parent→child causal edge so Perfetto draws
+the lineage arrows.  Virtual seconds map to microseconds 1:1 scaled by
+1e6, so the timeline reads directly in simulated time.
+
+JSONL is the interchange format: one span dict per line, loadable back
+with :func:`spans_from_jsonl` for offline reporting (``repro trace
+report``/``export``).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Optional, Union
+
+from .spans import Span
+
+__all__ = [
+    "to_chrome_trace",
+    "chrome_trace_json",
+    "spans_to_jsonl",
+    "spans_from_jsonl",
+    "as_spans",
+]
+
+#: Minimum rendered duration (µs) so instantaneous events stay visible.
+_MIN_DUR_US = 1
+
+#: Single simulated process id in the exported trace.
+_PID = 1
+
+
+def as_spans(spans: Iterable[Union[Span, Dict[str, Any]]]) -> List[Span]:
+    """Normalize a span/dict mix (tracker output or cache payload)."""
+    out = []
+    for span in spans:
+        out.append(span if isinstance(span, Span) else Span.from_dict(span))
+    return out
+
+
+def _us(t: float) -> int:
+    return int(round(t * 1e6))
+
+
+def to_chrome_trace(
+    spans: Iterable[Union[Span, Dict[str, Any]]]
+) -> Dict[str, Any]:
+    """Spans as a Chrome trace-event JSON object (Perfetto-loadable)."""
+    normalized = as_spans(spans)
+    nodes = sorted({span.node for span in normalized})
+    tids = {node: i + 1 for i, node in enumerate(nodes)}
+    events: List[Dict[str, Any]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": _PID,
+            "tid": 0,
+            "args": {"name": "repro emulation"},
+        }
+    ]
+    for node in nodes:
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": _PID,
+                "tid": tids[node],
+                "args": {"name": node},
+            }
+        )
+    by_id = {span.span_id: span for span in normalized}
+    for span in normalized:
+        start = _us(span.t_start)
+        events.append(
+            {
+                "name": span.category,
+                "cat": span.category,
+                "ph": "X",
+                "ts": start,
+                "dur": max(_us(span.t_end) - start, _MIN_DUR_US),
+                "pid": _PID,
+                "tid": tids[span.node],
+                "args": {
+                    "span_id": span.span_id,
+                    "parent_id": span.parent_id,
+                    "cause_id": span.cause_id,
+                    **span.data,
+                },
+            }
+        )
+        if span.parent_id is not None and span.parent_id in by_id:
+            parent = by_id[span.parent_id]
+            events.append(
+                {
+                    "name": "cause",
+                    "cat": "provenance",
+                    "ph": "s",
+                    "id": span.span_id,
+                    "ts": _us(parent.t_end),
+                    "pid": _PID,
+                    "tid": tids[parent.node],
+                }
+            )
+            events.append(
+                {
+                    "name": "cause",
+                    "cat": "provenance",
+                    "ph": "f",
+                    "bp": "e",
+                    "id": span.span_id,
+                    "ts": _us(span.t_start),
+                    "pid": _PID,
+                    "tid": tids[span.node],
+                }
+            )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def chrome_trace_json(
+    spans: Iterable[Union[Span, Dict[str, Any]]], *, indent: Optional[int] = None
+) -> str:
+    """Serialized Chrome trace, ready to write to a ``.json`` file."""
+    return json.dumps(to_chrome_trace(spans), indent=indent)
+
+
+def spans_to_jsonl(spans: Iterable[Union[Span, Dict[str, Any]]]) -> str:
+    """One JSON object per line; the trace interchange format."""
+    lines = []
+    for span in as_spans(spans):
+        lines.append(json.dumps(span.to_dict(), sort_keys=True))
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def spans_from_jsonl(text: str) -> List[Span]:
+    """Parse :func:`spans_to_jsonl` output back into spans."""
+    spans = []
+    for line in text.splitlines():
+        line = line.strip()
+        if line:
+            spans.append(Span.from_dict(json.loads(line)))
+    return spans

@@ -17,6 +17,7 @@ from .jobs import (
     callable_token,
     execute_spec,
     run_trial,
+    run_trial_full,
 )
 from .pool import ParallelRunner, default_workers
 from .progress import (
@@ -37,6 +38,7 @@ __all__ = [
     "callable_token",
     "execute_spec",
     "run_trial",
+    "run_trial_full",
     "ParallelRunner",
     "default_workers",
     "CallbackProgress",

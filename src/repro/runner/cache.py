@@ -70,11 +70,13 @@ class ResultCache:
             return None
         meta = payload.get("record", {})
         metrics = payload.get("metrics")
+        spans = payload.get("spans")
         return RunRecord(
             digest=spec.digest(),
             ok=True,
             measurement=RunRecord.measurement_from_dict(measurement_data),
             metrics=metrics if isinstance(metrics, dict) else None,
+            spans=spans if isinstance(spans, list) else None,
             wall_time=float(meta.get("wall_time", 0.0)),
             worker=str(meta.get("worker", "")),
             attempts=int(meta.get("attempts", 1)),
@@ -100,6 +102,8 @@ class ResultCache:
         }
         if record.metrics is not None:
             payload["metrics"] = record.metrics
+        if record.spans is not None:
+            payload["spans"] = record.spans
         # Atomic publish: a reader either sees the old entry or the new
         # complete one, never a torn write.
         fd, tmp_name = tempfile.mkstemp(

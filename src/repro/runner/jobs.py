@@ -35,6 +35,7 @@ __all__ = [
     "execute_spec",
     "run_trial",
     "run_trial_instrumented",
+    "run_trial_full",
 ]
 
 
@@ -93,6 +94,8 @@ class RunSpec:
     horizon: Optional[float] = None
     trace_level: str = "full"
     metrics: bool = False
+    #: collect causal provenance spans and attach them to the record.
+    spans: bool = False
     faults: Optional[Tuple] = None
     label: str = field(default="", compare=False)
 
@@ -120,6 +123,12 @@ class RunSpec:
             # Only present when set, so fault-free specs keep the digests
             # (and cache entries) they had before faults existed.
             out["faults"] = self.faults
+        if self.spans:
+            # Same back-compat rule: span collection is passive (results
+            # are bit-identical), but the record payload differs, so
+            # span-collecting trials get their own cache entries while
+            # span-free specs keep their pre-existing digests.
+            out["spans"] = True
         return out
 
     def digest(self) -> str:
@@ -146,6 +155,8 @@ class RunRecord:
     measurement: Optional[ConvergenceMeasurement] = None
     #: per-run metrics snapshot (``spec.metrics=True``), JSON-ready.
     metrics: Optional[Dict[str, Any]] = None
+    #: per-run provenance spans (``spec.spans=True``), JSON-ready dicts.
+    spans: Optional[list] = None
     error: Optional[str] = None
     #: wall-clock seconds the trial took inside its worker.
     wall_time: float = 0.0
@@ -192,12 +203,24 @@ def run_trial_instrumented(
     The snapshot is ``None`` unless the spec asked for metrics
     (``spec.metrics=True``).
     """
+    measurement, metrics, _ = run_trial_full(spec)
+    return measurement, metrics
+
+
+def run_trial_full(
+    spec: RunSpec,
+) -> Tuple[ConvergenceMeasurement, Optional[Dict[str, Any]], Optional[list]]:
+    """One trial returning ``(measurement, metrics, spans)``.
+
+    ``metrics`` is None unless ``spec.metrics``; ``spans`` (JSON-ready
+    provenance span dicts) is None unless ``spec.spans``.
+    """
     # Imported here, not at module top: repro.experiments.common imports
     # the runner package, so the dependency must stay one-directional at
     # import time.
     from ..experiments.common import (
         paper_config,
-        run_scenario_instrumented,
+        run_scenario_full,
         sdn_set_for,
     )
 
@@ -216,8 +239,9 @@ def run_trial_instrumented(
         policy_mode=spec.policy_mode,
         trace_level=spec.trace_level,
         metrics=spec.metrics,
+        spans=spec.spans,
     )
-    return run_scenario_instrumented(
+    return run_scenario_full(
         scenario, topology, members, config, horizon=spec.horizon
     )
 
@@ -234,7 +258,7 @@ def execute_spec(spec: RunSpec) -> RunRecord:
     started = time.perf_counter()
     worker = f"pid-{os.getpid()}"
     try:
-        measurement, metrics = run_trial_instrumented(spec)
+        measurement, metrics, spans = run_trial_full(spec)
     except Exception:
         return RunRecord(
             digest=digest,
@@ -248,6 +272,7 @@ def execute_spec(spec: RunSpec) -> RunRecord:
         ok=True,
         measurement=measurement,
         metrics=metrics,
+        spans=spans,
         wall_time=time.perf_counter() - started,
         worker=worker,
     )

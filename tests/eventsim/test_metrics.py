@@ -181,3 +181,99 @@ class TestSnapshotTools:
         text = format_snapshot(reg.snapshot())
         assert "records_total" in text
         assert "bgp.update.tx" in text
+
+
+class TestLabelEscaping:
+    def test_adversarial_label_value_cannot_collide(self):
+        reg = MetricsRegistry()
+        tricky = reg.counter("x", a="1,b=2")
+        honest = reg.counter("x", a="1", b="2")
+        assert tricky is not honest
+        tricky.inc(1)
+        honest.inc(10)
+        snap = reg.snapshot()["counters"]
+        assert sorted(snap.values()) == [1.0, 10.0]
+
+    def test_brace_and_backslash_values_stay_distinct(self):
+        reg = MetricsRegistry()
+        a = reg.counter("x", k="v}")
+        b = reg.counter("x", k="v\\}")
+        assert a is not b
+
+
+class TestMergeEdgeCases:
+    def test_merge_tolerates_missing_and_none_sections(self):
+        snaps = [
+            {"counters": {"c": 1.0}},  # no gauges/histograms keys
+            {"counters": None, "gauges": None, "histograms": None},
+            {"histograms": {"h": {"count": 1, "sum": 2.0, "min": 2.0,
+                                  "max": 2.0, "mean": 2.0,
+                                  "buckets": {"le_5": 1}}}},
+        ]
+        merged = merge_snapshots(snaps)
+        assert merged["counters"] == {"c": 1.0}
+        assert merged["histograms"]["h"]["count"] == 1
+
+    def test_merge_histogram_with_none_buckets(self):
+        snaps = [
+            {"histograms": {"h": {"count": 1, "sum": 1.0, "min": 1.0,
+                                  "max": 1.0, "mean": 1.0,
+                                  "buckets": None}}},
+            {"histograms": {"h": {"count": 1, "sum": 3.0, "min": 3.0,
+                                  "max": 3.0, "mean": 3.0,
+                                  "buckets": {"inf": 1}}}},
+        ]
+        h = merge_snapshots(snaps)["histograms"]["h"]
+        assert h["count"] == 2
+        assert h["mean"] == pytest.approx(2.0)
+        assert h["buckets"] == {"inf": 1}
+
+    def test_merge_mismatched_bucket_boundaries_sorted(self):
+        a = {"histograms": {"h": {"count": 2, "sum": 2.0, "min": 0.5,
+                                  "max": 1.5, "mean": 1.0,
+                                  "buckets": {"le_1": 1, "inf": 1}}}}
+        b = {"histograms": {"h": {"count": 2, "sum": 20.0, "min": 5.0,
+                                  "max": 15.0, "mean": 10.0,
+                                  "buckets": {"le_10": 1, "inf": 1}}}}
+        h = merge_snapshots([a, b])["histograms"]["h"]
+        # counts stay attributed to their own bound; order is numeric
+        assert list(h["buckets"]) == ["le_1", "le_10", "inf"]
+        assert h["buckets"] == {"le_1": 1, "le_10": 1, "inf": 2}
+        assert h["min"] == 0.5 and h["max"] == 15.0
+
+    def test_merge_empty_histogram_keeps_none_extremes(self):
+        snaps = [{"histograms": {"h": {"count": 0, "sum": 0.0, "min": None,
+                                       "max": None, "mean": 0.0,
+                                       "buckets": {}}}}]
+        h = merge_snapshots(snaps)["histograms"]["h"]
+        assert h["min"] is None and h["max"] is None
+        assert h["count"] == 0
+
+    def test_format_snapshot_handles_empty_histogram(self):
+        snap = {
+            "counters": {},
+            "gauges": {},
+            "histograms": {"h": {"count": 0, "sum": 0.0, "min": None,
+                                 "max": None, "mean": 0.0, "buckets": {}}},
+        }
+        text = format_snapshot(snap)  # must not raise on None min/max
+        # empty histograms are skipped rather than rendered as garbage
+        assert "n=0" not in text
+        assert "min=" not in text and "max=" not in text
+
+    def test_format_snapshot_none_extremes_with_count(self):
+        snap = {
+            "histograms": {"h": {"count": 3, "sum": 6.0, "min": None,
+                                 "max": None, "mean": 2.0, "buckets": {}}},
+        }
+        text = format_snapshot(snap)
+        assert "n=3" in text and "mean=2" in text
+        assert "min=" not in text and "max=" not in text
+
+    def test_format_snapshot_handles_missing_mean(self):
+        snap = {
+            "histograms": {"h": {"count": 2, "sum": 4.0, "min": 1.0,
+                                 "max": 3.0, "buckets": {}}},
+        }
+        text = format_snapshot(snap)
+        assert "mean=2" in text or "mean=0" in text

@@ -39,6 +39,46 @@ class TestRecording:
         assert trace.counts == {}
 
 
+class TestRingBufferWraparound:
+    def test_dropped_records_counts_evictions(self, sim):
+        trace = TraceLog(sim, max_records=5)
+        for i in range(8):
+            trace.record("x", "n", i=i)
+        assert len(trace) == 5
+        assert trace.dropped_records == 3
+        # oldest three fell off the front; the tail survives intact
+        assert [r.data["i"] for r in trace.records] == [3, 4, 5, 6, 7]
+        # counts are unaffected by eviction
+        assert trace.counts["x"] == 8
+
+    def test_unbounded_log_never_drops(self, sim, trace):
+        for _ in range(100):
+            trace.record("x", "n")
+        assert trace.dropped_records == 0
+
+    def test_clear_resets_dropped_counter(self, sim):
+        trace = TraceLog(sim, max_records=2)
+        for _ in range(4):
+            trace.record("x", "n")
+        assert trace.dropped_records == 2
+        trace.clear()
+        assert trace.dropped_records == 0
+        assert len(trace) == 0
+
+    def test_repr_reports_dropped(self, sim):
+        trace = TraceLog(sim, max_records=1)
+        trace.record("x", "n")
+        trace.record("x", "n")
+        assert "dropped=1" in repr(trace)
+
+    def test_disabled_capture_does_not_drop(self, sim):
+        trace = TraceLog(sim, max_records=1)
+        trace.set_enabled(False)
+        for _ in range(5):
+            trace.record("x", "n")
+        assert trace.dropped_records == 0
+
+
 class TestTaps:
     def test_tap_sees_records_live(self, trace):
         seen = []

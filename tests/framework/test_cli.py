@@ -110,3 +110,61 @@ class TestInstrumentationFlags:
     def test_bad_trace_level_rejected(self):
         with pytest.raises(SystemExit):
             main(["demo", "--trace-level", "verbose"])
+
+
+class TestTraceCommands:
+    def _run_traced(self, tmp_path, capsys, **extra_flags):
+        jsonl = tmp_path / "spans.jsonl"
+        argv = [
+            "trace", "run", "--scenario", "withdrawal", "--n", "5",
+            "--sdn-count", "2", "--seed", "3", "--mrai", "1",
+            "--jsonl", str(jsonl),
+        ]
+        for flag, value in extra_flags.items():
+            argv += [f"--{flag}", str(value)]
+        rc = main(argv)
+        assert rc == 0
+        return jsonl, capsys.readouterr().out
+
+    def test_trace_run_prints_causal_report(self, tmp_path, capsys):
+        jsonl, out = self._run_traced(tmp_path, capsys)
+        assert "root cause #" in out
+        assert "bgp.withdraw" in out
+        assert "per-AS convergence instants" in out
+        assert jsonl.exists() and jsonl.read_text().strip()
+
+    def test_trace_run_writes_chrome_and_markdown(self, tmp_path, capsys):
+        import json
+
+        chrome = tmp_path / "trace.json"
+        md = tmp_path / "report.md"
+        self._run_traced(tmp_path, capsys, chrome=chrome, markdown=md)
+        trace = json.loads(chrome.read_text())
+        assert {e["ph"] for e in trace["traceEvents"]} <= {"M", "X", "s", "f"}
+        assert md.read_text().startswith("# ")
+
+    def test_trace_report_from_jsonl(self, tmp_path, capsys):
+        jsonl, _ = self._run_traced(tmp_path, capsys)
+        rc = main(["trace", "report", str(jsonl), "--timeline", "5"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "root cause #" in out
+        assert "causal timeline" in out
+
+    def test_trace_export_stdout_and_file(self, tmp_path, capsys):
+        import json
+
+        jsonl, _ = self._run_traced(tmp_path, capsys)
+        rc = main(["trace", "export", str(jsonl)])
+        assert rc == 0
+        trace = json.loads(capsys.readouterr().out)
+        assert trace["displayTimeUnit"] == "ms"
+
+        dest = tmp_path / "out.json"
+        rc = main(["trace", "export", str(jsonl), "-o", str(dest), "--pretty"])
+        assert rc == 0
+        assert json.loads(dest.read_text())["traceEvents"]
+
+    def test_trace_run_unknown_scenario_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["trace", "run", "--scenario", "meteor"])

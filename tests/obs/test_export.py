@@ -1,0 +1,92 @@
+"""Exporter tests: Chrome trace-event schema and JSONL roundtrip."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    Span,
+    chrome_trace_json,
+    spans_from_jsonl,
+    spans_to_jsonl,
+    to_chrome_trace,
+)
+
+
+@pytest.fixture
+def spans():
+    return [
+        Span(1, None, 1, "bgp.withdraw", "as1", 10.0, 10.0,
+             {"prefix": "10.0.0.0/24"}),
+        Span(2, 1, 1, "bgp.update.tx", "as1", 10.0, 12.5,
+             {"mrai_wait": 2.5}),
+        Span(3, 2, 1, "bgp.update.rx", "as2", 12.51, 12.51, {}),
+    ]
+
+
+class TestChromeTrace:
+    def test_valid_trace_event_json(self, spans):
+        trace = json.loads(chrome_trace_json(spans))
+        assert trace["displayTimeUnit"] == "ms"
+        events = trace["traceEvents"]
+        assert isinstance(events, list) and events
+        for event in events:
+            assert event["ph"] in {"M", "X", "s", "f"}
+            assert isinstance(event["pid"], int)
+            assert isinstance(event["tid"], int)
+            if event["ph"] != "M":
+                assert isinstance(event["ts"], int)
+            if event["ph"] == "X":
+                assert isinstance(event["dur"], int) and event["dur"] >= 1
+
+    def test_one_complete_event_per_span(self, spans):
+        events = to_chrome_trace(spans)["traceEvents"]
+        complete = [e for e in events if e["ph"] == "X"]
+        assert len(complete) == len(spans)
+        assert {e["args"]["span_id"] for e in complete} == {1, 2, 3}
+
+    def test_thread_metadata_per_node(self, spans):
+        events = to_chrome_trace(spans)["traceEvents"]
+        names = {
+            e["args"]["name"] for e in events
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        assert names == {"as1", "as2"}
+
+    def test_flow_events_trace_causal_edges(self, spans):
+        events = to_chrome_trace(spans)["traceEvents"]
+        starts = [e for e in events if e["ph"] == "s"]
+        finishes = [e for e in events if e["ph"] == "f"]
+        # spans 2 and 3 each have a parent -> one s/f pair each
+        assert len(starts) == len(finishes) == 2
+        assert {e["id"] for e in starts} == {2, 3}
+
+    def test_microsecond_scaling(self, spans):
+        events = to_chrome_trace(spans)["traceEvents"]
+        tx = next(
+            e for e in events
+            if e["ph"] == "X" and e["args"]["span_id"] == 2
+        )
+        assert tx["ts"] == 10_000_000
+        assert tx["dur"] == 2_500_000
+
+    def test_accepts_dict_form(self, spans):
+        as_dicts = [s.to_dict() for s in spans]
+        assert to_chrome_trace(as_dicts) == to_chrome_trace(spans)
+
+
+class TestJsonl:
+    def test_roundtrip(self, spans):
+        text = spans_to_jsonl(spans)
+        assert text.endswith("\n")
+        assert spans_from_jsonl(text) == spans
+
+    def test_one_object_per_line(self, spans):
+        lines = spans_to_jsonl(spans).strip().splitlines()
+        assert len(lines) == len(spans)
+        for line in lines:
+            json.loads(line)
+
+    def test_empty(self):
+        assert spans_to_jsonl([]) == ""
+        assert spans_from_jsonl("") == []

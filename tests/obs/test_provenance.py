@@ -1,0 +1,179 @@
+"""End-to-end provenance acceptance tests.
+
+The central invariant: one span per route-affecting record, parented by
+causal context, so the DAG's derived per-AS convergence instants equal
+the streaming :class:`ConvergenceTracker`'s answers *exactly* — on the
+paper's 16-AS clique, pure BGP and hybrid alike — while leaving every
+measured result bit-identical to a span-free run.
+"""
+
+import pytest
+
+from repro.experiments.common import (
+    WithdrawalScenario,
+    paper_config,
+    run_scenario_full,
+    sdn_set_for,
+)
+from repro.framework.convergence import STATE_CHANGING as FW_STATE_CHANGING
+from repro.framework.convergence import measure_event
+from repro.framework.experiment import Experiment, ExperimentConfig
+from repro.obs import STATE_CHANGING, ProvenanceDAG
+from repro.topology.builders import clique
+
+
+def traced_withdrawal(n, sdn_count, *, seed=3, mrai=30.0):
+    scenario = WithdrawalScenario()
+    topology = scenario.topology(n, clique)
+    members = sdn_set_for(topology, sdn_count, scenario.reserved_legacy)
+    config = paper_config(seed=seed, mrai=mrai, spans=True)
+    return run_scenario_full(scenario, topology, members, config)
+
+
+class TestStateChangingMirror:
+    def test_local_set_matches_framework(self):
+        # repro.obs keeps its own copy so it depends only on eventsim;
+        # this pin means the two can never drift apart silently.
+        assert STATE_CHANGING == frozenset(FW_STATE_CHANGING)
+
+
+class TestSixteenAsCliqueAcceptance:
+    @pytest.fixture(scope="class", params=[0, 4])
+    def run(self, request):
+        measurement, metrics, spans = traced_withdrawal(16, request.param)
+        return measurement, spans
+
+    def test_single_root_is_the_withdrawal(self, run):
+        measurement, spans = run
+        dag = ProvenanceDAG.from_dicts(spans)
+        roots = dag.roots(since=measurement.t_event)
+        assert len(roots) == 1
+        assert roots[0].category == "bgp.withdraw"
+        assert roots[0].span_id == measurement.extra["event_root_span"]
+
+    def test_per_as_instants_match_tracker_exactly(self, run):
+        measurement, spans = run
+        dag = ProvenanceDAG.from_dicts(spans)
+        root = measurement.extra["event_root_span"]
+        assert dag.convergence_instant(root) == measurement.t_converged
+        assert dag.state_instant(root) == measurement.t_state_converged
+        instants = dag.per_node_instants(root)
+        assert max(instants.values()) == measurement.t_converged
+
+    def test_subtree_counts_match_measurement_counters(self, run):
+        measurement, spans = run
+        dag = ProvenanceDAG.from_dicts(spans)
+        root = measurement.extra["event_root_span"]
+        by_cat = {}
+        for span in dag.subtree(root):
+            by_cat[span.category] = by_cat.get(span.category, 0) + 1
+        # State changes during the measured window are attributable to
+        # the withdrawal alone.
+        assert by_cat.get("bgp.decision", 0) == measurement.decision_changes
+        assert by_cat.get("fib.change", 0) == measurement.fib_changes
+        # The window's update counters additionally include trailing
+        # MRAI-paced re-advertisements of the *prior* announcement that
+        # fire just after injection; provenance separates those out.
+        # Subtree + other-cause spans inside the window == window total.
+        t0, t1 = measurement.t_event, measurement.t_settled
+        in_tree = {s.span_id for s in dag.subtree(root)}
+        for category, window_total in (
+            ("bgp.update.tx", measurement.updates_tx),
+            ("bgp.update.rx", measurement.updates_rx),
+        ):
+            in_window = [
+                s for s in dag.spans
+                if s.category == category and t0 <= s.t_end <= t1
+            ]
+            stray = [s for s in in_window if s.span_id not in in_tree]
+            assert by_cat.get(category, 0) + len(stray) == window_total
+            # every stray update belongs to an older cause, not ours
+            assert all(s.cause_id < root for s in stray)
+
+    def test_every_span_reaches_its_cause(self, run):
+        _, spans = run
+        dag = ProvenanceDAG.from_dicts(spans)
+        for span in dag.spans:
+            chain = dag.parent_chain(span.span_id)
+            assert chain[-1].parent_id is None
+            assert chain[-1].span_id == span.cause_id
+
+
+class TestDeterminism:
+    def test_results_bit_identical_with_spans_on_and_off(self):
+        outcomes = []
+        for spans_on in (True, False):
+            topo = clique(8)
+            exp = Experiment(
+                topo, sdn_members={6, 7, 8},
+                config=ExperimentConfig(seed=11, spans=spans_on),
+            ).start()
+            prefix = exp.as_prefix(3)
+            m = measure_event(exp, lambda: exp.withdraw(3, prefix))
+            outcomes.append(
+                (
+                    m.t_converged,
+                    m.t_state_converged,
+                    m.updates_tx,
+                    m.updates_rx,
+                    m.decision_changes,
+                    m.fib_changes,
+                    dict(exp.net.bus.counts),
+                    exp.net.sim.events_processed,
+                )
+            )
+        assert outcomes[0] == outcomes[1]
+
+    def test_spans_reproducible_across_runs(self):
+        def normalize(spans):
+            # update_id is a process-global message counter (monotonic
+            # across experiments in one interpreter); everything else
+            # about the spans must reproduce exactly.
+            out = []
+            for span in spans:
+                data = {
+                    k: v for k, v in span["data"].items()
+                    if k != "update_id"
+                }
+                out.append({**span, "data": data})
+            return out
+
+        a = traced_withdrawal(6, 2, seed=5, mrai=2.0)[2]
+        b = traced_withdrawal(6, 2, seed=5, mrai=2.0)[2]
+        assert normalize(a) == normalize(b)
+
+
+class TestExplanatoryMetrics:
+    @pytest.fixture(scope="class")
+    def dag_and_measurement(self):
+        measurement, _, spans = traced_withdrawal(8, 0, seed=2, mrai=5.0)
+        return ProvenanceDAG.from_dicts(spans), measurement
+
+    def test_path_exploration_depth_positive_for_withdrawal(
+        self, dag_and_measurement
+    ):
+        dag, measurement = dag_and_measurement
+        root = measurement.extra["event_root_span"]
+        depth = dag.path_exploration_depth(root)
+        # A clique withdrawal explores alternate paths before giving up.
+        assert depth and max(depth.values()) > 1
+
+    def test_mrai_wait_total_positive(self, dag_and_measurement):
+        dag, measurement = dag_and_measurement
+        root = measurement.extra["event_root_span"]
+        assert dag.mrai_wait_total(root) > 0.0
+
+    def test_summary_is_json_ready(self, dag_and_measurement):
+        import json
+
+        dag, measurement = dag_and_measurement
+        root = measurement.extra["event_root_span"]
+        text = json.dumps(dag.summary(root))
+        assert "per_node_instants" in text
+
+    def test_timeline_sorted_by_time(self, dag_and_measurement):
+        dag, measurement = dag_and_measurement
+        root = measurement.extra["event_root_span"]
+        timeline = dag.timeline(root)
+        keys = [(s.t_end, s.span_id) for s in timeline]
+        assert keys == sorted(keys)

@@ -60,6 +60,27 @@ class TestHitMiss:
             make_spec().digest() != make_spec(trace_level="off").digest()
         )
 
+    def test_spans_round_trip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = make_spec(spans=True)
+        record = execute_spec(spec)
+        assert record.spans, "traced run must capture spans"
+        cache.put(spec, record)
+
+        hit = cache.get(spec)
+        assert hit.spans == record.spans
+        # JSON round-trip keeps the provenance DAG reconstructable
+        root_ids = [s["span_id"] for s in hit.spans if s["parent_id"] is None]
+        assert root_ids
+
+    def test_spans_absent_when_not_requested(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = make_spec()
+        record = execute_spec(spec)
+        assert record.spans is None
+        cache.put(spec, record)
+        assert cache.get(spec).spans is None
+
     def test_different_spec_misses(self, tmp_path):
         cache = ResultCache(tmp_path)
         spec = make_spec()

@@ -78,6 +78,16 @@ class TestDigestStability:
         assert make_spec(sdn_members=(3, 4)).digest() != base
         assert make_spec(horizon=100.0).digest() != base
 
+    def test_spans_flag_changes_digest(self):
+        assert make_spec(spans=True).digest() != make_spec().digest()
+
+    def test_spans_default_keeps_legacy_digest(self):
+        # spans=False must hash like a spec that predates the field, so
+        # existing caches stay warm after the upgrade.
+        spec = make_spec()
+        assert "spans" not in spec.describe()
+        assert "spans" in make_spec(spans=True).describe()
+
     def test_label_is_cosmetic(self):
         assert make_spec(label="x").digest() == make_spec(label="y").digest()
         assert make_spec(label="x") == make_spec(label="y")
@@ -141,6 +151,18 @@ class TestExecuteSpec:
         record = execute_spec(make_spec())
         assert record.measurement.convergence_time == direct.convergence_time
         assert record.measurement.updates_tx == direct.updates_tx
+
+    def test_spans_attached_when_requested(self):
+        record = execute_spec(make_spec(spans=True))
+        assert record.ok
+        assert isinstance(record.spans, list) and record.spans
+        # measured results are bit-identical to the span-free run
+        plain = execute_spec(make_spec())
+        assert (
+            record.measurement.convergence_time
+            == plain.measurement.convergence_time
+        )
+        assert record.measurement.updates_tx == plain.measurement.updates_tx
 
     def test_exception_becomes_failed_record(self):
         record = execute_spec(make_spec(scenario_factory=RaisingScenario))
