@@ -19,95 +19,21 @@ the same name in ``CANDIDATE_DIR``, token by token:
   regressions.
 
 Exit status 0 when every file passes, 1 otherwise — wire it into CI as
-a gate after re-running the quick-mode benches.  Stdlib only.
+a gate after re-running the quick-mode benches.
+
+The comparison logic lives in :mod:`repro.obs.trends` (shared with the
+``repro runs regressions --against-baseline`` subcommand and the
+registry-backed trend gate); this script is a thin CLI-compatible
+wrapper around it.  Stdlib only.
 """
 
 import argparse
 import pathlib
-import re
 import sys
 
-#: number with optional comma grouping, decimal part, and % suffix.
-_NUMBER = re.compile(r"^[+-]?\d{1,3}(?:,\d{3})*(?:\.\d+)?%?$|^[+-]?\d+(?:\.\d+)?%?$")
-#: punctuation that clings to numeric tokens in prose ("10%;", "(2.5s)").
-_STRIP = "()[]{};:,"
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
 
-
-def _tokens(text):
-    return text.split()
-
-
-def _parse_number(token):
-    """Return (value, is_plain_int) or None when not numeric."""
-    core = token.strip(_STRIP)
-    for suffix in ("s", "x"):  # units glued to readings: "2.5s", "1.3x"
-        trimmed = core[: -len(suffix)]
-        if core.endswith(suffix) and trimmed and _NUMBER.match(trimmed):
-            core = trimmed
-            break
-    if not _NUMBER.match(core):
-        return None
-    percent = core.endswith("%")
-    if percent:
-        core = core[:-1]
-    grouped = "," in core
-    value = float(core.replace(",", ""))
-    plain_int = "." not in core and not grouped and not percent
-    return value, plain_int
-
-
-def compare_texts(baseline, candidate, tolerance):
-    """Return a list of human-readable mismatch descriptions."""
-    problems = []
-    base_tokens, cand_tokens = _tokens(baseline), _tokens(candidate)
-    if len(base_tokens) != len(cand_tokens):
-        problems.append(
-            f"structure changed: {len(base_tokens)} tokens in baseline "
-            f"vs {len(cand_tokens)} in candidate"
-        )
-        return problems
-    for base, cand in zip(base_tokens, cand_tokens):
-        base_num, cand_num = _parse_number(base), _parse_number(cand)
-        if base_num is None or cand_num is None:
-            if base != cand:
-                problems.append(f"token mismatch: {base!r} vs {cand!r}")
-            continue
-        (b_val, b_int), (c_val, _) = base_num, cand_num
-        if b_int:
-            if b_val != c_val:
-                problems.append(
-                    f"deterministic count drifted: {base!r} vs {cand!r}"
-                )
-            continue
-        scale = max(abs(b_val), abs(c_val))
-        if scale and abs(b_val - c_val) / scale > tolerance:
-            problems.append(
-                f"outside {tolerance:.0%} tolerance: {base!r} vs {cand!r}"
-            )
-    return problems
-
-
-def compare_dirs(baseline_dir, candidate_dir, tolerance, require=()):
-    baseline_dir = pathlib.Path(baseline_dir)
-    candidate_dir = pathlib.Path(candidate_dir)
-    names = sorted(p.name for p in baseline_dir.glob("*.txt"))
-    missing_required = [n for n in require if n not in names]
-    failures = {}
-    for name in missing_required:
-        failures[name] = [f"required report missing from baseline: {name}"]
-    for name in names:
-        candidate = candidate_dir / name
-        if not candidate.exists():
-            failures[name] = ["missing from candidate directory"]
-            continue
-        problems = compare_texts(
-            (baseline_dir / name).read_text(),
-            candidate.read_text(),
-            tolerance,
-        )
-        if problems:
-            failures[name] = problems
-    return names, failures
+from repro.obs.trends import compare_report_dirs  # noqa: E402
 
 
 def main(argv=None):
@@ -126,7 +52,7 @@ def main(argv=None):
     )
     args = parser.parse_args(argv)
 
-    names, failures = compare_dirs(
+    names, failures = compare_report_dirs(
         args.baseline, args.candidate, args.tolerance, args.require
     )
     if not names:

@@ -8,12 +8,16 @@ The framework's visual tools, rendered for a terminal/file world:
   prefix over time (the route-change visualization);
 - :func:`topology_dot` — Graphviz export of a topology with the SDN
   cluster highlighted (Fig. 1-style component pictures);
-- :func:`churn_sparkline` — update churn over time in one line.
+- :func:`churn_sparkline` — update churn over time in one line;
+- :func:`svg_line_chart` / :func:`svg_bar_chart` — self-contained
+  inline-SVG charts (no dependencies, deterministic output) used by
+  the telemetry dashboard (``repro runs dashboard``).
 """
 
 from __future__ import annotations
 
 from typing import List, Optional, Sequence, Tuple
+from xml.sax.saxutils import escape as _xml_escape
 
 from ..topology.model import Topology
 from .logs import RouteChange
@@ -24,6 +28,8 @@ __all__ = [
     "route_change_timeline",
     "topology_dot",
     "churn_sparkline",
+    "svg_line_chart",
+    "svg_bar_chart",
 ]
 
 
@@ -135,3 +141,202 @@ def churn_sparkline(
         for b in buckets
     ]
     return f"t={start:.1f}s [{''.join(glyphs)}] t={end:.1f}s peak={peak}/bin"
+
+
+# ----------------------------------------------------------------------
+# inline SVG (telemetry dashboard)
+# ----------------------------------------------------------------------
+#: series colors, cycled; chosen to stay distinguishable on white.
+SVG_PALETTE = (
+    "#1f6fb2", "#d95f02", "#1b9e77", "#7570b3",
+    "#e7298a", "#66a61e", "#a6761d", "#666666",
+)
+_MARGIN = (46, 14, 30, 26)  # left, right, bottom, top
+
+
+def _fmt(value: float) -> str:
+    """Deterministic short number formatting for SVG coordinates/labels."""
+    text = f"{value:.6g}"
+    return "0" if text == "-0" else text
+
+
+def _ticks(lo: float, hi: float, count: int = 5) -> List[float]:
+    if hi <= lo:
+        hi = lo + 1.0
+    step = (hi - lo) / (count - 1)
+    return [lo + i * step for i in range(count)]
+
+
+def svg_line_chart(
+    series: Sequence[Tuple[str, Sequence[Tuple[float, float]]]],
+    *,
+    width: int = 640,
+    height: int = 300,
+    title: str = "",
+    x_label: str = "",
+    y_label: str = "",
+    y_zero: bool = True,
+) -> str:
+    """Multi-series line chart as a self-contained ``<svg>`` string.
+
+    ``series`` is ``[(label, [(x, y), ...]), ...]``; points are drawn
+    in the given order with circle markers and a shared legend.  Output
+    is deterministic (fixed palette, ``%.6g`` coordinates) so dashboard
+    HTML can be golden-tested.  Stdlib only.
+    """
+    points = [p for _, pts in series for p in pts]
+    if not points:
+        return (
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+            f'height="{height}"><text x="10" y="20">(no data)</text></svg>'
+        )
+    left, right, bottom, top = _MARGIN
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo = 0.0 if y_zero else min(ys)
+    y_hi = max(ys)
+    if x_hi <= x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi <= y_lo:
+        y_hi = y_lo + 1.0
+    plot_w = width - left - right
+    plot_h = height - top - bottom
+
+    def px(x: float) -> float:
+        return left + (x - x_lo) / (x_hi - x_lo) * plot_w
+
+    def py(y: float) -> float:
+        return top + plot_h - (y - y_lo) / (y_hi - y_lo) * plot_h
+
+    out = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" font-family="sans-serif" font-size="11">'
+    ]
+    if title:
+        out.append(
+            f'<text x="{left}" y="14" font-weight="bold">'
+            f"{_xml_escape(title)}</text>"
+        )
+    # axes + grid
+    out.append(
+        f'<rect x="{left}" y="{top}" width="{plot_w}" height="{plot_h}" '
+        'fill="none" stroke="#333"/>'
+    )
+    for tick in _ticks(y_lo, y_hi):
+        y = py(tick)
+        out.append(
+            f'<line x1="{left}" y1="{_fmt(y)}" x2="{left + plot_w}" '
+            f'y2="{_fmt(y)}" stroke="#ddd"/>'
+            f'<text x="{left - 4}" y="{_fmt(y + 3)}" text-anchor="end">'
+            f"{_fmt(tick)}</text>"
+        )
+    for tick in _ticks(x_lo, x_hi):
+        x = px(tick)
+        out.append(
+            f'<text x="{_fmt(x)}" y="{height - bottom + 14}" '
+            f'text-anchor="middle">{_fmt(tick)}</text>'
+        )
+    if x_label:
+        out.append(
+            f'<text x="{left + plot_w // 2}" y="{height - 4}" '
+            f'text-anchor="middle">{_xml_escape(x_label)}</text>'
+        )
+    if y_label:
+        out.append(
+            f'<text x="12" y="{top + plot_h // 2}" text-anchor="middle" '
+            f'transform="rotate(-90 12 {top + plot_h // 2})">'
+            f"{_xml_escape(y_label)}</text>"
+        )
+    # series + legend
+    for i, (label, pts) in enumerate(series):
+        color = SVG_PALETTE[i % len(SVG_PALETTE)]
+        coords = " ".join(f"{_fmt(px(x))},{_fmt(py(y))}" for x, y in pts)
+        if len(pts) > 1:
+            out.append(
+                f'<polyline points="{coords}" fill="none" '
+                f'stroke="{color}" stroke-width="1.5"/>'
+            )
+        for x, y in pts:
+            out.append(
+                f'<circle cx="{_fmt(px(x))}" cy="{_fmt(py(y))}" r="2.5" '
+                f'fill="{color}"/>'
+            )
+        ly = top + 4 + i * 14
+        out.append(
+            f'<rect x="{left + plot_w - 130}" y="{ly}" width="10" '
+            f'height="10" fill="{color}"/>'
+            f'<text x="{left + plot_w - 116}" y="{ly + 9}">'
+            f"{_xml_escape(str(label))}</text>"
+        )
+    out.append("</svg>")
+    return "".join(out)
+
+
+def svg_bar_chart(
+    bars: Sequence[Tuple[str, float]],
+    *,
+    width: int = 640,
+    height: int = 240,
+    title: str = "",
+    y_label: str = "",
+    color: str = SVG_PALETTE[0],
+) -> str:
+    """Labelled vertical bar chart as a self-contained ``<svg>`` string.
+
+    ``bars`` is ``[(label, value), ...]``; values are annotated above
+    each bar.  Deterministic output, stdlib only.
+    """
+    left, right, bottom, top = _MARGIN
+    if not bars:
+        return (
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+            f'height="{height}"><text x="10" y="20">(no data)</text></svg>'
+        )
+    y_hi = max(max(v for _, v in bars), 0.0) or 1.0
+    plot_w = width - left - right
+    plot_h = height - top - bottom
+    slot = plot_w / len(bars)
+    bar_w = max(slot * 0.6, 2.0)
+    out = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" font-family="sans-serif" font-size="11">'
+    ]
+    if title:
+        out.append(
+            f'<text x="{left}" y="14" font-weight="bold">'
+            f"{_xml_escape(title)}</text>"
+        )
+    out.append(
+        f'<rect x="{left}" y="{top}" width="{plot_w}" height="{plot_h}" '
+        'fill="none" stroke="#333"/>'
+    )
+    for tick in _ticks(0.0, y_hi):
+        y = top + plot_h - tick / y_hi * plot_h
+        out.append(
+            f'<line x1="{left}" y1="{_fmt(y)}" x2="{left + plot_w}" '
+            f'y2="{_fmt(y)}" stroke="#ddd"/>'
+            f'<text x="{left - 4}" y="{_fmt(y + 3)}" text-anchor="end">'
+            f"{_fmt(tick)}</text>"
+        )
+    for i, (label, value) in enumerate(bars):
+        x = left + i * slot + (slot - bar_w) / 2
+        bar_h = max(value, 0.0) / y_hi * plot_h
+        y = top + plot_h - bar_h
+        cx = x + bar_w / 2
+        out.append(
+            f'<rect x="{_fmt(x)}" y="{_fmt(y)}" width="{_fmt(bar_w)}" '
+            f'height="{_fmt(bar_h)}" fill="{color}"/>'
+            f'<text x="{_fmt(cx)}" y="{_fmt(y - 3)}" text-anchor="middle">'
+            f"{_fmt(value)}</text>"
+            f'<text x="{_fmt(cx)}" y="{height - bottom + 14}" '
+            f'text-anchor="middle">{_xml_escape(str(label))}</text>'
+        )
+    if y_label:
+        out.append(
+            f'<text x="12" y="{top + plot_h // 2}" text-anchor="middle" '
+            f'transform="rotate(-90 12 {top + plot_h // 2})">'
+            f"{_xml_escape(y_label)}</text>"
+        )
+    out.append("</svg>")
+    return "".join(out)

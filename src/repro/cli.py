@@ -17,6 +17,12 @@ Usage (also ``python -m repro --help``)::
     python -m repro trace report spans.jsonl --markdown report.md
     python -m repro trace export spans.jsonl -o trace.json
     python -m repro dot --topology clique:8 --sdn 5,6,7,8
+    python -m repro fig2 --runs 2 --registry runs.sqlite --profile
+    python -m repro runs list --registry runs.sqlite
+    python -m repro runs diff 1 2 --sweeps
+    python -m repro runs regressions
+    python -m repro runs dashboard -o dashboard.html
+    python -m repro cache stats --cache-dir .cache
 
 Every sweep command accepts ``--workers/--cache-dir/--no-cache`` (see
 ``docs/runner.md``): parallel execution is bit-identical to serial, and
@@ -63,6 +69,7 @@ from .experiments import (
 )
 from .experiments.common import run_scenario_full, sdn_set_for
 from .obs import chrome_trace_json, spans_from_jsonl, spans_to_jsonl
+from .obs.registry import DEFAULT_REGISTRY_PATH, REGISTRY_ENV, RunRegistry
 from .faults import (
     FaultInjector,
     FaultSchedule,
@@ -174,12 +181,15 @@ def _runner_kwargs(args) -> dict:
     cache = getattr(args, "cache_dir", None) or os.environ.get(CACHE_DIR_ENV)
     if getattr(args, "no_cache", False):
         cache = None
+    registry = getattr(args, "registry", None) or os.environ.get(REGISTRY_ENV)
     return {
         "workers": getattr(args, "workers", 1),
         "cache": cache,
         "progress": "log" if getattr(args, "progress", False) else None,
         "trace_level": getattr(args, "trace_level", "full"),
         "metrics": getattr(args, "metrics", False),
+        "profile": getattr(args, "profile", False),
+        "registry": registry,
     }
 
 
@@ -474,7 +484,10 @@ def cmd_scenarios(args) -> int:
         n=args.n, suites=suites, fractions=fractions, runs=args.runs,
         fault_seed=args.fault_seed, mrai=args.mrai,
         recompute_delay=args.recompute_delay,
-        **{k: v for k, v in _runner_kwargs(args).items() if k != "metrics"},
+        **{
+            k: v for k, v in _runner_kwargs(args).items()
+            if k not in ("metrics", "profile", "registry")
+        },
     )
     out.info(
         f"Fault suites vs SDN deployment ({args.n}-AS clique, "
@@ -635,6 +648,319 @@ def cmd_dot(args) -> int:
     return 0
 
 
+# ----------------------------------------------------------------------
+# runs: the cross-run telemetry registry (docs/telemetry.md)
+# ----------------------------------------------------------------------
+def _registry_path(args) -> str:
+    return (
+        getattr(args, "registry", None)
+        or os.environ.get(REGISTRY_ENV)
+        or DEFAULT_REGISTRY_PATH
+    )
+
+
+def _open_registry(args) -> RunRegistry:
+    path = _registry_path(args)
+    if path != ":memory:" and not os.path.exists(path):
+        raise SystemExit(
+            f"no registry at {path!r}; record one with --registry on a "
+            f"sweep command (or set ${REGISTRY_ENV})"
+        )
+    return RunRegistry(path)
+
+
+def cmd_runs_list(args) -> int:
+    out = args.out
+    with _open_registry(args) as registry:
+        if args.sweeps:
+            out.emit(
+                f"{'sweep':>5}  {'recorded_at':20}  {'scenario':<22} "
+                f"{'jobs':>4} {'cached':>6} {'failed':>6} {'elapsed':>8}  rev"
+            )
+            for sweep in registry.sweeps(
+                scenario=args.scenario, limit=args.limit, newest_first=True
+            ):
+                elapsed = (
+                    f"{sweep.elapsed:8.2f}" if sweep.elapsed is not None
+                    else f"{'-':>8}"
+                )
+                out.emit(
+                    f"{sweep.sweep_id:>5}  {sweep.recorded_at:20}  "
+                    f"{sweep.scenario:<22} {sweep.jobs or 0:>4} "
+                    f"{sweep.cached or 0:>6} {sweep.failed or 0:>6} "
+                    f"{elapsed}  {sweep.git_rev}"
+                )
+            return 0
+        out.emit(
+            f"{'run':>5} {'sweep':>5}  {'recorded_at':20}  {'digest':12}  "
+            f"{'label':<28} {'ok':>2} {'wall':>8} {'cached':>6}  rev"
+        )
+        for run in registry.runs(
+            digest=args.digest, scenario=args.scenario,
+            limit=args.limit, newest_first=True,
+        ):
+            out.emit(
+                f"{run.run_id:>5} {run.sweep_id or '-':>5}  "
+                f"{run.recorded_at:20}  {run.spec_digest[:12]:12}  "
+                f"{run.label:<28} {'y' if run.ok else 'N':>2} "
+                f"{run.wall_time:8.3f} {'hit' if run.cached else '-':>6}  "
+                f"{run.git_rev}"
+            )
+        counts = registry.counts()
+    out.info(
+        f"\n{counts['runs']} run(s) ({counts['failed']} failed), "
+        f"{counts['sweeps']} sweep(s), {counts['digests']} distinct "
+        f"spec digest(s) in {_registry_path(args)}"
+    )
+    return 0
+
+
+def cmd_runs_show(args) -> int:
+    out = args.out
+    with _open_registry(args) as registry:
+        run = registry.run(args.run_id)
+        if run is None:
+            out.emit(f"no run {args.run_id} in {_registry_path(args)}")
+            return 1
+        out.emit(f"run {run.run_id} — {run.label}")
+        out.emit(f"  recorded      {run.recorded_at}")
+        out.emit(f"  spec digest   {run.spec_digest}")
+        out.emit(
+            f"  scenario      {run.scenario} (n={run.n}, "
+            f"sdn={run.sdn_count}, seed={run.seed})"
+        )
+        out.emit(
+            f"  code          {run.code_version}"
+            + (f" @ {run.git_rev}" if run.git_rev else "")
+        )
+        status = "ok" if run.ok else f"FAILED: {run.error}"
+        out.emit(f"  status        {status}")
+        out.emit(
+            f"  execution     {run.wall_time:.3f}s on "
+            f"{run.worker or '?'} "
+            f"({'cache hit' if run.cached else f'{run.attempts} attempt(s)'})"
+        )
+        if run.measurement:
+            out.emit("  measurement")
+            for key in sorted(run.measurement):
+                out.emit(f"    {key:22} {run.measurement[key]}")
+        if run.instants:
+            instants = ", ".join(
+                f"AS{node}@{t:g}s" for node, t in sorted(
+                    run.instants.items(), key=lambda kv: (kv[1], kv[0])
+                )
+            )
+            out.emit(f"  convergence instants ({len(run.instants)} ASes)")
+            out.emit(f"    {instants}")
+        if run.span_count is not None:
+            out.emit(f"  spans         {run.span_count}")
+        if run.fault_count is not None:
+            out.emit(f"  faults        {run.fault_count}")
+        if run.profile:
+            out.emit("  hottest functions (cumulative seconds)")
+            for row in run.profile[: args.top]:
+                out.emit(
+                    f"    {row['cumtime']:9.4f}  {row['ncalls']:>7}  "
+                    f"{row['func']}"
+                )
+    return 0
+
+
+def _print_run_diff(diff, out: Output, *, verbose: bool) -> None:
+    if not diff.same_digest:
+        out.emit(
+            f"  runs {diff.run_a} and {diff.run_b} have different spec "
+            f"digests ({diff.digest_a[:12]} vs {diff.digest_b[:12]}); "
+            "deterministic fields are not comparable"
+        )
+    det = diff.deterministic_mismatches
+    for field_diff in det:
+        out.emit(
+            f"  DRIFT {field_diff.name}: {field_diff.a!r} vs {field_diff.b!r}"
+        )
+    for field_diff in diff.timing_mismatches:
+        out.info(
+            f"  timing {field_diff.name}: {field_diff.a:.3f} vs "
+            f"{field_diff.b:.3f} ({field_diff.rel_error:.0%} apart — "
+            "informational, wall clocks vary)"
+        )
+    if verbose:
+        for field_diff in diff.fields:
+            if field_diff.ok:
+                out.info(f"  ok    {field_diff.name}: {field_diff.a!r}")
+
+
+def cmd_runs_diff(args) -> int:
+    from .obs.trends import diff_runs, diff_sweeps
+
+    out = args.out
+    with _open_registry(args) as registry:
+        if args.sweeps:
+            diff = diff_sweeps(
+                registry, args.a, args.b, timing_tolerance=args.tolerance
+            )
+            out.info(
+                f"sweep {args.a} vs sweep {args.b}: "
+                f"{len(diff.pairs)} digest-matched pair(s)"
+            )
+            for digest in diff.only_in_a:
+                out.emit(f"  only in sweep {args.a}: {digest[:12]}")
+            for digest in diff.only_in_b:
+                out.emit(f"  only in sweep {args.b}: {digest[:12]}")
+            bad_pairs = [p for p in diff.pairs if not p.ok]
+            for pair in bad_pairs:
+                out.emit(f"  runs {pair.run_a} vs {pair.run_b}:")
+                _print_run_diff(pair, out, verbose=args.verbose)
+            ok = diff.ok
+        else:
+            run_a, run_b = registry.run(args.a), registry.run(args.b)
+            missing = [
+                str(i) for i, r in ((args.a, run_a), (args.b, run_b))
+                if r is None
+            ]
+            if missing:
+                out.emit(f"no run(s) {', '.join(missing)} in the registry")
+                return 1
+            diff = diff_runs(run_a, run_b, timing_tolerance=args.tolerance)
+            _print_run_diff(diff, out, verbose=args.verbose)
+            ok = diff.ok
+    out.emit(
+        "PASS: deterministic fields identical" if ok
+        else "FAIL: deterministic fields drifted (or digests differ)"
+    )
+    return 0 if ok else 1
+
+
+def cmd_runs_gc(args) -> int:
+    with _open_registry(args) as registry:
+        deleted = registry.gc(
+            keep_last=args.keep_last, drop_failed=args.drop_failed
+        )
+        counts = registry.counts()
+    args.out.emit(
+        f"deleted {deleted} run row(s); {counts['runs']} run(s) across "
+        f"{counts['digests']} digest(s) remain"
+    )
+    return 0
+
+
+def _report_gate(args, out: Output) -> int:
+    """--against-baseline mode: the old compare_baselines.py gate."""
+    from .obs.trends import compare_report_dirs
+
+    names, failures = compare_report_dirs(
+        args.against_baseline, args.candidate, args.tolerance,
+        require=args.require,
+    )
+    if not names:
+        out.emit(f"no *.txt reports under {args.against_baseline}")
+        return 1
+    for name in names:
+        status = "FAIL" if name in failures else "ok"
+        out.emit(f"{status:>4}  {name}")
+        for problem in failures.get(name, []):
+            out.emit(f"        {problem}")
+    for name in failures:
+        if name not in names:
+            out.emit(f"FAIL  {name}")
+            for problem in failures[name]:
+                out.emit(f"        {problem}")
+    if failures:
+        out.emit(f"\n{len(failures)} report(s) failed the gate")
+        return 1
+    out.emit(f"\nall {len(names)} report(s) within tolerance")
+    return 0
+
+
+def cmd_runs_regressions(args) -> int:
+    out = args.out
+    if args.against_baseline:
+        if not args.candidate:
+            raise SystemExit("--against-baseline requires --candidate DIR")
+        return _report_gate(args, out)
+    from .obs.trends import detect_regressions
+
+    with _open_registry(args) as registry:
+        regressions = detect_regressions(
+            registry,
+            last=args.last,
+            min_history=args.min_history,
+            mad_sigma=args.mad_sigma,
+            min_rel=args.min_rel,
+            min_abs=args.min_abs,
+        )
+        digests = len(registry.digests())
+    if not regressions:
+        out.emit(
+            f"PASS: no regressions across {digests} spec digest(s) "
+            f"in {_registry_path(args)}"
+        )
+        return 0
+    out.emit(f"FAIL: {len(regressions)} regression(s) flagged:")
+    for regression in regressions:
+        out.emit(f"  {regression.describe()}")
+    return 1
+
+
+def cmd_runs_dashboard(args) -> int:
+    from .obs.dashboard import render_dashboard
+
+    with _open_registry(args) as registry:
+        html = render_dashboard(
+            registry, title=args.title, last_sweeps=args.last_sweeps
+        )
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(html)
+        args.out.info(
+            f"wrote {args.output} ({len(html)} bytes, self-contained — "
+            "open in any browser)"
+        )
+    else:
+        args.out.emit(html)
+    return 0
+
+
+# ----------------------------------------------------------------------
+# cache: result-cache introspection and maintenance
+# ----------------------------------------------------------------------
+def _open_cache(args):
+    from .runner import ResultCache
+
+    cache_dir = getattr(args, "cache_dir", None) or os.environ.get(
+        CACHE_DIR_ENV
+    )
+    if not cache_dir:
+        raise SystemExit(
+            f"no cache directory: pass --cache-dir or set ${CACHE_DIR_ENV}"
+        )
+    return ResultCache(cache_dir)
+
+
+def cmd_cache_stats(args) -> int:
+    cache = _open_cache(args)
+    stats = cache.stats()
+    out = args.out
+    out.emit(f"result cache {cache.directory}")
+    out.emit(f"  entries   {stats.entries}")
+    out.emit(f"  size      {stats.total_bytes} bytes")
+    out.emit(f"  code      {cache.code_version}")
+    return 0
+
+
+def cmd_cache_prune(args) -> int:
+    cache = _open_cache(args)
+    before = cache.stats()
+    removed = cache.prune()
+    after = cache.stats()
+    args.out.emit(
+        f"pruned {removed} stale entr{'y' if removed == 1 else 'ies'} "
+        f"({before.entries} -> {after.entries}, "
+        f"{before.total_bytes - after.total_bytes} bytes reclaimed)"
+    )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -675,6 +1001,13 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--metrics", action="store_true",
                        help="collect per-run metric snapshots and print "
                             "a merged summary")
+        p.add_argument("--profile", action="store_true",
+                       help="wrap each trial in cProfile and keep its "
+                            "hot-function table (see runs show)")
+        p.add_argument("--registry", type=str, default=None,
+                       help="record every trial into this SQLite telemetry "
+                            f"registry (also via ${REGISTRY_ENV}; "
+                            "inspect with the runs subcommands)")
 
     p = sub.add_parser("fig2", help="withdrawal sweep (paper Fig. 2)")
     sweep_args(p)
@@ -834,6 +1167,118 @@ def build_parser() -> argparse.ArgumentParser:
                    help="kind:size, e.g. clique:16, ba:20, ring:6")
     p.add_argument("--sdn", type=str, default="")
     p.set_defaults(func=cmd_dot)
+
+    p = sub.add_parser(
+        "runs",
+        help="cross-run telemetry registry: list, diff, gate, dashboard",
+    )
+    rsub = p.add_subparsers(dest="runs_command", required=True)
+
+    def registry_arg(rp):
+        rp.add_argument(
+            "--registry", type=str, default=None,
+            help="registry path (default: "
+                 f"${REGISTRY_ENV} or {DEFAULT_REGISTRY_PATH})",
+        )
+
+    rp = rsub.add_parser("list", help="recorded runs (or --sweeps), newest first")
+    registry_arg(rp)
+    rp.add_argument("--sweeps", action="store_true",
+                    help="list sweep aggregates instead of runs")
+    rp.add_argument("--scenario", type=str, default=None)
+    rp.add_argument("--digest", type=str, default=None,
+                    help="only runs of this spec digest")
+    rp.add_argument("--limit", type=int, default=30)
+    rp.set_defaults(func=cmd_runs_list)
+
+    rp = rsub.add_parser("show", help="everything recorded about one run")
+    registry_arg(rp)
+    rp.add_argument("run_id", type=int)
+    rp.add_argument("--top", type=int, default=10,
+                    help="profile rows to show (for --profile runs)")
+    rp.set_defaults(func=cmd_runs_show)
+
+    rp = rsub.add_parser(
+        "diff",
+        help="compare two runs (or --sweeps): deterministic fields must "
+             "match exactly, timing gets a tolerance band",
+    )
+    registry_arg(rp)
+    rp.add_argument("a", type=int, help="run id (or sweep id with --sweeps)")
+    rp.add_argument("b", type=int)
+    rp.add_argument("--sweeps", action="store_true",
+                    help="treat A and B as sweep ids and diff every "
+                         "digest-matched run pair")
+    rp.add_argument("--tolerance", type=float, default=0.5,
+                    help="relative wall-time band (informational)")
+    rp.add_argument("-v", "--verbose", action="store_true",
+                    help="also list the fields that matched")
+    rp.set_defaults(func=cmd_runs_diff)
+
+    rp = rsub.add_parser(
+        "regressions",
+        help="gate the newest run of every digest against its history "
+             "(or --against-baseline: report-dir tolerance gate)",
+    )
+    registry_arg(rp)
+    rp.add_argument("--last", type=int, default=10,
+                    help="history window per spec digest")
+    rp.add_argument("--min-history", type=int, default=3,
+                    help="non-cached runs needed before wall-time gating")
+    rp.add_argument("--mad-sigma", type=float, default=4.0,
+                    help="robust sigmas of MAD above the median")
+    rp.add_argument("--min-rel", type=float, default=0.25,
+                    help="minimum relative headroom above the median")
+    rp.add_argument("--min-abs", type=float, default=0.005,
+                    help="minimum absolute headroom in seconds")
+    rp.add_argument("--against-baseline", type=str, default=None,
+                    metavar="DIR",
+                    help="compare *.txt benchmark reports in DIR against "
+                         "--candidate instead of using the registry")
+    rp.add_argument("--candidate", type=str, default=None, metavar="DIR",
+                    help="candidate report directory for --against-baseline")
+    rp.add_argument("--tolerance", type=float, default=0.5,
+                    help="relative error band for --against-baseline")
+    rp.add_argument("--require", nargs="*", default=[],
+                    help="report names that must exist in the baseline")
+    rp.set_defaults(func=cmd_runs_regressions)
+
+    rp = rsub.add_parser(
+        "dashboard", help="render the registry as one static HTML page"
+    )
+    registry_arg(rp)
+    rp.add_argument("-o", "--output", type=str, default=None,
+                    help="output path (default: stdout)")
+    rp.add_argument("--title", type=str, default="repro telemetry")
+    rp.add_argument("--last-sweeps", type=int, default=20,
+                    help="historical sweeps to chart")
+    rp.set_defaults(func=cmd_runs_dashboard)
+
+    rp = rsub.add_parser("gc", help="trim registry history per digest")
+    registry_arg(rp)
+    rp.add_argument("--keep-last", type=int, default=20,
+                    help="newest runs to keep per spec digest")
+    rp.add_argument("--drop-failed", action="store_true",
+                    help="also delete every failed run")
+    rp.set_defaults(func=cmd_runs_gc)
+
+    p = sub.add_parser(
+        "cache", help="result-cache introspection and maintenance"
+    )
+    csub = p.add_subparsers(dest="cache_command", required=True)
+
+    cp = csub.add_parser("stats", help="entry count and size of a cache")
+    cp.add_argument("--cache-dir", type=str, default=None,
+                    help=f"cache directory (also via ${CACHE_DIR_ENV})")
+    cp.set_defaults(func=cmd_cache_stats)
+
+    cp = csub.add_parser(
+        "prune",
+        help="drop corrupt entries and entries from other code versions",
+    )
+    cp.add_argument("--cache-dir", type=str, default=None,
+                    help=f"cache directory (also via ${CACHE_DIR_ENV})")
+    cp.set_defaults(func=cmd_cache_prune)
 
     return parser
 

@@ -33,6 +33,8 @@ def announcement_sweep(
     retries: int = 1,
     trace_level: str = "full",
     metrics: bool = False,
+    profile: bool = False,
+    registry=None,
 ) -> SweepResult:
     """The announcement counterpart of Fig. 2 (text-only result in §4).
 
@@ -58,4 +60,6 @@ def announcement_sweep(
         retries=retries,
         trace_level=trace_level,
         metrics=metrics,
+        profile=profile,
+        registry=registry,
     )

@@ -234,6 +234,8 @@ class RunResult:
     metrics: Optional[dict] = None
     #: per-run provenance spans (sweeps launched with ``spans=True``).
     spans: Optional[list] = None
+    #: per-run hot-function table (sweeps launched with ``profile=True``).
+    profile: Optional[list] = None
 
     @property
     def convergence_time(self) -> float:
@@ -435,7 +437,9 @@ def run_fraction_sweep(
     trace_level: str = "full",
     metrics: bool = False,
     spans: bool = False,
+    profile: bool = False,
     faults=None,
+    registry=None,
 ) -> SweepResult:
     """The Fig. 2 harness: sweep SDN deployment over seeded runs.
 
@@ -452,8 +456,14 @@ def run_fraction_sweep(
     fault tolerance.  ``trace_level`` bounds per-run trace memory
     (``"off"`` retains zero records while measuring identically),
     ``metrics=True`` attaches a per-run metrics snapshot to every
-    :class:`RunResult`, and ``spans=True`` attaches the run's causal
-    provenance spans (results stay bit-identical either way).  ``faults`` (a
+    :class:`RunResult`, ``spans=True`` attaches the run's causal
+    provenance spans, and ``profile=True`` wraps each trial in cProfile
+    and attaches its hottest functions (results stay bit-identical in
+    every case).  ``registry`` (a
+    :class:`~repro.obs.registry.RunRegistry`, a path, or a prepared
+    :class:`~repro.obs.registry.RegistrySink`) records every trial —
+    including cache hits and failures — into the cross-run telemetry
+    store (see ``docs/telemetry.md``).  ``faults`` (a
     :class:`~repro.faults.FaultSchedule` or its canonical tuple) is
     embedded in every spec — scenarios that understand fault schedules
     (``FaultSuiteScenario``) read it back from ``scenario.faults``.  Results are bit-identical across worker counts:
@@ -483,13 +493,14 @@ def run_fraction_sweep(
                     trace_level=trace_level,
                     metrics=metrics,
                     spans=spans,
+                    profile=profile,
                     faults=faults,
                     label=f"{probe.name} sdn={sdn_count} seed={seed}",
                 )
             )
     runner = ParallelRunner(
         workers, timeout=timeout, retries=retries,
-        cache=cache, progress=progress,
+        cache=cache, progress=progress, registry=registry,
     )
     records = runner.run(specs)
 
@@ -512,6 +523,7 @@ def run_fraction_sweep(
                         attempts=record.attempts,
                         metrics=record.metrics,
                         spans=record.spans,
+                        profile=record.profile,
                     )
                 )
             else:

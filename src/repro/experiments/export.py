@@ -22,13 +22,16 @@ def sweep_rows(
     *,
     include_metrics: bool = False,
     include_spans: bool = False,
+    include_profile: bool = False,
 ) -> List[dict]:
     """One dict per individual run (long/tidy format).
 
     ``include_metrics`` attaches the per-run metrics snapshot as a
     ``run_metrics`` dict column; ``include_spans`` attaches the run's
-    provenance spans as a ``run_spans`` list column — both kept out of
-    the CSV path, where a nested value would not be a scalar cell.
+    provenance spans as a ``run_spans`` list column; ``include_profile``
+    attaches the cProfile hot-function table as a ``run_profile`` list
+    column — all kept out of the CSV path, where a nested value would
+    not be a scalar cell.
     """
     rows: List[dict] = []
     for point in result.points:
@@ -57,6 +60,8 @@ def sweep_rows(
                 row["run_metrics"] = getattr(run, "metrics", None)
             if include_spans:
                 row["run_spans"] = getattr(run, "spans", None)
+            if include_profile:
+                row["run_profile"] = getattr(run, "profile", None)
             rows.append(row)
     return rows
 
@@ -106,6 +111,10 @@ def sweep_to_json(result: SweepResult, *, indent: int = 2) -> str:
                 "max_job_wall": timing.max_job_wall,
                 "mean_job_wall": timing.mean_job_wall,
                 "workers": timing.workers,
+                "cache_hits": getattr(timing, "cache_hits", 0),
+                "cache_misses": getattr(timing, "cache_misses", 0),
+                "cache_entries": getattr(timing, "cache_entries", 0),
+                "cache_bytes": getattr(timing, "cache_bytes", 0),
             }
             if timing is not None else None
         ),
@@ -128,6 +137,11 @@ def sweep_to_json(result: SweepResult, *, indent: int = 2) -> str:
             }
             for point in result.points
         ],
-        "runs": sweep_rows(result, include_metrics=True, include_spans=True),
+        "runs": sweep_rows(
+            result,
+            include_metrics=True,
+            include_spans=True,
+            include_profile=True,
+        ),
     }
     return json.dumps(payload, indent=indent)

@@ -36,6 +36,8 @@ def failover_sweep(
     retries: int = 1,
     trace_level: str = "full",
     metrics: bool = False,
+    profile: bool = False,
+    registry=None,
 ) -> SweepResult:
     """The fail-over counterpart of Fig. 2 (text-only result in §4).
 
@@ -63,4 +65,6 @@ def failover_sweep(
         retries=retries,
         trace_level=trace_level,
         metrics=metrics,
+        profile=profile,
+        registry=registry,
     )

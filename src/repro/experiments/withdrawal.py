@@ -38,12 +38,17 @@ def withdrawal_sweep(
     retries: int = 1,
     trace_level: str = "full",
     metrics: bool = False,
+    profile: bool = False,
+    registry=None,
 ) -> SweepResult:
     """Reproduce Fig. 2; returns per-fraction convergence boxplot data.
 
     ``workers``/``cache``/``progress``/``timeout``/``retries`` route the
     grid through :class:`~repro.runner.ParallelRunner` (results are
     bit-identical at any worker count; see ``docs/runner.md``).
+    ``profile`` attaches per-trial cProfile tables; ``registry`` records
+    every trial into the cross-run telemetry store
+    (``docs/telemetry.md``).
     """
     if sdn_counts is None:
         max_sdn = n - 1
@@ -65,4 +70,6 @@ def withdrawal_sweep(
         retries=retries,
         trace_level=trace_level,
         metrics=metrics,
+        profile=profile,
+        registry=registry,
     )

@@ -1,0 +1,309 @@
+"""Static HTML dashboard over the run registry.
+
+``repro runs dashboard`` renders one self-contained HTML file — inline
+CSS, inline SVG (via :mod:`repro.analysis.viz`), no JavaScript, no
+external assets — summarizing the registry's longitudinal record:
+
+- overview tiles (runs, sweeps, digests, failures, latest revision);
+- convergence-vs-SDN-fraction curves per scenario, one series per
+  historical sweep, so the paper's Fig. 2 trend is comparable across
+  code revisions at a glance;
+- per-sweep trends of trial wall time and update counts;
+- cache hit rates and wall-time phase breakdowns per sweep;
+- currently open regressions (:func:`repro.obs.trends.detect_regressions`);
+- the hottest functions aggregated over profiled runs.
+
+Output is deterministic for a registry recorded with an injected clock
+and git revision, which is how the golden test pins it.
+"""
+
+from __future__ import annotations
+
+import statistics
+from html import escape
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..analysis.viz import svg_bar_chart, svg_line_chart
+from .registry import RunRegistry, RunRow, SweepRow, aggregate_profiles
+from .trends import detect_regressions
+
+__all__ = ["render_dashboard"]
+
+_CSS = """
+body { font-family: sans-serif; margin: 24px auto; max-width: 980px;
+       color: #222; }
+h1 { font-size: 22px; } h2 { font-size: 17px; margin-top: 28px;
+     border-bottom: 1px solid #ccc; padding-bottom: 4px; }
+.tiles { display: flex; gap: 12px; flex-wrap: wrap; }
+.tile { border: 1px solid #ddd; border-radius: 6px; padding: 10px 16px;
+        min-width: 90px; background: #fafafa; }
+.tile .v { font-size: 20px; font-weight: bold; }
+.tile .k { font-size: 11px; color: #666; text-transform: uppercase; }
+table { border-collapse: collapse; font-size: 12px; margin-top: 8px; }
+th, td { border: 1px solid #ddd; padding: 3px 8px; text-align: right; }
+th { background: #f0f0f0; } td.l, th.l { text-align: left; }
+.ok { color: #1b7e3c; } .bad { color: #b22222; font-weight: bold; }
+.chart { margin: 12px 0; }
+footer { margin-top: 32px; font-size: 11px; color: #888; }
+"""
+
+
+def _median(values: Sequence[float]) -> float:
+    return statistics.median(values) if values else 0.0
+
+
+def _convergence_time(run: RunRow) -> Optional[float]:
+    m = run.measurement or {}
+    if "t_converged" in m and "t_event" in m:
+        return m["t_converged"] - m["t_event"]
+    return None
+
+
+def _sweep_label(sweep: SweepRow) -> str:
+    rev = f" @{sweep.git_rev}" if sweep.git_rev else ""
+    return f"#{sweep.sweep_id} {sweep.recorded_at}{rev}"
+
+
+def _tile(value, key: str) -> str:
+    return (
+        f'<div class="tile"><div class="v">{escape(str(value))}</div>'
+        f'<div class="k">{escape(key)}</div></div>'
+    )
+
+
+def _convergence_section(
+    registry: RunRegistry, sweeps: List[SweepRow]
+) -> List[str]:
+    """One convergence-vs-fraction chart per scenario, a series per sweep."""
+    out: List[str] = []
+    scenarios = sorted({s.scenario for s in sweeps if s.scenario})
+    for scenario in scenarios:
+        series: List[Tuple[str, List[Tuple[float, float]]]] = []
+        for sweep in [s for s in sweeps if s.scenario == scenario]:
+            by_fraction: Dict[float, List[float]] = {}
+            for run in registry.runs(sweep_id=sweep.sweep_id, ok=True):
+                conv = _convergence_time(run)
+                if conv is None or run.fraction is None:
+                    continue
+                by_fraction.setdefault(run.fraction, []).append(conv)
+            points = [
+                (fraction, _median(times))
+                for fraction, times in sorted(by_fraction.items())
+            ]
+            if points:
+                series.append((_sweep_label(sweep), points))
+        if series:
+            out.append(f"<h2>Convergence vs SDN fraction — {escape(scenario)}</h2>")
+            out.append(
+                '<div class="chart">'
+                + svg_line_chart(
+                    series,
+                    title=f"{scenario}: median convergence time",
+                    x_label="SDN fraction",
+                    y_label="median convergence (s)",
+                )
+                + "</div>"
+            )
+    return out
+
+
+def _trend_section(
+    registry: RunRegistry, sweeps: List[SweepRow]
+) -> List[str]:
+    """Per-sweep medians of trial wall time and update counts."""
+    wall_points: List[Tuple[float, float]] = []
+    update_points: List[Tuple[float, float]] = []
+    for sweep in sweeps:
+        runs = [
+            r for r in registry.runs(sweep_id=sweep.sweep_id, ok=True)
+            if not r.cached
+        ]
+        if runs:
+            wall_points.append(
+                (sweep.sweep_id, _median([r.wall_time for r in runs]))
+            )
+        counted = [
+            (r.measurement or {}).get("updates_tx")
+            for r in registry.runs(sweep_id=sweep.sweep_id, ok=True)
+        ]
+        counted = [c for c in counted if c is not None]
+        if counted:
+            update_points.append((sweep.sweep_id, _median(counted)))
+    out: List[str] = []
+    if wall_points or update_points:
+        out.append("<h2>Metrics trends across sweeps</h2>")
+    if wall_points:
+        out.append(
+            '<div class="chart">'
+            + svg_line_chart(
+                [("median trial wall", wall_points)],
+                title="Median executed-trial wall time per sweep",
+                x_label="sweep id", y_label="seconds",
+            )
+            + "</div>"
+        )
+    if update_points:
+        out.append(
+            '<div class="chart">'
+            + svg_line_chart(
+                [("median updates_tx", update_points)],
+                title="Median per-run BGP updates per sweep (deterministic)",
+                x_label="sweep id", y_label="updates",
+            )
+            + "</div>"
+        )
+    return out
+
+
+def _cache_section(sweeps: List[SweepRow]) -> List[str]:
+    bars = []
+    for sweep in sweeps:
+        hits = sweep.cache_hits or 0
+        misses = sweep.cache_misses or 0
+        if hits + misses:
+            bars.append((f"#{sweep.sweep_id}", round(hits / (hits + misses), 4)))
+    if not bars:
+        return []
+    return [
+        "<h2>Result-cache hit rate per sweep</h2>",
+        '<div class="chart">'
+        + svg_bar_chart(
+            bars, title="Cache hit rate (1.0 = fully warm)",
+            y_label="hit rate",
+        )
+        + "</div>",
+    ]
+
+
+def _phase_section(sweeps: List[SweepRow]) -> List[str]:
+    """Wall-time breakdown of the most recent timed sweep + a table."""
+    timed = [s for s in sweeps if s.elapsed is not None]
+    if not timed:
+        return []
+    out = ["<h2>Wall-time breakdown per sweep</h2>"]
+    latest = timed[-1]
+    workers = latest.workers or 1
+    job_wall = latest.total_job_wall or 0.0
+    overhead = max((latest.elapsed or 0.0) - job_wall / workers, 0.0)
+    out.append(
+        '<div class="chart">'
+        + svg_bar_chart(
+            [
+                ("trial execution", round(job_wall, 4)),
+                ("slowest trial", round(latest.max_job_wall or 0.0, 4)),
+                ("sweep elapsed", round(latest.elapsed or 0.0, 4)),
+                ("orchestration", round(overhead, 4)),
+            ],
+            title=f"Sweep {_sweep_label(latest)} — seconds by phase "
+                  f"({workers} worker(s))",
+            y_label="seconds",
+        )
+        + "</div>"
+    )
+    rows = [
+        "<table><tr><th class=l>sweep</th><th class=l>scenario</th>"
+        "<th>jobs</th><th>cached</th><th>failed</th><th>elapsed s</th>"
+        "<th>job wall s</th><th>max job s</th><th>workers</th>"
+        "<th>speedup</th></tr>"
+    ]
+    for sweep in timed:
+        speedup = (
+            (sweep.total_job_wall or 0.0) / sweep.elapsed
+            if sweep.elapsed else 0.0
+        )
+        rows.append(
+            f"<tr><td class=l>{escape(_sweep_label(sweep))}</td>"
+            f"<td class=l>{escape(sweep.scenario)}</td>"
+            f"<td>{sweep.jobs}</td><td>{sweep.cached}</td>"
+            f"<td>{sweep.failed}</td><td>{sweep.elapsed:.3f}</td>"
+            f"<td>{(sweep.total_job_wall or 0.0):.3f}</td>"
+            f"<td>{(sweep.max_job_wall or 0.0):.3f}</td>"
+            f"<td>{sweep.workers}</td><td>{speedup:.2f}x</td></tr>"
+        )
+    rows.append("</table>")
+    out.extend(rows)
+    return out
+
+
+def _regression_section(registry: RunRegistry) -> List[str]:
+    regressions = detect_regressions(registry)
+    out = ["<h2>Regression gate</h2>"]
+    if not regressions:
+        out.append('<p class="ok">No regressions detected.</p>')
+        return out
+    out.append(
+        f'<p class="bad">{len(regressions)} regression(s) flagged:</p><ul>'
+    )
+    for regression in regressions:
+        out.append(f"<li>{escape(regression.describe())}</li>")
+    out.append("</ul>")
+    return out
+
+
+def _profile_section(registry: RunRegistry, *, top: int) -> List[str]:
+    profiled = [r for r in registry.runs(ok=True) if r.profile]
+    if not profiled:
+        return []
+    merged = aggregate_profiles([r.profile for r in profiled], top=top)
+    out = [
+        "<h2>Hot functions (cProfile, aggregated over "
+        f"{len(profiled)} profiled run(s))</h2>",
+        "<table><tr><th class=l>function</th><th>calls</th>"
+        "<th>tottime s</th><th>cumtime s</th></tr>",
+    ]
+    for row in merged:
+        out.append(
+            f"<tr><td class=l>{escape(row['func'])}</td>"
+            f"<td>{row['ncalls']}</td><td>{row['tottime']:.4f}</td>"
+            f"<td>{row['cumtime']:.4f}</td></tr>"
+        )
+    out.append("</table>")
+    return out
+
+
+def render_dashboard(
+    registry: RunRegistry,
+    *,
+    title: str = "repro telemetry",
+    last_sweeps: int = 20,
+    profile_top: int = 15,
+    generated_at: Optional[str] = None,
+) -> str:
+    """Render the registry as one self-contained HTML page.
+
+    ``generated_at`` defaults to the registry's clock (inject a fixed
+    clock for deterministic output).
+    """
+    counts = registry.counts()
+    sweeps = registry.sweeps(limit=last_sweeps, newest_first=True)
+    sweeps.reverse()  # oldest -> newest for time-ordered charts
+    stamp = generated_at if generated_at is not None else registry.clock()
+
+    parts: List[str] = [
+        "<!DOCTYPE html>",
+        '<html lang="en"><head><meta charset="utf-8">',
+        f"<title>{escape(title)}</title>",
+        f"<style>{_CSS}</style></head><body>",
+        f"<h1>{escape(title)}</h1>",
+        '<div class="tiles">',
+        _tile(counts["runs"], "runs"),
+        _tile(counts["ok"], "ok"),
+        _tile(counts["failed"], "failed"),
+        _tile(counts["sweeps"], "sweeps"),
+        _tile(counts["digests"], "spec digests"),
+        _tile(registry.git_rev or "—", "git rev"),
+        _tile(registry.code_version, "code version"),
+        "</div>",
+    ]
+    parts.extend(_convergence_section(registry, sweeps))
+    parts.extend(_trend_section(registry, sweeps))
+    parts.extend(_cache_section(sweeps))
+    parts.extend(_phase_section(sweeps))
+    parts.extend(_regression_section(registry))
+    parts.extend(_profile_section(registry, top=profile_top))
+    parts.append(
+        f"<footer>generated {escape(stamp)} · registry "
+        f"{escape(registry.path)} · repro {escape(registry.code_version)}"
+        "</footer></body></html>"
+    )
+    return "\n".join(parts)

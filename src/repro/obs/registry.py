@@ -1,0 +1,630 @@
+"""Cross-run telemetry registry: a durable record of every trial.
+
+Sweeps are fire-and-forget without this module — metrics, provenance
+stats and timings flow into one JSON export and vanish.  The
+:class:`RunRegistry` is an append-only SQLite store that every
+experiment, sweep and benchmark can record into, keyed by the same
+:meth:`~repro.runner.jobs.RunSpec.digest` that keys the result cache,
+so "the same trial, run last week" is one indexed lookup.
+
+Each run row carries the spec digest and parameters, the git revision
+and code version that produced it, the full deterministic measurement,
+the per-run metrics snapshot, per-AS convergence instants (when spans
+were collected), fault/span summaries, hot-path profile data
+(``profile=True`` sweeps) and execution metadata (wall time, worker,
+cache provenance, attempts).  Sweep rows aggregate the
+:class:`~repro.runner.progress.SweepTiming` plus cache hit/miss stats.
+
+Recording is wired through the runner's progress-sink interface:
+:class:`RegistrySink` observes ``job_finished``/``sweep_finished``
+events, so the serial and parallel execution paths record *identically*
+(both emit the same event stream, including cache hits).  Pass
+``registry=`` to :class:`~repro.runner.ParallelRunner` or any sweep
+function and every trial lands in the store.
+
+On top of the store sit :mod:`repro.obs.trends` (run/sweep diffing and
+statistical regression gating) and :mod:`repro.obs.dashboard` (static
+HTML).  See ``docs/telemetry.md``.
+"""
+
+from __future__ import annotations
+
+import datetime as _datetime
+import json
+import os
+import pathlib
+import sqlite3
+import subprocess
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Union
+
+from ..runner.jobs import RunRecord, RunSpec, callable_token
+from ..runner.progress import ProgressSink, SweepTiming
+
+__all__ = [
+    "REGISTRY_ENV",
+    "DEFAULT_REGISTRY_PATH",
+    "REGISTRY_SCHEMA",
+    "RunRegistry",
+    "RegistrySink",
+    "RunRow",
+    "SweepRow",
+    "current_git_rev",
+    "aggregate_profiles",
+    "resolve_registry",
+]
+
+#: environment fallback for ``--registry`` on every CLI command.
+REGISTRY_ENV = "REPRO_REGISTRY"
+#: where the registry lives when neither flag nor env names a path.
+DEFAULT_REGISTRY_PATH = ".repro-registry.sqlite"
+#: bump when the table layout changes (old files are rejected loudly).
+REGISTRY_SCHEMA = 1
+
+_SCHEMA_SQL = """
+CREATE TABLE IF NOT EXISTS meta (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS sweeps (
+    sweep_id     INTEGER PRIMARY KEY AUTOINCREMENT,
+    recorded_at  TEXT NOT NULL,
+    scenario     TEXT NOT NULL DEFAULT '',
+    n_ases       INTEGER,
+    label        TEXT NOT NULL DEFAULT '',
+    git_rev      TEXT NOT NULL DEFAULT '',
+    code_version TEXT NOT NULL DEFAULT '',
+    elapsed      REAL,
+    jobs         INTEGER,
+    cached       INTEGER,
+    failed       INTEGER,
+    total_job_wall REAL,
+    max_job_wall REAL,
+    workers      INTEGER,
+    cache_hits   INTEGER,
+    cache_misses INTEGER,
+    extra        TEXT
+);
+CREATE TABLE IF NOT EXISTS runs (
+    run_id       INTEGER PRIMARY KEY AUTOINCREMENT,
+    sweep_id     INTEGER,
+    recorded_at  TEXT NOT NULL,
+    spec_digest  TEXT NOT NULL,
+    scenario     TEXT NOT NULL DEFAULT '',
+    label        TEXT NOT NULL DEFAULT '',
+    n            INTEGER,
+    sdn_count    INTEGER,
+    fraction     REAL,
+    seed         INTEGER,
+    git_rev      TEXT NOT NULL DEFAULT '',
+    code_version TEXT NOT NULL DEFAULT '',
+    ok           INTEGER NOT NULL,
+    error        TEXT,
+    wall_time    REAL NOT NULL DEFAULT 0.0,
+    worker       TEXT NOT NULL DEFAULT '',
+    cached       INTEGER NOT NULL DEFAULT 0,
+    attempts     INTEGER NOT NULL DEFAULT 1,
+    measurement  TEXT,
+    metrics      TEXT,
+    instants     TEXT,
+    span_count   INTEGER,
+    fault_count  INTEGER,
+    profile      TEXT
+);
+CREATE INDEX IF NOT EXISTS idx_runs_digest ON runs(spec_digest, run_id);
+CREATE INDEX IF NOT EXISTS idx_runs_sweep ON runs(sweep_id);
+"""
+
+
+def current_git_rev(cwd: Union[str, os.PathLike, None] = None) -> str:
+    """The short git revision of the working tree, or ``""`` outside one."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=cwd, capture_output=True, text=True, timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return ""
+    return out.stdout.strip() if out.returncode == 0 else ""
+
+
+def _utc_now() -> str:
+    return _datetime.datetime.now(_datetime.timezone.utc).strftime(
+        "%Y-%m-%dT%H:%M:%SZ"
+    )
+
+
+def _loads(text: Optional[str]) -> Any:
+    if text is None:
+        return None
+    try:
+        return json.loads(text)
+    except ValueError:
+        return None
+
+
+@dataclass(frozen=True)
+class RunRow:
+    """One recorded trial, with JSON columns parsed back to objects."""
+
+    run_id: int
+    sweep_id: Optional[int]
+    recorded_at: str
+    spec_digest: str
+    scenario: str
+    label: str
+    n: Optional[int]
+    sdn_count: Optional[int]
+    fraction: Optional[float]
+    seed: Optional[int]
+    git_rev: str
+    code_version: str
+    ok: bool
+    error: Optional[str]
+    wall_time: float
+    worker: str
+    cached: bool
+    attempts: int
+    measurement: Optional[Dict[str, Any]]
+    metrics: Optional[Dict[str, Any]]
+    instants: Optional[Dict[str, float]]
+    span_count: Optional[int]
+    fault_count: Optional[int]
+    profile: Optional[List[Dict[str, Any]]]
+
+
+@dataclass(frozen=True)
+class SweepRow:
+    """One recorded sweep (timing aggregate + cache provenance)."""
+
+    sweep_id: int
+    recorded_at: str
+    scenario: str
+    n_ases: Optional[int]
+    label: str
+    git_rev: str
+    code_version: str
+    elapsed: Optional[float]
+    jobs: Optional[int]
+    cached: Optional[int]
+    failed: Optional[int]
+    total_job_wall: Optional[float]
+    max_job_wall: Optional[float]
+    workers: Optional[int]
+    cache_hits: Optional[int]
+    cache_misses: Optional[int]
+    extra: Optional[Dict[str, Any]]
+
+
+def aggregate_profiles(
+    profiles: Sequence[Optional[List[Dict[str, Any]]]],
+    *,
+    top: int = 20,
+) -> List[Dict[str, Any]]:
+    """Merge per-run profile tables into one top-N-by-cumulative view.
+
+    Each input is the ``RunRecord.profile`` list of one run (``None``
+    entries are skipped); rows with the same function key sum their
+    call counts and times.
+    """
+    merged: Dict[str, Dict[str, Any]] = {}
+    for table in profiles:
+        if not table:
+            continue
+        for row in table:
+            func = row.get("func", "?")
+            slot = merged.setdefault(
+                func,
+                {"func": func, "ncalls": 0, "tottime": 0.0, "cumtime": 0.0},
+            )
+            slot["ncalls"] += int(row.get("ncalls", 0))
+            slot["tottime"] += float(row.get("tottime", 0.0))
+            slot["cumtime"] += float(row.get("cumtime", 0.0))
+    ranked = sorted(merged.values(), key=lambda r: -r["cumtime"])[:top]
+    for row in ranked:
+        row["tottime"] = round(row["tottime"], 6)
+        row["cumtime"] = round(row["cumtime"], 6)
+    return ranked
+
+
+class RunRegistry:
+    """Append-only SQLite store of runs and sweeps.
+
+    ``path`` may be ``":memory:"`` for tests.  ``git_rev``,
+    ``code_version`` and ``clock`` are injectable so tests (and the
+    golden dashboard) stay deterministic; the defaults capture the
+    working tree's revision, ``repro.__version__`` and UTC wall time.
+    """
+
+    def __init__(
+        self,
+        path: Union[str, os.PathLike] = DEFAULT_REGISTRY_PATH,
+        *,
+        git_rev: Optional[str] = None,
+        code_version: Optional[str] = None,
+        clock: Optional[Callable[[], str]] = None,
+    ) -> None:
+        self.path = str(path)
+        if self.path != ":memory:":
+            parent = pathlib.Path(self.path).parent
+            if str(parent) not in ("", "."):
+                parent.mkdir(parents=True, exist_ok=True)
+        self._conn = sqlite3.connect(self.path)
+        self._conn.row_factory = sqlite3.Row
+        self._conn.executescript(_SCHEMA_SQL)
+        self._check_schema()
+        if git_rev is None:
+            git_rev = current_git_rev()
+        self.git_rev = git_rev
+        if code_version is None:
+            from ..runner.cache import current_code_version
+
+            code_version = current_code_version()
+        self.code_version = code_version
+        self.clock = clock if clock is not None else _utc_now
+
+    # ------------------------------------------------------------------
+    def _check_schema(self) -> None:
+        row = self._conn.execute(
+            "SELECT value FROM meta WHERE key='schema'"
+        ).fetchone()
+        if row is None:
+            self._conn.execute(
+                "INSERT INTO meta (key, value) VALUES ('schema', ?)",
+                (str(REGISTRY_SCHEMA),),
+            )
+            self._conn.commit()
+        elif row["value"] != str(REGISTRY_SCHEMA):
+            raise ValueError(
+                f"registry {self.path!r} has schema {row['value']}, "
+                f"this code expects {REGISTRY_SCHEMA}"
+            )
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "RunRegistry":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    def begin_sweep(
+        self,
+        *,
+        scenario: str = "",
+        n_ases: Optional[int] = None,
+        label: str = "",
+        extra: Optional[Dict[str, Any]] = None,
+    ) -> int:
+        """Open a sweep row; returns its id for per-run attribution."""
+        cursor = self._conn.execute(
+            "INSERT INTO sweeps (recorded_at, scenario, n_ases, label, "
+            "git_rev, code_version, extra) VALUES (?, ?, ?, ?, ?, ?, ?)",
+            (
+                self.clock(), scenario, n_ases, label,
+                self.git_rev, self.code_version,
+                json.dumps(extra) if extra else None,
+            ),
+        )
+        self._conn.commit()
+        return int(cursor.lastrowid)
+
+    def finish_sweep(self, sweep_id: int, timing: SweepTiming) -> None:
+        """Attach the final timing aggregate to an open sweep row."""
+        self._conn.execute(
+            "UPDATE sweeps SET elapsed=?, jobs=?, cached=?, failed=?, "
+            "total_job_wall=?, max_job_wall=?, workers=?, "
+            "cache_hits=?, cache_misses=? WHERE sweep_id=?",
+            (
+                timing.elapsed, timing.jobs, timing.cached, timing.failed,
+                timing.total_job_wall, timing.max_job_wall, timing.workers,
+                timing.cache_hits, timing.cache_misses, sweep_id,
+            ),
+        )
+        self._conn.commit()
+
+    def record(
+        self,
+        spec: RunSpec,
+        record: RunRecord,
+        *,
+        sweep_id: Optional[int] = None,
+    ) -> int:
+        """Append one executed (or cached, or failed) trial.
+
+        Derives the queryable columns from the spec, serializes the
+        deterministic measurement/metrics payloads, and summarizes
+        spans into per-AS convergence instants (via the provenance DAG)
+        rather than storing every span.
+        """
+        instants: Optional[Dict[str, float]] = None
+        span_count: Optional[int] = None
+        if record.spans is not None:
+            span_count = len(record.spans)
+            instants = self._instants_from_spans(record)
+        scenario = callable_token(spec.scenario_factory).rsplit(":", 1)[-1]
+        measurement = record.measurement_dict() or None
+        cursor = self._conn.execute(
+            "INSERT INTO runs (sweep_id, recorded_at, spec_digest, scenario,"
+            " label, n, sdn_count, fraction, seed, git_rev, code_version,"
+            " ok, error, wall_time, worker, cached, attempts, measurement,"
+            " metrics, instants, span_count, fault_count, profile)"
+            " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?,"
+            " ?, ?, ?, ?, ?, ?)",
+            (
+                sweep_id, self.clock(), record.digest, scenario,
+                spec.label or spec.display(), spec.n, spec.sdn_count,
+                spec.sdn_count / spec.n if spec.n else None, spec.seed,
+                self.git_rev, self.code_version,
+                int(record.ok), record.error, record.wall_time,
+                record.worker, int(record.cached), record.attempts,
+                json.dumps(measurement, sort_keys=True) if measurement else None,
+                json.dumps(record.metrics, sort_keys=True)
+                if record.metrics is not None else None,
+                json.dumps(instants, sort_keys=True)
+                if instants is not None else None,
+                span_count,
+                len(spec.faults) if spec.faults is not None else None,
+                json.dumps(record.profile)
+                if getattr(record, "profile", None) is not None else None,
+            ),
+        )
+        self._conn.commit()
+        return int(cursor.lastrowid)
+
+    @staticmethod
+    def _instants_from_spans(record: RunRecord) -> Optional[Dict[str, float]]:
+        """Per-AS convergence instants of the measured event's tree."""
+        measurement = record.measurement
+        if measurement is None or not record.spans:
+            return None
+        root_id = measurement.extra.get("event_root_span")
+        if root_id is None:
+            return None
+        from .dag import ProvenanceDAG
+
+        dag = ProvenanceDAG.from_dicts(record.spans)
+        if int(root_id) not in dag.by_id:
+            return None
+        return dag.per_node_instants(int(root_id))
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _run_row(row: sqlite3.Row) -> RunRow:
+        return RunRow(
+            run_id=row["run_id"],
+            sweep_id=row["sweep_id"],
+            recorded_at=row["recorded_at"],
+            spec_digest=row["spec_digest"],
+            scenario=row["scenario"],
+            label=row["label"],
+            n=row["n"],
+            sdn_count=row["sdn_count"],
+            fraction=row["fraction"],
+            seed=row["seed"],
+            git_rev=row["git_rev"],
+            code_version=row["code_version"],
+            ok=bool(row["ok"]),
+            error=row["error"],
+            wall_time=row["wall_time"],
+            worker=row["worker"],
+            cached=bool(row["cached"]),
+            attempts=row["attempts"],
+            measurement=_loads(row["measurement"]),
+            metrics=_loads(row["metrics"]),
+            instants=_loads(row["instants"]),
+            span_count=row["span_count"],
+            fault_count=row["fault_count"],
+            profile=_loads(row["profile"]),
+        )
+
+    def run(self, run_id: int) -> Optional[RunRow]:
+        """One run by id, or None."""
+        row = self._conn.execute(
+            "SELECT * FROM runs WHERE run_id=?", (run_id,)
+        ).fetchone()
+        return self._run_row(row) if row is not None else None
+
+    def runs(
+        self,
+        *,
+        digest: Optional[str] = None,
+        scenario: Optional[str] = None,
+        sweep_id: Optional[int] = None,
+        ok: Optional[bool] = None,
+        limit: Optional[int] = None,
+        newest_first: bool = False,
+    ) -> List[RunRow]:
+        """Filtered run rows, in insertion (run_id) order by default."""
+        clauses, params = [], []
+        if digest is not None:
+            clauses.append("spec_digest=?")
+            params.append(digest)
+        if scenario is not None:
+            clauses.append("scenario=?")
+            params.append(scenario)
+        if sweep_id is not None:
+            clauses.append("sweep_id=?")
+            params.append(sweep_id)
+        if ok is not None:
+            clauses.append("ok=?")
+            params.append(int(ok))
+        sql = "SELECT * FROM runs"
+        if clauses:
+            sql += " WHERE " + " AND ".join(clauses)
+        sql += f" ORDER BY run_id {'DESC' if newest_first else 'ASC'}"
+        if limit is not None:
+            sql += " LIMIT ?"
+            params.append(limit)
+        return [
+            self._run_row(r) for r in self._conn.execute(sql, params)
+        ]
+
+    def sweep(self, sweep_id: int) -> Optional[SweepRow]:
+        """One sweep by id, or None."""
+        row = self._conn.execute(
+            "SELECT * FROM sweeps WHERE sweep_id=?", (sweep_id,)
+        ).fetchone()
+        return self._sweep_row(row) if row is not None else None
+
+    @staticmethod
+    def _sweep_row(row: sqlite3.Row) -> SweepRow:
+        return SweepRow(
+            sweep_id=row["sweep_id"],
+            recorded_at=row["recorded_at"],
+            scenario=row["scenario"],
+            n_ases=row["n_ases"],
+            label=row["label"],
+            git_rev=row["git_rev"],
+            code_version=row["code_version"],
+            elapsed=row["elapsed"],
+            jobs=row["jobs"],
+            cached=row["cached"],
+            failed=row["failed"],
+            total_job_wall=row["total_job_wall"],
+            max_job_wall=row["max_job_wall"],
+            workers=row["workers"],
+            cache_hits=row["cache_hits"],
+            cache_misses=row["cache_misses"],
+            extra=_loads(row["extra"]),
+        )
+
+    def sweeps(
+        self,
+        *,
+        scenario: Optional[str] = None,
+        limit: Optional[int] = None,
+        newest_first: bool = False,
+    ) -> List[SweepRow]:
+        """Sweep rows, oldest first by default."""
+        sql = "SELECT * FROM sweeps"
+        params: List[Any] = []
+        if scenario is not None:
+            sql += " WHERE scenario=?"
+            params.append(scenario)
+        sql += f" ORDER BY sweep_id {'DESC' if newest_first else 'ASC'}"
+        if limit is not None:
+            sql += " LIMIT ?"
+            params.append(limit)
+        return [self._sweep_row(r) for r in self._conn.execute(sql, params)]
+
+    def digests(self) -> List[str]:
+        """Every distinct spec digest, in first-seen order."""
+        return [
+            r["spec_digest"] for r in self._conn.execute(
+                "SELECT spec_digest, MIN(run_id) AS first FROM runs "
+                "GROUP BY spec_digest ORDER BY first"
+            )
+        ]
+
+    def counts(self) -> Dict[str, int]:
+        """Totals for the dashboard/CLI overview."""
+        runs = self._conn.execute("SELECT COUNT(*) c FROM runs").fetchone()["c"]
+        ok = self._conn.execute(
+            "SELECT COUNT(*) c FROM runs WHERE ok=1"
+        ).fetchone()["c"]
+        sweeps = self._conn.execute(
+            "SELECT COUNT(*) c FROM sweeps"
+        ).fetchone()["c"]
+        digests = self._conn.execute(
+            "SELECT COUNT(DISTINCT spec_digest) c FROM runs"
+        ).fetchone()["c"]
+        return {
+            "runs": runs, "ok": ok, "failed": runs - ok,
+            "sweeps": sweeps, "digests": digests,
+        }
+
+    # ------------------------------------------------------------------
+    # maintenance
+    # ------------------------------------------------------------------
+    def gc(
+        self,
+        *,
+        keep_last: int = 20,
+        drop_failed: bool = False,
+    ) -> int:
+        """Trim history: keep the newest ``keep_last`` runs per digest.
+
+        ``drop_failed`` additionally removes every failed run.  Sweeps
+        whose runs are all gone are removed too.  Returns the number of
+        deleted run rows.
+        """
+        if keep_last < 0:
+            raise ValueError(f"keep_last must be >= 0: {keep_last}")
+        deleted = 0
+        if drop_failed:
+            deleted += self._conn.execute(
+                "DELETE FROM runs WHERE ok=0"
+            ).rowcount
+        for digest in self.digests():
+            rows = self._conn.execute(
+                "SELECT run_id FROM runs WHERE spec_digest=? "
+                "ORDER BY run_id DESC", (digest,),
+            ).fetchall()
+            stale = [r["run_id"] for r in rows[keep_last:]]
+            if stale:
+                marks = ",".join("?" * len(stale))
+                deleted += self._conn.execute(
+                    f"DELETE FROM runs WHERE run_id IN ({marks})", stale
+                ).rowcount
+        self._conn.execute(
+            "DELETE FROM sweeps WHERE sweep_id NOT IN "
+            "(SELECT DISTINCT sweep_id FROM runs WHERE sweep_id IS NOT NULL)"
+        )
+        self._conn.commit()
+        return deleted
+
+
+class RegistrySink(ProgressSink):
+    """Progress sink that records every finished trial into a registry.
+
+    The runner funnels serial and parallel execution (and cache hits)
+    through the same ``job_finished`` events, so attaching this sink is
+    all it takes for both paths to record identically.  The sweep row
+    is opened lazily on the first finished job (that is the first
+    moment a spec — and thus the scenario name — is visible) and closed
+    by ``sweep_finished`` with the final timing aggregate.
+    """
+
+    def __init__(self, registry: RunRegistry, *, label: str = "") -> None:
+        self.registry = registry
+        self.label = label
+        self.sweep_id: Optional[int] = None
+        #: run_id of every recorded trial, in completion order.
+        self.run_ids: List[int] = []
+
+    def _ensure_sweep(self, spec: RunSpec) -> int:
+        if self.sweep_id is None:
+            scenario = callable_token(spec.scenario_factory).rsplit(":", 1)[-1]
+            self.sweep_id = self.registry.begin_sweep(
+                scenario=scenario, n_ases=spec.n, label=self.label,
+            )
+        return self.sweep_id
+
+    def job_finished(self, index: int, spec: RunSpec, record: RunRecord) -> None:
+        sweep_id = self._ensure_sweep(spec)
+        self.run_ids.append(
+            self.registry.record(spec, record, sweep_id=sweep_id)
+        )
+
+    def sweep_finished(self, timing: SweepTiming) -> None:
+        if self.sweep_id is not None:
+            self.registry.finish_sweep(self.sweep_id, timing)
+            self.sweep_id = None
+
+
+def resolve_registry(
+    registry: Union[RunRegistry, str, os.PathLike, None]
+) -> Optional[RunRegistry]:
+    """Map the user-facing ``registry=`` shorthand onto a registry."""
+    if registry is None:
+        return None
+    if isinstance(registry, RunRegistry):
+        return registry
+    return RunRegistry(registry)

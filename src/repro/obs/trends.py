@@ -1,0 +1,415 @@
+"""Run diffing and statistical regression detection over the registry.
+
+Two families of checks, both stdlib-only:
+
+- **Diffing** (:func:`diff_runs`, :func:`diff_sweeps`): compare two
+  recorded runs — or every digest-matched run pair of two sweeps —
+  separating *deterministic* fields (measurement values, update counts,
+  per-AS convergence instants: the simulator is virtual-time
+  deterministic, so these must match exactly between runs of the same
+  spec digest) from *timing* fields (wall-clock readings, which only
+  need to agree within a tolerance band).
+
+- **Trend gating** (:func:`detect_regressions`): for every spec digest
+  with enough history, compare the newest run's wall time against a
+  robust median/MAD envelope of the preceding runs, and flag both
+  wall-time inflation and any deterministic drift.  This subsumes the
+  token-level report gate that used to live in
+  ``benchmarks/compare_baselines.py``; that script is now a thin
+  wrapper over :func:`compare_report_dirs` here.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import statistics
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .registry import RunRegistry, RunRow
+
+__all__ = [
+    "DETERMINISTIC_MEASUREMENT_FIELDS",
+    "FieldDiff",
+    "RunDiff",
+    "SweepDiff",
+    "Regression",
+    "diff_runs",
+    "diff_sweeps",
+    "detect_regressions",
+    "parse_number_token",
+    "compare_report_texts",
+    "compare_report_dirs",
+]
+
+#: measurement fields that are pure virtual-time results — bit-equal
+#: across reruns of the same spec digest, on any machine.
+DETERMINISTIC_MEASUREMENT_FIELDS = (
+    "t_event",
+    "t_converged",
+    "t_settled",
+    "t_state_converged",
+    "updates_tx",
+    "updates_rx",
+    "decision_changes",
+    "fib_changes",
+    "recomputations",
+)
+
+
+@dataclass(frozen=True)
+class FieldDiff:
+    """One compared field of a run pair."""
+
+    name: str
+    a: object
+    b: object
+    #: ``deterministic`` must match exactly; ``timing`` gets a band.
+    kind: str
+    ok: bool
+    rel_error: float = 0.0
+
+
+@dataclass
+class RunDiff:
+    """Outcome of comparing two recorded runs."""
+
+    run_a: int
+    run_b: int
+    digest_a: str
+    digest_b: str
+    fields: List[FieldDiff] = field(default_factory=list)
+
+    @property
+    def same_digest(self) -> bool:
+        return self.digest_a == self.digest_b
+
+    @property
+    def deterministic_mismatches(self) -> List[FieldDiff]:
+        return [f for f in self.fields if f.kind == "deterministic" and not f.ok]
+
+    @property
+    def timing_mismatches(self) -> List[FieldDiff]:
+        return [f for f in self.fields if f.kind == "timing" and not f.ok]
+
+    @property
+    def ok(self) -> bool:
+        """True when every deterministic field matched exactly.
+
+        Timing drift never fails a diff of same-digest runs on its own
+        — it is reported, but wall clocks legitimately vary.
+        """
+        return self.same_digest and not self.deterministic_mismatches
+
+
+@dataclass
+class SweepDiff:
+    """Digest-matched comparison of two recorded sweeps."""
+
+    sweep_a: int
+    sweep_b: int
+    pairs: List[RunDiff] = field(default_factory=list)
+    only_in_a: List[str] = field(default_factory=list)
+    only_in_b: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return (
+            not self.only_in_a and not self.only_in_b
+            and all(p.ok for p in self.pairs)
+        )
+
+
+def _deterministic_values(run: RunRow) -> Dict[str, object]:
+    out: Dict[str, object] = {}
+    measurement = run.measurement or {}
+    for name in DETERMINISTIC_MEASUREMENT_FIELDS:
+        if name in measurement:
+            out[f"measurement.{name}"] = measurement[name]
+    if run.instants is not None:
+        for node in sorted(run.instants):
+            out[f"instant.{node}"] = run.instants[node]
+    if run.span_count is not None:
+        out["span_count"] = run.span_count
+    # deterministic simulator counters from the metrics snapshot
+    metrics = run.metrics or {}
+    for counter_key in ("counters",):
+        table = metrics.get(counter_key)
+        if isinstance(table, dict):
+            for name in sorted(table):
+                value = table[name]
+                if isinstance(value, (int, float)):
+                    out[f"metrics.{name}"] = value
+    return out
+
+
+def diff_runs(
+    run_a: RunRow,
+    run_b: RunRow,
+    *,
+    timing_tolerance: float = 0.5,
+) -> RunDiff:
+    """Field-by-field comparison of two recorded runs.
+
+    Deterministic fields must be byte-equal (their JSON round-trips
+    through the registry preserve exact values); ``wall_time`` passes
+    within ``timing_tolerance`` relative error.
+    """
+    diff = RunDiff(
+        run_a=run_a.run_id, run_b=run_b.run_id,
+        digest_a=run_a.spec_digest, digest_b=run_b.spec_digest,
+    )
+    values_a = _deterministic_values(run_a)
+    values_b = _deterministic_values(run_b)
+    for name in sorted(set(values_a) | set(values_b)):
+        a, b = values_a.get(name), values_b.get(name)
+        diff.fields.append(
+            FieldDiff(name=name, a=a, b=b, kind="deterministic", ok=a == b)
+        )
+    scale = max(abs(run_a.wall_time), abs(run_b.wall_time))
+    rel = abs(run_a.wall_time - run_b.wall_time) / scale if scale else 0.0
+    diff.fields.append(
+        FieldDiff(
+            name="wall_time", a=run_a.wall_time, b=run_b.wall_time,
+            kind="timing", ok=rel <= timing_tolerance, rel_error=rel,
+        )
+    )
+    return diff
+
+
+def diff_sweeps(
+    registry: RunRegistry,
+    sweep_a: int,
+    sweep_b: int,
+    *,
+    timing_tolerance: float = 0.5,
+) -> SweepDiff:
+    """Pair the runs of two sweeps by spec digest and diff each pair.
+
+    Within a sweep a digest is unique (the grid never repeats a spec),
+    so digest-matching recovers the positional pairing regardless of
+    execution order.
+    """
+    runs_a = {r.spec_digest: r for r in registry.runs(sweep_id=sweep_a)}
+    runs_b = {r.spec_digest: r for r in registry.runs(sweep_id=sweep_b)}
+    out = SweepDiff(sweep_a=sweep_a, sweep_b=sweep_b)
+    out.only_in_a = sorted(set(runs_a) - set(runs_b))
+    out.only_in_b = sorted(set(runs_b) - set(runs_a))
+    for digest in sorted(set(runs_a) & set(runs_b)):
+        out.pairs.append(
+            diff_runs(
+                runs_a[digest], runs_b[digest],
+                timing_tolerance=timing_tolerance,
+            )
+        )
+    return out
+
+
+# ----------------------------------------------------------------------
+# trend gating
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Regression:
+    """One flagged spec digest."""
+
+    spec_digest: str
+    label: str
+    kind: str  # "wall_time" | "deterministic"
+    latest_run: int
+    latest_value: float
+    baseline_median: float
+    threshold: float
+    detail: str = ""
+
+    def describe(self) -> str:
+        if self.kind == "wall_time":
+            return (
+                f"{self.label or self.spec_digest[:12]}: wall time "
+                f"{self.latest_value:.3f}s exceeds gate {self.threshold:.3f}s "
+                f"(baseline median {self.baseline_median:.3f}s over history)"
+            )
+        return (
+            f"{self.label or self.spec_digest[:12]}: deterministic drift "
+            f"in run {self.latest_run}: {self.detail}"
+        )
+
+
+def detect_regressions(
+    registry: RunRegistry,
+    *,
+    last: int = 10,
+    min_history: int = 3,
+    mad_sigma: float = 4.0,
+    min_rel: float = 0.25,
+    min_abs: float = 0.005,
+) -> List[Regression]:
+    """Gate the newest run of every digest against its own history.
+
+    For each spec digest with at least ``min_history`` earlier
+    successful runs (within the last ``last + 1``), the newest run is
+    flagged when
+
+    - its wall time exceeds ``median + max(mad_sigma * 1.4826 * MAD,
+      min_rel * median, min_abs)`` of the preceding runs — a robust
+      envelope that ignores a single historical outlier but catches
+      sustained inflation; or
+    - any deterministic field differs from the immediately preceding
+      run of the same digest (virtual-time results can never
+      legitimately drift).
+    """
+    out: List[Regression] = []
+    for digest in registry.digests():
+        history = registry.runs(
+            digest=digest, ok=True, limit=last + 1, newest_first=True
+        )
+        if len(history) < 2:
+            continue
+        latest, previous = history[0], history[1:]
+
+        drift = diff_runs(previous[0], latest).deterministic_mismatches
+        if drift:
+            names = ", ".join(f.name for f in drift[:5])
+            out.append(
+                Regression(
+                    spec_digest=digest,
+                    label=latest.label,
+                    kind="deterministic",
+                    latest_run=latest.run_id,
+                    latest_value=float(len(drift)),
+                    baseline_median=0.0,
+                    threshold=0.0,
+                    detail=f"{len(drift)} field(s) drifted: {names}",
+                )
+            )
+
+        baseline = [r.wall_time for r in previous if not r.cached]
+        if latest.cached or len(baseline) < min_history:
+            continue
+        median = statistics.median(baseline)
+        mad = statistics.median(abs(v - median) for v in baseline)
+        threshold = median + max(
+            mad_sigma * 1.4826 * mad, min_rel * median, min_abs
+        )
+        if latest.wall_time > threshold:
+            out.append(
+                Regression(
+                    spec_digest=digest,
+                    label=latest.label,
+                    kind="wall_time",
+                    latest_run=latest.run_id,
+                    latest_value=latest.wall_time,
+                    baseline_median=median,
+                    threshold=threshold,
+                    detail=f"history of {len(baseline)} run(s)",
+                )
+            )
+    return out
+
+
+# ----------------------------------------------------------------------
+# report-text tolerance gate (the old benchmarks/compare_baselines.py)
+# ----------------------------------------------------------------------
+#: number with optional comma grouping, decimal part, and % suffix.
+_NUMBER = re.compile(
+    r"^[+-]?\d{1,3}(?:,\d{3})*(?:\.\d+)?%?$|^[+-]?\d+(?:\.\d+)?%?$"
+)
+#: punctuation that clings to numeric tokens in prose ("10%;", "(2.5s)").
+_STRIP = "()[]{};:,"
+
+
+def parse_number_token(token: str) -> Optional[Tuple[float, bool]]:
+    """Return ``(value, is_plain_int)`` or None when not numeric.
+
+    Handles comma grouping, ``%`` suffixes, and units glued to readings
+    ("2.5s", "1.3x").  Plain integers are deterministic counts; every
+    other number is treated as a timing-derived reading.
+    """
+    core = token.strip(_STRIP)
+    for suffix in ("s", "x"):
+        trimmed = core[: -len(suffix)]
+        if core.endswith(suffix) and trimmed and _NUMBER.match(trimmed):
+            core = trimmed
+            break
+    if not _NUMBER.match(core):
+        return None
+    percent = core.endswith("%")
+    if percent:
+        core = core[:-1]
+    grouped = "," in core
+    value = float(core.replace(",", ""))
+    plain_int = "." not in core and not grouped and not percent
+    return value, plain_int
+
+
+def compare_report_texts(
+    baseline: str, candidate: str, tolerance: float
+) -> List[str]:
+    """Token-level tolerance gate between two benchmark reports.
+
+    Non-numeric tokens and plain integers must match exactly; every
+    other number must agree within ``tolerance`` relative error.
+    Returns human-readable mismatch descriptions (empty == pass).
+    """
+    problems: List[str] = []
+    base_tokens, cand_tokens = baseline.split(), candidate.split()
+    if len(base_tokens) != len(cand_tokens):
+        problems.append(
+            f"structure changed: {len(base_tokens)} tokens in baseline "
+            f"vs {len(cand_tokens)} in candidate"
+        )
+        return problems
+    for base, cand in zip(base_tokens, cand_tokens):
+        base_num = parse_number_token(base)
+        cand_num = parse_number_token(cand)
+        if base_num is None or cand_num is None:
+            if base != cand:
+                problems.append(f"token mismatch: {base!r} vs {cand!r}")
+            continue
+        (b_val, b_int), (c_val, _) = base_num, cand_num
+        if b_int:
+            if b_val != c_val:
+                problems.append(
+                    f"deterministic count drifted: {base!r} vs {cand!r}"
+                )
+            continue
+        scale = max(abs(b_val), abs(c_val))
+        if scale and abs(b_val - c_val) / scale > tolerance:
+            problems.append(
+                f"outside {tolerance:.0%} tolerance: {base!r} vs {cand!r}"
+            )
+    return problems
+
+
+def compare_report_dirs(
+    baseline_dir,
+    candidate_dir,
+    tolerance: float,
+    require: Sequence[str] = (),
+) -> Tuple[List[str], Dict[str, List[str]]]:
+    """Compare every ``*.txt`` report in two directories.
+
+    Returns ``(names, failures)``: the sorted baseline report names and
+    a mapping of failing names to their problem lists (including
+    ``require``-ed reports missing from the baseline).
+    """
+    baseline_dir = pathlib.Path(baseline_dir)
+    candidate_dir = pathlib.Path(candidate_dir)
+    names = sorted(p.name for p in baseline_dir.glob("*.txt"))
+    failures: Dict[str, List[str]] = {}
+    for name in require:
+        if name not in names:
+            failures[name] = [f"required report missing from baseline: {name}"]
+    for name in names:
+        candidate = candidate_dir / name
+        if not candidate.exists():
+            failures[name] = ["missing from candidate directory"]
+            continue
+        problems = compare_report_texts(
+            (baseline_dir / name).read_text(),
+            candidate.read_text(),
+            tolerance,
+        )
+        if problems:
+            failures[name] = problems
+    return names, failures

@@ -9,13 +9,14 @@ pluggable progress reporting — while keeping results bit-identical to
 serial execution.  See ``docs/runner.md``.
 """
 
-from .cache import CACHE_SCHEMA, ResultCache, current_code_version
+from .cache import CACHE_SCHEMA, CacheStats, ResultCache, current_code_version
 from .jobs import (
     RunRecord,
     RunSpec,
     SpecError,
     callable_token,
     execute_spec,
+    profile_table,
     run_trial,
     run_trial_full,
 )
@@ -25,11 +26,13 @@ from .progress import (
     LogProgress,
     ProgressSink,
     SweepTiming,
+    TeeProgress,
     resolve_progress,
 )
 
 __all__ = [
     "CACHE_SCHEMA",
+    "CacheStats",
     "ResultCache",
     "current_code_version",
     "RunRecord",
@@ -37,6 +40,7 @@ __all__ = [
     "SpecError",
     "callable_token",
     "execute_spec",
+    "profile_table",
     "run_trial",
     "run_trial_full",
     "ParallelRunner",
@@ -45,5 +49,6 @@ __all__ = [
     "LogProgress",
     "ProgressSink",
     "SweepTiming",
+    "TeeProgress",
     "resolve_progress",
 ]

@@ -17,11 +17,12 @@ import json
 import os
 import pathlib
 import tempfile
+from dataclasses import dataclass
 from typing import Optional, Union
 
 from .jobs import RunRecord, RunSpec
 
-__all__ = ["ResultCache", "current_code_version", "CACHE_SCHEMA"]
+__all__ = ["ResultCache", "CacheStats", "current_code_version", "CACHE_SCHEMA"]
 
 #: bump when the cache file format itself changes.
 CACHE_SCHEMA = 1
@@ -32,6 +33,27 @@ def current_code_version() -> str:
     from .. import __version__
 
     return __version__
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Size and traffic counters of a :class:`ResultCache`.
+
+    ``entries``/``total_bytes`` describe the directory right now;
+    ``hits``/``misses`` count this *instance's* lookups (a hit is a
+    usable entry, a miss is anything else — absent, corrupt, foreign,
+    or written by a different code version).
+    """
+
+    entries: int
+    total_bytes: int
+    hits: int
+    misses: int
+
+    @property
+    def hit_rate(self) -> float:
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
 
 
 class ResultCache:
@@ -47,6 +69,9 @@ class ResultCache:
         self.code_version = (
             code_version if code_version is not None else current_code_version()
         )
+        #: lifetime lookup counters of this instance (see :meth:`stats`).
+        self.hits = 0
+        self.misses = 0
 
     # ------------------------------------------------------------------
     def _path(self, digest: str) -> pathlib.Path:
@@ -54,6 +79,14 @@ class ResultCache:
 
     def get(self, spec: RunSpec) -> Optional[RunRecord]:
         """The cached record for a spec, or None on any kind of miss."""
+        record = self._load(spec)
+        if record is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return record
+
+    def _load(self, spec: RunSpec) -> Optional[RunRecord]:
         path = self._path(spec.digest())
         try:
             payload = json.loads(path.read_text())
@@ -71,12 +104,14 @@ class ResultCache:
         meta = payload.get("record", {})
         metrics = payload.get("metrics")
         spans = payload.get("spans")
+        profile = payload.get("profile")
         return RunRecord(
             digest=spec.digest(),
             ok=True,
             measurement=RunRecord.measurement_from_dict(measurement_data),
             metrics=metrics if isinstance(metrics, dict) else None,
             spans=spans if isinstance(spans, list) else None,
+            profile=profile if isinstance(profile, list) else None,
             wall_time=float(meta.get("wall_time", 0.0)),
             worker=str(meta.get("worker", "")),
             attempts=int(meta.get("attempts", 1)),
@@ -104,6 +139,8 @@ class ResultCache:
             payload["metrics"] = record.metrics
         if record.spans is not None:
             payload["spans"] = record.spans
+        if record.profile is not None:
+            payload["profile"] = record.profile
         # Atomic publish: a reader either sees the old entry or the new
         # complete one, never a torn write.
         fd, tmp_name = tempfile.mkstemp(
@@ -121,13 +158,61 @@ class ResultCache:
             raise
 
     # ------------------------------------------------------------------
-    def __len__(self) -> int:
+    def _entries(self):
         if not self.directory.is_dir():
-            return 0
-        return sum(
-            1 for p in self.directory.iterdir()
-            if p.suffix == ".json" and not p.name.startswith(".")
+            return
+        for path in sorted(self.directory.iterdir()):
+            if path.suffix == ".json" and not path.name.startswith("."):
+                yield path
+
+    def stats(self) -> CacheStats:
+        """Directory totals plus this instance's hit/miss counters."""
+        entries = 0
+        total_bytes = 0
+        for path in self._entries():
+            entries += 1
+            try:
+                total_bytes += path.stat().st_size
+            except OSError:
+                pass
+        return CacheStats(
+            entries=entries, total_bytes=total_bytes,
+            hits=self.hits, misses=self.misses,
         )
+
+    def prune(self) -> int:
+        """Remove entries this code version can never serve again.
+
+        Deletes cache files that are corrupt (unreadable / not JSON /
+        wrong shape), carry a different :data:`CACHE_SCHEMA`, or were
+        written by a different code version.  Files that are not cache
+        entries at all (foreign extensions, dotfiles) are left alone.
+        Returns the number of files removed.
+        """
+        removed = 0
+        for path in self._entries():
+            stale = False
+            try:
+                payload = json.loads(path.read_text())
+            except (OSError, ValueError):
+                stale = True
+            else:
+                stale = (
+                    not isinstance(payload, dict)
+                    or payload.get("schema") != CACHE_SCHEMA
+                    or payload.get("code_version") != self.code_version
+                    or not isinstance(payload.get("measurement"), dict)
+                )
+            if stale:
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self._entries())
 
     def clear(self) -> int:
         """Delete every entry; returns how many were removed."""

@@ -33,6 +33,7 @@ __all__ = [
     "RunRecord",
     "callable_token",
     "execute_spec",
+    "profile_table",
     "run_trial",
     "run_trial_instrumented",
     "run_trial_full",
@@ -96,6 +97,8 @@ class RunSpec:
     metrics: bool = False
     #: collect causal provenance spans and attach them to the record.
     spans: bool = False
+    #: wrap the trial in cProfile and attach the hottest functions.
+    profile: bool = False
     faults: Optional[Tuple] = None
     label: str = field(default="", compare=False)
 
@@ -129,6 +132,11 @@ class RunSpec:
             # span-collecting trials get their own cache entries while
             # span-free specs keep their pre-existing digests.
             out["spans"] = True
+        if self.profile:
+            # Profiling never changes virtual-time results either, but a
+            # profiled record carries extra payload — own cache entries,
+            # unprofiled digests untouched.
+            out["profile"] = True
         return out
 
     def digest(self) -> str:
@@ -157,6 +165,9 @@ class RunRecord:
     metrics: Optional[Dict[str, Any]] = None
     #: per-run provenance spans (``spec.spans=True``), JSON-ready dicts.
     spans: Optional[list] = None
+    #: hottest functions by cumulative time (``spec.profile=True``),
+    #: JSON-ready rows — see :func:`profile_table`.
+    profile: Optional[list] = None
     error: Optional[str] = None
     #: wall-clock seconds the trial took inside its worker.
     wall_time: float = 0.0
@@ -246,19 +257,64 @@ def run_trial_full(
     )
 
 
+#: profile rows kept per run (top cumulative-time functions).
+PROFILE_TOP = 25
+
+
+def profile_table(stats, *, top: int = PROFILE_TOP) -> list:
+    """The hottest functions of a ``pstats.Stats``, as JSON-ready rows.
+
+    Each row is ``{"func": "module:lineno(name)", "ncalls": int,
+    "tottime": float, "cumtime": float}``, sorted by cumulative time.
+    Rows from different workers merge by summing (see
+    :func:`repro.obs.registry.aggregate_profiles`).
+    """
+    rows = []
+    for (filename, lineno, name), (_, ncalls, tottime, cumtime, _) in (
+        stats.stats.items()
+    ):
+        short = os.path.basename(filename) if filename else "~"
+        rows.append(
+            {
+                "func": f"{short}:{lineno}({name})",
+                "ncalls": int(ncalls),
+                "tottime": round(float(tottime), 6),
+                "cumtime": round(float(cumtime), 6),
+            }
+        )
+    rows.sort(key=lambda r: (-r["cumtime"], r["func"]))
+    return rows[:top]
+
+
 def execute_spec(spec: RunSpec) -> RunRecord:
     """Pool worker entry point: run one spec, never raise.
 
     Scenario exceptions come back as ``ok=False`` records (with the
     traceback) so the caller's retry policy sees soft and hard failures
     the same way; only interpreter death (crash/kill/timeout) surfaces
-    through the pool machinery itself.
+    through the pool machinery itself.  ``spec.profile`` wraps the
+    trial in ``cProfile`` and attaches the hottest functions to the
+    record (virtual-time results are unaffected).
     """
     digest = spec.digest()
     started = time.perf_counter()
     worker = f"pid-{os.getpid()}"
+    profile = None
     try:
-        measurement, metrics, spans = run_trial_full(spec)
+        if spec.profile:
+            import cProfile
+            import pstats
+
+            profiler = cProfile.Profile()
+            try:
+                measurement, metrics, spans = profiler.runcall(
+                    run_trial_full, spec
+                )
+            finally:
+                profiler.disable()
+            profile = profile_table(pstats.Stats(profiler))
+        else:
+            measurement, metrics, spans = run_trial_full(spec)
     except Exception:
         return RunRecord(
             digest=digest,
@@ -273,6 +329,7 @@ def execute_spec(spec: RunSpec) -> RunRecord:
         measurement=measurement,
         metrics=metrics,
         spans=spans,
+        profile=profile,
         wall_time=time.perf_counter() - started,
         worker=worker,
     )

@@ -38,7 +38,7 @@ from typing import Callable, List, Optional, Sequence, Union
 
 from .cache import ResultCache
 from .jobs import RunRecord, RunSpec, execute_spec
-from .progress import ProgressSink, SweepTiming, resolve_progress
+from .progress import ProgressSink, SweepTiming, TeeProgress, resolve_progress
 
 __all__ = ["ParallelRunner", "default_workers"]
 
@@ -68,6 +68,7 @@ class ParallelRunner:
         retries: int = 1,
         cache: Union[ResultCache, str, os.PathLike, None] = None,
         progress: Union[None, str, Callable, ProgressSink] = None,
+        registry=None,
     ) -> None:
         if n_workers < 1:
             raise ValueError(f"n_workers must be >= 1: {n_workers}")
@@ -80,6 +81,21 @@ class ParallelRunner:
             cache = ResultCache(cache)
         self.cache: Optional[ResultCache] = cache
         self.progress = resolve_progress(progress)
+        #: the telemetry recorder, when ``registry`` was given (a
+        #: ``RunRegistry``, a path, or a prepared ``RegistrySink``).
+        self.registry_sink = None
+        if registry is not None:
+            # Local import: repro.obs.registry imports this package.
+            from ..obs.registry import RegistrySink, resolve_registry
+
+            if isinstance(registry, RegistrySink):
+                self.registry_sink = registry
+            else:
+                self.registry_sink = RegistrySink(resolve_registry(registry))
+            # Recording rides the same event stream both execution paths
+            # (and cache hits) already emit, so serial and parallel runs
+            # record identically.
+            self.progress = TeeProgress(self.progress, self.registry_sink)
         #: timing stats of the most recent :meth:`run`.
         self.last_timing: Optional[SweepTiming] = None
 
@@ -88,6 +104,8 @@ class ParallelRunner:
         """Run every spec; the i-th record describes the i-th spec."""
         specs = list(specs)
         started = time.perf_counter()
+        hits_before = self.cache.hits if self.cache is not None else 0
+        misses_before = self.cache.misses if self.cache is not None else 0
         records: List[Optional[RunRecord]] = [None] * len(specs)
 
         pending: List[_Job] = []
@@ -114,6 +132,7 @@ class ParallelRunner:
         done = [r for r in records if r is not None]
         assert len(done) == len(specs), "runner lost a job"
         executed = [r for r in done if not r.cached]
+        cache_stats = self.cache.stats() if self.cache is not None else None
         timing = SweepTiming(
             elapsed=time.perf_counter() - started,
             jobs=len(specs),
@@ -122,6 +141,15 @@ class ParallelRunner:
             total_job_wall=sum(r.wall_time for r in executed),
             max_job_wall=max((r.wall_time for r in executed), default=0.0),
             workers=self.n_workers,
+            cache_hits=(
+                self.cache.hits - hits_before if self.cache is not None else 0
+            ),
+            cache_misses=(
+                self.cache.misses - misses_before
+                if self.cache is not None else 0
+            ),
+            cache_entries=cache_stats.entries if cache_stats else 0,
+            cache_bytes=cache_stats.total_bytes if cache_stats else 0,
         )
         self.last_timing = timing
         self.progress.sweep_finished(timing)

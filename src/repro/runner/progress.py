@@ -17,6 +17,7 @@ do with them.  Three built-ins cover the common cases:
 from __future__ import annotations
 
 import sys
+import time
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Optional, TextIO, Union
 
@@ -26,6 +27,7 @@ __all__ = [
     "ProgressSink",
     "LogProgress",
     "CallbackProgress",
+    "TeeProgress",
     "SweepTiming",
     "resolve_progress",
 ]
@@ -46,6 +48,13 @@ class SweepTiming:
     max_job_wall: float = 0.0
     #: worker processes used (1 == serial in-process).
     workers: int = 1
+    #: result-cache lookups this sweep (hits == ``cached``; misses are
+    #: trials that had to execute).  Both stay 0 without a cache.
+    cache_hits: int = 0
+    cache_misses: int = 0
+    #: cache directory totals after the sweep (entries / bytes on disk).
+    cache_entries: int = 0
+    cache_bytes: int = 0
 
     @property
     def executed(self) -> int:
@@ -80,15 +89,32 @@ class ProgressSink:
 
 
 class LogProgress(ProgressSink):
-    """One human-readable line per event, to ``stream`` (default stderr)."""
+    """One human-readable line per event, to ``stream`` (default stderr).
+
+    ``trial_finished`` lines carry running throughput (executed trials
+    per wall-clock second) and an ETA over the remaining trials, so a
+    long sweep's tail is predictable from the log alone.  Every line is
+    flushed as it is written, so piped logs stream in real time.
+    """
 
     def __init__(self, stream: Optional[TextIO] = None) -> None:
         self.stream = stream if stream is not None else sys.stderr
+        self._total = 0
+        self._done = 0
+        self._executed = 0
+        self._t0: Optional[float] = None
 
     def _emit(self, line: str) -> None:
         print(line, file=self.stream, flush=True)
+        flush = getattr(self.stream, "flush", None)
+        if flush is not None:
+            flush()
 
     def sweep_started(self, total: int, cached: int, workers: int) -> None:
+        self._total = total
+        self._done = 0
+        self._executed = 0
+        self._t0 = time.perf_counter()
         self._emit(
             f"[runner] {total} trials ({cached} cached), "
             f"{workers} worker{'s' if workers != 1 else ''}"
@@ -98,7 +124,23 @@ class LogProgress(ProgressSink):
         retry = f" (attempt {attempt})" if attempt > 1 else ""
         self._emit(f"[runner] > {spec.display()}{retry}")
 
+    def _pace(self) -> str:
+        """``k/total`` progress plus trials/sec and ETA, from the same
+        quantities :class:`SweepTiming` reports at sweep end."""
+        pace = f"{self._done}/{self._total}"
+        elapsed = (
+            time.perf_counter() - self._t0 if self._t0 is not None else 0.0
+        )
+        if self._executed and elapsed > 0:
+            rate = self._executed / elapsed
+            remaining = max(self._total - self._done, 0)
+            pace += f", {rate:.2f} trials/s, eta {remaining / rate:.0f}s"
+        return pace
+
     def job_finished(self, index: int, spec: RunSpec, record: RunRecord) -> None:
+        self._done += 1
+        if not record.cached:
+            self._executed += 1
         if record.cached:
             status = "cached"
         elif record.ok:
@@ -109,7 +151,7 @@ class LogProgress(ProgressSink):
                 f"FAILED after {record.attempts} attempt(s)"
                 + (f": {reason[-1]}" if reason else "")
             )
-        self._emit(f"[runner] < {spec.display()}: {status}")
+        self._emit(f"[runner] < {spec.display()}: {status} [{self._pace()}]")
 
     def sweep_finished(self, timing: SweepTiming) -> None:
         self._emit(
@@ -145,6 +187,29 @@ class CallbackProgress(ProgressSink):
 
     def sweep_finished(self, timing: SweepTiming) -> None:
         self.callback("sweep_finished", {"timing": timing})
+
+
+class TeeProgress(ProgressSink):
+    """Fan every event out to several sinks (log + registry recorder)."""
+
+    def __init__(self, *sinks: ProgressSink) -> None:
+        self.sinks = [s for s in sinks if s is not None]
+
+    def sweep_started(self, total: int, cached: int, workers: int) -> None:
+        for sink in self.sinks:
+            sink.sweep_started(total, cached, workers)
+
+    def job_started(self, index: int, spec: RunSpec, attempt: int) -> None:
+        for sink in self.sinks:
+            sink.job_started(index, spec, attempt)
+
+    def job_finished(self, index: int, spec: RunSpec, record: RunRecord) -> None:
+        for sink in self.sinks:
+            sink.job_finished(index, spec, record)
+
+    def sweep_finished(self, timing: SweepTiming) -> None:
+        for sink in self.sinks:
+            sink.sweep_finished(timing)
 
 
 def resolve_progress(

@@ -1,0 +1,104 @@
+"""Golden-file tests for the SVG chart helpers and graph summaries.
+
+The chart builders are pure functions of their inputs, so the exact SVG
+text is pinned; the graph summaries pin the plot-ready structural data
+of the stock topologies.  Regenerate intentional changes with::
+
+    REPRO_REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest tests/analysis/test_viz_golden.py
+"""
+
+import json
+
+from repro.analysis.graphs import cut_links, summarize_topology
+from repro.analysis.viz import SVG_PALETTE, svg_bar_chart, svg_line_chart
+from repro.topology.builders import barabasi_albert, clique, line, ring, star
+
+from .test_golden import check_golden
+
+#: two fig2-flavoured series: convergence medians vs SDN fraction.
+LINE_SERIES = [
+    ("run A", [(0.0, 96.1), (0.25, 71.9), (0.5, 47.6), (0.75, 24.0),
+               (1.0, 3.4)]),
+    ("run B", [(0.0, 95.8), (0.5, 48.1), (1.0, 3.2)]),
+]
+
+BARS = [("#1", 0.0), ("#2", 0.5), ("#3", 1.0), ("#4", 0.875)]
+
+
+class TestSvgGoldens:
+    def test_line_chart(self):
+        check_golden(
+            "line_chart.svg",
+            svg_line_chart(
+                LINE_SERIES,
+                title="median convergence vs fraction",
+                x_label="SDN fraction",
+                y_label="seconds",
+            ),
+        )
+
+    def test_bar_chart(self):
+        check_golden(
+            "bar_chart.svg",
+            svg_bar_chart(
+                BARS, title="cache hit rate", y_label="hit rate"
+            ),
+        )
+
+    def test_empty_series_placeholder(self):
+        svg = svg_line_chart([])
+        assert "(no data)" in svg
+        assert svg.startswith("<svg") and svg.endswith("</svg>")
+
+    def test_labels_are_escaped(self):
+        svg = svg_line_chart(
+            [("<evil> & co", [(0.0, 1.0), (1.0, 2.0)])],
+            title='a "quoted" <title>',
+        )
+        assert "<evil>" not in svg
+        assert "&lt;evil&gt;" in svg
+        assert "&lt;title&gt;" in svg
+
+    def test_every_series_gets_a_distinct_palette_color(self):
+        series = [
+            (f"s{i}", [(0.0, float(i)), (1.0, float(i + 1))])
+            for i in range(len(SVG_PALETTE))
+        ]
+        svg = svg_line_chart(series)
+        for color in SVG_PALETTE:
+            assert color in svg
+
+    def test_bar_values_annotated(self):
+        svg = svg_bar_chart([("x", 0.875)])
+        assert "0.875" in svg
+
+
+class TestGraphGoldens:
+    def test_stock_topology_summaries(self):
+        payload = {}
+        for name, topo in (
+            ("clique16", clique(16)),
+            ("ring8", ring(8)),
+            ("line6", line(6)),
+            ("star9", star(9)),
+            ("ba16", barabasi_albert(16, 2, seed=0)),
+        ):
+            summary = summarize_topology(topo)
+            payload[name] = {
+                "nodes": summary.nodes,
+                "edges": summary.edges,
+                "degree": [
+                    summary.min_degree,
+                    round(summary.mean_degree, 4),
+                    summary.max_degree,
+                ],
+                "diameter": summary.diameter,
+                "clustering": round(summary.avg_clustering, 4),
+                "connected": summary.connected,
+                "cut_links": cut_links(topo),
+                "describe": summary.describe(),
+            }
+        check_golden(
+            "topology_summaries.json",
+            json.dumps(payload, indent=1, sort_keys=True) + "\n",
+        )

@@ -1,0 +1,115 @@
+"""Dashboard rendering: structure checks plus one pinned golden page.
+
+The golden test records a fixed-seed fig2-style grid twice (wall times
+pinned, clock/git/version injected) and pins the exact HTML.  The
+measurement numbers inside are real simulator output — virtual-time
+deterministic, identical on any machine.  Regenerate after intentional
+changes with::
+
+    REPRO_REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest tests/obs/test_dashboard.py
+"""
+
+import dataclasses
+import os
+import pathlib
+
+import pytest
+
+from repro.obs.dashboard import render_dashboard
+from repro.runner import execute_spec
+from repro.runner.progress import SweepTiming
+
+from ..runner.test_jobs import make_spec
+from .test_registry import make_registry
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "golden"
+
+
+def check_golden(name: str, text: str) -> None:
+    path = GOLDEN_DIR / name
+    if os.environ.get("REPRO_REGEN_GOLDEN"):
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        path.write_text(text)
+    if not path.exists():
+        pytest.fail(
+            f"golden file {path} missing — regenerate with "
+            "REPRO_REGEN_GOLDEN=1"
+        )
+    assert text == path.read_text(), (
+        f"{name} drifted from its golden copy; if the change is "
+        "intentional, regenerate with REPRO_REGEN_GOLDEN=1 and commit"
+    )
+
+
+#: fig2-style grid on a 4-AS clique: (sdn_count, seed) per trial.
+GRID = [(0, 100), (0, 101), (2, 2100), (2, 2101), (3, 3100), (3, 3101)]
+
+
+def record_pinned_sweep(registry, *, wall_base: float) -> int:
+    """One recorded sweep of GRID with machine-independent wall times."""
+    sweep_id = registry.begin_sweep(scenario="WithdrawalScenario", n_ases=4)
+    walls = []
+    for i, (sdn_count, seed) in enumerate(GRID):
+        spec = make_spec(sdn_count=sdn_count, seed=seed)
+        record = execute_spec(spec)
+        wall = round(wall_base + 0.01 * i, 6)
+        walls.append(wall)
+        registry.record(
+            spec,
+            dataclasses.replace(record, wall_time=wall, worker="w0"),
+            sweep_id=sweep_id,
+        )
+    registry.finish_sweep(
+        sweep_id,
+        SweepTiming(
+            elapsed=round(sum(walls) * 0.6, 6), jobs=len(GRID), cached=0,
+            failed=0, total_job_wall=round(sum(walls), 6),
+            max_job_wall=max(walls), workers=2,
+            cache_hits=0, cache_misses=len(GRID),
+        ),
+    )
+    return sweep_id
+
+
+@pytest.fixture(scope="module")
+def recorded():
+    registry = make_registry()
+    record_pinned_sweep(registry, wall_base=0.05)
+    record_pinned_sweep(registry, wall_base=0.06)
+    return registry
+
+
+class TestDashboardStructure:
+    def test_self_contained_html(self, recorded):
+        html = render_dashboard(recorded)
+        assert html.startswith("<!DOCTYPE html>")
+        assert html.endswith("</html>")
+        # no external assets: everything inline (the only URL is the
+        # SVG xmlns namespace, which browsers never fetch)
+        assert "<script" not in html
+        assert "<link" not in html
+        assert 'src="http' not in html and 'href="http' not in html
+
+    def test_sections_present(self, recorded):
+        html = render_dashboard(recorded)
+        assert "Convergence vs SDN fraction — WithdrawalScenario" in html
+        assert "Metrics trends across sweeps" in html
+        assert "Wall-time breakdown per sweep" in html
+        assert "Regression gate" in html
+        assert "No regressions detected" in html
+        assert "<svg" in html
+
+    def test_empty_registry_renders(self):
+        html = render_dashboard(make_registry())
+        assert html.startswith("<!DOCTYPE html>")
+        assert "Regression gate" in html
+
+    def test_injected_provenance_shown(self, recorded):
+        html = render_dashboard(recorded)
+        assert "deadbee" in html
+        assert "generated 2026-01-01T00:00:00Z" in html
+
+
+class TestDashboardGolden:
+    def test_pinned_page(self, recorded):
+        check_golden("dashboard.html", render_dashboard(recorded))

@@ -1,0 +1,262 @@
+"""RunRegistry: recording, querying, gc, and the RegistrySink wiring."""
+
+import dataclasses
+
+import pytest
+
+from repro.experiments.common import WithdrawalScenario, run_fraction_sweep
+from repro.obs.registry import (
+    REGISTRY_SCHEMA,
+    RegistrySink,
+    RunRegistry,
+    aggregate_profiles,
+    resolve_registry,
+)
+from repro.runner import ParallelRunner, execute_spec
+
+from ..runner.test_jobs import make_spec
+
+
+def make_registry(**overrides) -> RunRegistry:
+    kwargs = dict(
+        path=":memory:",
+        git_rev="deadbee",
+        code_version="test",
+        clock=lambda: "2026-01-01T00:00:00Z",
+    )
+    kwargs.update(overrides)
+    return RunRegistry(**kwargs)
+
+
+class TestRecordAndQuery:
+    def test_record_round_trips_the_measurement(self):
+        registry = make_registry()
+        spec = make_spec()
+        record = execute_spec(spec)
+        run_id = registry.record(spec, record)
+
+        row = registry.run(run_id)
+        assert row is not None
+        assert row.spec_digest == spec.digest()
+        assert row.scenario == "WithdrawalScenario"
+        assert row.n == spec.n and row.sdn_count == spec.sdn_count
+        assert row.seed == spec.seed
+        assert row.fraction == pytest.approx(spec.sdn_count / spec.n)
+        assert row.ok and row.error is None
+        assert row.git_rev == "deadbee"
+        assert row.code_version == "test"
+        assert row.recorded_at == "2026-01-01T00:00:00Z"
+        assert (
+            row.measurement["t_converged"]
+            == record.measurement.t_converged
+        )
+        assert row.measurement["updates_tx"] == record.measurement.updates_tx
+
+    def test_failed_run_recorded_with_error(self):
+        from repro.runner import RunRecord
+
+        registry = make_registry()
+        spec = make_spec()
+        record = RunRecord(digest=spec.digest(), ok=False, error="boom")
+        run_id = registry.record(spec, record)
+        row = registry.run(run_id)
+        assert not row.ok
+        assert row.error == "boom"
+        assert registry.counts()["failed"] == 1
+
+    def test_metrics_snapshot_round_trips(self):
+        registry = make_registry()
+        spec = make_spec(metrics=True)
+        record = execute_spec(spec)
+        row = registry.run(registry.record(spec, record))
+        assert row.metrics == record.metrics
+        assert "counters" in row.metrics
+
+    def test_spans_become_instants_not_blobs(self):
+        registry = make_registry()
+        spec = make_spec(spans=True)
+        record = execute_spec(spec)
+        row = registry.run(registry.record(spec, record))
+        assert row.span_count == len(record.spans)
+        # the span list itself is summarized, not stored
+        assert row.instants, "per-AS convergence instants expected"
+        assert all(isinstance(t, float) for t in row.instants.values())
+
+    def test_runs_filtering(self):
+        registry = make_registry()
+        for seed in (7, 8):
+            spec = make_spec(seed=seed)
+            registry.record(spec, execute_spec(spec))
+        digest = make_spec(seed=7).digest()
+        assert [r.seed for r in registry.runs(digest=digest)] == [7]
+        assert len(registry.runs(scenario="WithdrawalScenario")) == 2
+        assert registry.runs(scenario="nope") == []
+        newest = registry.runs(newest_first=True, limit=1)
+        assert newest[0].seed == 8
+        assert len(registry.digests()) == 2
+
+    def test_schema_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "reg.sqlite"
+        registry = RunRegistry(path)
+        registry._conn.execute(
+            "UPDATE meta SET value='999' WHERE key='schema'"
+        )
+        registry._conn.commit()
+        registry.close()
+        with pytest.raises(ValueError, match="schema 999"):
+            RunRegistry(path)
+        assert REGISTRY_SCHEMA == 1
+
+    def test_resolve_registry_shorthand(self, tmp_path):
+        assert resolve_registry(None) is None
+        registry = make_registry()
+        assert resolve_registry(registry) is registry
+        opened = resolve_registry(tmp_path / "r.sqlite")
+        assert isinstance(opened, RunRegistry)
+        opened.close()
+
+
+class TestProfileStorage:
+    def test_profile_round_trips(self):
+        registry = make_registry()
+        spec = make_spec(profile=True)
+        record = execute_spec(spec)
+        assert record.profile, "profiled run must carry a table"
+        row = registry.run(registry.record(spec, record))
+        assert row.profile == record.profile
+        assert {"func", "ncalls", "tottime", "cumtime"} <= set(
+            row.profile[0]
+        )
+
+    def test_profile_flag_changes_digest_but_default_does_not(self):
+        assert make_spec().digest() != make_spec(profile=True).digest()
+        # profile=False must not perturb pre-existing digests
+        assert "profile" not in make_spec().describe()
+
+    def test_aggregate_profiles_merges_by_function(self):
+        merged = aggregate_profiles(
+            [
+                [{"func": "a.py:1(f)", "ncalls": 2, "tottime": 0.1,
+                  "cumtime": 0.5}],
+                None,
+                [{"func": "a.py:1(f)", "ncalls": 3, "tottime": 0.2,
+                  "cumtime": 0.25},
+                 {"func": "b.py:2(g)", "ncalls": 1, "tottime": 0.0,
+                  "cumtime": 0.1}],
+            ]
+        )
+        assert merged[0]["func"] == "a.py:1(f)"
+        assert merged[0]["ncalls"] == 5
+        assert merged[0]["cumtime"] == pytest.approx(0.75)
+        assert merged[1]["func"] == "b.py:2(g)"
+
+
+class TestSinkWiring:
+    def test_runner_records_every_trial(self):
+        registry = make_registry()
+        specs = [make_spec(seed=s) for s in (1, 2, 3)]
+        ParallelRunner(1, registry=registry).run(specs)
+
+        runs = registry.runs()
+        assert [r.seed for r in runs] == [1, 2, 3]
+        assert len({r.sweep_id for r in runs}) == 1
+        sweep = registry.sweep(runs[0].sweep_id)
+        assert sweep.scenario == "WithdrawalScenario"
+        assert sweep.jobs == 3 and sweep.failed == 0
+        assert sweep.elapsed is not None
+
+    def test_serial_and_parallel_record_identically(self):
+        serial, parallel = make_registry(), make_registry()
+        specs = [make_spec(seed=s) for s in (11, 12)]
+        ParallelRunner(1, registry=serial).run(specs)
+        ParallelRunner(2, registry=parallel).run(specs)
+
+        def deterministic(registry):
+            # parallel trials record in completion order; sort by digest
+            return sorted(
+                (r.spec_digest, r.measurement["t_converged"],
+                 r.measurement["updates_tx"])
+                for r in registry.runs()
+            )
+
+        assert deterministic(serial) == deterministic(parallel)
+
+    def test_cache_hits_recorded_with_provenance(self, tmp_path):
+        registry = make_registry()
+        kwargs = dict(n=4, sdn_counts=[0], runs=2, mrai=1.0)
+        run_fraction_sweep(
+            WithdrawalScenario, cache=str(tmp_path), **kwargs
+        )
+        result = run_fraction_sweep(
+            WithdrawalScenario, cache=str(tmp_path), registry=registry,
+            **kwargs,
+        )
+        assert result.timing.cached == 2
+        runs = registry.runs()
+        assert len(runs) == 2 and all(r.cached for r in runs)
+        sweep = registry.sweep(runs[0].sweep_id)
+        assert sweep.cache_hits == 2 and sweep.cache_misses == 0
+
+    def test_sink_accepts_explicit_instance(self):
+        registry = make_registry()
+        sink = RegistrySink(registry, label="custom")
+        ParallelRunner(1, registry=sink).run([make_spec()])
+        assert len(sink.run_ids) == 1
+        assert registry.sweeps()[0].label == "custom"
+
+
+class TestGC:
+    def _fill(self, registry, seeds):
+        for seed in seeds:
+            spec = make_spec(seed=seed)
+            record = execute_spec(spec)
+            sweep_id = registry.begin_sweep(scenario="WithdrawalScenario")
+            registry.record(spec, record, sweep_id=sweep_id)
+
+    def test_gc_keeps_newest_per_digest(self):
+        registry = make_registry()
+        spec = make_spec()
+        record = execute_spec(spec)
+        ids = [registry.record(spec, record) for _ in range(5)]
+        deleted = registry.gc(keep_last=2)
+        assert deleted == 3
+        survivors = [r.run_id for r in registry.runs(digest=spec.digest())]
+        assert survivors == ids[-2:]
+
+    def test_gc_drop_failed_and_orphan_sweeps(self):
+        from repro.runner import RunRecord
+
+        registry = make_registry()
+        spec = make_spec()
+        sweep_id = registry.begin_sweep(scenario="WithdrawalScenario")
+        registry.record(
+            spec, RunRecord(digest=spec.digest(), ok=False, error="x"),
+            sweep_id=sweep_id,
+        )
+        assert registry.gc(keep_last=10, drop_failed=True) == 1
+        assert registry.counts()["runs"] == 0
+        assert registry.sweeps() == []
+
+    def test_gc_rejects_negative(self):
+        with pytest.raises(ValueError):
+            make_registry().gc(keep_last=-1)
+
+
+class TestRunResultProfile:
+    def test_sweep_surfaces_profile_tables(self):
+        result = run_fraction_sweep(
+            WithdrawalScenario, n=4, sdn_counts=[0], runs=1, mrai=1.0,
+            profile=True,
+        )
+        (point,) = result.points
+        (run,) = point.runs
+        assert run.profile, "profile=True sweeps carry per-run tables"
+        assert all("cumtime" in row for row in run.profile)
+
+    def test_record_profile_survives_replace(self):
+        # dashboards/tests pin wall time via dataclasses.replace; the
+        # profile payload must ride along
+        spec = make_spec(profile=True)
+        record = execute_spec(spec)
+        pinned = dataclasses.replace(record, wall_time=0.5)
+        assert pinned.profile == record.profile

@@ -1,0 +1,213 @@
+"""Run diffing, regression gating, and the report-text tolerance gate."""
+
+import dataclasses
+
+import pytest
+
+from repro.obs.trends import (
+    compare_report_dirs,
+    compare_report_texts,
+    detect_regressions,
+    diff_runs,
+    diff_sweeps,
+    parse_number_token,
+)
+from repro.runner import ParallelRunner, execute_spec
+
+from ..runner.test_jobs import make_spec
+from .test_registry import make_registry
+
+
+def record_twice(registry, spec, *, wall_times=(0.1, 0.1)):
+    """The same spec executed and recorded once per wall time."""
+    record = execute_spec(spec)
+    ids = []
+    for wall in wall_times:
+        pinned = dataclasses.replace(record, wall_time=wall)
+        ids.append(registry.record(spec, pinned))
+    return ids
+
+
+class TestDiffRuns:
+    def test_same_digest_reruns_diff_clean(self):
+        registry = make_registry()
+        spec = make_spec(metrics=True, spans=True)
+        a = registry.run(registry.record(spec, execute_spec(spec)))
+        b = registry.run(registry.record(spec, execute_spec(spec)))
+        diff = diff_runs(a, b)
+        assert diff.same_digest
+        assert diff.ok
+        assert diff.deterministic_mismatches == []
+        # every deterministic family is actually compared
+        names = {f.name for f in diff.fields}
+        assert "measurement.t_converged" in names
+        assert "span_count" in names
+        assert any(n.startswith("instant.") for n in names)
+        assert any(n.startswith("metrics.") for n in names)
+
+    def test_deterministic_drift_fails_the_diff(self):
+        registry = make_registry()
+        spec = make_spec()
+        record = execute_spec(spec)
+        a = registry.run(registry.record(spec, record))
+        tampered = dataclasses.replace(record)
+        tampered.measurement = dataclasses.replace(
+            record.measurement, updates_tx=record.measurement.updates_tx + 1
+        )
+        b = registry.run(registry.record(spec, tampered))
+        diff = diff_runs(a, b)
+        assert not diff.ok
+        assert [f.name for f in diff.deterministic_mismatches] == [
+            "measurement.updates_tx"
+        ]
+
+    def test_wall_time_drift_is_informational_only(self):
+        registry = make_registry()
+        spec = make_spec()
+        a_id, b_id = record_twice(registry, spec, wall_times=(0.1, 10.0))
+        diff = diff_runs(registry.run(a_id), registry.run(b_id))
+        assert diff.ok, "timing drift alone never fails a diff"
+        assert [f.name for f in diff.timing_mismatches] == ["wall_time"]
+        assert diff.timing_mismatches[0].rel_error == pytest.approx(0.99)
+
+    def test_different_digests_not_ok(self):
+        registry = make_registry()
+        rows = []
+        for seed in (7, 8):
+            spec = make_spec(seed=seed)
+            rows.append(registry.run(registry.record(spec, execute_spec(spec))))
+        assert not diff_runs(*rows).ok
+
+
+class TestDiffSweeps:
+    def test_identical_sweeps_pair_and_pass(self):
+        registry = make_registry()
+        specs = [make_spec(seed=s) for s in (1, 2, 3)]
+        for _ in range(2):
+            ParallelRunner(1, registry=registry).run(specs)
+        a, b = [s.sweep_id for s in registry.sweeps()]
+        diff = diff_sweeps(registry, a, b)
+        assert len(diff.pairs) == 3
+        assert diff.ok
+        assert diff.only_in_a == [] and diff.only_in_b == []
+
+    def test_grid_mismatch_reported(self):
+        registry = make_registry()
+        ParallelRunner(1, registry=registry).run(
+            [make_spec(seed=1), make_spec(seed=2)]
+        )
+        ParallelRunner(1, registry=registry).run(
+            [make_spec(seed=2), make_spec(seed=3)]
+        )
+        a, b = [s.sweep_id for s in registry.sweeps()]
+        diff = diff_sweeps(registry, a, b)
+        assert not diff.ok
+        assert diff.only_in_a == [make_spec(seed=1).digest()]
+        assert diff.only_in_b == [make_spec(seed=3).digest()]
+        assert len(diff.pairs) == 1 and diff.pairs[0].ok
+
+
+class TestDetectRegressions:
+    def test_stable_history_stays_quiet(self):
+        registry = make_registry()
+        record_twice(
+            registry, make_spec(), wall_times=(0.1, 0.11, 0.09, 0.1)
+        )
+        assert detect_regressions(registry) == []
+
+    def test_inflated_wall_time_flagged(self):
+        registry = make_registry()
+        record_twice(
+            registry, make_spec(), wall_times=(0.1, 0.11, 0.09, 0.5)
+        )
+        (regression,) = detect_regressions(registry)
+        assert regression.kind == "wall_time"
+        assert regression.latest_value == pytest.approx(0.5)
+        assert regression.baseline_median == pytest.approx(0.1)
+        assert "wall time" in regression.describe()
+
+    def test_short_history_never_gates_wall_time(self):
+        registry = make_registry()
+        record_twice(registry, make_spec(), wall_times=(0.1, 9.9))
+        assert detect_regressions(registry, min_history=3) == []
+
+    def test_cached_runs_excluded_from_baseline_and_gate(self):
+        registry = make_registry()
+        spec = make_spec()
+        record = execute_spec(spec)
+        for wall in (0.1, 0.11, 0.09):
+            registry.record(
+                spec, dataclasses.replace(record, wall_time=wall)
+            )
+        # a cache hit is near-instant but must never be gated (nor
+        # poison the baseline for later executed runs)
+        hit = dataclasses.replace(record, wall_time=9.0, cached=True)
+        registry.record(spec, hit)
+        assert detect_regressions(registry) == []
+
+    def test_deterministic_drift_flagged(self):
+        registry = make_registry()
+        spec = make_spec()
+        record = execute_spec(spec)
+        registry.record(spec, record)
+        tampered = dataclasses.replace(record)
+        tampered.measurement = dataclasses.replace(
+            record.measurement,
+            t_converged=record.measurement.t_converged + 1.0,
+        )
+        registry.record(spec, tampered)
+        flagged = detect_regressions(registry)
+        assert [r.kind for r in flagged] == ["deterministic"]
+        assert "measurement.t_converged" in flagged[0].detail
+
+
+class TestReportGate:
+    """Parity with the old benchmarks/compare_baselines.py behaviour."""
+
+    def test_parse_number_token(self):
+        assert parse_number_token("12") == (12.0, True)
+        assert parse_number_token("2.5s") == (2.5, False)
+        assert parse_number_token("1.3x") == (1.3, False)
+        assert parse_number_token("85%") == (85.0, False)
+        assert parse_number_token("1,024") == (1024.0, False)
+        assert parse_number_token("(7);") == (7.0, True)
+        assert parse_number_token("rate") is None
+
+    def test_identical_reports_pass(self):
+        assert compare_report_texts("ran 12 in 3.5s", "ran 12 in 3.5s", 0.1) == []
+
+    def test_timing_within_tolerance_passes(self):
+        assert compare_report_texts("took 3.5s", "took 3.9s", 0.5) == []
+
+    def test_timing_outside_tolerance_fails(self):
+        problems = compare_report_texts("took 1.0s", "took 9.0s", 0.5)
+        assert any("tolerance" in p for p in problems)
+
+    def test_integer_drift_always_fails(self):
+        problems = compare_report_texts("count 7", "count 8", 0.9)
+        assert any("deterministic count" in p for p in problems)
+
+    def test_structure_change_fails(self):
+        problems = compare_report_texts("a b c", "a b", 0.5)
+        assert any("structure changed" in p for p in problems)
+
+    def test_compare_dirs(self, tmp_path):
+        base, cand = tmp_path / "base", tmp_path / "cand"
+        base.mkdir(), cand.mkdir()
+        (base / "a.txt").write_text("ran 3 in 1.0s")
+        (cand / "a.txt").write_text("ran 3 in 1.2s")
+        (base / "b.txt").write_text("count 5")
+        names, failures = compare_report_dirs(base, cand, 0.5)
+        assert names == ["a.txt", "b.txt"]
+        assert list(failures) == ["b.txt"]
+        assert failures["b.txt"] == ["missing from candidate directory"]
+
+    def test_compare_dirs_require(self, tmp_path):
+        base, cand = tmp_path / "base", tmp_path / "cand"
+        base.mkdir(), cand.mkdir()
+        (base / "a.txt").write_text("x")
+        (cand / "a.txt").write_text("x")
+        _, failures = compare_report_dirs(
+            base, cand, 0.5, require=["vital.txt"]
+        )
+        assert "vital.txt" in failures

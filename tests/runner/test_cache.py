@@ -196,6 +196,86 @@ class TestFaultScheduleDigests:
             assert out.stdout.strip() == spec.digest()
 
 
+class TestStatsAndPrune:
+    def test_empty_cache_stats(self, tmp_path):
+        stats = ResultCache(tmp_path / "absent").stats()
+        assert stats.entries == 0 and stats.total_bytes == 0
+        assert stats.hits == 0 and stats.misses == 0
+        assert stats.hit_rate == 0.0
+
+    def test_stats_count_entries_and_lookups(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = make_spec()
+        cache.get(spec)  # miss
+        cache.put(spec, execute_spec(spec))
+        cache.get(spec)  # hit
+        stats = cache.stats()
+        assert stats.entries == 1
+        assert stats.total_bytes > 0
+        assert stats.hits == 1 and stats.misses == 1
+        assert stats.hit_rate == 0.5
+
+    def test_prune_removes_corrupt_entries(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = make_spec()
+        cache.put(spec, execute_spec(spec))
+        (tmp_path / "broken.json").write_text("{not json")
+        (tmp_path / "wrong-shape.json").write_text('["a", "list"]')
+        assert cache.prune() == 2
+        assert cache.get(spec) is not None
+
+    def test_prune_removes_other_code_versions(self, tmp_path):
+        spec = make_spec()
+        old = ResultCache(tmp_path, code_version="1.0.0")
+        old.put(spec, execute_spec(spec))
+        new = ResultCache(tmp_path, code_version="2.0.0")
+        new.put(make_spec(seed=9), execute_spec(make_spec(seed=9)))
+        assert new.prune() == 1
+        assert old.get(spec) is None
+        assert new.get(make_spec(seed=9)) is not None
+
+    def test_prune_leaves_foreign_files_alone(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        (tmp_path / "README.txt").write_text("not a cache entry")
+        (tmp_path / ".tmp-half.json").write_text("{")
+        assert cache.prune() == 0
+        assert (tmp_path / "README.txt").exists()
+        assert (tmp_path / ".tmp-half.json").exists()
+
+    def test_profile_round_trips(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = make_spec(profile=True)
+        record = execute_spec(spec)
+        assert record.profile
+        cache.put(spec, record)
+        hit = cache.get(spec)
+        assert hit.profile == record.profile
+
+    def test_sweep_timing_carries_cache_traffic(self, tmp_path):
+        kwargs = dict(n=4, sdn_counts=[0], runs=2, mrai=1.0)
+        cold = run_fraction_sweep(
+            WithdrawalScenario, cache=str(tmp_path), **kwargs
+        )
+        assert cold.timing.cache_hits == 0
+        assert cold.timing.cache_misses == 2
+        assert cold.timing.cache_entries == 2
+        assert cold.timing.cache_bytes > 0
+
+        warm = run_fraction_sweep(
+            WithdrawalScenario, cache=str(tmp_path), **kwargs
+        )
+        assert warm.timing.cache_hits == 2
+        assert warm.timing.cache_misses == 0
+
+    def test_sweep_timing_zero_without_cache(self):
+        result = run_fraction_sweep(
+            WithdrawalScenario, n=4, sdn_counts=[0], runs=1, mrai=1.0,
+        )
+        assert result.timing.cache_hits == 0
+        assert result.timing.cache_misses == 0
+        assert result.timing.cache_entries == 0
+
+
 class TestSweepIntegration:
     def test_warm_cache_executes_zero_trials(self, tmp_path):
         kwargs = dict(n=4, sdn_counts=[0, 2], runs=2, mrai=1.0)

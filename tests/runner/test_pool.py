@@ -153,3 +153,31 @@ class TestProgress:
         assert finished["record"].ok
         (done,) = seen["sweep_finished"]
         assert done["timing"].jobs == 1
+
+    def test_log_lines_carry_pace_and_eta(self, capsys):
+        import re
+        import sys
+
+        from repro.runner import LogProgress
+
+        specs = [make_spec(seed=s) for s in (61, 62)]
+        ParallelRunner(1, progress=LogProgress(stream=sys.stderr)).run(specs)
+        err = capsys.readouterr().err
+        finished = [line for line in err.splitlines() if "] < " in line]
+        assert len(finished) == 2
+        assert re.search(r"\[1/2, \d+\.\d\d trials/s, eta \d+s\]", finished[0])
+        assert "[2/2" in finished[1]
+
+    def test_tee_fans_out_to_every_sink(self):
+        from repro.runner import TeeProgress
+
+        seen_a, seen_b = [], []
+        tee = TeeProgress(
+            CallbackProgress(lambda name, _: seen_a.append(name)),
+            None,  # None sinks are dropped, not called
+            CallbackProgress(lambda name, _: seen_b.append(name)),
+        )
+        ParallelRunner(1, progress=tee).run([make_spec()])
+        assert seen_a == seen_b
+        assert seen_a[0] == "sweep_started"
+        assert seen_a[-1] == "sweep_finished"
