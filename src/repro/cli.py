@@ -833,6 +833,26 @@ def cmd_runs_diff(args) -> int:
 
 def cmd_runs_gc(args) -> int:
     with _open_registry(args) as registry:
+        if args.dry_run:
+            plan = registry.gc_plan(
+                keep_last=args.keep_last, drop_failed=args.drop_failed
+            )
+            counts = registry.counts()
+            args.out.emit(
+                f"would delete {len(plan)} of {counts['runs']} run row(s) "
+                f"across {counts['digests']} digest(s)"
+            )
+            for run_id in plan:
+                row = registry.run(run_id)
+                if row is None:
+                    continue
+                status = "ok" if row.ok else "FAILED"
+                args.out.emit(
+                    f"  run {run_id}: {row.scenario} "
+                    f"digest={row.spec_digest[:12]} {status} "
+                    f"recorded {row.recorded_at}"
+                )
+            return 0
         deleted = registry.gc(
             keep_last=args.keep_last, drop_failed=args.drop_failed
         )
@@ -840,6 +860,152 @@ def cmd_runs_gc(args) -> int:
     args.out.emit(
         f"deleted {deleted} run row(s); {counts['runs']} run(s) across "
         f"{counts['digests']} digest(s) remain"
+    )
+    return 0
+
+
+def cmd_serve(args) -> int:
+    from .service import ServiceConfig, run_service
+
+    cache_dir = args.cache_dir or os.environ.get(CACHE_DIR_ENV)
+    if args.no_cache:
+        cache_dir = None
+    registry = (
+        args.registry
+        or os.environ.get(REGISTRY_ENV)
+        or DEFAULT_REGISTRY_PATH
+    )
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        cache_dir=cache_dir,
+        registry_path=registry,
+        concurrency=args.concurrency,
+        max_queue=args.max_queue,
+        quota=args.quota,
+    )
+
+    def announce(host: str, port: int) -> None:
+        # Always emitted (and flushed): the smoke harness parses this
+        # line to learn the ephemeral port when started with --port 0.
+        args.out.emit(f"serving on http://{host}:{port}")
+        args.out.stream.flush()
+        args.out.info(
+            f"cache: {cache_dir or 'off'}; registry: {registry}; "
+            f"workers: {args.concurrency}; queue: {args.max_queue}; "
+            f"quota: {args.quota}/client"
+        )
+
+    run_service(config, announce=announce)
+    return 0
+
+
+def _service_client(args):
+    from .service import ServiceClient
+
+    return ServiceClient(
+        args.host, args.port,
+        client_id=args.client_id, timeout=args.timeout,
+    )
+
+
+def _load_payload(source: str) -> dict:
+    import json as _json
+
+    text = sys.stdin.read() if source == "-" else None
+    if text is None:
+        if os.path.exists(source):
+            with open(source) as handle:
+                text = handle.read()
+        else:
+            text = source  # inline JSON
+    try:
+        return _json.loads(text)
+    except ValueError as exc:
+        raise SystemExit(f"payload is not valid JSON: {exc}")
+
+
+def _watch_job(client, digest: str, out: Output) -> dict:
+    def on_event(name, payload):
+        if name == "job_started":
+            out.info(f"[{digest[:12]}] started: {payload.get('label', '')}")
+        elif name == "job_finished":
+            record = payload.get("record", {})
+            status = "ok" if record.get("ok") else "failed"
+            if record.get("cached"):
+                status = "cached"
+            out.info(f"[{digest[:12]}] finished: {status}")
+
+    return client.watch(digest, on_event=on_event)
+
+
+def cmd_client_submit(args) -> int:
+    import json as _json
+
+    from .service import ServiceClientError
+
+    client = _service_client(args)
+    payload = _load_payload(args.payload)
+    if "spec" not in payload and "grid" not in payload:
+        payload = {"spec": payload}
+    try:
+        jobs = client.submit(payload)
+    except ServiceClientError as exc:
+        args.out.emit(f"submission rejected: {exc}")
+        if exc.retry_after is not None:
+            args.out.emit(f"retry after {exc.retry_after:.0f}s")
+        if exc.detail:
+            for line in exc.detail:
+                args.out.emit(f"  - {line}")
+        return 1
+    for job in jobs:
+        args.out.emit(f"{job['digest']}  {job['state']}  {job['label']}")
+    if not args.watch:
+        return 0
+    failed = 0
+    for job in jobs:
+        final = _watch_job(client, job["digest"], args.out)
+        record = final.get("record", {})
+        if not record.get("ok"):
+            failed += 1
+        args.out.emit(
+            _json.dumps(
+                {"digest": job["digest"], **record}, sort_keys=True
+            )
+        )
+    return 1 if failed else 0
+
+
+def cmd_client_status(args) -> int:
+    import json as _json
+
+    args.out.emit(
+        _json.dumps(_service_client(args).status(args.digest), sort_keys=True)
+    )
+    return 0
+
+
+def cmd_client_result(args) -> int:
+    body = _service_client(args).result_bytes(args.digest)
+    args.out.stream.write(body.decode("utf-8"))
+    return 0
+
+
+def cmd_client_watch(args) -> int:
+    import json as _json
+
+    client = _service_client(args)
+    final = _watch_job(client, args.digest, args.out)
+    args.out.emit(_json.dumps(final, sort_keys=True))
+    record = final.get("record", {})
+    return 0 if record.get("ok") else 1
+
+
+def cmd_client_cancel(args) -> int:
+    import json as _json
+
+    args.out.emit(
+        _json.dumps(_service_client(args).cancel(args.digest), sort_keys=True)
     )
     return 0
 
@@ -1260,7 +1426,80 @@ def build_parser() -> argparse.ArgumentParser:
                     help="newest runs to keep per spec digest")
     rp.add_argument("--drop-failed", action="store_true",
                     help="also delete every failed run")
+    rp.add_argument("--dry-run", action="store_true",
+                    help="delete nothing; list the runs that would go")
     rp.set_defaults(func=cmd_runs_gc)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the emulation service (HTTP control plane over the "
+             "sweep runner; see docs/service.md)",
+    )
+    p.add_argument("--host", type=str, default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8351,
+                   help="listen port (0 picks an ephemeral port, "
+                        "announced on stdout)")
+    p.add_argument("--cache-dir", type=str, default=None,
+                   help=f"result-cache directory (also via ${CACHE_DIR_ENV})")
+    p.add_argument("--no-cache", action="store_true",
+                   help="serve without a result cache (every submission "
+                        "executes)")
+    p.add_argument("--registry", type=str, default=None,
+                   help="telemetry registry every run records into "
+                        f"(default: ${REGISTRY_ENV} or "
+                        f"{DEFAULT_REGISTRY_PATH})")
+    p.add_argument("--concurrency", type=int, default=1,
+                   help="jobs executed at once (worker threads)")
+    p.add_argument("--max-queue", type=int, default=64,
+                   help="queued jobs before submissions get 429")
+    p.add_argument("--quota", type=int, default=8,
+                   help="active jobs allowed per client id")
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "client",
+        help="talk to a running service: submit, watch, fetch results",
+    )
+    p.add_argument("--host", type=str, default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8351)
+    p.add_argument("--client-id", type=str, default="cli",
+                   help="client identity for quota accounting "
+                        "(X-Repro-Client header)")
+    p.add_argument("--timeout", type=float, default=300.0,
+                   help="per-request timeout in seconds")
+    clsub = p.add_subparsers(dest="client_command", required=True)
+
+    clp = clsub.add_parser(
+        "submit",
+        help="submit a spec/grid payload (file path, '-' for stdin, "
+             "or inline JSON)",
+    )
+    clp.add_argument("payload",
+                     help='e.g. \'{"scenario": "withdrawal", "n": 8, '
+                          '"sdn_count": 4, "seed": 7}\'')
+    clp.add_argument("--watch", action="store_true",
+                     help="stream progress until every job finishes")
+    clp.set_defaults(func=cmd_client_submit)
+
+    clp = clsub.add_parser("status", help="one job's state")
+    clp.add_argument("digest")
+    clp.set_defaults(func=cmd_client_status)
+
+    clp = clsub.add_parser(
+        "result", help="a finished job's full result record (JSON)"
+    )
+    clp.add_argument("digest")
+    clp.set_defaults(func=cmd_client_result)
+
+    clp = clsub.add_parser(
+        "watch", help="stream a job's SSE progress to completion"
+    )
+    clp.add_argument("digest")
+    clp.set_defaults(func=cmd_client_watch)
+
+    clp = clsub.add_parser("cancel", help="cancel a queued/running job")
+    clp.add_argument("digest")
+    clp.set_defaults(func=cmd_client_cancel)
 
     p = sub.add_parser(
         "cache", help="result-cache introspection and maintenance"

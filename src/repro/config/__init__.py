@@ -1,7 +1,36 @@
-"""Configuration management: address allocation and config rendering."""
+"""Configuration management: address allocation, config rendering, and
+JSON spec ingestion for the service API."""
 
 from .allocator import AllocationError, PrefixAllocator
 from .templates import render_bgpd_conf, render_exabgp_conf, render_route_map
+
+# Spec ingestion resolves scenario/topology names against
+# repro.experiments, which imports repro.framework, which imports this
+# package — so specio must load lazily (PEP 562) to stay cycle-free.
+_LAZY = {
+    "SpecIngestError": ".specio",
+    "runspec_from_json": ".specio",
+    "grid_from_json": ".specio",
+    "specs_from_json": ".specio",
+    "spec_payload": ".specio",
+    "scenario_names": ".specio",
+    "topology_names": ".specio",
+}
+
+
+def __getattr__(name):
+    if name in _LAZY:
+        from importlib import import_module
+
+        value = getattr(import_module(_LAZY[name], __name__), name)
+        globals()[name] = value
+        return value
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_LAZY))
+
 
 __all__ = [
     "AllocationError",
@@ -9,4 +38,11 @@ __all__ = [
     "render_bgpd_conf",
     "render_exabgp_conf",
     "render_route_map",
+    "SpecIngestError",
+    "runspec_from_json",
+    "grid_from_json",
+    "specs_from_json",
+    "spec_payload",
+    "scenario_names",
+    "topology_names",
 ]

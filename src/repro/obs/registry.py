@@ -543,36 +543,62 @@ class RunRegistry:
     # ------------------------------------------------------------------
     # maintenance
     # ------------------------------------------------------------------
-    def gc(
+    def gc_plan(
         self,
         *,
         keep_last: int = 20,
         drop_failed: bool = False,
-    ) -> int:
-        """Trim history: keep the newest ``keep_last`` runs per digest.
+    ) -> List[int]:
+        """The run_ids :meth:`gc` would delete, without deleting them.
 
-        ``drop_failed`` additionally removes every failed run.  Sweeps
-        whose runs are all gone are removed too.  Returns the number of
-        deleted run rows.
+        The list is sorted ascending and duplicate-free, so operators
+        can size retention (``repro runs gc --dry-run``) before
+        committing to it.
         """
         if keep_last < 0:
             raise ValueError(f"keep_last must be >= 0: {keep_last}")
-        deleted = 0
+        doomed = set()
         if drop_failed:
-            deleted += self._conn.execute(
-                "DELETE FROM runs WHERE ok=0"
-            ).rowcount
+            doomed.update(
+                r["run_id"]
+                for r in self._conn.execute(
+                    "SELECT run_id FROM runs WHERE ok=0"
+                ).fetchall()
+            )
         for digest in self.digests():
             rows = self._conn.execute(
                 "SELECT run_id FROM runs WHERE spec_digest=? "
                 "ORDER BY run_id DESC", (digest,),
             ).fetchall()
-            stale = [r["run_id"] for r in rows[keep_last:]]
-            if stale:
-                marks = ",".join("?" * len(stale))
-                deleted += self._conn.execute(
-                    f"DELETE FROM runs WHERE run_id IN ({marks})", stale
-                ).rowcount
+            survivors = [
+                r["run_id"] for r in rows if r["run_id"] not in doomed
+            ]
+            doomed.update(survivors[keep_last:])
+        return sorted(doomed)
+
+    def gc(
+        self,
+        *,
+        keep_last: int = 20,
+        drop_failed: bool = False,
+        dry_run: bool = False,
+    ) -> int:
+        """Trim history: keep the newest ``keep_last`` runs per digest.
+
+        ``drop_failed`` additionally removes every failed run.  Sweeps
+        whose runs are all gone are removed too.  ``dry_run`` deletes
+        nothing and just reports what would go (see :meth:`gc_plan`).
+        Returns the number of (to-be-)deleted run rows.
+        """
+        stale = self.gc_plan(keep_last=keep_last, drop_failed=drop_failed)
+        if dry_run:
+            return len(stale)
+        deleted = 0
+        if stale:
+            marks = ",".join("?" * len(stale))
+            deleted = self._conn.execute(
+                f"DELETE FROM runs WHERE run_id IN ({marks})", stale
+            ).rowcount
         self._conn.execute(
             "DELETE FROM sweeps WHERE sweep_id NOT IN "
             "(SELECT DISTINCT sweep_id FROM runs WHERE sweep_id IS NOT NULL)"

@@ -22,11 +22,14 @@ from .jobs import (
 )
 from .pool import ParallelRunner, default_workers
 from .progress import (
+    AsyncQueueProgress,
     CallbackProgress,
+    JsonProgress,
     LogProgress,
     ProgressSink,
     SweepTiming,
     TeeProgress,
+    record_summary,
     resolve_progress,
 )
 
@@ -45,10 +48,13 @@ __all__ = [
     "run_trial_full",
     "ParallelRunner",
     "default_workers",
+    "AsyncQueueProgress",
     "CallbackProgress",
+    "JsonProgress",
     "LogProgress",
     "ProgressSink",
     "SweepTiming",
     "TeeProgress",
+    "record_summary",
     "resolve_progress",
 ]

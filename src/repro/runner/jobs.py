@@ -177,6 +177,9 @@ class RunRecord:
     attempts: int = 1
     #: True when the record came from the result cache, not execution.
     cached: bool = False
+    #: True when the job was cancelled by request (``ok`` is False and
+    #: the record is never cached).
+    cancelled: bool = False
 
     def measurement_dict(self) -> Dict[str, Any]:
         """JSON-ready measurement fields (for the cache)."""

@@ -29,6 +29,7 @@ their deadline are requeued without being charged an attempt.
 from __future__ import annotations
 
 import os
+import threading
 import time
 from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor
@@ -98,6 +99,43 @@ class ParallelRunner:
             self.progress = TeeProgress(self.progress, self.registry_sink)
         #: timing stats of the most recent :meth:`run`.
         self.last_timing: Optional[SweepTiming] = None
+        self._cancelled: set = set()
+        self._cancel_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # cancellation
+    # ------------------------------------------------------------------
+    def cancel(self, digest: str) -> bool:
+        """Request cancellation of every job with this spec digest.
+
+        Safe to call from any thread while :meth:`run` executes in
+        another.  Cancellation takes effect at scheduling boundaries: a
+        queued job is never started, an in-flight job's result is
+        discarded when it lands (its worker is not interrupted
+        mid-trial).  Cache hits and already-finalized records are
+        unaffected — a cancelled job yields an ``ok=False`` record with
+        ``cancelled=True`` that is **never** written to the cache.
+
+        Returns True (the request is recorded; whether a matching job is
+        still pending is for the caller's bookkeeping).
+        """
+        with self._cancel_lock:
+            self._cancelled.add(digest)
+        return True
+
+    def _is_cancelled(self, spec: RunSpec) -> bool:
+        with self._cancel_lock:
+            return spec.digest() in self._cancelled
+
+    @staticmethod
+    def _cancelled_record(job: _Job) -> RunRecord:
+        return RunRecord(
+            digest=job.spec.digest(),
+            ok=False,
+            cancelled=True,
+            error="cancelled by request before completion",
+            attempts=job.attempts,
+        )
 
     # ------------------------------------------------------------------
     def run(self, specs: Sequence[RunSpec]) -> List[RunRecord]:
@@ -167,10 +205,18 @@ class ParallelRunner:
         """
         for job in jobs:
             while True:
+                if self._is_cancelled(job.spec):
+                    self._finalize(job, self._cancelled_record(job), records)
+                    break
                 job.attempts += 1
                 self.progress.job_started(job.index, job.spec, job.attempts)
                 record = execute_spec(job.spec)
                 record.worker = "serial"
+                if self._is_cancelled(job.spec):
+                    # Cancelled mid-trial: discard the result (never
+                    # cache it) and report the cancellation.
+                    self._finalize(job, self._cancelled_record(job), records)
+                    break
                 if record.ok or job.attempts > self.retries:
                     record.attempts = job.attempts
                     self._finalize(job, record, records)
@@ -196,6 +242,11 @@ class ParallelRunner:
             while queue or inflight:
                 while queue and len(inflight) < self.n_workers:
                     job = queue.popleft()
+                    if self._is_cancelled(job.spec):
+                        self._finalize(
+                            job, self._cancelled_record(job), records
+                        )
+                        continue
                     job.attempts += 1
                     self.progress.job_started(job.index, job.spec, job.attempts)
                     future = executor.submit(execute_spec, job.spec)
@@ -204,6 +255,10 @@ class ParallelRunner:
                         if self.timeout is not None else None
                     )
                     inflight[future] = (job, deadline)
+
+                if not inflight:
+                    # Everything left in the queue was cancelled.
+                    continue
 
                 wait_for = None
                 if self.timeout is not None:
@@ -232,7 +287,11 @@ class ParallelRunner:
                         broken = True
                         continue
                     record = future.result()
-                    if record.ok:
+                    if self._is_cancelled(job.spec):
+                        self._finalize(
+                            job, self._cancelled_record(job), records
+                        )
+                    elif record.ok:
                         record.attempts = job.attempts
                         self._finalize(job, record, records)
                     elif job.attempts > self.retries:

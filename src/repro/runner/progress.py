@@ -8,6 +8,12 @@ do with them.  Three built-ins cover the common cases:
 - :class:`CallbackProgress` — forwards ``(event, payload)`` pairs to a
   callable (GUIs, notebooks, tests).
 
+Two more sinks serve machine consumers: :class:`JsonProgress` turns
+every event into one JSON-ready dict (the wire shape of the service
+API's SSE stream), and :class:`AsyncQueueProgress` bridges the runner's
+synchronous event stream into an :class:`asyncio.Queue` without ever
+blocking the worker thread.
+
 :func:`resolve_progress` maps the user-facing shorthand (``None``,
 ``"quiet"``, ``"log"``, a callable, or a sink instance) onto a sink.
 :class:`SweepTiming` is the aggregate the runner hands to
@@ -18,7 +24,7 @@ from __future__ import annotations
 
 import sys
 import time
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from typing import Any, Callable, Dict, Optional, TextIO, Union
 
 from .jobs import RunRecord, RunSpec
@@ -28,7 +34,10 @@ __all__ = [
     "LogProgress",
     "CallbackProgress",
     "TeeProgress",
+    "JsonProgress",
+    "AsyncQueueProgress",
     "SweepTiming",
+    "record_summary",
     "resolve_progress",
 ]
 
@@ -210,6 +219,126 @@ class TeeProgress(ProgressSink):
     def sweep_finished(self, timing: SweepTiming) -> None:
         for sink in self.sinks:
             sink.sweep_finished(timing)
+
+
+def record_summary(record: RunRecord) -> Dict[str, Any]:
+    """A small JSON-ready summary of a :class:`RunRecord`.
+
+    This is what travels over the service API's event stream — headline
+    measurement numbers, not the full trace/span payload (fetch the
+    result endpoint for those).
+    """
+    out: Dict[str, Any] = {
+        "digest": record.digest,
+        "ok": record.ok,
+        "cached": record.cached,
+        "cancelled": record.cancelled,
+        "wall_time": record.wall_time,
+        "worker": record.worker,
+        "attempts": record.attempts,
+    }
+    if record.measurement is not None:
+        out["convergence_time"] = record.measurement.convergence_time
+        out["updates_tx"] = record.measurement.updates_tx
+    if record.error:
+        lines = record.error.strip().splitlines()
+        out["error"] = lines[-1] if lines else record.error.strip()
+    return out
+
+
+class JsonProgress(ProgressSink):
+    """Every event as one JSON-ready dict, via ``emit(payload)``.
+
+    The payloads are the wire shape of the service API's SSE stream:
+    ``{"event": <name>, ...}`` with specs reduced to digest/label and
+    records to :func:`record_summary`.  Subclass and override
+    :meth:`emit`, or pass a callable.
+    """
+
+    def __init__(
+        self, emit: Optional[Callable[[Dict[str, Any]], None]] = None
+    ) -> None:
+        if emit is not None:
+            self.emit = emit  # type: ignore[method-assign]
+
+    def emit(self, payload: Dict[str, Any]) -> None:
+        """Receive one JSON-ready event payload (override me)."""
+
+    def sweep_started(self, total: int, cached: int, workers: int) -> None:
+        self.emit(
+            {
+                "event": "sweep_started",
+                "total": total,
+                "cached": cached,
+                "workers": workers,
+            }
+        )
+
+    def job_started(self, index: int, spec: RunSpec, attempt: int) -> None:
+        self.emit(
+            {
+                "event": "job_started",
+                "index": index,
+                "digest": spec.digest(),
+                "label": spec.display(),
+                "attempt": attempt,
+            }
+        )
+
+    def job_finished(self, index: int, spec: RunSpec, record: RunRecord) -> None:
+        self.emit(
+            {
+                "event": "job_finished",
+                "index": index,
+                "digest": spec.digest(),
+                "label": spec.display(),
+                "record": record_summary(record),
+            }
+        )
+
+    def sweep_finished(self, timing: SweepTiming) -> None:
+        self.emit({"event": "sweep_finished", "timing": asdict(timing)})
+
+
+class AsyncQueueProgress(JsonProgress):
+    """Bridge runner progress into an :class:`asyncio.Queue`.
+
+    The runner executes in a worker thread; consumers await the queue on
+    the event loop.  Every event is posted with
+    ``loop.call_soon_threadsafe`` + ``put_nowait`` so the worker thread
+    **never blocks** on a slow or gone consumer: if the queue is full or
+    the loop already closed, the event is counted in ``dropped`` and the
+    sweep carries on.  ``call_soon_threadsafe`` callbacks run in
+    scheduling order, so consumers observe events in exactly the order
+    the runner emitted them.
+    """
+
+    def __init__(self, loop, queue, *, on_drop: Optional[Callable] = None):
+        self.loop = loop
+        self.queue = queue
+        self.dropped = 0
+        self.on_drop = on_drop
+
+    def emit(self, payload: Dict[str, Any]) -> None:
+        try:
+            self.loop.call_soon_threadsafe(self._put, payload)
+        except RuntimeError:
+            # Event loop closed under us — nobody is listening.
+            self._drop()
+
+    def _put(self, payload: Dict[str, Any]) -> None:
+        try:
+            self.queue.put_nowait(payload)
+        except Exception:
+            self._drop()
+
+    def _drop(self) -> None:
+        self.dropped += 1
+        if self.on_drop is not None:
+            try:
+                self.on_drop()
+            except Exception:
+                pass
 
 
 def resolve_progress(

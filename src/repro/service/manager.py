@@ -1,0 +1,499 @@
+"""Async job management over the sweep runner.
+
+:class:`JobManager` is the service's brain: it owns the job table, the
+FIFO queue, the worker coroutines and the thread pool the blocking
+runner executes on.  Its invariants:
+
+- **one job per digest** — concurrent submissions of the same spec
+  attach to one :class:`Job`; exactly one trial executes and every
+  attached client reads the same record;
+- **content-addressed dedup** — a digest already answered by the
+  :class:`~repro.runner.cache.ResultCache` (or recorded ok in the
+  :class:`~repro.obs.registry.RunRegistry`) becomes an already-done job
+  without touching the queue;
+- **explicit backpressure** — per-client quotas and a bounded queue;
+  violations raise :class:`QuotaExceeded` / :class:`QueueFull` carrying
+  a ``retry_after`` hint (the HTTP layer maps both onto 429 +
+  ``Retry-After``), and a batch submission is all-or-nothing;
+- **never block the loop** — the runner executes in a thread, progress
+  crosses back via :class:`~repro.runner.progress.AsyncQueueProgress`,
+  and slow/vanished SSE subscribers just drop frames
+  (``put_nowait`` on a bounded queue) instead of stalling the worker;
+- **everything recorded** — each executed job opens the registry
+  *inside its worker thread* (sqlite connections are thread-bound) and
+  records through the ordinary :class:`RegistrySink` event path.
+
+All public methods must be called from the event-loop thread.
+``submit_many`` contains no awaits, so a whole batch admission is
+atomic under asyncio's run-to-completion semantics.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Set
+
+from ..runner.cache import ResultCache
+from ..runner.jobs import RunRecord, RunSpec
+from ..runner.pool import ParallelRunner
+from ..runner.progress import AsyncQueueProgress, TeeProgress, record_summary
+
+__all__ = [
+    "Job",
+    "JobManager",
+    "QueueFull",
+    "QuotaExceeded",
+    "SubmitRejected",
+]
+
+#: job states (terminal: done / failed / cancelled).
+QUEUED, RUNNING, DONE, FAILED, CANCELLED = (
+    "queued", "running", "done", "failed", "cancelled",
+)
+TERMINAL = frozenset({DONE, FAILED, CANCELLED})
+
+#: per-subscriber SSE buffer (frames beyond this are dropped for that
+#: subscriber only; the job and other subscribers are unaffected).
+SUBSCRIBER_BUFFER = 256
+#: per-job progress-event replay kept for late subscribers.
+EVENT_HISTORY = 512
+#: terminal jobs kept in the table before eviction (FIFO).
+HISTORY_LIMIT = 1024
+
+
+class SubmitRejected(Exception):
+    """Base: a submission the service refused, with a retry hint."""
+
+    def __init__(self, message: str, retry_after: float) -> None:
+        self.retry_after = max(1.0, retry_after)
+        super().__init__(message)
+
+
+class QuotaExceeded(SubmitRejected):
+    """The client already has its quota of active jobs."""
+
+
+class QueueFull(SubmitRejected):
+    """The service-wide queue is at capacity."""
+
+
+@dataclass
+class Job:
+    """One digest's lifecycle inside the manager."""
+
+    digest: str
+    spec: RunSpec
+    state: str = QUEUED
+    #: client ids attached to this job (submitters + dedup joiners).
+    clients: Set[str] = field(default_factory=set)
+    record: Optional[RunRecord] = None
+    #: progress payloads so far (replayed to late subscribers).
+    events: List[Dict[str, Any]] = field(default_factory=list)
+    subscribers: Set[asyncio.Queue] = field(default_factory=set)
+    runner: Optional[ParallelRunner] = None
+    done: asyncio.Event = field(default_factory=asyncio.Event)
+    #: True when the job was answered by cache/registry, not execution.
+    from_cache: bool = False
+    #: SSE frames dropped across all subscribers (observability).
+    dropped_frames: int = 0
+
+    def active(self) -> bool:
+        return self.state not in TERMINAL
+
+    def status_payload(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "digest": self.digest,
+            "state": self.state,
+            "label": self.spec.display(),
+            "clients": sorted(self.clients),
+            "from_cache": self.from_cache,
+        }
+        if self.record is not None:
+            out["record"] = record_summary(self.record)
+        return out
+
+
+class JobManager:
+    """Owns jobs, queue, quotas, and the runner thread pool."""
+
+    def __init__(
+        self,
+        *,
+        cache: Optional[ResultCache] = None,
+        registry_path: Optional[str] = None,
+        concurrency: int = 1,
+        max_queue: int = 64,
+        quota: int = 8,
+    ) -> None:
+        if concurrency < 1:
+            raise ValueError(f"concurrency must be >= 1: {concurrency}")
+        if max_queue < 1:
+            raise ValueError(f"max_queue must be >= 1: {max_queue}")
+        if quota < 1:
+            raise ValueError(f"quota must be >= 1: {quota}")
+        self.cache = cache
+        self.registry_path = registry_path
+        self.concurrency = concurrency
+        self.max_queue = max_queue
+        self.quota = quota
+        self.jobs: Dict[str, Job] = {}
+        self._order: List[str] = []  # insertion order, for eviction
+        self._queue: asyncio.Queue = asyncio.Queue()
+        self._executor = ThreadPoolExecutor(
+            max_workers=concurrency, thread_name_prefix="repro-job"
+        )
+        self._workers: List[asyncio.Task] = []
+        self._wall_times: List[float] = []  # recent executed wall clocks
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Spawn the worker coroutines (call once, loop running)."""
+        if self._workers:
+            return
+        for index in range(self.concurrency):
+            self._workers.append(
+                asyncio.get_running_loop().create_task(
+                    self._worker(), name=f"repro-worker-{index}"
+                )
+            )
+
+    async def aclose(self) -> None:
+        for task in self._workers:
+            task.cancel()
+        for task in self._workers:
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):
+                pass
+        self._workers.clear()
+        self._executor.shutdown(wait=False, cancel_futures=True)
+
+    # ------------------------------------------------------------------
+    # admission
+    # ------------------------------------------------------------------
+    def _active_for(self, client: str) -> int:
+        return sum(
+            1 for job in self.jobs.values()
+            if job.active() and client in job.clients
+        )
+
+    def retry_after(self) -> float:
+        """Seconds a rejected client should wait before retrying.
+
+        Estimated drain time of one queue slot: mean executed wall
+        clock (default 5s before any job completed) times queued jobs,
+        over the worker count.
+        """
+        mean = (
+            sum(self._wall_times) / len(self._wall_times)
+            if self._wall_times else 5.0
+        )
+        queued = sum(1 for j in self.jobs.values() if j.state == QUEUED)
+        return min(600.0, max(1.0, mean * max(1, queued) / self.concurrency))
+
+    def submit_many(
+        self, specs: Sequence[RunSpec], client: str
+    ) -> List[Job]:
+        """Admit a batch of specs for one client, all-or-nothing.
+
+        Returns one :class:`Job` per spec (order preserved): a fresh
+        queued job, an existing job the client attached to (dedup), or
+        an already-done job answered from cache/registry.  Raises
+        :class:`QuotaExceeded` / :class:`QueueFull` without admitting
+        anything when the batch does not fit.  No awaits — the whole
+        admission decision is atomic on the event loop.
+        """
+        digests = [spec.digest() for spec in specs]
+
+        # Pass 1 (no side effects): how many genuinely new jobs would
+        # this batch queue, and does the whole batch fit?
+        new_digests = []
+        seen: Set[str] = set()
+        for spec, digest in zip(specs, digests):
+            if digest in seen:
+                continue
+            seen.add(digest)
+            job = self.jobs.get(digest)
+            if job is not None:
+                continue
+            if self._lookup_record(spec) is None:
+                new_digests.append(digest)
+
+        active = self._active_for(client)
+        # Attaching to an existing active job counts against the quota
+        # too — a client cannot shadow-queue unlimited work by riding
+        # other clients' submissions.
+        joining = sum(
+            1 for digest in seen
+            if digest in self.jobs and self.jobs[digest].active()
+            and client not in self.jobs[digest].clients
+        )
+        if active + joining + len(new_digests) > self.quota:
+            raise QuotaExceeded(
+                f"client {client!r} would hold "
+                f"{active + joining + len(new_digests)} active jobs; "
+                f"the quota is {self.quota}",
+                self.retry_after(),
+            )
+        queued = sum(1 for j in self.jobs.values() if j.state == QUEUED)
+        if queued + len(new_digests) > self.max_queue:
+            raise QueueFull(
+                f"queue is full ({queued}/{self.max_queue} queued; "
+                f"batch adds {len(new_digests)})",
+                self.retry_after(),
+            )
+
+        # Pass 2: admit.
+        out: List[Job] = []
+        for spec, digest in zip(specs, digests):
+            job = self.jobs.get(digest)
+            if job is None:
+                record = self._lookup_record(spec)
+                if record is not None:
+                    job = self._adopt_record(spec, digest, record)
+                else:
+                    job = Job(digest=digest, spec=spec)
+                    self._remember(job)
+                    self._queue.put_nowait(digest)
+            job.clients.add(client)
+            out.append(job)
+        return out
+
+    def _remember(self, job: Job) -> None:
+        self.jobs[job.digest] = job
+        self._order.append(job.digest)
+        self._evict()
+
+    def _evict(self) -> None:
+        """Drop the oldest terminal jobs past the history limit."""
+        terminal = [d for d in self._order if not self.jobs[d].active()]
+        excess = len(self.jobs) - HISTORY_LIMIT
+        for digest in terminal:
+            if excess <= 0:
+                break
+            if self.jobs[digest].subscribers:
+                continue
+            del self.jobs[digest]
+            self._order.remove(digest)
+            excess -= 1
+
+    def _lookup_record(self, spec: RunSpec) -> Optional[RunRecord]:
+        """Dedup: an existing ok result for this digest, if any."""
+        if self.cache is not None:
+            record = self.cache.get(spec)
+            if record is not None:
+                return record
+        if self.registry_path and os.path.exists(self.registry_path):
+            from ..obs.registry import RunRegistry
+
+            with RunRegistry(self.registry_path) as registry:
+                rows = registry.runs(
+                    digest=spec.digest(), ok=True,
+                    limit=1, newest_first=True,
+                )
+            if rows:
+                row = rows[0]
+                return RunRecord(
+                    digest=row.spec_digest,
+                    ok=True,
+                    measurement=(
+                        RunRecord.measurement_from_dict(row.measurement)
+                        if row.measurement else None
+                    ),
+                    metrics=row.metrics,
+                    wall_time=row.wall_time,
+                    worker=row.worker,
+                    attempts=row.attempts,
+                    cached=True,
+                )
+        return None
+
+    def _adopt_record(
+        self, spec: RunSpec, digest: str, record: RunRecord
+    ) -> Job:
+        job = Job(
+            digest=digest, spec=spec, state=DONE,
+            record=record, from_cache=True,
+        )
+        job.events.append(
+            {
+                "event": "job_finished",
+                "index": 0,
+                "digest": digest,
+                "label": spec.display(),
+                "record": record_summary(record),
+            }
+        )
+        job.done.set()
+        self._remember(job)
+        return job
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    async def _worker(self) -> None:
+        while True:
+            digest = await self._queue.get()
+            job = self.jobs.get(digest)
+            try:
+                if job is None or job.state != QUEUED:
+                    continue  # cancelled (or evicted) while queued
+                await self._execute(job)
+            finally:
+                self._queue.task_done()
+
+    async def _execute(self, job: Job) -> None:
+        loop = asyncio.get_running_loop()
+        job.state = RUNNING
+        bridge: asyncio.Queue = asyncio.Queue()
+        progress = AsyncQueueProgress(loop, bridge)
+        runner = ParallelRunner(1, cache=self.cache, progress=progress)
+        job.runner = runner
+        pump = loop.create_task(self._pump(job, bridge))
+        try:
+            record = await loop.run_in_executor(
+                self._executor, self._run_in_thread, runner, job.spec
+            )
+        except Exception as exc:  # defensive: run() should not raise
+            record = RunRecord(
+                digest=job.digest, ok=False,
+                error=f"service execution error: {exc!r}",
+            )
+        finally:
+            # All progress callbacks the worker thread scheduled are
+            # already queued ahead of this sentinel (call_soon_threadsafe
+            # preserves scheduling order), so the pump drains every real
+            # event before it sees None.
+            bridge.put_nowait(None)
+            await pump
+            job.runner = None
+        job.record = record
+        if record.cancelled:
+            job.state = CANCELLED
+        elif record.ok:
+            job.state = DONE
+        else:
+            job.state = FAILED
+        if record.ok and not record.cached:
+            self._wall_times.append(record.wall_time)
+            del self._wall_times[:-50]
+        self._finish(job)
+
+    def _run_in_thread(self, runner: ParallelRunner, spec: RunSpec):
+        """Blocking runner invocation (thread-pool side).
+
+        The registry connection must be opened here — sqlite3 objects
+        are bound to their creating thread — and recording rides the
+        standard RegistrySink progress path.
+        """
+        registry = None
+        if self.registry_path:
+            from ..obs.registry import RegistrySink, RunRegistry
+
+            registry = RunRegistry(self.registry_path)
+            runner.progress = TeeProgress(
+                runner.progress, RegistrySink(registry, label="service")
+            )
+        try:
+            return runner.run([spec])[0]
+        finally:
+            if registry is not None:
+                registry.close()
+
+    async def _pump(self, job: Job, bridge: asyncio.Queue) -> None:
+        """Forward runner progress to history + subscribers until the
+        end-of-run sentinel."""
+        while True:
+            payload = await bridge.get()
+            if payload is None:
+                return
+            if len(job.events) < EVENT_HISTORY:
+                job.events.append(payload)
+            self._broadcast(job, payload)
+
+    def _broadcast(self, job: Job, payload: Dict[str, Any]) -> None:
+        for queue in list(job.subscribers):
+            try:
+                queue.put_nowait(payload)
+            except asyncio.QueueFull:
+                job.dropped_frames += 1
+
+    def _finish(self, job: Job) -> None:
+        self._broadcast(job, {"event": "done", "job": job.status_payload()})
+        job.done.set()
+
+    # ------------------------------------------------------------------
+    # watching
+    # ------------------------------------------------------------------
+    def subscribe(self, digest: str) -> asyncio.Queue:
+        """A bounded queue of this job's events, past and future.
+
+        Already-emitted events are replayed first; a terminal job gets
+        its ``done`` frame immediately.  The caller must
+        :meth:`unsubscribe` the queue when finished with it.
+        """
+        job = self._require(digest)
+        queue: asyncio.Queue = asyncio.Queue(maxsize=SUBSCRIBER_BUFFER)
+        for payload in job.events[-(SUBSCRIBER_BUFFER - 1):]:
+            queue.put_nowait(payload)
+        if not job.active():
+            queue.put_nowait({"event": "done", "job": job.status_payload()})
+        else:
+            job.subscribers.add(queue)
+        return queue
+
+    def unsubscribe(self, digest: str, queue: asyncio.Queue) -> None:
+        job = self.jobs.get(digest)
+        if job is not None:
+            job.subscribers.discard(queue)
+
+    # ------------------------------------------------------------------
+    # cancellation / introspection
+    # ------------------------------------------------------------------
+    def cancel(self, digest: str) -> Job:
+        """Cancel a queued or running job; terminal jobs are left as-is.
+
+        A queued job is resolved immediately (its queue entry becomes a
+        no-op); a running job is cancelled through the runner hook and
+        resolves when its trial lands.
+        """
+        job = self._require(digest)
+        if not job.active():
+            return job
+        if job.state == QUEUED:
+            job.state = CANCELLED
+            job.record = RunRecord(
+                digest=digest, ok=False, cancelled=True,
+                error="cancelled while queued", attempts=0,
+            )
+            self._finish(job)
+        elif job.runner is not None:
+            job.runner.cancel(digest)
+        return job
+
+    def _require(self, digest: str) -> Job:
+        job = self.jobs.get(digest)
+        if job is None:
+            raise KeyError(digest)
+        return job
+
+    def stats(self) -> Dict[str, Any]:
+        states: Dict[str, int] = {}
+        for job in self.jobs.values():
+            states[job.state] = states.get(job.state, 0) + 1
+        return {
+            "jobs": len(self.jobs),
+            "states": states,
+            "queued": sum(
+                1 for j in self.jobs.values() if j.state == QUEUED
+            ),
+            "max_queue": self.max_queue,
+            "quota": self.quota,
+            "concurrency": self.concurrency,
+            "retry_after": self.retry_after(),
+        }

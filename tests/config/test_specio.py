@@ -1,0 +1,222 @@
+"""JSON spec ingestion: precise validation, digest parity, round trips."""
+
+import json
+
+import pytest
+
+from repro.config import (
+    SpecIngestError,
+    grid_from_json,
+    runspec_from_json,
+    scenario_names,
+    spec_payload,
+    specs_from_json,
+    topology_names,
+)
+from repro.experiments.common import (
+    FailoverScenario,
+    WithdrawalScenario,
+    run_fraction_sweep,
+)
+from repro.faults import get_canned
+from repro.runner import RunSpec
+from repro.topology.builders import clique, ring
+
+BASE = {"scenario": "withdrawal", "n": 8, "sdn_count": 4, "seed": 7}
+
+
+def errors_of(payload) -> list:
+    with pytest.raises(SpecIngestError) as excinfo:
+        runspec_from_json(payload)
+    return excinfo.value.errors
+
+
+class TestRunspecFromJson:
+    def test_minimal_payload(self):
+        spec = runspec_from_json(BASE)
+        assert spec.scenario_factory is WithdrawalScenario
+        assert spec.topology_factory is clique
+        assert (spec.n, spec.sdn_count, spec.seed) == (8, 4, 7)
+        assert spec.mrai == 30.0  # dataclass defaults apply
+
+    def test_digest_matches_native_spec(self):
+        spec = runspec_from_json({**BASE, "mrai": 1.0})
+        native = RunSpec(
+            scenario_factory=WithdrawalScenario,
+            topology_factory=clique,
+            n=8, sdn_count=4, seed=7, mrai=1.0,
+        )
+        assert spec.digest() == native.digest()
+
+    def test_json_string_accepted(self):
+        assert runspec_from_json(json.dumps(BASE)).digest() == (
+            runspec_from_json(BASE).digest()
+        )
+
+    def test_every_scenario_and_topology_name_resolves(self):
+        for scenario in scenario_names():
+            for topology in topology_names():
+                spec = runspec_from_json(
+                    {**BASE, "scenario": scenario, "topology": topology}
+                )
+                assert spec.digest()
+
+    def test_alternate_scenario_changes_digest(self):
+        a = runspec_from_json(BASE)
+        b = runspec_from_json({**BASE, "scenario": "failover"})
+        assert b.scenario_factory is FailoverScenario
+        assert a.digest() != b.digest()
+
+    def test_faults_via_canonical_form(self):
+        # JSON round-trips turn the canonical tuples into lists; the
+        # ingest path must still canonicalize to the identical tuples.
+        schedule = get_canned("gateway-outage").schedule()
+        as_json = json.loads(json.dumps(schedule.canonical()))
+        spec = runspec_from_json({**BASE, "faults": as_json})
+        assert spec.faults == schedule.canonical()
+
+    def test_unknown_field_named_precisely(self):
+        errors = errors_of({**BASE, "bogus": 1})
+        assert len(errors) == 1
+        assert "unknown field 'bogus'" in errors[0]
+        assert "scenario" in errors[0]  # lists the known fields
+
+    def test_all_problems_reported_at_once(self):
+        errors = errors_of(
+            {"scenario": "nope", "n": 1, "metrics": "yes", "junk": 0}
+        )
+        joined = "\n".join(errors)
+        assert len(errors) == 4
+        assert "unknown field 'junk'" in joined
+        assert "field 'scenario'" in joined
+        assert "field 'n'" in joined
+        assert "field 'metrics'" in joined
+
+    def test_missing_required_fields(self):
+        errors = errors_of({})
+        assert any("'scenario' is required" in e for e in errors)
+        assert any("'n' is required" in e for e in errors)
+
+    def test_type_confusions_rejected(self):
+        assert any(
+            "expected an integer" in e for e in errors_of({**BASE, "n": 8.5})
+        )
+        assert any(
+            "expected an integer" in e for e in errors_of({**BASE, "n": True})
+        )
+        assert any(
+            "expected a number" in e
+            for e in errors_of({**BASE, "mrai": "slow"})
+        )
+        assert any(
+            "expected a list of integers" in e
+            for e in errors_of({**BASE, "sdn_members": "5,6"})
+        )
+
+    def test_semantic_checks(self):
+        assert any(
+            "sdn_count" in e for e in errors_of({**BASE, "sdn_count": 9})
+        )
+        assert any(
+            "sdn_members" in e
+            for e in errors_of({**BASE, "sdn_members": [7, 99]})
+        )
+        assert any(
+            "trace_level" in e
+            for e in errors_of({**BASE, "trace_level": "loud"})
+        )
+
+    def test_malformed_faults_reported_not_raised(self):
+        errors = errors_of({**BASE, "faults": {"events": [{"kind": "??"}]}})
+        assert any("faults" in e for e in errors)
+
+    def test_non_object_payload(self):
+        with pytest.raises(SpecIngestError):
+            runspec_from_json([1, 2, 3])
+        with pytest.raises(SpecIngestError):
+            runspec_from_json("{not json")
+
+
+class TestGridFromJson:
+    def test_matches_run_fraction_sweep_digests(self):
+        grid = grid_from_json(
+            {
+                "scenario": "withdrawal", "n": 6,
+                "sdn_counts": [0, 3], "runs": 2, "mrai": 1.0,
+            }
+        )
+        result = run_fraction_sweep(
+            WithdrawalScenario, n=6, sdn_counts=[0, 3], runs=2, mrai=1.0
+        )
+        executed = [run.seed for point in result.points for run in point.runs]
+        assert [spec.seed for spec in grid] == executed
+        assert [spec.label for spec in grid] == [
+            f"withdrawal sdn={c} seed={100 + 1000 * c + i}"
+            for c in (0, 3) for i in range(2)
+        ]
+
+    def test_default_sdn_counts_cover_zero_to_max(self):
+        grid = grid_from_json({"scenario": "withdrawal", "n": 4, "runs": 1})
+        assert [spec.sdn_count for spec in grid] == [0, 1, 2, 3]
+
+    def test_expansion_limit(self):
+        with pytest.raises(SpecIngestError) as excinfo:
+            grid_from_json(
+                {"scenario": "withdrawal", "n": 8, "runs": 10_000}
+            )
+        assert "limit" in str(excinfo.value)
+
+    def test_grid_validation_errors(self):
+        with pytest.raises(SpecIngestError) as excinfo:
+            grid_from_json(
+                {"scenario": "withdrawal", "n": 4, "sdn_counts": [0, 9]}
+            )
+        assert "sdn_counts" in str(excinfo.value)
+
+
+class TestSpecsFromJson:
+    def test_bare_spec_and_wrapped_spec(self):
+        assert len(specs_from_json(BASE)) == 1
+        assert len(specs_from_json({"spec": BASE})) == 1
+
+    def test_grid_wrapper(self):
+        specs = specs_from_json(
+            {"grid": {"scenario": "withdrawal", "n": 4, "runs": 2}}
+        )
+        assert len(specs) == 8
+
+    def test_both_shapes_rejected(self):
+        with pytest.raises(SpecIngestError):
+            specs_from_json({"spec": BASE, "grid": {}})
+
+    def test_stray_siblings_rejected(self):
+        with pytest.raises(SpecIngestError):
+            specs_from_json({"spec": BASE, "extra": 1})
+
+
+class TestSpecPayload:
+    def test_round_trip_preserves_digest(self):
+        original = runspec_from_json(
+            {
+                **BASE,
+                "topology": "ring",
+                "mrai": 2.0,
+                "spans": True,
+                "label": "round trip",
+            }
+        )
+        clone = runspec_from_json(spec_payload(original))
+        assert clone.digest() == original.digest()
+        assert clone.label == original.label
+
+    def test_unregistered_factory_rejected(self):
+        from tests.runner.scenarios import RaisingScenario
+
+        spec = RunSpec(
+            scenario_factory=RaisingScenario,
+            topology_factory=ring,
+            n=4, sdn_count=0, seed=1,
+        )
+        with pytest.raises(SpecIngestError) as excinfo:
+            spec_payload(spec)
+        assert "no registered name" in str(excinfo.value)

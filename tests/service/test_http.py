@@ -1,0 +1,337 @@
+"""HTTP surface of the service: routes, errors, SSE, and the
+concurrent-clients acceptance scenario."""
+
+import asyncio
+import json
+import threading
+
+import pytest
+
+from repro.obs.registry import RunRegistry
+from repro.service import (
+    ServiceClient,
+    ServiceClientError,
+    ServiceConfig,
+    start_service,
+)
+
+QUICK_SPEC = {
+    "scenario": "withdrawal", "n": 5, "sdn_count": 2,
+    "seed": 7, "mrai": 1.0,
+}
+
+
+def serve(tmp_path, body, **overrides):
+    """Start a service on an ephemeral port, run ``body(port, app,
+    loop)`` in a thread (so it can use the blocking client), tear down."""
+    config = ServiceConfig(
+        host="127.0.0.1",
+        port=0,
+        cache_dir=str(tmp_path / "cache"),
+        registry_path=str(tmp_path / "runs.sqlite"),
+        concurrency=overrides.pop("concurrency", 2),
+        max_queue=overrides.pop("max_queue", 16),
+        quota=overrides.pop("quota", 8),
+    )
+    assert not overrides
+
+    async def main():
+        server, app = await start_service(config)
+        port = server.sockets[0].getsockname()[1]
+        loop = asyncio.get_running_loop()
+        try:
+            return await loop.run_in_executor(
+                None, body, port, app, loop
+            )
+        finally:
+            server.close()
+            await server.wait_closed()
+            await app.manager.aclose()
+
+    return asyncio.run(main())
+
+
+def raw_request(port: int, payload: bytes) -> bytes:
+    """One raw TCP request/response against the service."""
+    import socket
+
+    with socket.create_connection(("127.0.0.1", port), timeout=30) as sock:
+        sock.sendall(payload)
+        chunks = []
+        while True:
+            chunk = sock.recv(65536)
+            if not chunk:
+                break
+            chunks.append(chunk)
+    return b"".join(chunks)
+
+
+class TestAcceptance:
+    def test_concurrent_same_digest_single_execution_and_quota_429(
+        self, tmp_path
+    ):
+        """The issue's end-to-end criterion: two concurrent clients
+        submit the same RunSpec digest — exactly one trial executes,
+        both receive bit-identical result bytes, the registry records
+        the run once — and a submission past the quota limit receives
+        429 with Retry-After."""
+
+        def body(port, app, loop):
+            payload = {"spec": QUICK_SPEC}
+            results = {}
+            barrier = threading.Barrier(2)
+
+            def client_thread(name):
+                client = ServiceClient(
+                    "127.0.0.1", port, client_id=name
+                )
+                barrier.wait()  # submit as close to simultaneous as we can
+                (job,) = client.submit(payload)
+                final = client.watch(job["digest"])
+                assert final["state"] == "done"
+                results[name] = (
+                    job["digest"], client.result_bytes(job["digest"])
+                )
+
+            threads = [
+                threading.Thread(target=client_thread, args=(name,))
+                for name in ("alice", "bob")
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(120)
+                assert not thread.is_alive()
+
+            digest_a, bytes_a = results["alice"]
+            digest_b, bytes_b = results["bob"]
+            assert digest_a == digest_b
+            # bit-identical result bodies for both clients
+            assert bytes_a == bytes_b
+            record = json.loads(bytes_a)
+            assert record["ok"] is True
+
+            # exactly one execution: one job, one job_started event
+            job = app.manager.jobs[digest_a]
+            starts = [
+                e for e in job.events if e["event"] == "job_started"
+            ]
+            assert len(starts) == 1
+            assert job.clients == {"alice", "bob"}
+
+            # the run appears once in the registry
+            client = ServiceClient("127.0.0.1", port, client_id="check")
+            rows = client.runs(digest=digest_a)
+            assert len(rows) == 1
+            assert rows[0]["ok"] is True
+
+            # a submission past the quota limit: 429 + Retry-After
+            greedy = ServiceClient("127.0.0.1", port, client_id="greedy")
+            with pytest.raises(ServiceClientError) as excinfo:
+                greedy.submit(
+                    {
+                        "grid": {
+                            "scenario": "withdrawal", "n": 5,
+                            "sdn_counts": [0, 1, 2], "runs": 1,
+                            "mrai": 1.0,
+                        }
+                    }
+                )
+            assert excinfo.value.status == 429
+            assert excinfo.value.retry_after is not None
+            assert excinfo.value.retry_after >= 1.0
+
+        serve(tmp_path, body, quota=2)
+
+
+class TestRoutes:
+    def test_submit_watch_result_dashboard(self, tmp_path):
+        def body(port, app, loop):
+            client = ServiceClient("127.0.0.1", port, client_id="t")
+            assert client.healthz()["ok"] is True
+
+            (job,) = client.submit({"spec": QUICK_SPEC})
+            digest = job["digest"]
+
+            events = []
+            final = client.watch(
+                digest, on_event=lambda n, p: events.append(n)
+            )
+            assert final["state"] == "done"
+            assert events == [
+                "sweep_started", "job_started", "job_finished",
+                "sweep_finished", "done",
+            ]
+
+            result = client.result(digest)
+            assert result["ok"] and result["convergence_time"] > 0
+
+            status = client.status(digest)
+            assert status["state"] == "done"
+            assert status["record"]["ok"] is True
+
+            # resubmission dedups instantly (same job, no new execution)
+            (again,) = client.submit({"spec": QUICK_SPEC})
+            assert again["state"] == "done"
+
+            html = client.dashboard()
+            assert html.startswith("<!DOCTYPE html>")
+            assert "WithdrawalScenario" in html  # the recorded scenario
+
+            jobs = client.jobs()
+            assert jobs["stats"]["jobs"] == 1
+
+        serve(tmp_path, body)
+
+    def test_sse_late_subscriber_replays_history(self, tmp_path):
+        def body(port, app, loop):
+            client = ServiceClient("127.0.0.1", port, client_id="t")
+            (job,) = client.submit({"spec": QUICK_SPEC})
+            client.watch(job["digest"])
+            # job finished; a late watcher still sees the whole story
+            names = [n for n, _ in client.events(job["digest"])]
+            assert names[0] == "sweep_started"
+            assert names[-1] == "done"
+
+        serve(tmp_path, body)
+
+    def test_sse_disconnect_does_not_stall_job(self, tmp_path):
+        """A client that opens the event stream and vanishes must not
+        prevent the job from completing (satellite: SSE bridge)."""
+
+        def body(port, app, loop):
+            import socket
+
+            client = ServiceClient("127.0.0.1", port, client_id="t")
+            (job,) = client.submit({"spec": QUICK_SPEC})
+            digest = job["digest"]
+
+            # open the SSE stream raw, read a little, hang up mid-run
+            sock = socket.create_connection(("127.0.0.1", port), timeout=30)
+            sock.sendall(
+                f"GET /api/jobs/{digest}/events HTTP/1.1\r\n"
+                f"Host: x\r\n\r\n".encode()
+            )
+            sock.recv(64)
+            sock.close()
+
+            final = client.watch(digest)
+            assert final["state"] == "done"
+            assert final["record"]["ok"] is True
+
+        serve(tmp_path, body)
+
+    def test_cancel_endpoint(self, tmp_path):
+        def body(port, app, loop):
+            client = ServiceClient("127.0.0.1", port, client_id="t")
+            # concurrency 1: second job queues behind the first
+            (first,) = client.submit(
+                {"spec": {**QUICK_SPEC, "seed": 1}}
+            )
+            (queued,) = client.submit(
+                {"spec": {**QUICK_SPEC, "seed": 2}}
+            )
+            cancelled = client.cancel(queued["digest"])
+            assert cancelled["state"] in ("cancelled", "done")
+            final = client.watch(queued["digest"])
+            if final["state"] == "cancelled":
+                assert final["record"]["cancelled"] is True
+            # the other job is unaffected
+            assert client.watch(first["digest"])["state"] == "done"
+
+        serve(tmp_path, body, concurrency=1)
+
+    def test_registry_endpoints(self, tmp_path):
+        def body(port, app, loop):
+            client = ServiceClient("127.0.0.1", port, client_id="t")
+            (job,) = client.submit({"spec": QUICK_SPEC})
+            client.watch(job["digest"])
+            rows = client.runs()
+            assert len(rows) == 1
+            run_id = rows[0]["run_id"]
+            row = client._json("GET", f"/api/runs/{run_id}")
+            assert row["spec_digest"] == job["digest"]
+
+        serve(tmp_path, body)
+
+    def test_registry_persists_after_service(self, tmp_path):
+        def body(port, app, loop):
+            client = ServiceClient("127.0.0.1", port, client_id="t")
+            (job,) = client.submit({"spec": QUICK_SPEC})
+            client.watch(job["digest"])
+            return job["digest"]
+
+        digest = serve(tmp_path, body)
+        with RunRegistry(str(tmp_path / "runs.sqlite")) as registry:
+            rows = registry.runs(digest=digest)
+            assert len(rows) == 1 and rows[0].ok
+
+
+class TestErrors:
+    def test_bad_payload_is_clean_400_with_details(self, tmp_path):
+        def body(port, app, loop):
+            client = ServiceClient("127.0.0.1", port, client_id="t")
+            with pytest.raises(ServiceClientError) as excinfo:
+                client.submit(
+                    {"spec": {"scenario": "nope", "n": 1, "junk": True}}
+                )
+            assert excinfo.value.status == 400
+            detail = "\n".join(excinfo.value.detail)
+            assert "unknown field 'junk'" in detail
+            assert "field 'scenario'" in detail
+
+        serve(tmp_path, body)
+
+    def test_malformed_json_is_400(self, tmp_path):
+        def body(port, app, loop):
+            response = raw_request(
+                port,
+                b"POST /api/jobs HTTP/1.1\r\nHost: x\r\n"
+                b"Content-Length: 9\r\n\r\n{not json",
+            )
+            assert b"400 Bad Request" in response
+            assert b"not valid JSON" in response
+
+        serve(tmp_path, body)
+
+    def test_unknown_routes_and_methods(self, tmp_path):
+        def body(port, app, loop):
+            assert b"404" in raw_request(
+                port, b"GET /nope HTTP/1.1\r\nHost: x\r\n\r\n"
+            )
+            assert b"405" in raw_request(
+                port, b"PUT /api/jobs HTTP/1.1\r\nHost: x\r\n\r\n"
+            )
+            assert b"404" in raw_request(
+                port,
+                b"GET /api/jobs/deadbeef HTTP/1.1\r\nHost: x\r\n\r\n",
+            )
+
+        serve(tmp_path, body)
+
+    def test_result_before_completion_is_409(self, tmp_path):
+        def body(port, app, loop):
+            client = ServiceClient("127.0.0.1", port, client_id="t")
+            (first,) = client.submit({"spec": {**QUICK_SPEC, "seed": 1}})
+            (queued,) = client.submit({"spec": {**QUICK_SPEC, "seed": 2}})
+            # the queued job cannot have a result yet
+            if queued["state"] in ("queued", "running"):
+                with pytest.raises(ServiceClientError) as excinfo:
+                    client.result(queued["digest"])
+                assert excinfo.value.status == 409
+            client.watch(first["digest"])
+            client.watch(queued["digest"])
+
+        serve(tmp_path, body, concurrency=1)
+
+    def test_oversized_body_is_413(self, tmp_path):
+        def body(port, app, loop):
+            huge = 10_000_000
+            response = raw_request(
+                port,
+                b"POST /api/jobs HTTP/1.1\r\nHost: x\r\n"
+                + f"Content-Length: {huge}\r\n\r\n".encode(),
+            )
+            assert b"413" in response
+
+        serve(tmp_path, body)

@@ -1,0 +1,169 @@
+"""The ProgressSink → asyncio bridge behind the service's SSE streams.
+
+Two properties matter: the bridged stream carries the *same ordered
+events* the synchronous sinks see, and a slow or vanished consumer
+never blocks the sweep (frames drop; execution is unaffected).
+"""
+
+import asyncio
+import io
+
+from repro.config import runspec_from_json
+from repro.runner import (
+    AsyncQueueProgress,
+    JsonProgress,
+    LogProgress,
+    ParallelRunner,
+)
+
+BASE = {"scenario": "withdrawal", "n": 5, "sdn_count": 2, "mrai": 1.0}
+
+
+def specs_for(seeds):
+    return [runspec_from_json({**BASE, "seed": s}) for s in seeds]
+
+
+def event_keys(payloads):
+    """(event, digest-or-None) sequence — the order-sensitive shape."""
+    return [(p["event"], p.get("digest")) for p in payloads]
+
+
+async def run_bridged(specs, *, queue_size=0, drain=True):
+    """Run a sweep in a thread with the bridge attached; return
+    (records, received payloads, sink)."""
+    loop = asyncio.get_running_loop()
+    queue: asyncio.Queue = asyncio.Queue(maxsize=queue_size)
+    sink = AsyncQueueProgress(loop, queue)
+    runner = ParallelRunner(1, progress=sink)
+
+    received = []
+
+    async def consume():
+        while True:
+            payload = await queue.get()
+            if payload is None:
+                return
+            received.append(payload)
+
+    consumer = asyncio.create_task(consume()) if drain else None
+    records = await loop.run_in_executor(None, runner.run, specs)
+    if consumer is not None:
+        # Every progress callback was scheduled before the executor
+        # future resolved, so the sentinel lands strictly after the
+        # real events.
+        queue.put_nowait(None)
+        await asyncio.wait_for(consumer, 30)
+    return records, received, sink
+
+
+def deterministic(payloads):
+    """Event payloads with the wall-clock noise stripped, so two runs
+    of the same sweep compare equal."""
+    out = []
+    for payload in payloads:
+        clean = dict(payload)
+        if "record" in clean:
+            record = dict(clean["record"])
+            record.pop("wall_time", None)
+            clean["record"] = record
+        if "timing" in clean:
+            timing = dict(clean["timing"])
+            for noisy in (
+                "elapsed", "total_job_wall", "max_job_wall",
+                "cache_entries", "cache_bytes",
+            ):
+                timing.pop(noisy, None)
+            clean["timing"] = timing
+        out.append(clean)
+    return out
+
+
+class TestOrdering:
+    def test_bridge_emits_same_ordered_events_as_sync_sinks(self):
+        specs = specs_for([1, 2, 3])
+
+        # Reference: the synchronous JSON sink, in-thread.
+        sync_events = []
+        ParallelRunner(1, progress=JsonProgress(sync_events.append)).run(specs)
+
+        records, bridged, _ = asyncio.run(run_bridged(specs))
+        assert all(r.ok for r in records)
+        assert event_keys(bridged) == event_keys(sync_events)
+        # identical payloads too, once wall-clock noise is stripped
+        assert deterministic(bridged) == deterministic(sync_events)
+
+    def test_bridge_matches_log_progress_line_order(self):
+        """The SSE stream narrates the sweep in the same order as the
+        human-facing log (one start/finish pair per trial, same
+        sequence)."""
+        specs = specs_for([4, 5])
+
+        stream = io.StringIO()
+        ParallelRunner(1, progress=LogProgress(stream)).run(specs)
+        log_lines = [
+            line for line in stream.getvalue().splitlines()
+            if line.startswith("[runner]")
+        ]
+
+        _, bridged, _ = asyncio.run(run_bridged(specs))
+        names = [p["event"] for p in bridged]
+        # log: header, then >/< per trial, then the done line
+        assert len(log_lines) == len(names)
+        assert names[0] == "sweep_started" and log_lines[0].startswith(
+            "[runner] "
+        )
+        for name, line in zip(names[1:-1], log_lines[1:-1]):
+            marker = "[runner] >" if name == "job_started" else "[runner] <"
+            assert line.startswith(marker), (name, line)
+        assert names[-1] == "sweep_finished"
+
+    def test_per_job_event_pairing(self):
+        specs = specs_for([1, 2])
+        _, bridged, _ = asyncio.run(run_bridged(specs))
+        digests = [spec.digest() for spec in specs]
+        starts = [p["digest"] for p in bridged if p["event"] == "job_started"]
+        finishes = [
+            p["digest"] for p in bridged if p["event"] == "job_finished"
+        ]
+        assert starts == digests  # serial order preserved
+        assert finishes == digests
+        for payload in bridged:
+            if payload["event"] == "job_finished":
+                assert payload["record"]["ok"] is True
+
+
+class TestNonBlocking:
+    def test_full_queue_never_stalls_the_sweep(self):
+        """A consumer that never drains (queue size 1) must not block
+        the worker thread: the sweep completes and frames are counted
+        as dropped."""
+        specs = specs_for([1, 2, 3])
+        records, received, sink = asyncio.run(
+            run_bridged(specs, queue_size=1, drain=False)
+        )
+        assert all(r.ok for r in records)
+        assert sink.dropped > 0
+        # 3 trials emit 8 events; a 1-slot queue kept at most 1.
+
+    def test_closed_loop_never_stalls_the_sweep(self):
+        """Events emitted after the loop is gone (client vanished, loop
+        torn down) are dropped, not raised into the runner."""
+        loop = asyncio.new_event_loop()
+        queue = asyncio.Queue()
+        sink = AsyncQueueProgress(loop, queue)
+        loop.close()
+
+        specs = specs_for([1])
+        records = ParallelRunner(1, progress=sink).run(specs)
+        assert records[0].ok
+        assert sink.dropped == 4  # every event of the 1-trial sweep
+
+    def test_drop_callback_observes_losses(self):
+        drops = []
+        loop = asyncio.new_event_loop()
+        sink = AsyncQueueProgress(
+            loop, asyncio.Queue(), on_drop=lambda: drops.append(1)
+        )
+        loop.close()
+        ParallelRunner(1, progress=sink).run(specs_for([1]))
+        assert len(drops) == sink.dropped > 0
