@@ -1,18 +1,44 @@
-"""BGP path attributes.
+"""BGP path attributes, backed by a canonicalizing intern pool.
 
 The framework emulates one Quagga-style BGP speaker per AS, so paths are
 sequences of AS numbers (AS_PATH), plus the standard attributes the
 decision process consumes: ORIGIN, LOCAL_PREF, MED.  NEXT_HOP is implicit
 in the point-to-point session a route was learned over.
+
+At Internet scale (thousands of ASes) the same attribute values appear in
+millions of Adj-RIB entries at once: every router on a propagation tree
+holds a route whose AS_PATH differs only by its own prepend, and whole
+subtrees share identical suffixes.  Both :class:`AsPath` and
+:class:`PathAttributes` are therefore *interned*: construction is
+canonicalized through a weak-value pool, so content-equal instances are
+the same object.  That gives
+
+- one tuple of ASNs per distinct path, shared across all holders,
+- a hash computed once per distinct value (``__hash__`` is a field read),
+- identity-fast equality on the hot RIB-diff paths, and
+- a cached ASN membership set so RFC 4271 §9.1.2 loop detection is O(1)
+  per route instead of O(len(path)).
+
+The pool holds only weak references, so values die with their last RIB
+entry; nothing leaks across experiments.  Both classes keep the frozen
+dataclass surface they replaced — keyword constructors, value equality
+against non-interned lookalikes (e.g. unpickled from another process),
+``AttributeError`` on assignment — so they are drop-in.
 """
 
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Iterable, Iterator, Optional, Tuple
+import weakref
+from typing import Dict, Iterable, Iterator, Optional, Tuple
 
-__all__ = ["Origin", "AsPath", "PathAttributes", "DEFAULT_LOCAL_PREF"]
+__all__ = [
+    "Origin",
+    "AsPath",
+    "PathAttributes",
+    "DEFAULT_LOCAL_PREF",
+    "intern_stats",
+]
 
 #: RFC 4271 recommends 100 as the default LOCAL_PREF.
 DEFAULT_LOCAL_PREF = 100
@@ -26,20 +52,37 @@ class Origin(enum.IntEnum):
     INCOMPLETE = 2
 
 
-@dataclass(frozen=True)
 class AsPath:
     """An AS_PATH as an AS_SEQUENCE of AS numbers (leftmost = most recent).
 
-    Immutable; prepending returns a new path.  Loop detection is a simple
-    membership test, as in RFC 4271 §9.1.2.
+    Immutable and interned: ``AsPath((1, 2)) is AsPath((1, 2))``.
+    Prepending returns a new (pooled) path.  Loop detection is a
+    membership test against a lazily cached ASN set, as in RFC 4271
+    §9.1.2 but O(1) per test.
     """
 
-    asns: Tuple[int, ...] = ()
+    __slots__ = ("asns", "_hash", "_members", "__weakref__")
+
+    _pool: "weakref.WeakValueDictionary[Tuple[int, ...], AsPath]" = (
+        weakref.WeakValueDictionary()
+    )
+
+    def __new__(cls, asns: Iterable[int] = ()) -> "AsPath":
+        key = tuple(asns)
+        cached = cls._pool.get(key)
+        if cached is not None:
+            return cached
+        self = object.__new__(cls)
+        object.__setattr__(self, "asns", key)
+        object.__setattr__(self, "_hash", hash(key))
+        object.__setattr__(self, "_members", None)
+        cls._pool[key] = self
+        return self
 
     @classmethod
     def of(cls, *asns: int) -> "AsPath":
         """Construct from positional AS numbers."""
-        return cls(tuple(asns))
+        return cls(asns)
 
     @classmethod
     def from_iterable(cls, asns: Iterable[int]) -> "AsPath":
@@ -57,9 +100,18 @@ class AsPath:
         re-advertises a route that crosses several cluster member ASes)."""
         return AsPath(tuple(asns) + self.asns)
 
+    @property
+    def members(self) -> frozenset:
+        """The ASNs on the path as a set, computed once per pooled path."""
+        cached = self._members
+        if cached is None:
+            cached = frozenset(self.asns)
+            object.__setattr__(self, "_members", cached)
+        return cached
+
     def contains(self, asn: int) -> bool:
-        """Membership test."""
-        return asn in self.asns
+        """Membership test (loop detection) — O(1) via the cached set."""
+        return asn in self.members
 
     @property
     def length(self) -> int:
@@ -82,6 +134,26 @@ class AsPath:
     def __iter__(self) -> Iterator[int]:
         return iter(self.asns)
 
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if isinstance(other, AsPath):
+            return self.asns == other.asns
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError(f"cannot assign to field {name!r}")
+
+    def __delattr__(self, name: str) -> None:
+        raise AttributeError(f"cannot delete field {name!r}")
+
+    def __reduce__(self):
+        # Re-intern on unpickle so cross-process copies rejoin the pool.
+        return (AsPath, (self.asns,))
+
     def __str__(self) -> str:
         return " ".join(str(a) for a in self.asns) if self.asns else "(empty)"
 
@@ -89,17 +161,53 @@ class AsPath:
         return f"AsPath({self.asns!r})"
 
 
-@dataclass(frozen=True)
 class PathAttributes:
-    """The attribute set attached to an announced prefix."""
+    """The attribute set attached to an announced prefix.
 
-    as_path: AsPath = field(default_factory=AsPath)
-    origin: Origin = Origin.IGP
-    local_pref: int = DEFAULT_LOCAL_PREF
-    med: int = 0
-    #: free-form community-style tags; used by policies (e.g. relationship
-    #: tagging on import, the Gao-Rexford export filter reads them).
-    communities: Tuple[str, ...] = ()
+    Immutable and interned like :class:`AsPath`: content-equal attribute
+    sets are one object no matter how many RIB entries hold them, and
+    the ``with_*`` copy helpers return pooled instances too.
+    """
+
+    __slots__ = (
+        "as_path",
+        "origin",
+        "local_pref",
+        "med",
+        "communities",
+        "_hash",
+        "__weakref__",
+    )
+
+    _pool: "weakref.WeakValueDictionary[tuple, PathAttributes]" = (
+        weakref.WeakValueDictionary()
+    )
+
+    def __new__(
+        cls,
+        as_path: Optional[AsPath] = None,
+        origin: Origin = Origin.IGP,
+        local_pref: int = DEFAULT_LOCAL_PREF,
+        med: int = 0,
+        communities: Iterable[str] = (),
+    ) -> "PathAttributes":
+        if as_path is None:
+            as_path = AsPath()
+        origin = Origin(origin)
+        communities = tuple(communities)
+        key = (as_path, origin, local_pref, med, communities)
+        cached = cls._pool.get(key)
+        if cached is not None:
+            return cached
+        self = object.__new__(cls)
+        object.__setattr__(self, "as_path", as_path)
+        object.__setattr__(self, "origin", origin)
+        object.__setattr__(self, "local_pref", local_pref)
+        object.__setattr__(self, "med", med)
+        object.__setattr__(self, "communities", communities)
+        object.__setattr__(self, "_hash", hash(key))
+        cls._pool[key] = self
+        return self
 
     def with_path(self, as_path: AsPath) -> "PathAttributes":
         """Copy with a different AS path."""
@@ -128,3 +236,52 @@ class PathAttributes:
     def has_community(self, community: str) -> bool:
         """True if the community is attached."""
         return community in self.communities
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if isinstance(other, PathAttributes):
+            return (
+                self.as_path == other.as_path
+                and self.origin == other.origin
+                and self.local_pref == other.local_pref
+                and self.med == other.med
+                and self.communities == other.communities
+            )
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError(f"cannot assign to field {name!r}")
+
+    def __delattr__(self, name: str) -> None:
+        raise AttributeError(f"cannot delete field {name!r}")
+
+    def __reduce__(self):
+        return (
+            PathAttributes,
+            (self.as_path, self.origin, self.local_pref, self.med,
+             self.communities),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"PathAttributes(as_path={self.as_path!r}, "
+            f"origin={self.origin!r}, local_pref={self.local_pref!r}, "
+            f"med={self.med!r}, communities={self.communities!r})"
+        )
+
+
+def intern_stats() -> Dict[str, int]:
+    """Live sizes of the intern pools (distinct values currently alive).
+
+    Diagnostic only — the pools are weak, so the numbers shrink as RIBs
+    release routes.  ``bench_scale`` reports them alongside peak RSS to
+    show how much sharing the pools achieve on large topologies.
+    """
+    return {
+        "as_paths": len(AsPath._pool),
+        "path_attributes": len(PathAttributes._pool),
+    }

@@ -17,11 +17,20 @@ Steps 6-7 are the deterministic tie-breakers that make runs reproducible.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Optional
+from typing import Callable, Dict, Iterable, List, Optional
 
-from .rib import Route
+from ..net.addr import Prefix
+from .rib import LocRib, Route
 
-__all__ = ["DecisionConfig", "best_route", "rank_routes", "route_sort_key"]
+__all__ = [
+    "DecisionConfig",
+    "DecisionDriver",
+    "best_route",
+    "rank_routes",
+    "route_sort_key",
+    "full_scan_best",
+    "verify_loc_rib",
+]
 
 
 @dataclass
@@ -65,3 +74,85 @@ def rank_routes(
 ) -> List[Route]:
     """All candidates, best first (for diagnostics / 'show ip bgp')."""
     return sorted(candidates, key=lambda r: route_sort_key(r, config))
+
+
+class DecisionDriver:
+    """A per-prefix dirty set for the incremental decision process.
+
+    One UPDATE can touch the same prefix more than once (withdraw plus
+    re-announce, or an import rejection acting as implicit withdrawal
+    followed by a fresh announcement).  The driver records each touched
+    prefix once, in first-touch order, so the router re-runs best-path
+    selection exactly once per prefix per batch.  Because
+    :func:`route_sort_key` is a strict total order, the single run picks
+    the same winner the duplicated runs would have — the dedup changes
+    work done, never results.
+    """
+
+    __slots__ = ("_dirty",)
+
+    def __init__(self) -> None:
+        # dict-as-ordered-set: insertion order is first-touch order.
+        self._dirty: Dict[Prefix, None] = {}
+
+    def __len__(self) -> int:
+        return len(self._dirty)
+
+    def mark(self, prefix: Prefix) -> None:
+        """Record that a prefix's candidate set may have changed."""
+        self._dirty[prefix] = None
+
+    def drain(self) -> List[Prefix]:
+        """All dirty prefixes in first-touch order; resets the set."""
+        dirty = list(self._dirty)
+        self._dirty.clear()
+        return dirty
+
+
+def full_scan_best(
+    candidates_fn: Callable[[Prefix], Iterable[Route]],
+    prefixes: Iterable[Prefix],
+    config: Optional[DecisionConfig] = None,
+) -> Dict[Prefix, Route]:
+    """Reference decision process: best route per prefix by full scan.
+
+    This is the oracle the incremental process is verified against —
+    it knows nothing about dirty sets or indexes, it just asks
+    ``candidates_fn`` for every prefix and picks the winner.
+    """
+    best: Dict[Prefix, Route] = {}
+    for prefix in prefixes:
+        winner = best_route(candidates_fn(prefix), config)
+        if winner is not None:
+            best[prefix] = winner
+    return best
+
+
+def verify_loc_rib(
+    loc_rib: LocRib,
+    candidates_fn: Callable[[Prefix], Iterable[Route]],
+    prefixes: Iterable[Prefix],
+    config: Optional[DecisionConfig] = None,
+) -> List[str]:
+    """Differential oracle: mismatches between a Loc-RIB and a full scan.
+
+    Returns human-readable discrepancy strings (empty list = the
+    incremental process converged to exactly the full-scan answer).
+    Compares winners by attributes *and* provenance (peer), the same
+    identity :meth:`LocRib.set_best` uses.
+    """
+    expected = full_scan_best(candidates_fn, prefixes, config)
+    problems: List[str] = []
+    for prefix in sorted(set(expected) | set(loc_rib.prefixes())):
+        want = expected.get(prefix)
+        got = loc_rib.get(prefix)
+        if want is None and got is not None:
+            problems.append(f"{prefix}: loc-rib has {got!r}, full scan has none")
+        elif want is not None and got is None:
+            problems.append(f"{prefix}: loc-rib empty, full scan picks {want!r}")
+        elif want is not None and got is not None:
+            if want.attrs != got.attrs or want.peer_asn != got.peer_asn:
+                problems.append(
+                    f"{prefix}: loc-rib {got!r} != full scan {want!r}"
+                )
+    return problems

@@ -28,7 +28,7 @@ __all__ = [
 _update_ids = itertools.count(1)
 
 
-@dataclass
+@dataclass(slots=True)
 class BGPMessage(Message):
     """Common envelope: sender's AS number identifies the session peer."""
 
@@ -39,7 +39,7 @@ class BGPMessage(Message):
         return f"{type(self).__name__}(AS{self.sender_asn})"
 
 
-@dataclass
+@dataclass(slots=True)
 class BGPOpen(BGPMessage):
     """OPEN: carries the sender's AS and router-id (its node name here)."""
 
@@ -47,12 +47,12 @@ class BGPOpen(BGPMessage):
     hold_time: float = 90.0
 
 
-@dataclass
+@dataclass(slots=True)
 class BGPKeepalive(BGPMessage):
     """KEEPALIVE: refreshes the hold timer; also acks OPEN."""
 
 
-@dataclass
+@dataclass(slots=True)
 class BGPUpdate(BGPMessage):
     """UPDATE: announcements share one attribute set; withdrawals are bare.
 
@@ -78,7 +78,7 @@ class BGPUpdate(BGPMessage):
         return f"UPDATE(AS{self.sender_asn} +[{ann}] -[{wd}])"
 
 
-@dataclass
+@dataclass(slots=True)
 class BGPNotification(BGPMessage):
     """NOTIFICATION: sent on error/teardown; receiver drops the session."""
 

@@ -5,20 +5,28 @@ peer advertised; the :class:`LocRib` holds the decision-process winner per
 prefix; one :class:`AdjRibOut` per peer records what we last advertised,
 so UPDATE generation is a pure diff — no duplicate announcements, and
 withdrawals are only sent for prefixes the peer actually heard from us.
+
+For large topologies a router can additionally maintain a
+:class:`RouteIndex`: a prefix-major view (prefix → {link_id: route}) of
+all its Adj-RIB-In tables, kept in sync by the tables themselves.  The
+decision process then reads the candidates for one prefix directly
+instead of probing every session's table — O(routes for the prefix)
+instead of O(sessions) per decision, which is what makes 5k-AS
+withdrawal storms tractable (see ``docs/scaling.md``).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterator, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from ..net.addr import Prefix
 from .attrs import PathAttributes
 
-__all__ = ["Route", "AdjRibIn", "LocRib", "AdjRibOut"]
+__all__ = ["Route", "RouteIndex", "AdjRibIn", "LocRib", "AdjRibOut"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Route:
     """A candidate route: prefix + attributes + provenance.
 
@@ -47,13 +55,84 @@ class Route:
         return f"<Route {self.prefix} via {src} path=[{self.attrs.as_path}]>"
 
 
-class AdjRibIn:
-    """Routes received from one peer, post-import-policy."""
+class RouteIndex:
+    """Prefix-major index over a router's Adj-RIB-In tables.
 
-    def __init__(self, peer_asn: int, peer_name: str = "") -> None:
+    Maps each prefix to ``{link_id: route}`` for every peer table that
+    currently holds it.  The index never stores anything the tables do
+    not: :class:`AdjRibIn` instances constructed with ``index=`` keep it
+    in sync on every install, withdraw and clear, so reading the index
+    is exactly equivalent to probing every table — just without the
+    O(sessions) scan.
+    """
+
+    __slots__ = ("_by_prefix",)
+
+    def __init__(self) -> None:
+        self._by_prefix: Dict[Prefix, Dict[int, Route]] = {}
+
+    def __len__(self) -> int:
+        return len(self._by_prefix)
+
+    def set(self, link_id: int, route: Route) -> None:
+        """Install/replace the route one peer table holds for a prefix."""
+        self._by_prefix.setdefault(route.prefix, {})[link_id] = route
+
+    def discard(self, link_id: int, prefix: Prefix) -> None:
+        """Remove one peer table's entry for a prefix, if present."""
+        entry = self._by_prefix.get(prefix)
+        if entry is None:
+            return
+        entry.pop(link_id, None)
+        if not entry:
+            del self._by_prefix[prefix]
+
+    def drop_link(self, link_id: int) -> List[Prefix]:
+        """Forget everything learned over one link (session replacement).
+
+        Returns the affected prefixes.  O(prefixes) — only used on the
+        rare session-establishment path, never per-UPDATE.
+        """
+        affected: List[Prefix] = []
+        for prefix in list(self._by_prefix):
+            entry = self._by_prefix[prefix]
+            if link_id in entry:
+                del entry[link_id]
+                affected.append(prefix)
+                if not entry:
+                    del self._by_prefix[prefix]
+        return affected
+
+    def get(self, prefix: Prefix) -> Dict[int, Route]:
+        """The ``{link_id: route}`` entries for one prefix (maybe empty)."""
+        return self._by_prefix.get(prefix, {})
+
+    def prefixes(self) -> list:
+        """All prefixes with at least one entry, as a list."""
+        return list(self._by_prefix)
+
+
+class AdjRibIn:
+    """Routes received from one peer, post-import-policy.
+
+    When constructed with ``link_id``/``index`` the table mirrors every
+    mutation into the router-wide :class:`RouteIndex` so the compact
+    decision process can read candidates per prefix.
+    """
+
+    def __init__(
+        self,
+        peer_asn: int,
+        peer_name: str = "",
+        *,
+        link_id: Optional[int] = None,
+        index: Optional[RouteIndex] = None,
+    ) -> None:
         self.peer_asn = peer_asn
         self.peer_name = peer_name
         self._routes: Dict[Prefix, Route] = {}
+        self._link_id = link_id
+        self._index = index if link_id is not None else None
 
     def __len__(self) -> int:
         return len(self._routes)
@@ -71,16 +150,24 @@ class AdjRibIn:
         if old is not None and old.attrs == route.attrs:
             return False
         self._routes[route.prefix] = route
+        if self._index is not None:
+            self._index.set(self._link_id, route)
         return True
 
     def withdraw(self, prefix: Prefix) -> bool:
         """Remove; True if a route existed."""
-        return self._routes.pop(prefix, None) is not None
+        existed = self._routes.pop(prefix, None) is not None
+        if existed and self._index is not None:
+            self._index.discard(self._link_id, prefix)
+        return existed
 
     def clear(self) -> list:
         """Drop everything (session reset); returns the prefixes removed."""
         prefixes = list(self._routes)
         self._routes.clear()
+        if self._index is not None:
+            for prefix in prefixes:
+                self._index.discard(self._link_id, prefix)
         return prefixes
 
     def prefixes(self) -> list:

@@ -24,10 +24,16 @@ from ..net.link import Link
 from ..net.node import Node
 from .attrs import AsPath, Origin, PathAttributes
 from .damping import DampingConfig, RouteDamper
-from .decision import DecisionConfig, best_route, rank_routes
+from .decision import (
+    DecisionConfig,
+    DecisionDriver,
+    best_route,
+    rank_routes,
+    verify_loc_rib,
+)
 from .messages import BGPMessage, BGPUpdate
 from .policy import LOCAL_COMMUNITY, PeerPolicy, add_community
-from .rib import AdjRibIn, AdjRibOut, LocRib, Route
+from .rib import AdjRibIn, AdjRibOut, LocRib, Route, RouteIndex
 from .session import BGPSession, BGPTimers
 
 __all__ = ["BGPRouter"]
@@ -46,6 +52,7 @@ class BGPRouter(Node):
         timers: Optional[BGPTimers] = None,
         decision: Optional[DecisionConfig] = None,
         damping: Optional[DampingConfig] = None,
+        compact: bool = False,
     ) -> None:
         super().__init__(sim, instrument, name)
         if asn <= 0:
@@ -53,6 +60,15 @@ class BGPRouter(Node):
         self.asn = asn
         self.timers = timers if timers is not None else BGPTimers()
         self.decision_config = decision if decision is not None else DecisionConfig()
+        #: compact mode: prefix-indexed candidate reads + a dirty-set
+        #: decision driver.  Provably result-identical to the full-scan
+        #: path (see :meth:`verify_decisions` and docs/scaling.md); kept
+        #: opt-in so the legacy code path stays byte-for-byte exercised.
+        self.compact = compact
+        self._index: Optional[RouteIndex] = RouteIndex() if compact else None
+        self._driver: Optional[DecisionDriver] = (
+            DecisionDriver() if compact else None
+        )
         #: optional RFC 2439 route-flap damping; keys are (link_id, prefix).
         self.damper: Optional[RouteDamper] = (
             RouteDamper(sim, damping, self._on_damping_reuse)
@@ -89,7 +105,9 @@ class BGPRouter(Node):
             self, link, policy=policy, timers=timers, local_asn=local_asn
         )
         self.sessions[link.link_id] = session
-        self._rib_in[link.link_id] = AdjRibIn(0)
+        self._rib_in[link.link_id] = AdjRibIn(
+            0, link_id=link.link_id, index=self._index
+        )
         self._rib_out[link.link_id] = AdjRibOut(0)
         return session
 
@@ -163,7 +181,14 @@ class BGPRouter(Node):
     def session_up(self, session: BGPSession) -> None:
         """Session reached ESTABLISHED: reset RIBs and resync."""
         link_id = session.link.link_id
-        self._rib_in[link_id] = AdjRibIn(session.peer_asn, session.peer_name)
+        if self._index is not None:
+            # The old per-peer table is replaced wholesale below; its
+            # entries must leave the prefix index with it.
+            self._index.drop_link(link_id)
+        self._rib_in[link_id] = AdjRibIn(
+            session.peer_asn, session.peer_name,
+            link_id=link_id, index=self._index,
+        )
         self._rib_out[link_id] = AdjRibOut(session.peer_asn, session.peer_name)
         self.bus.record(
             "bgp.session.up", self.name,
@@ -334,8 +359,17 @@ class BGPRouter(Node):
                 if had_before:
                     self._record_flap(link_id, prefix, "attribute_change")
                 affected.append(prefix)
-        for prefix in affected:
-            self._run_decision(prefix)
+        if self._driver is not None:
+            # Incremental mode: one UPDATE may touch a prefix twice
+            # (withdraw + re-announce); the dirty set collapses those to
+            # a single best-path run per prefix, in first-touch order.
+            for prefix in affected:
+                self._driver.mark(prefix)
+            for prefix in self._driver.drain():
+                self._run_decision(prefix)
+        else:
+            for prefix in affected:
+                self._run_decision(prefix)
 
     # ------------------------------------------------------------------
     # route-flap damping hooks (RFC 2439)
@@ -372,6 +406,17 @@ class BGPRouter(Node):
     # ------------------------------------------------------------------
     def candidates(self, prefix: Prefix) -> List[Route]:
         """All usable candidate routes for one prefix."""
+        if self._index is not None:
+            return self._indexed_candidates(prefix)
+        return self._scan_candidates(prefix)
+
+    def _scan_candidates(self, prefix: Prefix) -> List[Route]:
+        """Legacy candidate enumeration: probe every session's table.
+
+        O(sessions) per call; also serves as the reference for
+        :meth:`verify_decisions` because it cannot be wrong about what
+        the tables hold.
+        """
         routes: List[Route] = []
         local = self.originated.get(prefix)
         if local is not None:
@@ -388,6 +433,56 @@ class BGPRouter(Node):
             if route is not None:
                 routes.append(route)
         return routes
+
+    def _indexed_candidates(self, prefix: Prefix) -> List[Route]:
+        """Compact candidate enumeration via the prefix index.
+
+        Yields exactly what :meth:`_scan_candidates` would: sessions are
+        registered in link-creation order and link ids are globally
+        monotone, so iterating the index entries in ascending link-id
+        order reproduces the legacy session-scan order (and the winner
+        is order-independent anyway — ``route_sort_key`` is a strict
+        total order).
+        """
+        routes: List[Route] = []
+        local = self.originated.get(prefix)
+        if local is not None:
+            routes.append(Route(prefix=prefix, attrs=local, peer_asn=0,
+                                peer_name=self.name))
+        entry = self._index.get(prefix)
+        for link_id in sorted(entry):
+            session = self.sessions.get(link_id)
+            if session is None or not session.established:
+                continue
+            if self.damper is not None and self.damper.is_suppressed(
+                (link_id, prefix)
+            ):
+                continue
+            routes.append(entry[link_id])
+        return routes
+
+    def known_prefixes(self) -> List[Prefix]:
+        """Every prefix this router holds any state for, sorted."""
+        seen = set(self.loc_rib.prefixes())
+        for rib in self._rib_in.values():
+            seen.update(rib.prefixes())
+        seen.update(self.originated)
+        return sorted(seen)
+
+    def verify_decisions(self) -> List[str]:
+        """Differential oracle: compare Loc-RIB against a full rescan.
+
+        Re-derives the best route for every known prefix with the
+        legacy full-scan enumeration and reports any disagreement with
+        the incrementally maintained Loc-RIB.  Empty list = identical.
+        Valid in either mode (in legacy mode it is a self-check).
+        """
+        return verify_loc_rib(
+            self.loc_rib,
+            self._scan_candidates,
+            self.known_prefixes(),
+            self.decision_config,
+        )
 
     def _run_decision(self, prefix: Prefix) -> None:
         self.decisions_run += 1

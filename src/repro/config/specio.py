@@ -80,7 +80,7 @@ def _scenario_registry() -> Dict[str, Callable]:
 
 
 def _topology_registry() -> Dict[str, Callable]:
-    from ..topology import clique, line, ring, star
+    from ..topology import caida_hierarchy, clique, line, ring, star
 
     return {
         "clique": clique,
@@ -88,6 +88,7 @@ def _topology_registry() -> Dict[str, Callable]:
         "ring": ring,
         "star": star,
         "ba": _ba,
+        "caida": caida_hierarchy,
     }
 
 
@@ -290,7 +291,8 @@ def _ensure_dict(payload, what: str) -> Dict[str, Any]:
 _SPEC_FIELDS = (
     "scenario", "topology", "n", "sdn_count", "seed", "mrai",
     "recompute_delay", "policy_mode", "sdn_members", "horizon",
-    "trace_level", "metrics", "spans", "profile", "faults", "label",
+    "trace_level", "metrics", "spans", "profile", "faults",
+    "compact", "batch_delivery", "lean", "label",
 )
 
 
@@ -321,6 +323,9 @@ def runspec_from_json(payload) -> "RunSpec":  # noqa: F821 (local import)
     spans = f.bool_("spans")
     profile = f.bool_("profile")
     faults = f.faults()
+    compact = f.bool_("compact")
+    batch_delivery = f.bool_("batch_delivery")
+    lean = f.bool_("lean")
     label = f.str_("label", "")
     if n is not None and sdn_count is not None and sdn_count > n:
         f.error(
@@ -352,6 +357,9 @@ def runspec_from_json(payload) -> "RunSpec":  # noqa: F821 (local import)
         spans=spans,
         profile=profile,
         faults=faults,
+        compact=compact,
+        batch_delivery=batch_delivery,
+        lean=lean,
         label=label,
     )
 
@@ -360,6 +368,7 @@ _GRID_FIELDS = (
     "scenario", "topology", "n", "sdn_counts", "runs", "seed_base",
     "mrai", "recompute_delay", "policy_mode", "trace_level",
     "metrics", "spans", "profile", "faults", "horizon",
+    "compact", "batch_delivery", "lean",
 )
 
 
@@ -388,6 +397,9 @@ def grid_from_json(payload, *, max_specs: int = MAX_GRID_SPECS) -> List:
     profile = f.bool_("profile")
     horizon = f.number("horizon", None, minimum=0.0, allow_none=True)
     faults = f.faults()
+    compact = f.bool_("compact")
+    batch_delivery = f.bool_("batch_delivery")
+    lean = f.bool_("lean")
     if n is not None and sdn_counts:
         too_big = [c for c in sdn_counts if c > n]
         if too_big:
@@ -431,6 +443,9 @@ def grid_from_json(payload, *, max_specs: int = MAX_GRID_SPECS) -> List:
                     spans=spans,
                     profile=profile,
                     faults=faults,
+                    compact=compact,
+                    batch_delivery=batch_delivery,
+                    lean=lean,
                     label=f"{probe.name} sdn={sdn_count} seed={seed}",
                 )
             )
@@ -519,6 +534,14 @@ def spec_payload(spec) -> Dict[str, Any]:
         out["horizon"] = spec.horizon
     if spec.faults is not None:
         out["faults"] = _jsonify(spec.faults)
+    # Like the digest, these appear only when set so pre-existing
+    # payloads (and their consumers) see no new keys.
+    if spec.compact:
+        out["compact"] = True
+    if spec.batch_delivery:
+        out["batch_delivery"] = True
+    if spec.lean:
+        out["lean"] = True
     if spec.label:
         out["label"] = spec.label
     return out

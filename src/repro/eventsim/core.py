@@ -29,14 +29,16 @@ class SimulationError(RuntimeError):
     """Raised on kernel misuse (negative delays) or livelock detection."""
 
 
-@dataclass(order=True)
+@dataclass(order=True, slots=True)
 class Event:
     """A scheduled callback.
 
     Events order by ``(time, seq)``; ``seq`` is a monotonically increasing
     tie-breaker so same-time events run in scheduling order, which keeps
     runs deterministic.  Cancel through :meth:`Simulator.cancel` so the
-    kernel's foreground bookkeeping stays exact.
+    kernel's foreground bookkeeping stays exact.  ``slots=True`` because
+    dense-graph runs keep hundreds of thousands of these alive in the
+    heap at once.
     """
 
     time: float

@@ -61,12 +61,19 @@ def run_flap_storm(
     extend_on_burst: bool = False,
     mrai: float = 5.0,
     seed: int = 0,
+    compact: bool = False,
 ) -> FlapStormResult:
-    """Flap a prefix from AS1 and measure the controller's churn."""
+    """Flap a prefix from AS1 and measure the controller's churn.
+
+    ``compact`` runs the legacy routers in the interned/incremental
+    route machinery — results must be (and are, per the differential
+    oracle suite) bit-identical to the default.
+    """
     topology = clique(n)
     members = set(range(n - sdn_count + 1, n + 1))
     config = paper_config(seed=seed, mrai=mrai,
-                          recompute_delay=recompute_delay)
+                          recompute_delay=recompute_delay,
+                          compact=compact)
     config.controller = ControllerConfig(
         recompute_delay=recompute_delay, extend_on_burst=extend_on_burst
     )

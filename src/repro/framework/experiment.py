@@ -97,6 +97,16 @@ class ExperimentConfig:
     #: route-affecting record becomes a span with (cause_id, parent_id)
     #: lineage.  Passive — results are bit-identical with spans on/off.
     spans: bool = False
+    #: build legacy BGP routers in compact mode: interned-route prefix
+    #: index + dirty-set incremental decision process.  Result-identical
+    #: to the default full-scan path (the differential-oracle suite
+    #: proves it); required for Internet-scale topologies.
+    compact: bool = False
+    #: coalesce same-instant per-link deliveries into one kernel event.
+    #: NOT digest-preserving (same-instant cross-link interleaving, and
+    #: with it RNG draw order, changes) — defaults off; see
+    #: docs/scaling.md before flipping it on.
+    batch_delivery: bool = False
 
     def session_timers(self) -> BGPTimers:
         """A private copy of the session timer config."""
@@ -158,6 +168,7 @@ class Experiment:
             trace_level=self.config.trace_level,
             trace_max_records=self.config.trace_max_records,
             trace_sample=self.config.trace_sample,
+            batch_delivery=self.config.batch_delivery,
         )
         # imported here: framework.convergence imports this module for
         # its type annotations, so the dependency is lazy at import time.
@@ -213,6 +224,7 @@ class Experiment:
                     self.net.sim, self.net.bus, node_name,
                     asn=asn, timers=self.config.session_timers(),
                     damping=self.config.damping,
+                    compact=self.config.compact,
                 )
                 self.net.add_node(node)
             node.address = self.allocator.router_address(asn)
@@ -674,6 +686,7 @@ class Experiment:
                 self.net.sim, self.net.bus, node_name,
                 asn=asn, timers=self.config.session_timers(),
                 damping=self.config.damping,
+                compact=self.config.compact,
             )
             self.net.add_node(node)
         node.address = self.allocator.router_address(asn)

@@ -27,16 +27,25 @@ PING_PROTO = "icmp.echo"
 PROBE_PROTO = "probe"
 
 
-@dataclass
 class Message:
-    """Base class for anything a link can carry."""
+    """Base class for anything a link can carry.
+
+    Plain (non-dataclass) base so every subclass can opt into
+    ``slots=True`` without a ``__dict__`` sneaking back in through the
+    MRO.  The single ``_prov`` slot is the per-hop provenance context a
+    link stamps at transmit time (see ``repro.obs.spans``); it is
+    carrier state, not message content, so it stays out of every
+    subclass's fields, equality, and repr.
+    """
+
+    __slots__ = ("_prov",)
 
     def describe(self) -> str:
         """Short human-readable summary."""
         return type(self).__name__
 
 
-@dataclass
+@dataclass(slots=True)
 class Packet(Message):
     """A data-plane packet forwarded hop-by-hop via FIB/flow-table lookups.
 

@@ -100,6 +100,16 @@ class RunSpec:
     #: wrap the trial in cProfile and attach the hottest functions.
     profile: bool = False
     faults: Optional[Tuple] = None
+    #: run legacy routers in compact mode (interned routes, prefix
+    #: index, dirty-set decision driver).  Results are bit-identical to
+    #: the default path — the differential-oracle suite enforces it.
+    compact: bool = False
+    #: coalesce same-instant per-link deliveries into one kernel event.
+    #: NOT result-identical (RNG draw order shifts) — scale trials only.
+    batch_delivery: bool = False
+    #: lean build: no baseline full-mesh originations, no collector.
+    #: The only tractable shape at thousands of ASes.
+    lean: bool = False
     label: str = field(default="", compare=False)
 
     def describe(self) -> Dict[str, Any]:
@@ -137,6 +147,19 @@ class RunSpec:
             # profiled record carries extra payload — own cache entries,
             # unprofiled digests untouched.
             out["profile"] = True
+        if self.compact:
+            # Compact mode is result-identical, but it exercises a
+            # different code path — give it distinct cache entries so a
+            # compact-vs-default comparison never hits the same record,
+            # while compact-free specs keep their legacy digests.
+            out["compact"] = True
+        if self.batch_delivery:
+            # Batching genuinely changes event interleaving, so it must
+            # never share a digest with an unbatched trial.
+            out["batch_delivery"] = True
+        if self.lean:
+            # Lean builds change what is originated, hence the results.
+            out["lean"] = True
         return out
 
     def digest(self) -> str:
@@ -254,6 +277,9 @@ def run_trial_full(
         trace_level=spec.trace_level,
         metrics=spec.metrics,
         spans=spec.spans,
+        compact=spec.compact,
+        batch_delivery=spec.batch_delivery,
+        lean=spec.lean,
     )
     return run_scenario_full(
         scenario, topology, members, config, horizon=spec.horizon

@@ -28,12 +28,12 @@ __all__ = [
 ]
 
 
-@dataclass
+@dataclass(slots=True)
 class ControlMessage(Message):
     """Base class for controller-plane messages."""
 
 
-@dataclass
+@dataclass(slots=True)
 class FlowMod(ControlMessage):
     """Install one flow rule on the receiving switch.
 
@@ -49,7 +49,7 @@ class FlowMod(ControlMessage):
     cookie: str = ""
 
 
-@dataclass
+@dataclass(slots=True)
 class FlowRemove(ControlMessage):
     """Remove rules for a match (and optional priority) or by cookie."""
 
@@ -58,7 +58,7 @@ class FlowRemove(ControlMessage):
     cookie: Optional[str] = None
 
 
-@dataclass
+@dataclass(slots=True)
 class PortStatus(ControlMessage):
     """Switch → controller: a local link changed state."""
 
@@ -69,7 +69,7 @@ class PortStatus(ControlMessage):
     kind: str = "phys"
 
 
-@dataclass
+@dataclass(slots=True)
 class PacketIn(ControlMessage):
     """Switch → controller: table miss (packet summary only)."""
 
@@ -79,7 +79,7 @@ class PacketIn(ControlMessage):
     proto: str = ""
 
 
-@dataclass
+@dataclass(slots=True)
 class PeeringStatus(ControlMessage):
     """Switch → speaker over the relay link: physical peering up/down."""
 
@@ -88,14 +88,14 @@ class PeeringStatus(ControlMessage):
     up: bool = True
 
 
-@dataclass
+@dataclass(slots=True)
 class BarrierRequest(ControlMessage):
     """Controller → switch: ack when all prior mods are applied."""
 
     xid: int = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class BarrierReply(ControlMessage):
     """Switch → controller: barrier ack."""
 

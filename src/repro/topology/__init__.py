@@ -11,6 +11,7 @@ from .builders import (
     star,
 )
 from .caida import (
+    caida_hierarchy,
     dump_as_rel,
     generate_as_rel,
     parse_as_rel,
@@ -28,6 +29,7 @@ __all__ = [
     "line",
     "ring",
     "star",
+    "caida_hierarchy",
     "dump_as_rel",
     "generate_as_rel",
     "parse_as_rel",

@@ -27,6 +27,7 @@ __all__ = [
     "dump_as_rel",
     "generate_as_rel",
     "synthetic_caida_topology",
+    "caida_hierarchy",
 ]
 
 #: CAIDA relationship codes.
@@ -154,3 +155,32 @@ def synthetic_caida_topology(
         # ASSpec is frozen; rebuild with the role annotation.
         topo._ases[spec.asn] = type(spec)(spec.asn, spec.name, role)
     return topo
+
+
+def caida_hierarchy(n: int) -> Topology:
+    """A sized synthetic CAIDA hierarchy — the sweep-style factory.
+
+    Same call shape as :func:`~repro.topology.builders.clique`
+    (``factory(n)``), so it slots into :class:`~repro.runner.jobs.RunSpec`
+    grids and the spec registry under the name ``"caida"``.  ``n`` total
+    ASes (numbered 1..n, as the experiment layer expects) are carved
+    into the three tiers deterministically:
+
+    - tier-1: ~cube root of n, capped at 10 (4 at the paper's scales,
+      10 at Internet scale);
+    - transit: ~10% of n;
+    - stubs: the rest.
+
+    Fixed generator seed, so a given ``n`` is always the same graph —
+    run-to-run variation comes from the experiment seed, exactly like
+    the other registered topologies.
+    """
+    if n < 2:
+        raise TopologyError(f"need n >= 2 ASes, got {n}")
+    tier1 = max(1, min(10, round(n ** (1 / 3))))
+    transit = max(1, min(n - tier1, n // 10))
+    stubs = n - tier1 - transit
+    return synthetic_caida_topology(
+        tier1=tier1, transit=transit, stubs=stubs, seed=0,
+        name=f"caida-{n}",
+    )

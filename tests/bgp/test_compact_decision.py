@@ -1,0 +1,142 @@
+"""RouteIndex + DecisionDriver units: the compact decision machinery.
+
+The experiment-level guarantees live in
+``tests/experiments/test_compact_differential.py``; these tests pin the
+two building blocks in isolation — the prefix-major index stays exactly
+in sync with its Adj-RIB-In tables, and the dirty-set driver runs each
+touched prefix once, in first-touch order.
+"""
+
+from repro.bgp.attrs import AsPath, PathAttributes
+from repro.bgp.decision import (
+    DecisionConfig,
+    DecisionDriver,
+    full_scan_best,
+    verify_loc_rib,
+)
+from repro.bgp.rib import AdjRibIn, LocRib, Route, RouteIndex
+from repro.net.addr import Prefix
+
+P1 = Prefix.parse("10.0.1.0/24")
+P2 = Prefix.parse("10.0.2.0/24")
+
+
+def route(prefix, *asns, peer_asn=None):
+    path = AsPath.of(*asns)
+    return Route(prefix, PathAttributes(as_path=path),
+                 peer_asn=peer_asn if peer_asn is not None else asns[0])
+
+
+class TestRouteIndex:
+    def test_mirrors_installs_and_withdrawals(self):
+        index = RouteIndex()
+        rib = AdjRibIn(2, "AS2", link_id=7, index=index)
+        rib.update(route(P1, 2, 1))
+        assert set(index.get(P1)) == {7}
+        assert index.get(P1)[7].prefix == P1
+        rib.withdraw(P1)
+        assert index.get(P1) == {} and len(index) == 0
+
+    def test_replacement_overwrites_in_place(self):
+        index = RouteIndex()
+        rib = AdjRibIn(2, "AS2", link_id=7, index=index)
+        rib.update(route(P1, 2, 1))
+        rib.update(route(P1, 2, 3, 1))
+        assert len(index.get(P1)) == 1
+        assert index.get(P1)[7].attrs.as_path == AsPath.of(2, 3, 1)
+
+    def test_clear_empties_the_index(self):
+        index = RouteIndex()
+        rib = AdjRibIn(2, "AS2", link_id=7, index=index)
+        rib.update(route(P1, 2, 1))
+        rib.update(route(P2, 2, 1))
+        rib.clear()
+        assert len(index) == 0
+
+    def test_multiple_tables_share_one_index(self):
+        index = RouteIndex()
+        rib_a = AdjRibIn(2, "AS2", link_id=1, index=index)
+        rib_b = AdjRibIn(3, "AS3", link_id=2, index=index)
+        rib_a.update(route(P1, 2, 1))
+        rib_b.update(route(P1, 3, 1))
+        assert set(index.get(P1)) == {1, 2}
+        rib_a.withdraw(P1)
+        assert set(index.get(P1)) == {2}
+
+    def test_drop_link_reports_affected_prefixes(self):
+        index = RouteIndex()
+        rib = AdjRibIn(2, "AS2", link_id=9, index=index)
+        rib.update(route(P1, 2, 1))
+        rib.update(route(P2, 2, 1))
+        assert sorted(index.drop_link(9), key=str) == sorted(
+            [P1, P2], key=str
+        )
+        assert len(index) == 0
+
+    def test_unindexed_table_is_untouched_legacy(self):
+        rib = AdjRibIn(2, "AS2")
+        rib.update(route(P1, 2, 1))
+        assert rib.get(P1) is not None
+
+
+class TestDecisionDriver:
+    def test_drain_returns_first_touch_order_once(self):
+        driver = DecisionDriver()
+        driver.mark(P2)
+        driver.mark(P1)
+        driver.mark(P2)  # duplicate: withdraw + re-announce in one UPDATE
+        assert len(driver) == 2
+        assert driver.drain() == [P2, P1]
+        assert driver.drain() == []
+
+    def test_driver_refills_after_drain(self):
+        driver = DecisionDriver()
+        driver.mark(P1)
+        driver.drain()
+        driver.mark(P1)
+        assert driver.drain() == [P1]
+
+
+class TestFullScanOracle:
+    def _candidates(self, table):
+        return lambda prefix: table.get(prefix, [])
+
+    def test_full_scan_best_picks_winner_per_prefix(self):
+        table = {
+            P1: [route(P1, 2, 9, 1), route(P1, 3, 1)],
+            P2: [route(P2, 4, 1)],
+        }
+        best = full_scan_best(
+            self._candidates(table), [P1, P2], DecisionConfig()
+        )
+        assert best[P1].attrs.as_path == AsPath.of(3, 1)
+        assert best[P2].attrs.as_path == AsPath.of(4, 1)
+
+    def test_verify_loc_rib_accepts_agreement(self):
+        table = {P1: [route(P1, 3, 1)]}
+        loc = LocRib()
+        loc.set_best(table[P1][0])
+        assert verify_loc_rib(
+            loc, self._candidates(table), [P1], DecisionConfig()
+        ) == []
+
+    def test_verify_loc_rib_flags_stale_winner(self):
+        table = {P1: [route(P1, 3, 1), route(P1, 2, 9, 1)]}
+        loc = LocRib()
+        loc.set_best(table[P1][1])  # longer path: wrong
+        problems = verify_loc_rib(
+            loc, self._candidates(table), [P1], DecisionConfig()
+        )
+        assert problems and str(P1) in problems[0]
+
+    def test_verify_loc_rib_flags_missing_and_ghost_entries(self):
+        table = {P1: [route(P1, 3, 1)]}
+        empty = LocRib()
+        assert verify_loc_rib(
+            empty, self._candidates(table), [P1], DecisionConfig()
+        )
+        ghost = LocRib()
+        ghost.set_best(route(P2, 4, 1))
+        assert verify_loc_rib(
+            ghost, self._candidates({}), [P2], DecisionConfig()
+        )

@@ -220,3 +220,61 @@ class TestSpecPayload:
         with pytest.raises(SpecIngestError) as excinfo:
             spec_payload(spec)
         assert "no registered name" in str(excinfo.value)
+
+
+class TestScaleKnobs:
+    """compact/batch_delivery/lean ride specs and survive round trips,
+    without disturbing any legacy digest (docs/scaling.md)."""
+
+    def test_scale_fields_parse(self):
+        spec = runspec_from_json(
+            {**BASE, "compact": True, "batch_delivery": True, "lean": True}
+        )
+        assert spec.compact and spec.batch_delivery and spec.lean
+
+    def test_false_knobs_keep_legacy_digest(self):
+        # Explicit False must digest identically to absent — old cache
+        # entries and registry rows stay addressable.
+        legacy = runspec_from_json(BASE)
+        explicit = runspec_from_json(
+            {**BASE, "compact": False, "batch_delivery": False, "lean": False}
+        )
+        assert explicit.digest() == legacy.digest()
+
+    def test_each_knob_changes_the_digest(self):
+        base = runspec_from_json(BASE).digest()
+        for knob in ("compact", "batch_delivery", "lean"):
+            assert runspec_from_json({**BASE, knob: True}).digest() != base
+
+    def test_payload_round_trip(self):
+        original = runspec_from_json({**BASE, "compact": True, "lean": True})
+        payload = spec_payload(original)
+        assert payload["compact"] is True and payload["lean"] is True
+        assert "batch_delivery" not in payload  # unset knobs stay out
+        clone = runspec_from_json(payload)
+        assert clone.digest() == original.digest()
+
+    def test_knobs_must_be_booleans(self):
+        assert any(
+            "compact" in e for e in errors_of({**BASE, "compact": "yes"})
+        )
+
+    def test_caida_topology_registered(self):
+        from repro.topology import caida_hierarchy
+
+        assert "caida" in topology_names()
+        spec = runspec_from_json({**BASE, "topology": "caida"})
+        assert spec.topology_factory is caida_hierarchy
+
+    def test_grid_accepts_scale_knobs(self):
+        specs = grid_from_json(
+            {
+                "scenario": "withdrawal",
+                "n": 8,
+                "sdn_counts": [0, 2],
+                "runs": 1,
+                "compact": True,
+                "lean": True,
+            }
+        )
+        assert specs and all(s.compact and s.lean for s in specs)

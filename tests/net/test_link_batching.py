@@ -1,0 +1,152 @@
+"""Batched per-link delivery: coalescing semantics and the default.
+
+``batch_delivery`` shares one kernel event among same-instant,
+same-direction transmissions (docs/scaling.md).  The contract: per
+message, loss / tx accounting / delivery order are exactly the legacy
+path's; only the *number of heap events* changes.  It is opt-in —
+cross-link interleaving shifts RNG draw order, so legacy digests need
+it off.
+"""
+
+from repro.net.link import LinkDown
+from repro.net.messages import Message
+from repro.net.network import Network
+from repro.net.node import Node
+
+
+class Probe(Node):
+    def __init__(self, sim, trace, name):
+        super().__init__(sim, trace, name)
+        self.inbox = []
+
+    def handle_message(self, link, message):
+        self.inbox.append((self.sim.now, message))
+
+
+def make_probe_pair(net, **kwargs):
+    a = net.add_node(Probe(net.sim, net.trace, "a"))
+    b = net.add_node(Probe(net.sim, net.trace, "b"))
+    link = net.add_link(a, b, **kwargs)
+    return a, b, link
+
+
+class TestDefaultOff:
+    def test_plain_links_do_not_batch(self, net):
+        a, b, link = make_probe_pair(net, latency=0.5)
+        assert link.batch_delivery is False
+        for _ in range(3):
+            link.transmit(a, Message())
+        assert not link._pending
+        net.sim.run()
+        assert len(b.inbox) == 3
+        assert link.coalesced_count == 0
+
+    def test_network_flag_defaults_off(self, net):
+        assert net.batch_delivery is False
+
+
+class TestCoalescing:
+    def test_same_instant_messages_share_one_event(self, net):
+        a, b, link = make_probe_pair(net, latency=0.5, batch_delivery=True)
+        for _ in range(5):
+            link.transmit(a, Message())
+        net.sim.run()
+        assert [t for t, _ in b.inbox] == [0.5] * 5
+        assert link.coalesced_count == 4
+        # One delivery event total: the 4 followers rode the first.
+        assert net.sim.events_processed == 1
+
+    def test_send_order_preserved_within_batch(self, net):
+        a, b, link = make_probe_pair(net, latency=0.1, batch_delivery=True)
+        sent = [Message() for _ in range(4)]
+        for message in sent:
+            link.transmit(a, message)
+        net.sim.run()
+        assert [m for _, m in b.inbox] == sent
+
+    def test_different_instants_do_not_coalesce(self, net):
+        a, b, link = make_probe_pair(net, latency=0.5, batch_delivery=True)
+        link.transmit(a, Message())
+        net.sim.schedule(0.2, lambda: link.transmit(a, Message()))
+        net.sim.run()
+        assert [t for t, _ in b.inbox] == [0.5, 0.7]
+        assert link.coalesced_count == 0
+
+    def test_directions_batch_independently(self, net):
+        a, b, link = make_probe_pair(net, latency=0.5, batch_delivery=True)
+        link.transmit(a, Message())
+        link.transmit(b, Message())
+        link.transmit(a, Message())
+        net.sim.run()
+        assert len(b.inbox) == 2 and len(a.inbox) == 1
+        assert link.coalesced_count == 1
+
+    def test_background_and_foreground_do_not_mix(self, net):
+        # A background batch must not lend its (convergence-invisible)
+        # kernel event to foreground traffic.
+        a, b, link = make_probe_pair(net, latency=0.5, batch_delivery=True)
+        link.transmit(a, Message(), background=True)
+        link.transmit(a, Message())
+        assert link.coalesced_count == 0
+        assert net.sim.pending_foreground() == 1
+        net.sim.run()
+        assert len(b.inbox) == 2
+
+    def test_latency_change_mid_instant_splits_batches(self, net):
+        a, b, link = make_probe_pair(net, latency=0.5, batch_delivery=True)
+        link.transmit(a, Message())
+        link.set_latency(0.8)
+        link.transmit(a, Message())
+        net.sim.run()
+        assert [t for t, _ in b.inbox] == [0.5, 0.8]
+        assert link.coalesced_count == 0
+
+
+class TestLegacyInvariants:
+    def test_loss_is_still_per_message(self, net):
+        a, b, link = make_probe_pair(net, loss=0.5, batch_delivery=True)
+        for _ in range(200):
+            link.transmit(a, Message())
+        net.sim.run()
+        assert 40 < len(b.inbox) < 160
+        assert link.drop_count + link.tx_count == 200
+        assert len(b.inbox) == link.tx_count
+
+    def test_down_link_still_raises(self, net):
+        a, b, link = make_probe_pair(net, batch_delivery=True)
+        link.fail()
+        try:
+            link.transmit(a, Message())
+        except LinkDown:
+            pass
+        else:
+            raise AssertionError("transmit on a down link must raise")
+
+    def test_zero_latency_reply_opens_fresh_batch(self, net):
+        # A reply sent from inside receive() lands at the same instant
+        # and the same key shape as the spent batch — it must be
+        # delivered via a new event, not vanish into the popped bucket.
+        class Echo(Probe):
+            def handle_message(self, link, message):
+                super().handle_message(link, message)
+                if self.name == "b":
+                    link.transmit(self, Message())
+
+        a = net.add_node(Echo(net.sim, net.trace, "a"))
+        b = net.add_node(Echo(net.sim, net.trace, "b"))
+        link = net.add_link(a, b, latency=0.0, batch_delivery=True)
+        link.transmit(a, Message())
+        net.sim.run()
+        assert len(b.inbox) == 1 and len(a.inbox) == 1
+
+
+class TestNetworkWiring:
+    def test_network_flag_propagates_to_links(self):
+        net = Network(seed=1, batch_delivery=True)
+        a, b, link = make_probe_pair(net)
+        assert link.batch_delivery is True
+
+    def test_explicit_link_flag_wins(self):
+        net = Network(seed=1, batch_delivery=True)
+        a, b, link = make_probe_pair(net, batch_delivery=False)
+        assert link.batch_delivery is False

@@ -5,6 +5,7 @@ from hypothesis import given, strategies as st
 
 from repro.bgp.policy import Relationship
 from repro.topology.caida import (
+    caida_hierarchy,
     dump_as_rel,
     generate_as_rel,
     parse_as_rel,
@@ -114,3 +115,43 @@ def test_dump_parse_roundtrip_stable(seed):
     topo = synthetic_caida_topology(tier1=2, transit=3, stubs=5, seed=seed)
     again = parse_as_rel(dump_as_rel(topo))
     assert _body(dump_as_rel(again)) == _body(dump_as_rel(topo))
+
+
+class TestCaidaHierarchy:
+    """The sized sweep-style factory behind RunSpec topology="caida"."""
+
+    def test_total_size_is_exact(self):
+        for n in (2, 10, 16, 100, 1000):
+            assert len(caida_hierarchy(n)) == n
+
+    def test_asns_are_contiguous_from_one(self):
+        topo = caida_hierarchy(50)
+        assert topo.asns == list(range(1, 51))
+
+    def test_deterministic_per_size(self):
+        assert _body(dump_as_rel(caida_hierarchy(64))) == _body(
+            dump_as_rel(caida_hierarchy(64))
+        )
+
+    def test_tiering_scales_with_size(self):
+        def tier_sizes(n):
+            topo = caida_hierarchy(n)
+            roles = [topo._ases[a].role for a in topo.asns]
+            return (roles.count("tier1"), roles.count("transit"),
+                    roles.count("stub"))
+
+        t1_small, transit_small, _ = tier_sizes(100)
+        t1_big, transit_big, stubs_big = tier_sizes(1000)
+        assert t1_small < t1_big <= 10
+        assert transit_small < transit_big
+        assert stubs_big > transit_big  # stub-heavy, like the Internet
+        assert sum(tier_sizes(1000)) == 1000
+
+    def test_connected_and_valid(self):
+        topo = caida_hierarchy(200)
+        topo.validate()
+        assert topo.is_connected()
+
+    def test_too_small_rejected(self):
+        with pytest.raises(TopologyError):
+            caida_hierarchy(1)
