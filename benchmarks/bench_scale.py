@@ -3,11 +3,11 @@
 The paper evaluates on 16-AS cliques; the compact route machinery
 (interned path attributes, prefix-indexed RIBs, the dirty-set decision
 driver — see ``docs/scaling.md``) exists so the same emulator can run
-orders of magnitude larger.  This benchmark draws the evidence: one
-withdrawal-storm trial per topology size on the synthetic CAIDA
-hierarchy, each in a **forked child process** so that
-``getrusage(RUSAGE_SELF).ru_maxrss`` — a process-lifetime high-water
-mark — measures that trial alone.
+orders of magnitude larger.  This benchmark draws the evidence using
+the forked-trial machinery in :mod:`repro.experiments.scale`: one
+withdrawal-storm trial per topology size, each in a child process so
+that ``ru_maxrss`` — a process-lifetime high-water mark — measures
+that trial alone.
 
 Per size it reports peak RSS, kernel events per wall-second during the
 measured storm, build/storm wall time, and the intern-pool sizes, and
@@ -20,31 +20,22 @@ Environment knobs (on top of the shared ones in ``conftest.py``):
   (default ``1000,2000,5000``).
 - ``REPRO_BENCH_SCALE_REGISTRY`` — registry SQLite path (default
   ``benchmarks/results/scale-registry.sqlite``).
+- ``REPRO_BENCH_SCALE_SCHEDULER`` — event-kernel scheduler for the
+  trials (``heap`` or ``calendar``; default ``heap``).
 """
 
-import multiprocessing
 import os
-import resource
-import time
-import traceback
 
 from conftest import RESULTS_DIR, publish
 
-from repro.bgp.attrs import intern_stats
-from repro.experiments.common import (
-    WithdrawalScenario,
-    paper_config,
-    sdn_set_for,
+from repro.experiments.scale import (
+    check_rss_sublinear,
+    record_trial,
+    run_scale_trial,
+    scale_spec,
 )
-from repro.framework.convergence import ConvergenceMeasurement, measure_event
-from repro.framework.experiment import Experiment
+from repro.framework.convergence import ConvergenceMeasurement
 from repro.obs.registry import RunRegistry
-from repro.runner.jobs import RunRecord, RunSpec
-from repro.topology import caida_hierarchy
-
-#: storm MRAI — small so a trial is one tight exploration burst, not
-#: paper-scale 30 s pacing stretched over thousands of routers.
-SCALE_MRAI = 2.0
 
 
 def scale_sizes():
@@ -62,139 +53,8 @@ def registry_path():
     )
 
 
-def scale_spec(n, seed=0):
-    """The one-trial spec at size ``n`` — a real RunSpec, so the
-    registry rows carry the same digests any sweep of it would."""
-    return RunSpec(
-        scenario_factory=WithdrawalScenario,
-        topology_factory=caida_hierarchy,
-        n=n,
-        sdn_count=0,
-        seed=seed,
-        mrai=SCALE_MRAI,
-        policy_mode="gao_rexford",
-        trace_level="off",
-        compact=True,
-        lean=True,
-        label=f"scale n={n}",
-    )
-
-
-def _measure_trial(spec):
-    """Mirror of ``run_trial_full`` that keeps the live experiment in
-    scope, so kernel counters and intern pools can be read directly."""
-    scenario = spec.scenario_factory()
-    topology = scenario.topology(spec.n, spec.topology_factory)
-    members = sdn_set_for(topology, spec.sdn_count, scenario.reserved_legacy)
-    config = paper_config(
-        seed=spec.seed,
-        mrai=spec.mrai,
-        recompute_delay=spec.recompute_delay,
-        policy_mode=spec.policy_mode,
-        trace_level=spec.trace_level,
-        compact=spec.compact,
-        batch_delivery=spec.batch_delivery,
-        lean=spec.lean,
-    )
-    t_start = time.perf_counter()
-    exp = Experiment(
-        topology, sdn_members=members, config=config, name=scenario.name
-    ).build()
-    scenario.configure(exp)
-    exp.start()
-    scenario.prepare(exp)
-    t_ready = time.perf_counter()
-    # Sample the pools at the converged pre-storm state: the storm is a
-    # withdrawal, and withdrawn routes release their (weakly held)
-    # interned attributes, so the end-of-trial pools would be empty.
-    pools = intern_stats()
-    events_before = exp.net.sim.events_processed
-    measurement = measure_event(
-        exp, lambda: scenario.event(exp), horizon=spec.horizon
-    )
-    scenario.finish(exp)
-    t_done = time.perf_counter()
-    storm_events = exp.net.sim.events_processed - events_before
-    storm_wall = t_done - t_ready
-    return {
-        "n": spec.n,
-        "links": len(topology.links),
-        "measurement": measurement,
-        "build_wall_s": round(t_ready - t_start, 3),
-        "storm_wall_s": round(storm_wall, 3),
-        "total_wall_s": round(t_done - t_start, 3),
-        "events_total": exp.net.sim.events_processed,
-        "storm_events": storm_events,
-        "events_per_s": round(storm_events / storm_wall) if storm_wall > 0 else 0,
-        # Linux reports ru_maxrss in KiB.
-        "peak_rss_mib": round(
-            resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0, 1
-        ),
-        "intern_pools": pools,
-    }
-
-
-def _child_entry(spec, conn):
-    try:
-        conn.send(("ok", _measure_trial(spec)))
-    except Exception:
-        conn.send(("error", traceback.format_exc(limit=20)))
-    finally:
-        conn.close()
-
-
-def run_scale_trial(spec):
-    """Run one trial in a forked child and return its result dict.
-
-    The fork is what makes peak-RSS honest: ``ru_maxrss`` never goes
-    down, so trials sharing a process would all inherit the largest
-    footprint seen so far.
-    """
-    ctx = multiprocessing.get_context("fork")
-    parent_conn, child_conn = ctx.Pipe(duplex=False)
-    proc = ctx.Process(target=_child_entry, args=(spec, child_conn))
-    proc.start()
-    child_conn.close()
-    try:
-        status, payload = parent_conn.recv()
-    except EOFError:
-        proc.join()
-        raise RuntimeError(
-            f"scale trial n={spec.n} died without reporting "
-            f"(exitcode {proc.exitcode})"
-        )
-    proc.join()
-    if status != "ok":
-        raise RuntimeError(f"scale trial n={spec.n} failed:\n{payload}")
-    return payload
-
-
-def record_trial(registry, spec, result):
-    """Append the trial to the telemetry registry.
-
-    The measurement goes in the standard column; the scale numbers ride
-    in the metrics payload under ``"scale"`` so dashboards and the
-    regression gate can query them like any other per-run metric.
-    """
-    measurement = result["measurement"]
-    record = RunRecord(
-        digest=spec.digest(),
-        ok=True,
-        measurement=measurement,
-        metrics={
-            "scale": {
-                key: result[key]
-                for key in (
-                    "n", "links", "build_wall_s", "storm_wall_s",
-                    "total_wall_s", "events_total", "storm_events",
-                    "events_per_s", "peak_rss_mib", "intern_pools",
-                )
-            }
-        },
-        wall_time=result["total_wall_s"],
-        worker="bench-scale",
-    )
-    return registry.record(spec, record)
+def scale_scheduler():
+    return os.environ.get("REPRO_BENCH_SCALE_SCHEDULER", "heap")
 
 
 def format_report(rows):
@@ -220,12 +80,13 @@ def format_report(rows):
 
 def test_withdrawal_storm_scaling_curve(benchmark):
     sizes = scale_sizes()
+    scheduler = scale_scheduler()
     registry = RunRegistry(registry_path())
     rows = []
 
     def run():
         for n in sizes:
-            spec = scale_spec(n)
+            spec = scale_spec(n, scheduler=scheduler)
             result = run_scale_trial(spec)
             record_trial(registry, spec, result)
             rows.append(result)
@@ -245,30 +106,20 @@ def test_withdrawal_storm_scaling_curve(benchmark):
         # Interning is live in the child (compact mode constructed
         # shared attribute objects).
         assert row["intern_pools"]["as_paths"] > 0
-    # Memory grows with topology size but must stay sub-quadratic:
-    # doubling n may not even double RSS once pools dominate, and a
-    # 5x size step staying under ~8x RSS would flag an O(n^2) blowup.
-    if len(rows) >= 2:
-        first, last = rows[0], rows[-1]
-        size_ratio = last["n"] / first["n"]
-        rss_ratio = last["peak_rss_mib"] / first["peak_rss_mib"]
-        assert rss_ratio < size_ratio * 1.6, (
-            f"peak RSS grew {rss_ratio:.1f}x over a {size_ratio:.1f}x "
-            "size step — super-linear route storage"
-        )
+    check_rss_sublinear(rows)
     # Registry rows landed (one per size, queryable by digest).
     recorded = {
         row[0]
         for row in registry._conn.execute("SELECT spec_digest FROM runs")
     }
     for n in sizes:
-        assert scale_spec(n).digest() in recorded
+        assert scale_spec(n, scheduler=scheduler).digest() in recorded
 
 
 if __name__ == "__main__":  # pragma: no cover - manual curve runs
     all_rows = []
     for size in scale_sizes():
-        one_spec = scale_spec(size)
+        one_spec = scale_spec(size, scheduler=scale_scheduler())
         trial = run_scale_trial(one_spec)
         record_trial(RunRegistry(registry_path()), one_spec, trial)
         all_rows.append(trial)

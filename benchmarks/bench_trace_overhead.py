@@ -3,7 +3,10 @@
 Not a paper artifact — this benchmarks the repro harness itself.  The
 bus is on the hot path of every simulated message, so its overhead per
 record bounds how large an emulation the framework can drive.  We push
-a fixed record stream through five configurations:
+a fixed record stream through two families of configurations:
+
+Eager publishing (``bus.record``, heap-scheduler simulator — the
+historical path):
 
 - ``no subscribers``   — counts only (the floor every run pays),
 - ``metrics only``     — the registry's per-category counters,
@@ -12,16 +15,40 @@ a fixed record stream through five configurations:
 - ``spans``            — a SpanTracker building the causal provenance
   DAG (one span per route-affecting record).
 
+Lazy publishing (``bus.record_lazy``, calendar-scheduler simulator —
+the kernel + trace-record changes this benchmark was extended for):
+
+- ``lazy off``         — emitters hand the bus a payload thunk that
+  never runs (no takers): the trace_level="off" sweep shape,
+- ``lazy route``       — thunks run only for retained route-affecting
+  records,
+- ``lazy sampled``     — stride-10 subscriber; thunks run for one in
+  ten occurrences,
+- ``lazy full``        — every thunk runs (a subscriber retains all).
+
+Methodology: each configuration is timed with the cyclic garbage
+collector frozen and its thresholds raised (the pyperf discipline —
+see ``isolated_gc``).  Retained-record configurations otherwise spend
+more time in GC scans triggered by *earlier* configurations' surviving
+piles than in the bus itself, which would make the ordering of the
+table change the numbers.
+
 The archived baseline records throughput and the retained-record count
 of each configuration, so both a dispatch-speed regression and a
 bounded-memory regression (a "filtered" config that silently retains
 everything) show up in the diff.
 
-Knobs: ``REPRO_BENCH_TRACE_RECORDS`` (stream length, default 200_000).
+Knobs: ``REPRO_BENCH_TRACE_RECORDS`` (stream length, default 200_000);
+``REPRO_BENCH_TRACE_REGISTRY`` (when set, also run one real
+calendar-scheduler withdrawal trial and append its deterministic
+measurement to that telemetry registry, putting calendar-mode results
+under the ``repro runs regressions`` gate).
 """
 
+import gc
 import os
 import time
+from contextlib import contextmanager
 
 from conftest import publish
 
@@ -46,25 +73,68 @@ STREAM_MIX = (
     "controller.route_event",  # not route-affecting
 )
 
+#: the committed full-trace rate on the reference machine *before* the
+#: lazy-record/calendar-kernel work (eager records, frozen-dataclass
+#: TraceRecord, per-record dispatch scan).  The report states the
+#: lazy-full speedup against this so the headline claim — retained
+#: full-trace capture at >= 2x the old throughput — is pinned to a
+#: number with provenance rather than recomputed against a moving
+#: baseline.
+PRE_OPTIMIZATION_FULL_TRACE_RATE = 490_802
+
+#: sampling stride of the ``lazy sampled`` configuration.
+SAMPLE_STRIDE = 10
+
+EAGER_CONFIGS = (
+    "no subscribers", "metrics only", "filtered trace", "full trace",
+    "spans",
+)
+LAZY_CONFIGS = ("lazy off", "lazy route", "lazy sampled", "lazy full")
+
 
 def stream_length():
     return int(os.environ.get("REPRO_BENCH_TRACE_RECORDS", 200_000))
 
 
+@contextmanager
+def isolated_gc():
+    """Time-critical section with the cyclic GC quiesced.
+
+    Collect whatever is already garbage, freeze the survivors out of
+    the young generations, and raise the thresholds so allocation
+    bursts inside the measured loop do not trigger collections whose
+    cost scales with how much *previous* configurations retained.
+    """
+    gc.collect()
+    gc.freeze()
+    thresholds = gc.get_threshold()
+    gc.set_threshold(50_000, 10, 10)
+    try:
+        yield
+    finally:
+        gc.set_threshold(*thresholds)
+        gc.unfreeze()
+        gc.collect()
+
+
 def build(config):
     """One (bus, retained-records-callable) pair per configuration."""
-    sim = Simulator(seed=0)
+    scheduler = "calendar" if config.startswith("lazy") else "heap"
+    sim = Simulator(seed=0, scheduler=scheduler)
     bus = InstrumentationBus(sim)
-    if config == "no subscribers":
+    if config in ("no subscribers", "lazy off"):
         return bus, lambda: 0
     if config == "metrics only":
         registry = MetricsRegistry()
         registry.observe_bus(bus)
         return bus, lambda: 0
-    if config == "filtered trace":
+    if config in ("filtered trace", "lazy route"):
         trace = TraceLog(bus, categories=tuple(sorted(ROUTE_AFFECTING)))
         return bus, lambda: len(trace.records)
-    if config == "full trace":
+    if config == "lazy sampled":
+        trace = TraceLog(bus, sample=SAMPLE_STRIDE)
+        return bus, lambda: len(trace.records)
+    if config in ("full trace", "lazy full"):
         trace = TraceLog(bus)
         return bus, lambda: len(trace.records)
     if config == "spans":
@@ -77,11 +147,18 @@ def build(config):
 def run_config(config, n):
     bus, retained = build(config)
     categories = [STREAM_MIX[i % len(STREAM_MIX)] for i in range(n)]
-    started = time.perf_counter()
-    record = bus.record
-    for category in categories:
-        record(category, "as1", peer="as2")
-    elapsed = time.perf_counter() - started
+    lazy = config.startswith("lazy")
+    with isolated_gc():
+        started = time.perf_counter()
+        if lazy:
+            record_lazy = bus.record_lazy
+            for category in categories:
+                record_lazy(category, "as1", lambda: {"peer": "as2"})
+        else:
+            record = bus.record
+            for category in categories:
+                record(category, "as1", peer="as2")
+        elapsed = time.perf_counter() - started
     return {
         "config": config,
         "elapsed": elapsed,
@@ -94,12 +171,52 @@ def run_config(config, n):
 def run_all():
     n = stream_length()
     return [
-        run_config(config, n)
-        for config in (
-            "no subscribers", "metrics only", "filtered trace",
-            "full trace", "spans",
-        )
+        run_config(config, n) for config in EAGER_CONFIGS + LAZY_CONFIGS
     ]
+
+
+def record_registry_row():
+    """Optional: pin calendar-mode results under the regression gate.
+
+    When ``REPRO_BENCH_TRACE_REGISTRY`` names a registry database, run
+    one real withdrawal trial with ``scheduler="calendar"`` and append
+    its (fully deterministic) measurement.  Successive CI passes then
+    record the same spec digest, and ``repro runs regressions`` flags
+    any drift in the calendar kernel's virtual-time results.
+    """
+    path = os.environ.get("REPRO_BENCH_TRACE_REGISTRY")
+    if not path:
+        return None
+    from repro.experiments import WithdrawalScenario
+    from repro.obs.registry import RunRegistry
+    from repro.runner.jobs import RunRecord, RunSpec, run_trial
+    from repro.topology import clique
+
+    spec = RunSpec(
+        scenario_factory=WithdrawalScenario,
+        topology_factory=clique,
+        n=8,
+        sdn_count=0,
+        seed=0,
+        trace_level="off",
+        scheduler="calendar",
+        label="bench-trace-overhead calendar",
+    )
+    started = time.perf_counter()
+    measurement = run_trial(spec)
+    wall = time.perf_counter() - started
+    registry = RunRegistry(path)
+    registry.record(
+        spec,
+        RunRecord(
+            digest=spec.digest(),
+            ok=True,
+            measurement=measurement,
+            wall_time=wall,
+            worker="bench-trace",
+        ),
+    )
+    return spec
 
 
 def report(rows):
@@ -115,12 +232,22 @@ def report(rows):
             f"{row['config']:>16} {row['rate']:>13,.0f} "
             f"{row['retained']:>10} {row['counted']:>10}"
         )
-    full = next(r for r in rows if r["config"] == "full trace")
-    floor = next(r for r in rows if r["config"] == "no subscribers")
+    by_config = {row["config"]: row for row in rows}
+    full = by_config["full trace"]
+    floor = by_config["no subscribers"]
+    lazy_off = by_config["lazy off"]
+    lazy_full = by_config["lazy full"]
     lines += [
         "",
         f"capture cost: full trace runs at "
         f"{full['rate'] / floor['rate']:.0%} of the no-subscriber floor;",
+        f"lazy publishing with nothing attached reaches "
+        f"{lazy_off['rate'] / floor['rate']:.0%} of that floor.",
+        f"lazy full capture: {lazy_full['rate']:,.0f} records/sec = "
+        f"{lazy_full['rate'] / PRE_OPTIMIZATION_FULL_TRACE_RATE:.2f}x the "
+        f"pre-optimization full-trace rate",
+        f"({PRE_OPTIMIZATION_FULL_TRACE_RATE:,} records/sec on the "
+        "reference machine).",
         "counts stay complete in every configuration (the 'counted'",
         "column), so measurement never depends on what was retained.",
     ]
@@ -130,19 +257,28 @@ def report(rows):
 def test_trace_overhead(benchmark):
     rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
     publish("trace_overhead", report(rows))
+    record_registry_row()
     by_config = {row["config"]: row for row in rows}
     n = stream_length()
-    # every configuration counts every record
+    # every configuration counts every record — record_lazy included
     assert all(row["counted"] == n for row in rows), rows
     # bounded memory: only the trace configs retain records, and the
     # filter retains exactly the route-affecting share of the mix
     assert by_config["no subscribers"]["retained"] == 0
     assert by_config["metrics only"]["retained"] == 0
+    assert by_config["lazy off"]["retained"] == 0
     route_share = sum(
         1 for c in STREAM_MIX if c in ROUTE_AFFECTING
     ) / len(STREAM_MIX)
     assert by_config["filtered trace"]["retained"] == int(n * route_share)
+    assert by_config["lazy route"]["retained"] == int(n * route_share)
     assert by_config["full trace"]["retained"] == n
+    assert by_config["lazy full"]["retained"] == n
+    # stride-S sampling retains exactly every Sth occurrence
+    assert by_config["lazy sampled"]["retained"] == -(-n // SAMPLE_STRIDE)
     # the span tracker materializes exactly one span per route-affecting
     # record — the invariant the provenance DAG's accounting rests on
     assert by_config["spans"]["retained"] == int(n * route_share)
+    # the point of laziness: with nothing attached the thunks never run,
+    # so the lazy-off path must beat retained full-trace capture.
+    assert by_config["lazy off"]["rate"] > by_config["full trace"]["rate"]

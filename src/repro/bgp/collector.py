@@ -90,11 +90,13 @@ class RouteCollector(BGPRouter):
                 withdrawn=tuple(update.withdrawn),
             )
         )
-        self.bus.record(
+        self.bus.record_lazy(
             "collector.update", self.name,
-            peer=session.peer_name,
-            announced=len(update.announced),
-            withdrawn=len(update.withdrawn),
+            lambda: {
+                "peer": session.peer_name,
+                "announced": len(update.announced),
+                "withdrawn": len(update.withdrawn),
+            },
         )
         super().enqueue_update(session, update)
 

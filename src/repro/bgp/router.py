@@ -298,12 +298,16 @@ class BGPRouter(Node):
     # ------------------------------------------------------------------
     def enqueue_update(self, session: BGPSession, update: BGPUpdate) -> None:
         """Queue a received UPDATE for serialized processing."""
-        self.bus.record(
+        self.bus.record_lazy(
             "bgp.update.rx", self.name,
-            peer=session.link.other(self).name,
-            announced=[(str(p), str(a.as_path)) for p, a in update.announced],
-            withdrawn=[str(p) for p in update.withdrawn],
-            update_id=update.update_id,
+            lambda: {
+                "peer": session.link.other(self).name,
+                "announced": [
+                    (str(p), str(a.as_path)) for p, a in update.announced
+                ],
+                "withdrawn": [str(p) for p in update.withdrawn],
+                "update_id": update.update_id,
+            },
         )
         # Provenance: queue entries carry the rx span's context (the
         # record above) so deferred processing re-enters it.
@@ -498,11 +502,13 @@ class BGPRouter(Node):
     def _on_best_changed(
         self, prefix: Prefix, old: Optional[Route], new: Optional[Route]
     ) -> None:
-        self.bus.record(
+        self.bus.record_lazy(
             "bgp.decision", self.name,
-            prefix=str(prefix),
-            old=str(old.attrs.as_path) if old else None,
-            new=str(new.attrs.as_path) if new else None,
+            lambda: {
+                "prefix": str(prefix),
+                "old": str(old.attrs.as_path) if old else None,
+                "new": str(new.attrs.as_path) if new else None,
+            },
         )
         # Provenance: the FIB change and the advertisements this decision
         # schedules are consequences of the decision span just recorded.
@@ -514,8 +520,9 @@ class BGPRouter(Node):
     def _install_fib(self, prefix: Prefix, route: Optional[Route]) -> None:
         if route is None:
             if self.fib.remove(prefix):
-                self.bus.record(
-                    "fib.change", self.name, prefix=str(prefix), via=None
+                self.bus.record_lazy(
+                    "fib.change", self.name,
+                    lambda: {"prefix": str(prefix), "via": None},
                 )
             return
         if route.is_local:
@@ -528,8 +535,9 @@ class BGPRouter(Node):
                 prefix, session.link, via=route.peer_name, source="bgp",
             )
         if self.fib.install(entry):
-            self.bus.record(
-                "fib.change", self.name, prefix=str(prefix), via=entry.via
+            self.bus.record_lazy(
+                "fib.change", self.name,
+                lambda: {"prefix": str(prefix), "via": entry.via},
             )
 
     def _session_for_peer(self, route: Route) -> Optional[BGPSession]:

@@ -461,13 +461,20 @@ class BGPSession:
             obs.swap(prev)
 
     def _record_tx(self, update: BGPUpdate) -> None:
-        self.router.bus.record(
+        # Lazy payload: stringifying every announced path is the single
+        # most expensive emit in the framework, and traced-off runs
+        # never look at it.
+        self.router.bus.record_lazy(
             "bgp.update.tx",
             self.router.name,
-            peer=self.link.other(self.router).name,
-            announced=[(str(p), str(a.as_path)) for p, a in update.announced],
-            withdrawn=[str(p) for p in update.withdrawn],
-            update_id=update.update_id,
+            lambda: {
+                "peer": self.link.other(self.router).name,
+                "announced": [
+                    (str(p), str(a.as_path)) for p, a in update.announced
+                ],
+                "withdrawn": [str(p) for p in update.withdrawn],
+                "update_id": update.update_id,
+            },
         )
 
     def _send(self, message: BGPMessage) -> None:

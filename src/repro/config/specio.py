@@ -43,6 +43,8 @@ MAX_GRID_SPECS = 4096
 
 _TRACE_LEVELS = ("full", "route", "off")
 
+_SCHEDULERS = ("heap", "calendar")
+
 
 class SpecIngestError(ValueError):
     """A spec/grid payload that failed validation.
@@ -292,7 +294,7 @@ _SPEC_FIELDS = (
     "scenario", "topology", "n", "sdn_count", "seed", "mrai",
     "recompute_delay", "policy_mode", "sdn_members", "horizon",
     "trace_level", "metrics", "spans", "profile", "faults",
-    "compact", "batch_delivery", "lean", "label",
+    "compact", "batch_delivery", "lean", "scheduler", "label",
 )
 
 
@@ -326,6 +328,7 @@ def runspec_from_json(payload) -> "RunSpec":  # noqa: F821 (local import)
     compact = f.bool_("compact")
     batch_delivery = f.bool_("batch_delivery")
     lean = f.bool_("lean")
+    scheduler = f.str_("scheduler", "heap", choices=_SCHEDULERS)
     label = f.str_("label", "")
     if n is not None and sdn_count is not None and sdn_count > n:
         f.error(
@@ -360,6 +363,7 @@ def runspec_from_json(payload) -> "RunSpec":  # noqa: F821 (local import)
         compact=compact,
         batch_delivery=batch_delivery,
         lean=lean,
+        scheduler=scheduler,
         label=label,
     )
 
@@ -368,7 +372,7 @@ _GRID_FIELDS = (
     "scenario", "topology", "n", "sdn_counts", "runs", "seed_base",
     "mrai", "recompute_delay", "policy_mode", "trace_level",
     "metrics", "spans", "profile", "faults", "horizon",
-    "compact", "batch_delivery", "lean",
+    "compact", "batch_delivery", "lean", "scheduler",
 )
 
 
@@ -400,6 +404,7 @@ def grid_from_json(payload, *, max_specs: int = MAX_GRID_SPECS) -> List:
     compact = f.bool_("compact")
     batch_delivery = f.bool_("batch_delivery")
     lean = f.bool_("lean")
+    scheduler = f.str_("scheduler", "heap", choices=_SCHEDULERS)
     if n is not None and sdn_counts:
         too_big = [c for c in sdn_counts if c > n]
         if too_big:
@@ -446,6 +451,7 @@ def grid_from_json(payload, *, max_specs: int = MAX_GRID_SPECS) -> List:
                     compact=compact,
                     batch_delivery=batch_delivery,
                     lean=lean,
+                    scheduler=scheduler,
                     label=f"{probe.name} sdn={sdn_count} seed={seed}",
                 )
             )
@@ -542,6 +548,8 @@ def spec_payload(spec) -> Dict[str, Any]:
         out["batch_delivery"] = True
     if spec.lean:
         out["lean"] = True
+    if spec.scheduler != "heap":
+        out["scheduler"] = spec.scheduler
     if spec.label:
         out["label"] = spec.label
     return out

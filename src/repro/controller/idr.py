@@ -223,9 +223,12 @@ class IDRController(Node):
         if not self.active:
             self._drop_while_down("route_event")
             return
-        self.bus.record(
+        self.bus.record_lazy(
             "controller.route_event", self.name,
-            peering=str(peering), prefixes=[str(p) for p in prefixes],
+            lambda: {
+                "peering": str(peering),
+                "prefixes": [str(p) for p in prefixes],
+            },
         )
         self.mark_dirty(prefixes)
 
@@ -243,9 +246,12 @@ class IDRController(Node):
         if not self.active:
             self._drop_while_down("peering_lost")
             return
-        self.bus.record(
+        self.bus.record_lazy(
             "controller.peering.down", self.name,
-            peering=str(peering), prefixes=[str(p) for p in affected],
+            lambda: {
+                "peering": str(peering),
+                "prefixes": [str(p) for p in affected],
+            },
         )
         self.mark_dirty(affected)
 
@@ -278,17 +284,20 @@ class IDRController(Node):
             self._handle_port_status(message)
         elif isinstance(message, PacketIn):
             self.packet_ins += 1
-            self.bus.record(
+            self.bus.record_lazy(
                 "controller.packet_in", self.name,
-                switch=message.switch, dst=message.dst,
+                lambda: {"switch": message.switch, "dst": message.dst},
             )
         elif isinstance(message, BarrierReply):
             pass
 
     def _handle_port_status(self, status: PortStatus) -> None:
-        self.bus.record(
+        self.bus.record_lazy(
             "controller.port_status", self.name,
-            switch=status.switch, peer=status.peer, up=status.up,
+            lambda: {
+                "switch": status.switch, "peer": status.peer,
+                "up": status.up,
+            },
         )
         changed = self.switch_graph.set_link_state(
             status.switch, status.peer, status.up
@@ -297,9 +306,13 @@ class IDRController(Node):
         # link) can invalidate every computed route: recompute all.
         self.mark_dirty(self.known_prefixes())
         if changed:
-            self.bus.record(
+            self.bus.record_lazy(
                 "controller.switch_graph", self.name,
-                sub_clusters=[sorted(c) for c in self.switch_graph.sub_clusters()],
+                lambda: {
+                    "sub_clusters": [
+                        sorted(c) for c in self.switch_graph.sub_clusters()
+                    ],
+                },
             )
 
     # ------------------------------------------------------------------
@@ -344,10 +357,12 @@ class IDRController(Node):
             obs.swap(prev)
 
     def _record_recompute(self, dirty) -> None:
-        self.bus.record(
+        self.bus.record_lazy(
             "controller.recompute", self.name,
-            prefixes=[str(p) for p in sorted(dirty)],
-            coalesced=self._recompute_timer.triggers_coalesced,
+            lambda: {
+                "prefixes": [str(p) for p in sorted(dirty)],
+                "coalesced": self._recompute_timer.triggers_coalesced,
+            },
         )
 
     def _recompute_prefix(self, prefix: Prefix) -> None:
@@ -389,9 +404,9 @@ class IDRController(Node):
             )
             return
         self.flow_mods_sent += 1
-        self.bus.record(
+        self.bus.record_lazy(
             "controller.flow_install", self.name,
-            member=member, message=type(message).__name__,
+            lambda: {"member": member, "message": type(message).__name__},
         )
         # Provenance: the FlowMod carries the flow_install span so the
         # switch's fib.change lands under it.

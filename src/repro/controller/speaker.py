@@ -267,12 +267,17 @@ class ClusterBGPSpeaker(Node):
 
     def enqueue_update(self, session: BGPSession, update: BGPUpdate) -> None:
         """Queue a received UPDATE for serialized processing."""
-        self.bus.record(
+        self.bus.record_lazy(
             "bgp.update.rx", self.name,
-            peer=session.peer_name, peering=str(self.peering_of[session.link.link_id]),
-            announced=[(str(p), str(a.as_path)) for p, a in update.announced],
-            withdrawn=[str(p) for p in update.withdrawn],
-            update_id=update.update_id,
+            lambda: {
+                "peer": session.peer_name,
+                "peering": str(self.peering_of[session.link.link_id]),
+                "announced": [
+                    (str(p), str(a.as_path)) for p, a in update.announced
+                ],
+                "withdrawn": [str(p) for p in update.withdrawn],
+                "update_id": update.update_id,
+            },
         )
         # Small parse delay, then apply (the speaker is a thin proxy; it
         # does not serialize like a full bgpd).  The deferred apply

@@ -20,12 +20,24 @@ stride (deliver every Nth matching record), so a subscriber can bound
 its own cost independently of the publishing rate.  The bus itself
 maintains per-category record counts in O(1) regardless of who is
 subscribed — counting is the one piece of state every consumer needs.
+
+Lazy publishing (:meth:`InstrumentationBus.record_lazy`): hot emitters
+hand the bus a *payload thunk* instead of a built dict.  The bus first
+checks — against its compiled per-category route — whether anything will
+actually take this record (a subscriber whose sampling stride is due, or
+an attached provenance tracker that wants the category).  Only then does
+the thunk run and a :class:`TraceRecord` get built; otherwise the cost
+of the call is the unconditional count increment and a tuple lookup.
+The contract for subscriber authors: a record's ``data`` dict is built
+at publish time whenever *any* taker exists, so every taker of the same
+occurrence sees the same payload, and payloads always reflect state at
+the publish instant — laziness is never observable, only cheaper.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, NamedTuple, Optional, Tuple
 
 __all__ = [
     "TraceRecord",
@@ -52,15 +64,25 @@ ROUTE_AFFECTING = frozenset(
     }
 )
 
+#: Shared empty payload for records published without data.  Never
+#: mutated — ``TraceRecord`` consumers only read ``data``.
+_EMPTY_DATA: dict = {}
 
-@dataclass(frozen=True)
-class TraceRecord:
-    """One timestamped instrumentation record."""
+
+class TraceRecord(NamedTuple):
+    """One timestamped instrumentation record.
+
+    A ``NamedTuple`` rather than a dataclass because construction is on
+    the per-simulated-message hot path: the C-level tuple constructor is
+    roughly twice as fast as a frozen dataclass ``__init__``.  Field
+    order (``time, category, node, data``) is part of the API — existing
+    code constructs records positionally.
+    """
 
     time: float
     category: str
     node: str
-    data: dict = field(default_factory=dict)
+    data: dict = _EMPTY_DATA
 
     def matches(self, prefix: str) -> bool:
         """True if this record's category equals or is nested under ``prefix``."""
@@ -92,20 +114,30 @@ class Subscription:
                 return True
         return False
 
-    def deliver(self, record: TraceRecord) -> None:
-        """Hand one matching record to the callback, honoring sampling."""
+    def take(self) -> bool:
+        """Advance the sampling stride; True if this occurrence delivers.
+
+        Splitting the stride decision from the callback lets the bus ask
+        "will anyone retain this record?" *before* paying to build it.
+        """
         seen = self._seen
         self._seen = seen + 1
-        if self.sample <= 1 or seen % self.sample == 0:
+        return self.sample <= 1 or seen % self.sample == 0
+
+    def deliver(self, record: TraceRecord) -> None:
+        """Hand one matching record to the callback, honoring sampling."""
+        if self.take():
             self.callback(record)
 
 
 class InstrumentationBus:
     """Publish/subscribe hub for all emulation instrumentation.
 
-    Components publish via :meth:`record`; the per-category dispatch
-    list is cached, so the steady-state cost of a record is one dict
-    lookup plus one callback per interested subscriber.  Per-category
+    Components publish via :meth:`record` (eager payload) or
+    :meth:`record_lazy` (payload thunk); the per-category dispatch route
+    is compiled and cached, so the steady-state cost of a record is one
+    dict lookup plus one callback per interested subscriber — or, on the
+    lazy path with no takers, nothing beyond the count.  Per-category
     totals (:attr:`counts`) are maintained unconditionally — they are
     the O(1) backbone of activity counting (update/decision/FIB deltas)
     and survive even a zero-subscriber, zero-trace run.
@@ -116,18 +148,36 @@ class InstrumentationBus:
         self._subscriptions: List[Subscription] = []
         #: total records published per exact category.
         self.counts: Dict[str, int] = {}
-        #: category -> subscriptions that want it (dispatch cache).
-        self._routes: Dict[str, Tuple[Subscription, ...]] = {}
-        self.records_published = 0
-        #: attached provenance tracker (repro.obs.SpanTracker) or None.
-        #: Kept a plain attribute so the off-path cost is one load and a
-        #: None check, same discipline as the simulator dispatch hook.
-        self.obs = None
+        #: category -> compiled ``(eager, sampled, subs, obs_wants)``
+        #: route (see :meth:`_compile`).
+        self._routes: Dict[str, tuple] = {}
+        #: records counted before the last :meth:`clear_counts` — keeps
+        #: :attr:`records_published` monotonic across count resets
+        #: without a per-record increment on the hot path.
+        self._published_base = 0
+        self._obs = None
 
     @property
     def now(self) -> float:
         """Current virtual time of the owning simulator."""
         return self._sim.now
+
+    @property
+    def records_published(self) -> int:
+        """Total records ever published (derived from the counts)."""
+        return self._published_base + sum(self.counts.values())
+
+    @property
+    def obs(self):
+        """Attached provenance tracker (repro.obs.SpanTracker) or None."""
+        return self._obs
+
+    @obs.setter
+    def obs(self, tracker) -> None:
+        # Compiled routes bake in whether the tracker wants each
+        # category, so attaching/detaching one invalidates them.
+        self._obs = tracker
+        self._routes.clear()
 
     # ------------------------------------------------------------------
     # subscription management
@@ -171,38 +221,144 @@ class InstrumentationBus:
         return list(self._subscriptions)
 
     # ------------------------------------------------------------------
+    # route compilation
+    # ------------------------------------------------------------------
+    def _compile(self, category: str) -> tuple:
+        """Build the dispatch route for one category.
+
+        Returns ``(eager, sampled, subs, obs_wants)``:
+
+        - ``eager`` — a prebound closure handling one occurrence end to
+          end (observer hook, record construction, delivery, in that
+          order), or None when nothing at all is attached — the lazy
+          publishing path skips the payload thunk exactly when this is
+          None or sampling defers the decision;
+        - ``sampled`` — True when some matching subscription has a
+          stride > 1, so taker decisions are per-occurrence;
+        - ``subs`` — subscriptions whose filter matches, in subscribe
+          order (delivery order is part of the determinism contract);
+        - ``obs_wants`` — whether the attached tracker spans this
+          category (``obs.wants(category)``; trackers without a
+          ``wants`` method are assumed to want everything).
+        """
+        subs = tuple(s for s in self._subscriptions if s.wants(category))
+        obs = self._obs
+        if obs is None:
+            obs_wants = False
+        else:
+            wants = getattr(obs, "wants", None)
+            obs_wants = True if wants is None else bool(wants(category))
+        sampled = any(s.sample > 1 for s in subs)
+        eager: Optional[Callable[[str, dict], None]]
+        if not subs and not obs_wants:
+            eager = None
+        elif not subs:
+
+            def eager(node, data, _hook=obs.on_record, _cat=category):
+                _hook(_cat, node, data)
+
+        elif sampled:
+
+            def eager(
+                node, data,
+                _hook=obs.on_record if obs_wants else None,
+                _cat=category, _sim=self._sim, _new=tuple.__new__,
+                _cls=TraceRecord, _subs=subs,
+            ):
+                if _hook is not None:
+                    _hook(_cat, node, data)
+                rec = _new(_cls, (_sim._now, _cat, node, data))
+                for subscription in _subs:
+                    subscription.deliver(rec)
+
+        elif obs_wants or len(subs) > 1:
+
+            def eager(
+                node, data,
+                _hook=obs.on_record if obs_wants else None,
+                _cat=category, _sim=self._sim, _new=tuple.__new__,
+                _cls=TraceRecord,
+                _callbacks=tuple(s.callback for s in subs),
+            ):
+                if _hook is not None:
+                    _hook(_cat, node, data)
+                rec = _new(_cls, (_sim._now, _cat, node, data))
+                for callback in _callbacks:
+                    callback(rec)
+
+        else:
+            # The common large-run shape: one unsampled subscriber, no
+            # tracker — e.g. the trace ring's bare ``deque.append``.
+
+            def eager(
+                node, data,
+                _cat=category, _sim=self._sim, _new=tuple.__new__,
+                _cls=TraceRecord, _callback=subs[0].callback,
+            ):
+                _callback(_new(_cls, (_sim._now, _cat, node, data)))
+
+        route = (eager, sampled, subs, obs_wants)
+        self._routes[category] = route
+        return route
+
+    # ------------------------------------------------------------------
     # publishing
     # ------------------------------------------------------------------
     def record(self, category: str, node: str, **data: Any) -> None:
         """Publish a record stamped with the current virtual time."""
-        self.counts[category] = self.counts.get(category, 0) + 1
-        self.records_published += 1
-        obs = self.obs
-        if obs is not None:
-            obs.on_record(category, node, data)
-        routes = self._routes.get(category)
-        if routes is None:
-            routes = tuple(
-                s for s in self._subscriptions if s.wants(category)
-            )
-            self._routes[category] = routes
-        if not routes:
+        counts = self.counts
+        counts[category] = counts.get(category, 0) + 1
+        route = self._routes.get(category)
+        if route is None:
+            route = self._compile(category)
+        eager = route[0]
+        if eager is not None:
+            eager(node, data)
+
+    def record_lazy(
+        self, category: str, node: str, thunk: Callable[[], dict]
+    ) -> None:
+        """Publish with a deferred payload: ``thunk()`` builds the data
+        dict, and runs only when a taker exists for this occurrence.
+
+        Counting is unchanged — every call increments :attr:`counts`
+        exactly like :meth:`record` — so measurements and digests never
+        depend on whether anyone retained the payload.
+        """
+        counts = self.counts
+        counts[category] = counts.get(category, 0) + 1
+        route = self._routes.get(category)
+        if route is None:
+            route = self._compile(category)
+        eager = route[0]
+        if eager is None:
             return
-        rec = TraceRecord(self._sim.now, category, node, data)
-        for subscription in routes:
-            subscription.deliver(rec)
+        if not route[1]:
+            eager(node, thunk())
+            return
+        # Sampled subscribers: advance every stride, then materialize
+        # only if this occurrence actually delivers somewhere.
+        _, _, subs, obs_wants = route
+        takers = [s for s in subs if s.take()]
+        if not takers and not obs_wants:
+            return
+        data = thunk()
+        if obs_wants:
+            self._obs.on_record(category, node, data)
+        if takers:
+            rec = TraceRecord(self._sim._now, category, node, data)
+            for subscription in takers:
+                subscription.callback(rec)
 
     def publish(self, record: TraceRecord) -> None:
         """Publish a pre-built record (replay / testing entry point)."""
-        self.counts[record.category] = self.counts.get(record.category, 0) + 1
-        self.records_published += 1
-        routes = self._routes.get(record.category)
-        if routes is None:
-            routes = tuple(
-                s for s in self._subscriptions if s.wants(record.category)
-            )
-            self._routes[record.category] = routes
-        for subscription in routes:
+        category = record.category
+        counts = self.counts
+        counts[category] = counts.get(category, 0) + 1
+        route = self._routes.get(category)
+        if route is None:
+            route = self._compile(category)
+        for subscription in route[2]:
             subscription.deliver(record)
 
     # ------------------------------------------------------------------
@@ -217,6 +373,7 @@ class InstrumentationBus:
 
     def clear_counts(self) -> None:
         """Reset the per-category totals (subscribers are untouched)."""
+        self._published_base += sum(self.counts.values())
         self.counts.clear()
 
     def __repr__(self) -> str:

@@ -68,10 +68,28 @@ class TraceLog:
             tuple(sorted(categories)) if categories is not None else None
         )
         self.max_records = max_records
-        self._subscription = self.bus.subscribe(
-            self._on_record,
-            categories=categories,
-            sample=sample,
+        self._sample = sample
+        # A disabled trace does not subscribe at all: with no
+        # subscription the bus's lazy publishing path skips building
+        # records entirely, which is what makes ``trace_level="off"``
+        # runs approach the bare counting floor.
+        self._subscription: Optional[Subscription] = None
+        if capture:
+            self._subscription = self._subscribe()
+
+    def _subscribe(self) -> Subscription:
+        # Unbounded ring: hand the bus the deque's C-level append — no
+        # python frame per retained record.  Bounded ring: go through
+        # _on_record, which maintains the dropped-records accounting.
+        callback = (
+            self._records.append
+            if self.max_records is None
+            else self._on_record
+        )
+        return self.bus.subscribe(
+            callback,
+            categories=self.categories,
+            sample=self._sample,
             name="trace",
         )
 
@@ -79,15 +97,28 @@ class TraceLog:
     # subscriber side
     # ------------------------------------------------------------------
     def _on_record(self, record: TraceRecord) -> None:
-        if self._enabled:
-            records = self._records
-            if records.maxlen is not None and len(records) == records.maxlen:
-                self.dropped_records += 1
-            records.append(record)
+        records = self._records
+        if records.maxlen is not None and len(records) == records.maxlen:
+            self.dropped_records += 1
+        records.append(record)
 
     def set_enabled(self, enabled: bool) -> None:
-        """Disable to cut memory/time for very large parameter sweeps."""
+        """Disable to cut memory/time for very large parameter sweeps.
+
+        Toggles the underlying bus subscription, so a disabled trace
+        costs nothing per record (and lazy emitters skip building the
+        payload altogether when nothing else is attached).
+        """
+        enabled = bool(enabled)
+        if enabled == self._enabled:
+            return
         self._enabled = enabled
+        if enabled:
+            if self._subscription is None:
+                self._subscription = self._subscribe()
+        elif self._subscription is not None:
+            self.bus.unsubscribe(self._subscription)
+            self._subscription = None
 
     def detach(self) -> None:
         """Stop receiving records from the bus entirely."""

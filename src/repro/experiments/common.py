@@ -64,6 +64,7 @@ def paper_config(
     compact: bool = False,
     batch_delivery: bool = False,
     lean: bool = False,
+    scheduler: str = "heap",
 ) -> ExperimentConfig:
     """The configuration matching the paper's clique experiments.
 
@@ -72,7 +73,9 @@ def paper_config(
     same-instant link deliveries (NOT digest-preserving); ``lean``
     drops the baseline full-mesh originations and the route collector —
     the memory shape Internet-scale trials need, where per-AS /24s
-    would mean O(n²) Adj-RIB entries.
+    would mean O(n²) Adj-RIB entries; ``scheduler`` selects the event
+    kernel's pending-set structure ("heap" or "calendar";
+    digest-preserving either way).
     """
     return ExperimentConfig(
         seed=seed,
@@ -86,6 +89,7 @@ def paper_config(
         batch_delivery=batch_delivery,
         with_collector=not lean,
         originate_all=not lean,
+        scheduler=scheduler,
     )
 
 

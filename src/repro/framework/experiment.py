@@ -107,6 +107,11 @@ class ExperimentConfig:
     #: with it RNG draw order, changes) — defaults off; see
     #: docs/scaling.md before flipping it on.
     batch_delivery: bool = False
+    #: event-kernel pending-set structure: "heap" (binary heap, the
+    #: historical default) or "calendar" (calendar queue; O(1) amortized
+    #: at depth).  Digest-preserving — both schedulers pop in the exact
+    #: same (time, seq) order, proven by the scheduler-equivalence suite.
+    scheduler: str = "heap"
 
     def session_timers(self) -> BGPTimers:
         """A private copy of the session timer config."""
@@ -169,6 +174,7 @@ class Experiment:
             trace_max_records=self.config.trace_max_records,
             trace_sample=self.config.trace_sample,
             batch_delivery=self.config.batch_delivery,
+            scheduler=self.config.scheduler,
         )
         # imported here: framework.convergence imports this module for
         # its type annotations, so the dependency is lazy at import time.

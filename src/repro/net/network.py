@@ -71,13 +71,17 @@ class Network:
         trace_max_records: Optional[int] = None,
         trace_sample: int = 1,
         batch_delivery: bool = False,
+        scheduler: str = "heap",
     ) -> None:
         if trace_level not in TRACE_LEVELS:
             raise ValueError(
                 f"unknown trace level {trace_level!r}; "
                 f"choose from {sorted(TRACE_LEVELS)}"
             )
-        self.sim = sim if sim is not None else Simulator(seed=seed)
+        self.sim = (
+            sim if sim is not None
+            else Simulator(seed=seed, scheduler=scheduler)
+        )
         self.bus = InstrumentationBus(self.sim)
         self.trace = TraceLog(
             self.bus,

@@ -160,8 +160,9 @@ class Node:
         if packet.proto == PING_PROTO:
             if packet.payload == "reply":
                 self.echo_replies_received[packet.seq] = self.sim.now
-                self.bus.record(
-                    "ping.reply", self.name, seq=packet.seq, src=str(packet.src)
+                self.bus.record_lazy(
+                    "ping.reply", self.name,
+                    lambda: {"seq": packet.seq, "src": str(packet.src)},
                 )
             else:
                 reply = Packet(
@@ -199,9 +200,13 @@ class Node:
 
     def _drop(self, packet: Packet, reason: str) -> bool:
         self.packets_dropped += 1
-        self.bus.record(
-            "packet.drop", self.name, reason=reason,
-            src=str(packet.src), dst=str(packet.dst), proto=packet.proto,
+        self.bus.record_lazy(
+            "packet.drop", self.name,
+            lambda: {
+                "reason": reason,
+                "src": str(packet.src), "dst": str(packet.dst),
+                "proto": packet.proto,
+            },
         )
         return False
 
@@ -234,8 +239,9 @@ class Host(Node):
 
         if packet.proto == PROBE_PROTO:
             self.probes_received.append(packet)
-            self.bus.record(
-                "probe.rx", self.name, seq=packet.seq, src=str(packet.src)
+            self.bus.record_lazy(
+                "probe.rx", self.name,
+                lambda: {"seq": packet.seq, "src": str(packet.src)},
             )
             return
         super().handle_local_packet(link, packet)

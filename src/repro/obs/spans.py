@@ -133,6 +133,15 @@ class SpanTracker:
     # ------------------------------------------------------------------
     # span creation
     # ------------------------------------------------------------------
+    def wants(self, category: str) -> bool:
+        """Bus interest check: does this category become a span?
+
+        The bus bakes the answer into its compiled per-category routes,
+        so non-spanned categories skip payload materialization entirely
+        on the lazy publishing path.
+        """
+        return category in self.categories
+
     def on_record(self, category: str, node: str, data: Dict[str, Any]) -> None:
         """Bus hook: span every route-affecting record (see bus.record)."""
         if category in self.categories:

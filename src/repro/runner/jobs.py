@@ -110,6 +110,10 @@ class RunSpec:
     #: lean build: no baseline full-mesh originations, no collector.
     #: The only tractable shape at thousands of ASes.
     lean: bool = False
+    #: event-kernel pending-set structure: "heap" or "calendar".
+    #: Digest-preserving (identical pop order), but distinct cache
+    #: entries so scheduler comparisons never alias.
+    scheduler: str = "heap"
     label: str = field(default="", compare=False)
 
     def describe(self) -> Dict[str, Any]:
@@ -160,6 +164,12 @@ class RunSpec:
         if self.lean:
             # Lean builds change what is originated, hence the results.
             out["lean"] = True
+        if self.scheduler != "heap":
+            # The calendar queue pops in the same (time, seq) order as
+            # the heap — results are bit-identical — but it exercises a
+            # different kernel path, so scheduler comparisons get their
+            # own cache entries while heap specs keep legacy digests.
+            out["scheduler"] = self.scheduler
         return out
 
     def digest(self) -> str:
@@ -280,6 +290,7 @@ def run_trial_full(
         compact=spec.compact,
         batch_delivery=spec.batch_delivery,
         lean=spec.lean,
+        scheduler=spec.scheduler,
     )
     return run_scenario_full(
         scenario, topology, members, config, horizon=spec.horizon

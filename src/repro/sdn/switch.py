@@ -155,10 +155,12 @@ class SDNSwitch(Node):
             )
         )
         self.flow_mods_applied += 1
-        self.bus.record(
+        self.bus.record_lazy(
             "fib.change", self.name,
-            prefix=str(mod.match),
-            via=mod.out_link_name or mod.action_type,
+            lambda: {
+                "prefix": str(mod.match),
+                "via": mod.out_link_name or mod.action_type,
+            },
         )
 
     def _apply_flow_remove(self, msg: FlowRemove) -> None:
@@ -170,10 +172,12 @@ class SDNSwitch(Node):
             removed = len(self.flow_table)
             self.flow_table.clear()
         if removed:
-            self.bus.record(
+            self.bus.record_lazy(
                 "fib.change", self.name,
-                prefix=str(msg.match) if msg.match else "*",
-                via=None, removed=removed,
+                lambda: {
+                    "prefix": str(msg.match) if msg.match else "*",
+                    "via": None, "removed": removed,
+                },
             )
 
     def _link_by_name(self, name: Optional[str]) -> Optional[Link]:

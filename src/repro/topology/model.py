@@ -79,6 +79,7 @@ class Topology:
         self._ases: Dict[int, ASSpec] = {}
         self._links: List[InterASLink] = []
         self._adjacency: Dict[int, Set[int]] = {}
+        self._link_by_pair: Dict[Tuple[int, int], InterASLink] = {}
 
     # ------------------------------------------------------------------
     def add_as(self, asn: int, *, name: str = "", role: str = "") -> ASSpec:
@@ -111,6 +112,7 @@ class Topology:
         self._links.append(link)
         self._adjacency[a].add(b)
         self._adjacency[b].add(a)
+        self._link_by_pair[(a, b) if a < b else (b, a)] = link
         return link
 
     # ------------------------------------------------------------------
@@ -153,11 +155,8 @@ class Topology:
         return len(self.neighbors(asn))
 
     def link_between(self, a: int, b: int) -> Optional[InterASLink]:
-        """The link joining two nodes/ASes, if any."""
-        for link in self._links:
-            if {link.a, link.b} == {a, b}:
-                return link
-        return None
+        """The link joining two nodes/ASes, if any — O(1)."""
+        return self._link_by_pair.get((a, b) if a < b else (b, a))
 
     def links_of(self, asn: int) -> Iterator[InterASLink]:
         for link in self._links:

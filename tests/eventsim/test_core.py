@@ -2,7 +2,20 @@
 
 import pytest
 
-from repro.eventsim import SimulationError, Simulator
+from repro.eventsim import (
+    SCHEDULERS,
+    CalendarQueue,
+    SimulationError,
+    Simulator,
+)
+from repro.eventsim.core import Event
+
+
+@pytest.fixture(params=SCHEDULERS)
+def sim(request):
+    """Every kernel test runs under both pending-set structures —
+    behavior (not just results) must be scheduler-independent."""
+    return Simulator(seed=42, scheduler=request.param)
 
 
 class TestScheduling:
@@ -137,6 +150,152 @@ class TestRunUntilSettled:
 
     def test_settled_with_empty_queue(self, sim):
         assert sim.run_until_settled() == 0.0
+
+
+class TestSchedulerKnob:
+    def test_default_is_heap(self):
+        assert Simulator(seed=0).scheduler == "heap"
+
+    def test_calendar_selectable(self):
+        assert Simulator(seed=0, scheduler="calendar").scheduler == "calendar"
+
+    def test_unknown_scheduler_rejected(self):
+        with pytest.raises(SimulationError, match="scheduler"):
+            Simulator(seed=0, scheduler="fibonacci")
+
+
+class TestTieBreak:
+    """Regression pin: duplicate timestamps pop in scheduling order.
+
+    Both schedulers order events by ``(time, seq)``; this is the
+    determinism contract every digest fixture rests on, so the exact
+    pop order for a burst of same-time events is pinned here for each
+    scheduler independently (the shared ``sim`` fixture parametrizes).
+    """
+
+    def test_duplicate_timestamps_pop_in_seq_order(self, sim):
+        order = []
+        # interleave two timestamps, scheduled out of time order
+        for tag in range(8):
+            sim.schedule(2.0 if tag % 2 else 1.0, lambda t=tag: order.append(t))
+        sim.run()
+        assert order == [0, 2, 4, 6, 1, 3, 5, 7]
+
+    def test_event_ordering_is_time_then_seq(self):
+        a = Event(1.0, 5, lambda: None)
+        b = Event(1.0, 6, lambda: None)
+        c = Event(0.5, 7, lambda: None)
+        assert a < b and c < a
+
+    def test_zero_delay_self_schedules_run_fifo(self, sim):
+        order = []
+
+        def chain(tag, depth):
+            order.append(tag)
+            if depth:
+                sim.schedule(0.0, lambda: chain(tag, depth - 1))
+
+        sim.schedule(0.0, lambda: chain("a", 2))
+        sim.schedule(0.0, lambda: chain("b", 2))
+        sim.run()
+        # each round of the same-instant cascade alternates in seq order
+        assert order == ["a", "b", "a", "b", "a", "b"]
+
+
+class TestCalendarQueue:
+    """Direct coverage of the calendar structure (resize, wrap, skip)."""
+
+    @staticmethod
+    def _events(times):
+        return [Event(t, seq, lambda: None) for seq, t in enumerate(times)]
+
+    def test_pops_in_time_seq_order(self):
+        queue = CalendarQueue()
+        events = self._events([3.0, 1.0, 2.0, 1.0, 2.0])
+        for event in events:
+            queue.push(event)
+        popped = [queue.pop() for _ in range(5)]
+        assert popped == sorted(events)
+        assert queue.pop() is None
+
+    def test_grow_resize_preserves_order(self):
+        queue = CalendarQueue(nbuckets=CalendarQueue.MIN_BUCKETS)
+        events = self._events([i * 0.37 % 7.0 for i in range(500)])
+        for event in events:
+            queue.push(event)
+        assert queue._nbuckets > CalendarQueue.MIN_BUCKETS
+        assert [queue.pop() for _ in range(500)] == sorted(events)
+
+    def test_shrink_resize_preserves_order(self):
+        queue = CalendarQueue()
+        events = self._events([i * 0.11 for i in range(400)])
+        for event in events:
+            queue.push(event)
+        drained = [queue.pop() for _ in range(400)]
+        assert drained == sorted(events)
+        # the drain shrank the bucket array back down
+        assert queue._nbuckets < 400
+
+    def test_far_future_event_found_after_fruitless_year(self):
+        queue = CalendarQueue(width=0.001)
+        near = Event(0.0005, 0, lambda: None)
+        far = Event(9_999.0, 1, lambda: None)
+        queue.push(near)
+        queue.push(far)
+        assert queue.pop() is near
+        # finding this one requires the full-scan fallback: its day is
+        # thousands of bucket-years past the last popped time.
+        assert queue.pop() is far
+
+    def test_cancelled_events_are_skipped(self):
+        queue = CalendarQueue()
+        keep = Event(2.0, 1, lambda: None)
+        drop = Event(1.0, 0, lambda: None)
+        queue.push(drop)
+        queue.push(keep)
+        drop.cancelled = True
+        assert queue.peek() is keep
+        assert queue.pop() is keep
+        assert queue.pop() is None
+
+    def test_resize_purges_cancelled_without_losing_live(self):
+        queue = CalendarQueue(nbuckets=CalendarQueue.MIN_BUCKETS)
+        events = self._events([i * 0.53 % 11.0 for i in range(300)])
+        for event in events:
+            queue.push(event)
+        cancelled = events[::3]
+        for event in cancelled:
+            event.cancelled = True
+        live = sorted(e for e in events if not e.cancelled)
+        popped = []
+        while True:
+            event = queue.pop()
+            if event is None:
+                break
+            popped.append(event)
+        assert popped == live
+
+    def test_peek_matches_subsequent_pop(self):
+        queue = CalendarQueue()
+        for event in self._events([5.0, 1.0, 3.0]):
+            queue.push(event)
+        while True:
+            head = queue.peek()
+            if head is None:
+                assert queue.pop() is None
+                break
+            assert queue.pop() is head
+
+    def test_push_smaller_than_memoized_head(self):
+        queue = CalendarQueue()
+        late = Event(5.0, 0, lambda: None)
+        queue.push(late)
+        assert queue.peek() is late  # memoizes the head
+        early = Event(1.0, 1, lambda: None)
+        queue.push(early)
+        assert queue.peek() is early
+        assert queue.pop() is early
+        assert queue.pop() is late
 
 
 class TestRng:

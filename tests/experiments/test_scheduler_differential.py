@@ -1,0 +1,162 @@
+"""Differential oracle: the calendar scheduler is bit-identical to the heap.
+
+``scheduler="calendar"`` swaps the kernel's pending set from a binary
+heap onto a calendar queue.  The swap is only admissible because both
+structures pop events in the exact same ``(time, seq)`` order, so
+nothing observable changes: these tests run the paper's experiments
+both ways and compare with exact equality — every measurement field,
+the full trace digest, the bus's per-category counts, and the registry
+row payload.  The failover and flap-storm cases additionally compare
+calendar runs against the pre-refactor oracles captured in
+``fixtures/fault_oracles.json``, tying the new kernel all the way back
+to the original heap implementation.
+"""
+
+import hashlib
+import json
+import pathlib
+from dataclasses import fields
+
+import pytest
+
+from repro.experiments.common import (
+    FailoverScenario,
+    WithdrawalScenario,
+    paper_config,
+    run_scenario_once,
+    sdn_set_for,
+)
+from repro.experiments.flapstorm import run_flap_storm
+from repro.framework.convergence import ConvergenceMeasurement, measure_event
+from repro.framework.experiment import Experiment
+from repro.obs.registry import RunRegistry
+from repro.runner.jobs import RunSpec, execute_spec
+from repro.topology.builders import clique
+
+from .test_fault_differential import FAILOVER_FIELDS, FLAPSTORM_FIELDS
+
+FIXTURE = pathlib.Path(__file__).parent / "fixtures" / "fault_oracles.json"
+ORACLES = json.loads(FIXTURE.read_text())
+
+
+def _trace_digest(exp):
+    """Same recipe as ``FaultInjector.trace_digest``: every retained
+    trace record, exact float reprs."""
+    hasher = hashlib.sha256()
+    for record in exp.net.trace:
+        hasher.update(
+            f"{record.time!r}|{record.category}|{record.node}\n".encode()
+        )
+    return hasher.hexdigest()
+
+
+def _run_withdrawal(*, n, sdn_count, seed, mrai, scheduler):
+    """One Fig. 2-style withdrawal run, keeping the live experiment so
+    the trace and the bus counters stay inspectable."""
+    scenario = WithdrawalScenario()
+    topology = scenario.topology(n, clique)
+    members = sdn_set_for(topology, sdn_count, scenario.reserved_legacy)
+    config = paper_config(seed=seed, mrai=mrai, scheduler=scheduler)
+    exp = Experiment(
+        topology, sdn_members=members, config=config, name=scenario.name
+    ).build()
+    scenario.configure(exp)
+    exp.start()
+    scenario.prepare(exp)
+    measurement = measure_event(exp, lambda: scenario.event(exp))
+    scenario.finish(exp)
+    return exp, measurement
+
+
+@pytest.mark.parametrize("sdn_count", [0, 3, 6])
+def test_withdrawal_measurement_and_trace_bit_identical(sdn_count):
+    heap_exp, heap_m = _run_withdrawal(
+        n=8, sdn_count=sdn_count, seed=42, mrai=2.0, scheduler="heap"
+    )
+    cal_exp, cal_m = _run_withdrawal(
+        n=8, sdn_count=sdn_count, seed=42, mrai=2.0, scheduler="calendar"
+    )
+    for f in fields(ConvergenceMeasurement):
+        assert getattr(cal_m, f.name) == getattr(heap_m, f.name), f.name
+    assert _trace_digest(cal_exp) == _trace_digest(heap_exp)
+    # the bus saw the exact same stream, category by category
+    assert cal_exp.net.bus.counts == heap_exp.net.bus.counts
+    # and the kernels processed the same number of events to get there
+    assert (
+        cal_exp.net.sim.events_processed == heap_exp.net.sim.events_processed
+    )
+
+
+def _spec(*, scheduler, seed=5):
+    return RunSpec(
+        scenario_factory=WithdrawalScenario,
+        topology_factory=clique,
+        n=6,
+        sdn_count=2,
+        seed=seed,
+        mrai=2.0,
+        trace_level="off",
+        metrics=True,
+        scheduler=scheduler,
+    )
+
+
+def test_registry_rows_bit_identical(tmp_path):
+    # Through the full worker + registry stack: execute both specs the
+    # way a sweep would, record them, and compare the JSON payloads the
+    # registry persisted.  Digests differ by design (calendar trials get
+    # their own cache entries); the results may not.
+    registry = RunRegistry(tmp_path / "reg.sqlite")
+    rows = {}
+    for scheduler in ("heap", "calendar"):
+        spec = _spec(scheduler=scheduler)
+        record = execute_spec(spec)
+        assert record.ok, record.error
+        registry.record(spec, record)
+        rows[scheduler] = registry._conn.execute(
+            "SELECT measurement, metrics FROM runs WHERE spec_digest=?",
+            (spec.digest(),),
+        ).fetchone()
+    assert rows["calendar"]["measurement"] == rows["heap"]["measurement"]
+    assert rows["calendar"]["metrics"] == rows["heap"]["metrics"]
+    assert (
+        _spec(scheduler="calendar").digest() != _spec(scheduler="heap").digest()
+    )
+
+
+@pytest.mark.parametrize(
+    "case",
+    ORACLES["failover"],
+    ids=[f"sdn{c['sdn_count']}-seed{c['seed']}" for c in ORACLES["failover"]],
+)
+def test_failover_calendar_matches_prerefactor_oracle(case):
+    scenario = FailoverScenario()
+    topology = scenario.topology(case["n"], clique)
+    members = sdn_set_for(
+        topology, case["sdn_count"], scenario.reserved_legacy
+    )
+    measurement = run_scenario_once(
+        scenario, topology, members,
+        paper_config(
+            seed=case["seed"], mrai=case["mrai"],
+            recompute_delay=case["recompute_delay"],
+            scheduler="calendar",
+        ),
+    )
+    for field in FAILOVER_FIELDS:
+        assert getattr(measurement, field) == case[field], field
+
+
+@pytest.mark.parametrize(
+    "case",
+    ORACLES["flapstorm"],
+    ids=[
+        f"n{c['params']['n']}-sdn{c['params']['sdn_count']}"
+        f"-ext{int(c['params'].get('extend_on_burst', False))}"
+        for c in ORACLES["flapstorm"]
+    ],
+)
+def test_flapstorm_calendar_matches_prerefactor_oracle(case):
+    result = run_flap_storm(**case["params"], scheduler="calendar")
+    for field in FLAPSTORM_FIELDS:
+        assert getattr(result, field) == case[field], field

@@ -1,0 +1,141 @@
+"""Property suite: bus sampling-stride and category-prefix semantics.
+
+The bus's compiled routes and the lazy publishing path both reimplement
+the subscription contract (prefix filters, sampling strides) for speed;
+these properties pin that contract against a straightforward reference
+model over randomized category streams, including the edge cases that
+bit the route compiler hardest: stride 1 (every record), strides larger
+than the whole stream (only the first match delivers), and the empty
+prefix (matches only the empty category or categories starting with
+``"."`` — *not* everything; ``categories=None`` is "everything").
+"""
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from repro.eventsim import InstrumentationBus, Simulator  # noqa: E402
+
+pytestmark = pytest.mark.properties
+
+BOUNDED = settings(max_examples=25, deadline=None, derandomize=True)
+
+CATEGORIES = st.sampled_from(
+    ["bgp", "bgp.update", "bgp.update.tx", "fib.change", "x", ""]
+)
+STREAMS = st.lists(CATEGORIES, min_size=0, max_size=40)
+
+
+def matches(category, prefix):
+    """The documented prefix rule (TraceRecord.matches)."""
+    return category == prefix or category.startswith(prefix + ".")
+
+
+def publish_stream(stream, *, categories=None, sample=1, lazy=False):
+    """Publish a stream against one subscriber; returns delivered records."""
+    bus = InstrumentationBus(Simulator(seed=0))
+    got = []
+    bus.subscribe(got.append, categories=categories, sample=sample)
+    for index, category in enumerate(stream):
+        if lazy:
+            bus.record_lazy(category, "n", lambda i=index: {"i": i})
+        else:
+            bus.record(category, "n", i=index)
+    return bus, got
+
+
+class TestSamplingStride:
+    @given(stream=STREAMS, lazy=st.booleans())
+    @BOUNDED
+    def test_stride_one_delivers_everything(self, stream, lazy):
+        _, got = publish_stream(stream, sample=1, lazy=lazy)
+        assert [r.data["i"] for r in got] == list(range(len(stream)))
+
+    @given(stream=STREAMS, lazy=st.booleans())
+    @BOUNDED
+    def test_stride_beyond_stream_delivers_first_match_only(
+        self, stream, lazy
+    ):
+        _, got = publish_stream(stream, sample=len(stream) + 1, lazy=lazy)
+        expected = [0] if stream else []
+        assert [r.data["i"] for r in got] == expected
+
+    @given(
+        stream=STREAMS,
+        stride=st.integers(min_value=1, max_value=7),
+        lazy=st.booleans(),
+    )
+    @BOUNDED
+    def test_stride_keeps_every_nth_matching_record(
+        self, stream, stride, lazy
+    ):
+        _, got = publish_stream(stream, sample=stride, lazy=lazy)
+        assert [r.data["i"] for r in got] == list(
+            range(0, len(stream), stride)
+        )
+
+    @given(
+        stream=STREAMS,
+        prefix=st.sampled_from(["bgp", "bgp.update", ""]),
+        stride=st.integers(min_value=1, max_value=5),
+        lazy=st.booleans(),
+    )
+    @BOUNDED
+    def test_stride_counts_only_matching_records(
+        self, stream, prefix, stride, lazy
+    ):
+        """The stride advances per *matching* record, not per publish."""
+        _, got = publish_stream(
+            stream, categories=(prefix,), sample=stride, lazy=lazy
+        )
+        matching = [
+            i for i, c in enumerate(stream) if matches(c, prefix)
+        ]
+        assert [r.data["i"] for r in got] == matching[::stride]
+
+
+class TestPrefixFilter:
+    @given(stream=STREAMS, prefix=CATEGORIES, lazy=st.booleans())
+    @BOUNDED
+    def test_filter_matches_reference_model(self, stream, prefix, lazy):
+        _, got = publish_stream(stream, categories=(prefix,), lazy=lazy)
+        expected = [c for c in stream if matches(c, prefix)]
+        assert [r.category for r in got] == expected
+
+    @given(stream=STREAMS, lazy=st.booleans())
+    @BOUNDED
+    def test_empty_prefix_is_not_a_wildcard(self, stream, lazy):
+        """``("",)`` matches only the empty category (or ``.``-rooted
+        ones) — subscribing to everything is ``categories=None``."""
+        _, got = publish_stream(stream, categories=("",), lazy=lazy)
+        expected = [c for c in stream if c == "" or c.startswith(".")]
+        assert [r.category for r in got] == expected
+
+    @given(stream=STREAMS, lazy=st.booleans())
+    @BOUNDED
+    def test_counts_are_complete_regardless_of_filters(self, stream, lazy):
+        bus, _ = publish_stream(stream, categories=("bgp.update",), lazy=lazy)
+        assert bus.records_published == len(stream)
+        assert sum(bus.counts.values()) == len(stream)
+
+
+class TestLazyEagerAgreement:
+    @given(
+        stream=STREAMS,
+        prefix=st.sampled_from([None, "bgp", "bgp.update", ""]),
+        stride=st.integers(min_value=1, max_value=6),
+    )
+    @BOUNDED
+    def test_lazy_and_eager_deliver_identical_records(
+        self, stream, prefix, stride
+    ):
+        categories = (prefix,) if prefix is not None else None
+        _, eager = publish_stream(
+            stream, categories=categories, sample=stride, lazy=False
+        )
+        _, lazy = publish_stream(
+            stream, categories=categories, sample=stride, lazy=True
+        )
+        assert eager == lazy
