@@ -38,11 +38,26 @@ of each configuration, so both a dispatch-speed regression and a
 bounded-memory regression (a "filtered" config that silently retains
 everything) show up in the diff.
 
+Sampling profiler (``repro.obs.sampler``, the ``--sample-hz`` knob):
+
+- ``sampler off``      — the no-subscriber floor loop, re-timed,
+- ``sampler on``       — the same loop with a signal-mode StackSampler
+  interrupting it at the default rate.
+
+Both are best-of-``SAMPLER_REPEATS`` so the pair measures the sampler,
+not scheduler jitter; the report states their ratio (a timing-derived
+reading, never a raw sample count — sample totals are machine-dependent
+and would trip the exact-match integer gate in
+``compare_baselines.py``).
+
 Knobs: ``REPRO_BENCH_TRACE_RECORDS`` (stream length, default 200_000);
 ``REPRO_BENCH_TRACE_REGISTRY`` (when set, also run one real
 calendar-scheduler withdrawal trial and append its deterministic
 measurement to that telemetry registry, putting calendar-mode results
-under the ``repro runs regressions`` gate).
+under the ``repro runs regressions`` gate);
+``REPRO_BENCH_SAMPLER_GATE`` (when set, maximum sampler overhead as a
+percent — CI sets 5 — and the bench fails if sampler-on throughput
+falls further below sampler-off than that).
 """
 
 import gc
@@ -60,6 +75,7 @@ from repro.eventsim import (
     TraceLog,
 )
 from repro.obs import SpanTracker
+from repro.obs.sampler import DEFAULT_HZ, StackSampler
 
 #: mix mirroring a real withdrawal run: mostly updates, some decisions.
 STREAM_MIX = (
@@ -90,6 +106,13 @@ EAGER_CONFIGS = (
     "spans",
 )
 LAZY_CONFIGS = ("lazy off", "lazy route", "lazy sampled", "lazy full")
+SAMPLER_CONFIGS = ("sampler off", "sampler on")
+
+#: best-of repeats for the sampler pair — their ratio is the report's
+#: overhead claim, so both sides take the least-noisy of several runs.
+SAMPLER_REPEATS = 3
+
+SAMPLER_GATE_ENV = "REPRO_BENCH_SAMPLER_GATE"
 
 
 def stream_length():
@@ -122,7 +145,7 @@ def build(config):
     scheduler = "calendar" if config.startswith("lazy") else "heap"
     sim = Simulator(seed=0, scheduler=scheduler)
     bus = InstrumentationBus(sim)
-    if config in ("no subscribers", "lazy off"):
+    if config in ("no subscribers", "lazy off") or config in SAMPLER_CONFIGS:
         return bus, lambda: 0
     if config == "metrics only":
         registry = MetricsRegistry()
@@ -144,21 +167,28 @@ def build(config):
     raise ValueError(config)
 
 
-def run_config(config, n):
+def run_once(config, n):
     bus, retained = build(config)
     categories = [STREAM_MIX[i % len(STREAM_MIX)] for i in range(n)]
     lazy = config.startswith("lazy")
+    sampler = StackSampler(hz=DEFAULT_HZ) if config == "sampler on" else None
     with isolated_gc():
-        started = time.perf_counter()
-        if lazy:
-            record_lazy = bus.record_lazy
-            for category in categories:
-                record_lazy(category, "as1", lambda: {"peer": "as2"})
-        else:
-            record = bus.record
-            for category in categories:
-                record(category, "as1", peer="as2")
-        elapsed = time.perf_counter() - started
+        if sampler is not None:
+            sampler.start()
+        try:
+            started = time.perf_counter()
+            if lazy:
+                record_lazy = bus.record_lazy
+                for category in categories:
+                    record_lazy(category, "as1", lambda: {"peer": "as2"})
+            else:
+                record = bus.record
+                for category in categories:
+                    record(category, "as1", peer="as2")
+            elapsed = time.perf_counter() - started
+        finally:
+            if sampler is not None:
+                sampler.stop()
     return {
         "config": config,
         "elapsed": elapsed,
@@ -168,10 +198,17 @@ def run_config(config, n):
     }
 
 
+def run_config(config, n):
+    repeats = SAMPLER_REPEATS if config in SAMPLER_CONFIGS else 1
+    rows = [run_once(config, n) for _ in range(repeats)]
+    return min(rows, key=lambda row: row["elapsed"])
+
+
 def run_all():
     n = stream_length()
     return [
-        run_config(config, n) for config in EAGER_CONFIGS + LAZY_CONFIGS
+        run_config(config, n)
+        for config in EAGER_CONFIGS + LAZY_CONFIGS + SAMPLER_CONFIGS
     ]
 
 
@@ -248,10 +285,22 @@ def report(rows):
         f"pre-optimization full-trace rate",
         f"({PRE_OPTIMIZATION_FULL_TRACE_RATE:,} records/sec on the "
         "reference machine).",
+        f"sampling profiler: with a {DEFAULT_HZ:.0f} Hz signal-mode "
+        "sampler attached, the floor loop",
+        f"sustains {sampler_ratio(rows):.2f}x its unsampled rate "
+        f"(best of {SAMPLER_REPEATS} per side).",
         "counts stay complete in every configuration (the 'counted'",
         "column), so measurement never depends on what was retained.",
     ]
     return "\n".join(lines)
+
+
+def sampler_ratio(rows):
+    """Sampler-on throughput as a fraction of sampler-off."""
+    by_config = {row["config"]: row for row in rows}
+    return (
+        by_config["sampler on"]["rate"] / by_config["sampler off"]["rate"]
+    )
 
 
 def test_trace_overhead(benchmark):
@@ -282,3 +331,18 @@ def test_trace_overhead(benchmark):
     # the point of laziness: with nothing attached the thunks never run,
     # so the lazy-off path must beat retained full-trace capture.
     assert by_config["lazy off"]["rate"] > by_config["full trace"]["rate"]
+    # the sampler rows retain nothing and count everything: the
+    # profiler observes the loop, it never participates in it
+    for config in SAMPLER_CONFIGS:
+        assert by_config[config]["retained"] == 0
+        assert by_config[config]["counted"] == n
+    # opt-in overhead gate (CI sets 5): sampler-on throughput may not
+    # fall further below sampler-off than the given percentage
+    gate = os.environ.get(SAMPLER_GATE_ENV)
+    if gate:
+        limit = float(gate) / 100.0
+        overhead = max(0.0, 1.0 - sampler_ratio(rows))
+        assert overhead <= limit, (
+            f"sampling profiler overhead {overhead:.1%} exceeds the "
+            f"{limit:.0%} gate ({SAMPLER_GATE_ENV}={gate})"
+        )

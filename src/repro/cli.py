@@ -190,6 +190,7 @@ def _runner_kwargs(args) -> dict:
         "metrics": getattr(args, "metrics", False),
         "profile": getattr(args, "profile", False),
         "registry": registry,
+        "sample_hz": getattr(args, "sample_hz", 0.0),
     }
 
 
@@ -486,7 +487,7 @@ def cmd_scenarios(args) -> int:
         recompute_delay=args.recompute_delay,
         **{
             k: v for k, v in _runner_kwargs(args).items()
-            if k not in ("metrics", "profile", "registry")
+            if k not in ("metrics", "profile", "registry", "sample_hz")
         },
     )
     out.info(
@@ -756,6 +757,32 @@ def cmd_runs_show(args) -> int:
             out.emit(f"  spans         {run.span_count}")
         if run.fault_count is not None:
             out.emit(f"  faults        {run.fault_count}")
+        if run.resources:
+            out.emit("  resources")
+            labels = {
+                "cpu_user_s": ("cpu user", "{:.3f}s"),
+                "cpu_sys_s": ("cpu sys", "{:.3f}s"),
+                "max_rss_kb": ("peak rss", "{:.0f} KB"),
+                "gc_collections": ("gc collections", "{:.0f}"),
+                "gc_pause_s": ("gc pause", "{:.4f}s"),
+                "events_processed": ("events", "{:.0f}"),
+                "events_per_s": ("events/s", "{:.1f}"),
+            }
+            for key, (label, fmt) in labels.items():
+                value = run.resources.get(key)
+                if value is not None:
+                    out.emit(f"    {label:22} {fmt.format(value)}")
+        if run.sample_stacks:
+            from .obs.sampler import top_frames
+
+            total = sum(run.sample_stacks.values())
+            out.emit(
+                f"  hottest sampled frames ({total} stack sample(s))"
+            )
+            for frame, count, share in top_frames(
+                run.sample_stacks, top=args.top
+            ):
+                out.emit(f"    {share:6.1%}  {count:>6}  {frame}")
         if run.profile:
             out.emit("  hottest functions (cumulative seconds)")
             for row in run.profile[: args.top]:
@@ -1174,6 +1201,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="record every trial into this SQLite telemetry "
                             f"registry (also via ${REGISTRY_ENV}; "
                             "inspect with the runs subcommands)")
+        p.add_argument("--sample-hz", type=float, default=0.0,
+                       help="attach a sampling profiler to every trial at "
+                            "this frequency (0 = off; collapsed stacks "
+                            "land in the registry and runs show)")
 
     p = sub.add_parser("fig2", help="withdrawal sweep (paper Fig. 2)")
     sweep_args(p)

@@ -293,8 +293,8 @@ def _ensure_dict(payload, what: str) -> Dict[str, Any]:
 _SPEC_FIELDS = (
     "scenario", "topology", "n", "sdn_count", "seed", "mrai",
     "recompute_delay", "policy_mode", "sdn_members", "horizon",
-    "trace_level", "metrics", "spans", "profile", "faults",
-    "compact", "batch_delivery", "lean", "scheduler", "label",
+    "trace_level", "metrics", "spans", "profile", "sample_hz",
+    "faults", "compact", "batch_delivery", "lean", "scheduler", "label",
 )
 
 
@@ -324,6 +324,7 @@ def runspec_from_json(payload) -> "RunSpec":  # noqa: F821 (local import)
     metrics = f.bool_("metrics")
     spans = f.bool_("spans")
     profile = f.bool_("profile")
+    sample_hz = f.number("sample_hz", 0.0, minimum=0.0)
     faults = f.faults()
     compact = f.bool_("compact")
     batch_delivery = f.bool_("batch_delivery")
@@ -359,6 +360,7 @@ def runspec_from_json(payload) -> "RunSpec":  # noqa: F821 (local import)
         metrics=metrics,
         spans=spans,
         profile=profile,
+        sample_hz=sample_hz,
         faults=faults,
         compact=compact,
         batch_delivery=batch_delivery,
@@ -371,7 +373,7 @@ def runspec_from_json(payload) -> "RunSpec":  # noqa: F821 (local import)
 _GRID_FIELDS = (
     "scenario", "topology", "n", "sdn_counts", "runs", "seed_base",
     "mrai", "recompute_delay", "policy_mode", "trace_level",
-    "metrics", "spans", "profile", "faults", "horizon",
+    "metrics", "spans", "profile", "sample_hz", "faults", "horizon",
     "compact", "batch_delivery", "lean", "scheduler",
 )
 
@@ -399,6 +401,7 @@ def grid_from_json(payload, *, max_specs: int = MAX_GRID_SPECS) -> List:
     metrics = f.bool_("metrics")
     spans = f.bool_("spans")
     profile = f.bool_("profile")
+    sample_hz = f.number("sample_hz", 0.0, minimum=0.0)
     horizon = f.number("horizon", None, minimum=0.0, allow_none=True)
     faults = f.faults()
     compact = f.bool_("compact")
@@ -447,6 +450,7 @@ def grid_from_json(payload, *, max_specs: int = MAX_GRID_SPECS) -> List:
                     metrics=metrics,
                     spans=spans,
                     profile=profile,
+                    sample_hz=sample_hz,
                     faults=faults,
                     compact=compact,
                     batch_delivery=batch_delivery,
@@ -550,6 +554,8 @@ def spec_payload(spec) -> Dict[str, Any]:
         out["lean"] = True
     if spec.scheduler != "heap":
         out["scheduler"] = spec.scheduler
+    if spec.sample_hz:
+        out["sample_hz"] = spec.sample_hz
     if spec.label:
         out["label"] = spec.label
     return out

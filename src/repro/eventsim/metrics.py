@@ -28,6 +28,7 @@ __all__ = [
     "MetricsRegistry",
     "merge_snapshots",
     "format_snapshot",
+    "parse_key",
 ]
 
 
@@ -150,6 +151,47 @@ def _key(name: str, labels: Dict[str, str]) -> str:
         for k in sorted(labels)
     )
     return f"{name}{{{inner}}}"
+
+
+def parse_key(key: str) -> Tuple[str, Dict[str, str]]:
+    """Invert :func:`_key`: split ``name{k=v,...}`` back into name and
+    labels, undoing the ``_escape_label`` backslash escapes.
+
+    Keys without labels come back with an empty dict.  Exposition
+    layers (``repro.obs.runtime``) rely on this to rebuild the label
+    set that :class:`MetricsRegistry` flattened into the storage key.
+    """
+    brace = key.find("{")
+    if brace < 0:
+        return key, {}
+    if not key.endswith("}"):
+        raise ValueError(f"malformed metric key: {key!r}")
+    name, inner = key[:brace], key[brace + 1:-1]
+    labels: Dict[str, str] = {}
+    part: List[str] = []
+    pending_key: Optional[str] = None
+    i = 0
+    while i <= len(inner):
+        ch = inner[i] if i < len(inner) else None
+        if ch == "\\" and i + 1 < len(inner):
+            part.append(inner[i + 1])
+            i += 2
+            continue
+        if ch == "=" and pending_key is None:
+            pending_key = "".join(part)
+            part = []
+        elif ch == "," or ch is None:
+            if pending_key is None:
+                if part or ch is not None:
+                    raise ValueError(f"malformed metric key: {key!r}")
+            else:
+                labels[pending_key] = "".join(part)
+                pending_key = None
+                part = []
+        else:
+            part.append(ch)
+        i += 1
+    return name, labels
 
 
 class MetricsRegistry:

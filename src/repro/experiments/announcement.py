@@ -35,6 +35,7 @@ def announcement_sweep(
     metrics: bool = False,
     profile: bool = False,
     registry=None,
+    sample_hz: float = 0.0,
 ) -> SweepResult:
     """The announcement counterpart of Fig. 2 (text-only result in §4).
 
@@ -62,4 +63,5 @@ def announcement_sweep(
         metrics=metrics,
         profile=profile,
         registry=registry,
+        sample_hz=sample_hz,
     )

@@ -404,6 +404,7 @@ def run_scenario_full(
     config: ExperimentConfig,
     *,
     horizon: Optional[float] = None,
+    info: Optional[dict] = None,
 ) -> tuple:
     """One full run, returning ``(measurement, metrics, spans)``.
 
@@ -412,7 +413,10 @@ def run_scenario_full(
     measurement's ``extra`` dict also carries ``event_root_span`` — the
     span id of the measured event's root cause — when spans are on, so
     downstream reports can find the event's causal tree without
-    heuristics.
+    heuristics.  ``info``, when given, receives execution facts that
+    are not part of the result (``events_processed``) so worker-side
+    resource accounting can report events/s without touching the
+    measurement.
     """
     exp = Experiment(
         topology, sdn_members=sdn_members, config=config,
@@ -435,6 +439,8 @@ def run_scenario_full(
             if span["parent_id"] is None and span["t_end"] >= measurement.t_event:
                 measurement.extra["event_root_span"] = span["span_id"]
                 break
+    if info is not None:
+        info["events_processed"] = exp.net.sim.events_processed
     return measurement, exp.metrics_snapshot(), spans
 
 
@@ -457,6 +463,7 @@ def run_fraction_sweep(
     metrics: bool = False,
     spans: bool = False,
     profile: bool = False,
+    sample_hz: float = 0.0,
     faults=None,
     registry=None,
 ) -> SweepResult:
@@ -476,9 +483,11 @@ def run_fraction_sweep(
     (``"off"`` retains zero records while measuring identically),
     ``metrics=True`` attaches a per-run metrics snapshot to every
     :class:`RunResult`, ``spans=True`` attaches the run's causal
-    provenance spans, and ``profile=True`` wraps each trial in cProfile
-    and attaches its hottest functions (results stay bit-identical in
-    every case).  ``registry`` (a
+    provenance spans, ``profile=True`` wraps each trial in cProfile
+    and attaches its hottest functions, and ``sample_hz > 0`` runs the
+    sampling wall-clock profiler alongside each trial and attaches its
+    flamegraph collapsed stacks (results stay bit-identical in every
+    case).  ``registry`` (a
     :class:`~repro.obs.registry.RunRegistry`, a path, or a prepared
     :class:`~repro.obs.registry.RegistrySink`) records every trial —
     including cache hits and failures — into the cross-run telemetry
@@ -513,6 +522,7 @@ def run_fraction_sweep(
                     metrics=metrics,
                     spans=spans,
                     profile=profile,
+                    sample_hz=sample_hz,
                     faults=faults,
                     label=f"{probe.name} sdn={sdn_count} seed={seed}",
                 )

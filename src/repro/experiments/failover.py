@@ -38,6 +38,7 @@ def failover_sweep(
     metrics: bool = False,
     profile: bool = False,
     registry=None,
+    sample_hz: float = 0.0,
 ) -> SweepResult:
     """The fail-over counterpart of Fig. 2 (text-only result in §4).
 
@@ -67,4 +68,5 @@ def failover_sweep(
         metrics=metrics,
         profile=profile,
         registry=registry,
+        sample_hz=sample_hz,
     )

@@ -40,6 +40,7 @@ def withdrawal_sweep(
     metrics: bool = False,
     profile: bool = False,
     registry=None,
+    sample_hz: float = 0.0,
 ) -> SweepResult:
     """Reproduce Fig. 2; returns per-fraction convergence boxplot data.
 
@@ -72,4 +73,5 @@ def withdrawal_sweep(
         metrics=metrics,
         profile=profile,
         registry=registry,
+        sample_hz=sample_hz,
     )

@@ -377,9 +377,23 @@ class Experiment:
         return self.net.metrics if self.net is not None else None
 
     def metrics_snapshot(self) -> Optional[dict]:
-        """JSON-ready metrics dump, or None when metrics are disabled."""
+        """JSON-ready metrics dump, or None when metrics are disabled.
+
+        Includes a ``trace.dropped_records`` gauge (ring-buffer
+        evictions) so capture loss is visible in every exported
+        snapshot and on the service ``/metrics`` page.  A gauge, not a
+        counter: run diffs compare counters exactly, and drop counts
+        depend on buffer sizing, not on the routing outcome.
+        """
         registry = self.metrics
-        return registry.snapshot() if registry is not None else None
+        if registry is None:
+            return None
+        trace = getattr(self.net, "trace", None)
+        if trace is not None:
+            registry.gauge("trace.dropped_records").set(
+                getattr(trace, "dropped_records", 0)
+            )
+        return registry.snapshot()
 
     @property
     def spans(self):

@@ -51,6 +51,18 @@ _LAZY = {
     "detect_regressions": ".trends",
     "diff_runs": ".trends",
     "diff_sweeps": ".trends",
+    # operational telemetry plane (docs/operations.md)
+    "PromScrape": ".runtime",
+    "parse_prometheus": ".runtime",
+    "render_prometheus": ".runtime",
+    "StructuredLogger": ".logging",
+    "get_logger": ".logging",
+    "log_enabled": ".logging",
+    "new_cid": ".logging",
+    "StackSampler": ".sampler",
+    "collapsed_text": ".sampler",
+    "merge_stacks": ".sampler",
+    "top_frames": ".sampler",
 }
 
 
@@ -98,4 +110,15 @@ __all__ = [
     "as_spans",
     "activation",
     "last_span_activation",
+    "PromScrape",
+    "parse_prometheus",
+    "render_prometheus",
+    "StructuredLogger",
+    "get_logger",
+    "log_enabled",
+    "new_cid",
+    "StackSampler",
+    "collapsed_text",
+    "merge_stacks",
+    "top_frames",
 ]

@@ -25,6 +25,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..analysis.viz import svg_bar_chart, svg_line_chart
 from .registry import RunRegistry, RunRow, SweepRow, aggregate_profiles
+from .sampler import merge_stacks, top_frames
 from .trends import detect_regressions
 
 __all__ = ["render_dashboard"]
@@ -261,6 +262,57 @@ def _profile_section(registry: RunRegistry, *, top: int) -> List[str]:
     return out
 
 
+def _ops_section(registry: RunRegistry, *, top: int) -> List[str]:
+    """Resource accounting and sampled hot frames across recorded runs."""
+    runs = registry.runs(ok=True)
+    accounted = [r for r in runs if r.resources]
+    sampled = [r for r in runs if r.sample_stacks]
+    if not accounted and not sampled:
+        return []
+    out = ["<h2>Ops — per-run resource accounting</h2>"]
+    if accounted:
+        out.append(
+            "<table><tr><th class=l>run</th><th class=l>label</th>"
+            "<th>cpu user s</th><th>cpu sys s</th><th>peak RSS KB</th>"
+            "<th>gc pause s</th><th>events/s</th></tr>"
+        )
+        for run in accounted:
+            res = run.resources or {}
+
+            def cell(key: str, fmt: str) -> str:
+                value = res.get(key)
+                return format(value, fmt) if value is not None else "—"
+
+            out.append(
+                f"<tr><td class=l>#{run.run_id}</td>"
+                f"<td class=l>{escape(run.label)}</td>"
+                f"<td>{cell('cpu_user_s', '.3f')}</td>"
+                f"<td>{cell('cpu_sys_s', '.3f')}</td>"
+                f"<td>{cell('max_rss_kb', '.0f')}</td>"
+                f"<td>{cell('gc_pause_s', '.4f')}</td>"
+                f"<td>{cell('events_per_s', '.1f')}</td></tr>"
+            )
+        out.append("</table>")
+    if sampled:
+        merged = merge_stacks([r.sample_stacks for r in sampled])
+        total = sum(merged.values())
+        out.append(
+            f"<h2>Ops — hot frames (sampling profiler, {total} sample(s) "
+            f"over {len(sampled)} run(s))</h2>"
+        )
+        out.append(
+            "<table><tr><th class=l>frame</th><th>samples</th>"
+            "<th>share</th></tr>"
+        )
+        for frame, count, share in top_frames(merged, top=top):
+            out.append(
+                f"<tr><td class=l>{escape(frame)}</td>"
+                f"<td>{count}</td><td>{share:.1%}</td></tr>"
+            )
+        out.append("</table>")
+    return out
+
+
 def render_dashboard(
     registry: RunRegistry,
     *,
@@ -301,6 +353,7 @@ def render_dashboard(
     parts.extend(_phase_section(sweeps))
     parts.extend(_regression_section(registry))
     parts.extend(_profile_section(registry, top=profile_top))
+    parts.extend(_ops_section(registry, top=profile_top))
     parts.append(
         f"<footer>generated {escape(stamp)} · registry "
         f"{escape(registry.path)} · repro {escape(registry.code_version)}"

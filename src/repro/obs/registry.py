@@ -58,8 +58,10 @@ __all__ = [
 REGISTRY_ENV = "REPRO_REGISTRY"
 #: where the registry lives when neither flag nor env names a path.
 DEFAULT_REGISTRY_PATH = ".repro-registry.sqlite"
-#: bump when the table layout changes (old files are rejected loudly).
-REGISTRY_SCHEMA = 1
+#: bump when the table layout changes.  Additive bumps migrate old
+#: files in place (see ``_check_schema``); anything newer than this
+#: code understands is rejected loudly.
+REGISTRY_SCHEMA = 2
 
 _SCHEMA_SQL = """
 CREATE TABLE IF NOT EXISTS meta (
@@ -109,7 +111,9 @@ CREATE TABLE IF NOT EXISTS runs (
     instants     TEXT,
     span_count   INTEGER,
     fault_count  INTEGER,
-    profile      TEXT
+    profile      TEXT,
+    resources    TEXT,
+    sample_stacks TEXT
 );
 CREATE INDEX IF NOT EXISTS idx_runs_digest ON runs(spec_digest, run_id);
 CREATE INDEX IF NOT EXISTS idx_runs_sweep ON runs(sweep_id);
@@ -171,6 +175,8 @@ class RunRow:
     span_count: Optional[int]
     fault_count: Optional[int]
     profile: Optional[List[Dict[str, Any]]]
+    resources: Optional[Dict[str, Any]] = None
+    sample_stacks: Optional[Dict[str, int]] = None
 
 
 @dataclass(frozen=True)
@@ -269,8 +275,32 @@ class RunRegistry:
             "SELECT value FROM meta WHERE key='schema'"
         ).fetchone()
         if row is None:
+            # Two connections can initialise a fresh file concurrently
+            # (the service opens one registry per worker thread plus
+            # dedup lookups on the loop thread); OR IGNORE makes the
+            # losing writer a no-op and the re-read settles the value.
             self._conn.execute(
-                "INSERT INTO meta (key, value) VALUES ('schema', ?)",
+                "INSERT OR IGNORE INTO meta (key, value)"
+                " VALUES ('schema', ?)",
+                (str(REGISTRY_SCHEMA),),
+            )
+            self._conn.commit()
+            row = self._conn.execute(
+                "SELECT value FROM meta WHERE key='schema'"
+            ).fetchone()
+        if row["value"] == "1":
+            # Schema 2 only *adds* columns, so version-1 files migrate
+            # in place; their existing rows read back with the new
+            # fields as None.
+            for column in ("resources", "sample_stacks"):
+                try:
+                    self._conn.execute(
+                        f"ALTER TABLE runs ADD COLUMN {column} TEXT"
+                    )
+                except sqlite3.OperationalError:
+                    pass  # a concurrent opener already added it
+            self._conn.execute(
+                "UPDATE meta SET value=? WHERE key='schema'",
                 (str(REGISTRY_SCHEMA),),
             )
             self._conn.commit()
@@ -352,9 +382,10 @@ class RunRegistry:
             "INSERT INTO runs (sweep_id, recorded_at, spec_digest, scenario,"
             " label, n, sdn_count, fraction, seed, git_rev, code_version,"
             " ok, error, wall_time, worker, cached, attempts, measurement,"
-            " metrics, instants, span_count, fault_count, profile)"
+            " metrics, instants, span_count, fault_count, profile,"
+            " resources, sample_stacks)"
             " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?,"
-            " ?, ?, ?, ?, ?, ?)",
+            " ?, ?, ?, ?, ?, ?, ?, ?)",
             (
                 sweep_id, self.clock(), record.digest, scenario,
                 spec.label or spec.display(), spec.n, spec.sdn_count,
@@ -371,6 +402,11 @@ class RunRegistry:
                 len(spec.faults) if spec.faults is not None else None,
                 json.dumps(record.profile)
                 if getattr(record, "profile", None) is not None else None,
+                json.dumps(record.resources, sort_keys=True)
+                if getattr(record, "resources", None) is not None else None,
+                json.dumps(record.sample_stacks, sort_keys=True)
+                if getattr(record, "sample_stacks", None) is not None
+                else None,
             ),
         )
         self._conn.commit()
@@ -422,6 +458,8 @@ class RunRegistry:
             span_count=row["span_count"],
             fault_count=row["fault_count"],
             profile=_loads(row["profile"]),
+            resources=_loads(row["resources"]),
+            sample_stacks=_loads(row["sample_stacks"]),
         )
 
     def run(self, run_id: int) -> Optional[RunRow]:

@@ -1,0 +1,276 @@
+"""Operational telemetry plane: Prometheus text exposition, stdlib-only.
+
+:mod:`repro.eventsim.metrics` keeps metrics under flattened keys
+(``name{k=v,...}`` with backslash escapes); this module turns a
+registry :meth:`~repro.eventsim.metrics.MetricsRegistry.snapshot` into
+the Prometheus text exposition format (version 0.0.4) the service's
+``/metrics`` endpoint speaks, and parses such text back — the same tiny
+parser the tests and the CI smoke job use to assert a live scrape is
+well-formed.
+
+Rendering is deterministic: families sort by name, samples by label
+set, and histogram buckets are converted from the snapshot's
+non-cumulative per-bound counts into the cumulative ``le`` series
+Prometheus requires (with ``+Inf`` equal to the observation count).
+See docs/operations.md for the metric catalog.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.eventsim.metrics import parse_key
+
+__all__ = [
+    "CONTENT_TYPE",
+    "PromScrape",
+    "parse_prometheus",
+    "render_prometheus",
+    "sanitize_metric_name",
+]
+
+#: the content type Prometheus scrapers expect from a text endpoint.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_NAME_OK = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_OK = re.compile(r"[a-zA-Z_][a-zA-Z0-9_]*$")
+_BAD_NAME_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+_BAD_LABEL_CHARS = re.compile(r"[^a-zA-Z0-9_]")
+
+#: one exposition line: name{labels} value  (labels optional)
+_SAMPLE_LINE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r"\s+(?P<value>\S+)$"
+)
+_LABEL_PAIR = re.compile(
+    r'\s*(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)='
+    r'"(?P<value>(?:\\.|[^"\\])*)"\s*(?:,|$)'
+)
+
+
+def sanitize_metric_name(name: str) -> str:
+    """Coerce an internal metric name (dots allowed) to the Prometheus
+    identifier charset ``[a-zA-Z_:][a-zA-Z0-9_:]*``."""
+    if _NAME_OK.match(name):
+        return name
+    out = _BAD_NAME_CHARS.sub("_", name)
+    if not out or not re.match(r"[a-zA-Z_:]", out[0]):
+        out = "_" + out
+    return out
+
+
+def _sanitize_label_name(name: str) -> str:
+    if _LABEL_OK.match(name):
+        return name
+    out = _BAD_LABEL_CHARS.sub("_", name)
+    if not out or not re.match(r"[a-zA-Z_]", out[0]):
+        out = "_" + out
+    return out
+
+
+def _escape_value(value: str) -> str:
+    """Prometheus label-value escaping: backslash, quote, newline."""
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _format_number(value: float) -> str:
+    """Deterministic sample formatting: integral values render without a
+    trailing ``.0``, non-finite values use the exposition spellings."""
+    value = float(value)
+    if value != value:
+        return "NaN"
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _label_str(labels: Dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{_sanitize_label_name(k)}="{_escape_value(labels[k])}"'
+        for k in sorted(labels)
+    )
+    return "{" + inner + "}"
+
+
+def _bucket_bounds(buckets: Dict[str, float]) -> List[Tuple[float, float]]:
+    """Snapshot bucket dict (``le_<bound>``/``inf`` -> count, only
+    non-zero retained) as sorted (bound, count) pairs."""
+    pairs: List[Tuple[float, float]] = []
+    for label, count in (buckets or {}).items():
+        if label == "inf":
+            bound = float("inf")
+        elif label.startswith("le_"):
+            try:
+                bound = float(label[3:])
+            except ValueError:
+                continue
+        else:
+            continue
+        pairs.append((bound, count))
+    pairs.sort(key=lambda p: p[0])
+    return pairs
+
+
+def render_prometheus(snapshot: Optional[dict], *, prefix: str = "") -> str:
+    """Render a metrics snapshot as Prometheus text exposition.
+
+    ``prefix`` (e.g. ``"repro_"``) is prepended to every sanitized
+    family name.  Output is byte-deterministic for a given snapshot:
+    one ``# TYPE`` line per family, samples sorted by label set,
+    histogram buckets cumulative with ``+Inf == count`` plus the
+    ``_sum``/``_count`` series.
+    """
+    snapshot = snapshot or {}
+    # family name -> (type, [(sorted sample line fragments)])
+    families: Dict[str, Tuple[str, List[str]]] = {}
+
+    def family(name: str, kind: str) -> List[str]:
+        fam = prefix + sanitize_metric_name(name)
+        if fam not in families:
+            families[fam] = (kind, [])
+        return families[fam][1]
+
+    for key, value in (snapshot.get("counters") or {}).items():
+        name, labels = parse_key(key)
+        family(name, "counter").append(
+            f"{prefix + sanitize_metric_name(name)}"
+            f"{_label_str(labels)} {_format_number(value)}"
+        )
+    for key, value in (snapshot.get("gauges") or {}).items():
+        name, labels = parse_key(key)
+        family(name, "gauge").append(
+            f"{prefix + sanitize_metric_name(name)}"
+            f"{_label_str(labels)} {_format_number(value)}"
+        )
+    for key, hist in (snapshot.get("histograms") or {}).items():
+        name, labels = parse_key(key)
+        fam = prefix + sanitize_metric_name(name)
+        lines = family(name, "histogram")
+        count = hist.get("count", 0)
+        cumulative = 0.0
+        for bound, n in _bucket_bounds(hist.get("buckets") or {}):
+            if bound == float("inf"):
+                continue
+            cumulative += n
+            bucket_labels = dict(labels)
+            bucket_labels["le"] = _format_number(bound)
+            lines.append(
+                f"{fam}_bucket{_label_str(bucket_labels)} "
+                f"{_format_number(cumulative)}"
+            )
+        inf_labels = dict(labels)
+        inf_labels["le"] = "+Inf"
+        lines.append(
+            f"{fam}_bucket{_label_str(inf_labels)} {_format_number(count)}"
+        )
+        lines.append(
+            f"{fam}_sum{_label_str(labels)} "
+            f"{_format_number(hist.get('sum', 0.0))}"
+        )
+        lines.append(
+            f"{fam}_count{_label_str(labels)} {_format_number(count)}"
+        )
+
+    out: List[str] = []
+    for fam in sorted(families):
+        kind, lines = families[fam]
+        out.append(f"# TYPE {fam} {kind}")
+        out.extend(lines)
+    return "\n".join(out) + ("\n" if out else "")
+
+
+@dataclass
+class PromScrape:
+    """A parsed exposition page: flat samples plus family types."""
+
+    samples: Dict[str, float] = field(default_factory=dict)
+    types: Dict[str, str] = field(default_factory=dict)
+
+    def value(self, name: str, **labels: str) -> float:
+        """The sample for ``name`` + exact label set (KeyError if absent)."""
+        key = name + _label_str({k: str(v) for k, v in labels.items()})
+        return self.samples[key]
+
+    def family(self, name: str) -> Dict[str, float]:
+        """Every sample whose metric name is exactly ``name``."""
+        return {
+            k: v for k, v in self.samples.items()
+            if k == name or k.startswith(name + "{")
+        }
+
+
+def _parse_value(text: str) -> float:
+    lowered = text.lower()
+    if lowered in ("+inf", "inf"):
+        return float("inf")
+    if lowered == "-inf":
+        return float("-inf")
+    if lowered == "nan":
+        return float("nan")
+    return float(text)
+
+
+def parse_prometheus(text: str) -> PromScrape:
+    """Parse Prometheus text exposition (the subset we render).
+
+    Strict on sample lines — a malformed line raises ``ValueError`` so
+    the CI smoke job fails loudly when the endpoint regresses.  Returns
+    a :class:`PromScrape`; duplicate sample keys also raise.
+    """
+    scrape = PromScrape()
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split()
+            if len(parts) >= 4 and parts[1] == "TYPE":
+                scrape.types[parts[2]] = parts[3]
+            continue
+        match = _SAMPLE_LINE.match(line)
+        if not match:
+            raise ValueError(f"line {lineno}: malformed sample: {raw!r}")
+        name = match.group("name")
+        labels: Dict[str, str] = {}
+        inner = match.group("labels")
+        if inner:
+            pos = 0
+            while pos < len(inner):
+                pair = _LABEL_PAIR.match(inner, pos)
+                if not pair:
+                    raise ValueError(
+                        f"line {lineno}: malformed labels: {raw!r}"
+                    )
+                value = pair.group("value")
+                value = (
+                    value.replace("\\n", "\n")
+                    .replace('\\"', '"')
+                    .replace("\\\\", "\\")
+                )
+                labels[pair.group("key")] = value
+                pos = pair.end()
+        try:
+            value = _parse_value(match.group("value"))
+        except ValueError:
+            raise ValueError(
+                f"line {lineno}: bad sample value: {raw!r}"
+            ) from None
+        key = name + _label_str(labels)
+        if key in scrape.samples:
+            raise ValueError(f"line {lineno}: duplicate sample: {key}")
+        scrape.samples[key] = value
+    return scrape

@@ -31,6 +31,7 @@ from .registry import RunRegistry, RunRow
 
 __all__ = [
     "DETERMINISTIC_MEASUREMENT_FIELDS",
+    "RESOURCE_TIMING_FIELDS",
     "FieldDiff",
     "RunDiff",
     "SweepDiff",
@@ -42,6 +43,10 @@ __all__ = [
     "compare_report_texts",
     "compare_report_dirs",
 ]
+
+#: per-run resource readings (schema-2 registries) that vary with the
+#: machine — compared like wall time, within a tolerance band.
+RESOURCE_TIMING_FIELDS = ("cpu_user_s", "cpu_sys_s", "max_rss_kb")
 
 #: measurement fields that are pure virtual-time results — bit-equal
 #: across reruns of the same spec digest, on any machine.
@@ -167,14 +172,41 @@ def diff_runs(
         diff.fields.append(
             FieldDiff(name=name, a=a, b=b, kind="deterministic", ok=a == b)
         )
-    scale = max(abs(run_a.wall_time), abs(run_b.wall_time))
-    rel = abs(run_a.wall_time - run_b.wall_time) / scale if scale else 0.0
-    diff.fields.append(
-        FieldDiff(
-            name="wall_time", a=run_a.wall_time, b=run_b.wall_time,
-            kind="timing", ok=rel <= timing_tolerance, rel_error=rel,
+    def timing_field(name: str, a, b) -> None:
+        try:
+            a_val, b_val = float(a), float(b)
+        except (TypeError, ValueError):
+            diff.fields.append(
+                FieldDiff(name=name, a=a, b=b, kind="timing", ok=a == b)
+            )
+            return
+        scale = max(abs(a_val), abs(b_val))
+        rel = abs(a_val - b_val) / scale if scale else 0.0
+        diff.fields.append(
+            FieldDiff(
+                name=name, a=a, b=b,
+                kind="timing", ok=rel <= timing_tolerance, rel_error=rel,
+            )
         )
-    )
+
+    # machine-dependent resource readings (absent on pre-schema-2 rows
+    # and telemetry-off runs) are compared only when both sides carry
+    # them — a one-sided reading is reported but never a mismatch.
+    resources_a = run_a.resources or {}
+    resources_b = run_b.resources or {}
+    for name in RESOURCE_TIMING_FIELDS:
+        a, b = resources_a.get(name), resources_b.get(name)
+        if a is None and b is None:
+            continue
+        if a is None or b is None:
+            diff.fields.append(
+                FieldDiff(
+                    name=f"resources.{name}", a=a, b=b, kind="timing", ok=True
+                )
+            )
+            continue
+        timing_field(f"resources.{name}", a, b)
+    timing_field("wall_time", run_a.wall_time, run_b.wall_time)
     return diff
 
 
@@ -215,7 +247,7 @@ class Regression:
 
     spec_digest: str
     label: str
-    kind: str  # "wall_time" | "deterministic"
+    kind: str  # "wall_time" | "max_rss" | "deterministic"
     latest_run: int
     latest_value: float
     baseline_median: float
@@ -228,6 +260,13 @@ class Regression:
                 f"{self.label or self.spec_digest[:12]}: wall time "
                 f"{self.latest_value:.3f}s exceeds gate {self.threshold:.3f}s "
                 f"(baseline median {self.baseline_median:.3f}s over history)"
+            )
+        if self.kind == "max_rss":
+            return (
+                f"{self.label or self.spec_digest[:12]}: peak RSS "
+                f"{self.latest_value:.0f} KB exceeds gate "
+                f"{self.threshold:.0f} KB "
+                f"(baseline median {self.baseline_median:.0f} KB over history)"
             )
         return (
             f"{self.label or self.spec_digest[:12]}: deterministic drift "
@@ -283,27 +322,52 @@ def detect_regressions(
                 )
             )
 
-        baseline = [r.wall_time for r in previous if not r.cached]
-        if latest.cached or len(baseline) < min_history:
+        if latest.cached:
             continue
-        median = statistics.median(baseline)
-        mad = statistics.median(abs(v - median) for v in baseline)
-        threshold = median + max(
-            mad_sigma * 1.4826 * mad, min_rel * median, min_abs
-        )
-        if latest.wall_time > threshold:
-            out.append(
-                Regression(
-                    spec_digest=digest,
-                    label=latest.label,
-                    kind="wall_time",
-                    latest_run=latest.run_id,
-                    latest_value=latest.wall_time,
-                    baseline_median=median,
-                    threshold=threshold,
-                    detail=f"history of {len(baseline)} run(s)",
-                )
+
+        def gate(kind: str, latest_value, baseline, floor: float) -> None:
+            if latest_value is None or len(baseline) < min_history:
+                return
+            median = statistics.median(baseline)
+            mad = statistics.median(abs(v - median) for v in baseline)
+            threshold = median + max(
+                mad_sigma * 1.4826 * mad, min_rel * median, floor
             )
+            if latest_value > threshold:
+                out.append(
+                    Regression(
+                        spec_digest=digest,
+                        label=latest.label,
+                        kind=kind,
+                        latest_run=latest.run_id,
+                        latest_value=float(latest_value),
+                        baseline_median=median,
+                        threshold=threshold,
+                        detail=f"history of {len(baseline)} run(s)",
+                    )
+                )
+
+        gate(
+            "wall_time",
+            latest.wall_time,
+            [r.wall_time for r in previous if not r.cached],
+            min_abs,
+        )
+        # peak-RSS inflation (resource accounting, schema-2 registries).
+        # The absolute floor is wider than wall time's: RSS is reported
+        # in KB and legitimately jitters by allocator page granularity.
+        gate(
+            "max_rss",
+            (latest.resources or {}).get("max_rss_kb"),
+            [
+                r.resources["max_rss_kb"]
+                for r in previous
+                if not r.cached
+                and r.resources is not None
+                and r.resources.get("max_rss_kb") is not None
+            ],
+            1024.0,
+        )
     return out
 
 

@@ -105,6 +105,8 @@ class ResultCache:
         metrics = payload.get("metrics")
         spans = payload.get("spans")
         profile = payload.get("profile")
+        resources = payload.get("resources")
+        sample_stacks = payload.get("sample_stacks")
         return RunRecord(
             digest=spec.digest(),
             ok=True,
@@ -116,6 +118,10 @@ class ResultCache:
             worker=str(meta.get("worker", "")),
             attempts=int(meta.get("attempts", 1)),
             cached=True,
+            resources=resources if isinstance(resources, dict) else None,
+            sample_stacks=(
+                sample_stacks if isinstance(sample_stacks, dict) else None
+            ),
         )
 
     def put(self, spec: RunSpec, record: RunRecord) -> None:
@@ -141,6 +147,10 @@ class ResultCache:
             payload["spans"] = record.spans
         if record.profile is not None:
             payload["profile"] = record.profile
+        if record.resources is not None:
+            payload["resources"] = record.resources
+        if record.sample_stacks is not None:
+            payload["sample_stacks"] = record.sample_stacks
         # Atomic publish: a reader either sees the old entry or the new
         # complete one, never a torn write.
         fd, tmp_name = tempfile.mkstemp(

@@ -20,6 +20,7 @@ import functools
 import hashlib
 import json
 import os
+import sys
 import time
 import traceback
 from dataclasses import dataclass, field, fields
@@ -29,6 +30,7 @@ from ..framework.convergence import ConvergenceMeasurement
 
 __all__ = [
     "SpecError",
+    "ResourceAccounting",
     "RunSpec",
     "RunRecord",
     "callable_token",
@@ -114,6 +116,9 @@ class RunSpec:
     #: Digest-preserving (identical pop order), but distinct cache
     #: entries so scheduler comparisons never alias.
     scheduler: str = "heap"
+    #: sampling wall-clock profiler rate (Hz); 0 disables.  Like
+    #: ``profile``, sampling never touches virtual-time results.
+    sample_hz: float = 0.0
     label: str = field(default="", compare=False)
 
     def describe(self) -> Dict[str, Any]:
@@ -170,6 +175,11 @@ class RunSpec:
             # different kernel path, so scheduler comparisons get their
             # own cache entries while heap specs keep legacy digests.
             out["scheduler"] = self.scheduler
+        if self.sample_hz:
+            # Stack sampling is passive like profile/spans, but sampled
+            # records carry collapsed stacks — own cache entries, while
+            # unsampled specs keep their legacy digests.
+            out["sample_hz"] = self.sample_hz
         return out
 
     def digest(self) -> str:
@@ -213,6 +223,13 @@ class RunRecord:
     #: True when the job was cancelled by request (``ok`` is False and
     #: the record is never cached).
     cancelled: bool = False
+    #: per-job resource accounting (CPU user/sys seconds, peak RSS,
+    #: GC pauses, events/s) — digest-neutral record payload, never part
+    #: of the measurement.  See :class:`ResourceAccounting`.
+    resources: Optional[Dict[str, Any]] = None
+    #: flamegraph collapsed stacks (``spec.sample_hz > 0``):
+    #: ``{"frame;frame;frame": samples}``.
+    sample_stacks: Optional[Dict[str, int]] = None
 
     def measurement_dict(self) -> Dict[str, Any]:
         """JSON-ready measurement fields (for the cache)."""
@@ -256,11 +273,15 @@ def run_trial_instrumented(
 
 def run_trial_full(
     spec: RunSpec,
+    *,
+    info: Optional[Dict[str, Any]] = None,
 ) -> Tuple[ConvergenceMeasurement, Optional[Dict[str, Any]], Optional[list]]:
     """One trial returning ``(measurement, metrics, spans)``.
 
     ``metrics`` is None unless ``spec.metrics``; ``spans`` (JSON-ready
-    provenance span dicts) is None unless ``spec.spans``.
+    provenance span dicts) is None unless ``spec.spans``.  ``info``,
+    when given, is filled with execution facts that are not part of the
+    result (``events_processed``) for resource accounting.
     """
     # Imported here, not at module top: repro.experiments.common imports
     # the runner package, so the dependency must stay one-directional at
@@ -293,7 +314,7 @@ def run_trial_full(
         scheduler=spec.scheduler,
     )
     return run_scenario_full(
-        scenario, topology, members, config, horizon=spec.horizon
+        scenario, topology, members, config, horizon=spec.horizon, info=info,
     )
 
 
@@ -326,7 +347,75 @@ def profile_table(stats, *, top: int = PROFILE_TOP) -> list:
     return rows[:top]
 
 
-def execute_spec(spec: RunSpec) -> RunRecord:
+class ResourceAccounting:
+    """Per-trial resource meter: CPU time, peak RSS, GC pauses.
+
+    Wraps ``resource.getrusage(RUSAGE_SELF)`` deltas plus paired
+    ``gc.callbacks`` timing.  ``max_rss_kb`` is the process-wide
+    high-water mark at trial end (kilobytes) — ``getrusage`` offers no
+    per-interval reading, so back-to-back trials in one worker report
+    the running maximum.  Degrades to partial accounting on platforms
+    without the ``resource`` module.
+    """
+
+    def __init__(self) -> None:
+        try:
+            import resource
+
+            self._resource = resource
+            self._r0 = resource.getrusage(resource.RUSAGE_SELF)
+        except ImportError:  # pragma: no cover - non-POSIX
+            self._resource = None
+            self._r0 = None
+        self.gc_collections = 0
+        self.gc_pause_s = 0.0
+        self._gc_started: Optional[float] = None
+        import gc
+
+        self._gc = gc
+        gc.callbacks.append(self._on_gc)
+
+    def _on_gc(self, phase: str, info: Dict[str, Any]) -> None:
+        if phase == "start":
+            self._gc_started = time.perf_counter()
+        elif phase == "stop" and self._gc_started is not None:
+            self.gc_pause_s += time.perf_counter() - self._gc_started
+            self.gc_collections += 1
+            self._gc_started = None
+
+    def finish(
+        self,
+        *,
+        wall_time: float,
+        events_processed: Optional[int] = None,
+    ) -> Dict[str, Any]:
+        """Detach and return the JSON-ready resources dict."""
+        try:
+            self._gc.callbacks.remove(self._on_gc)
+        except ValueError:  # pragma: no cover - double finish
+            pass
+        out: Dict[str, Any] = {
+            "gc_collections": self.gc_collections,
+            "gc_pause_s": round(self.gc_pause_s, 6),
+        }
+        if self._resource is not None and self._r0 is not None:
+            r1 = self._resource.getrusage(self._resource.RUSAGE_SELF)
+            max_rss = r1.ru_maxrss
+            if sys.platform == "darwin":  # bytes there, KiB on Linux
+                max_rss //= 1024
+            out.update(
+                cpu_user_s=round(r1.ru_utime - self._r0.ru_utime, 6),
+                cpu_sys_s=round(r1.ru_stime - self._r0.ru_stime, 6),
+                max_rss_kb=int(max_rss),
+            )
+        if events_processed is not None:
+            out["events_processed"] = int(events_processed)
+            if wall_time > 0:
+                out["events_per_s"] = round(events_processed / wall_time, 1)
+        return out
+
+
+def execute_spec(spec: RunSpec, cid: str = "") -> RunRecord:
     """Pool worker entry point: run one spec, never raise.
 
     Scenario exceptions come back as ``ok=False`` records (with the
@@ -334,12 +423,27 @@ def execute_spec(spec: RunSpec) -> RunRecord:
     the same way; only interpreter death (crash/kill/timeout) surfaces
     through the pool machinery itself.  ``spec.profile`` wraps the
     trial in ``cProfile`` and attaches the hottest functions to the
-    record (virtual-time results are unaffected).
+    record; ``spec.sample_hz`` runs the sampling profiler alongside
+    (virtual-time results are unaffected by either — the telemetry
+    differential test pins that).  Every record carries digest-neutral
+    resource accounting; ``cid`` is the caller's correlation id, echoed
+    into this worker's structured log lines.
     """
+    from ..obs.logging import get_logger
+
     digest = spec.digest()
+    log = get_logger("worker", cid=cid or None, digest=digest[:12])
+    log.info("trial_started", label=spec.display(), pid=os.getpid())
     started = time.perf_counter()
     worker = f"pid-{os.getpid()}"
     profile = None
+    accounting = ResourceAccounting()
+    sampler = None
+    if spec.sample_hz:
+        from ..obs.sampler import StackSampler
+
+        sampler = StackSampler(spec.sample_hz).start()
+    info: Dict[str, Any] = {}
     try:
         if spec.profile:
             import cProfile
@@ -348,21 +452,45 @@ def execute_spec(spec: RunSpec) -> RunRecord:
             profiler = cProfile.Profile()
             try:
                 measurement, metrics, spans = profiler.runcall(
-                    run_trial_full, spec
+                    run_trial_full, spec, info=info
                 )
             finally:
                 profiler.disable()
             profile = profile_table(pstats.Stats(profiler))
         else:
-            measurement, metrics, spans = run_trial_full(spec)
+            measurement, metrics, spans = run_trial_full(spec, info=info)
     except Exception:
+        wall_time = time.perf_counter() - started
+        if sampler is not None:
+            sampler.stop()
+        resources = accounting.finish(
+            wall_time=wall_time,
+            events_processed=info.get("events_processed"),
+        )
+        log.error("trial_failed", wall_time=round(wall_time, 3))
         return RunRecord(
             digest=digest,
             ok=False,
             error=traceback.format_exc(limit=20),
-            wall_time=time.perf_counter() - started,
+            wall_time=wall_time,
             worker=worker,
+            resources=resources,
+            sample_stacks=dict(sampler.counts) if sampler else None,
         )
+    wall_time = time.perf_counter() - started
+    if sampler is not None:
+        sampler.stop()
+    resources = accounting.finish(
+        wall_time=wall_time,
+        events_processed=info.get("events_processed"),
+    )
+    log.info(
+        "trial_finished",
+        wall_time=round(wall_time, 3),
+        cpu_user_s=resources.get("cpu_user_s"),
+        max_rss_kb=resources.get("max_rss_kb"),
+        samples=sampler.samples if sampler else None,
+    )
     return RunRecord(
         digest=digest,
         ok=True,
@@ -370,6 +498,8 @@ def execute_spec(spec: RunSpec) -> RunRecord:
         metrics=metrics,
         spans=spans,
         profile=profile,
-        wall_time=time.perf_counter() - started,
+        wall_time=wall_time,
         worker=worker,
+        resources=resources,
+        sample_stacks=dict(sampler.counts) if sampler else None,
     )

@@ -37,6 +37,7 @@ from concurrent.futures import wait as futures_wait
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence, Union
 
+from ..obs.logging import NULL_LOGGER, get_logger, log_enabled, new_cid
 from .cache import ResultCache
 from .jobs import RunRecord, RunSpec, execute_spec
 from .progress import ProgressSink, SweepTiming, TeeProgress, resolve_progress
@@ -70,6 +71,7 @@ class ParallelRunner:
         cache: Union[ResultCache, str, os.PathLike, None] = None,
         progress: Union[None, str, Callable, ProgressSink] = None,
         registry=None,
+        cid: Optional[str] = None,
     ) -> None:
         if n_workers < 1:
             raise ValueError(f"n_workers must be >= 1: {n_workers}")
@@ -78,6 +80,11 @@ class ParallelRunner:
         self.n_workers = n_workers
         self.timeout = timeout
         self.retries = retries
+        #: sweep-level correlation id; per-job ids are ``<cid>/<index>``
+        #: and flow into the workers' structured logs.  Minted lazily
+        #: when structured logging is enabled and none was given.
+        self.cid = cid or ""
+        self._logger = NULL_LOGGER
         if cache is not None and not isinstance(cache, ResultCache):
             cache = ResultCache(cache)
         self.cache: Optional[ResultCache] = cache
@@ -138,9 +145,15 @@ class ParallelRunner:
         )
 
     # ------------------------------------------------------------------
+    def _job_cid(self, job: "_Job") -> str:
+        return f"{self.cid}/{job.index}" if self.cid else ""
+
     def run(self, specs: Sequence[RunSpec]) -> List[RunRecord]:
         """Run every spec; the i-th record describes the i-th spec."""
         specs = list(specs)
+        if not self.cid and log_enabled():
+            self.cid = new_cid()
+        self._logger = get_logger("runner", cid=self.cid or None)
         started = time.perf_counter()
         hits_before = self.cache.hits if self.cache is not None else 0
         misses_before = self.cache.misses if self.cache is not None else 0
@@ -156,6 +169,10 @@ class ParallelRunner:
             else:
                 pending.append(_Job(index, spec))
 
+        self._logger.info(
+            "sweep_started",
+            jobs=len(specs), cached=n_cached, workers=self.n_workers,
+        )
         self.progress.sweep_started(len(specs), n_cached, self.n_workers)
         for index, record in enumerate(records):
             if record is not None:
@@ -190,6 +207,11 @@ class ParallelRunner:
             cache_bytes=cache_stats.total_bytes if cache_stats else 0,
         )
         self.last_timing = timing
+        self._logger.info(
+            "sweep_finished",
+            elapsed=round(timing.elapsed, 3),
+            failed=timing.failed, cached=timing.cached,
+        )
         self.progress.sweep_finished(timing)
         return done
 
@@ -210,7 +232,11 @@ class ParallelRunner:
                     break
                 job.attempts += 1
                 self.progress.job_started(job.index, job.spec, job.attempts)
-                record = execute_spec(job.spec)
+                self._logger.info(
+                    "job_started", cid=self._job_cid(job),
+                    index=job.index, attempt=job.attempts,
+                )
+                record = execute_spec(job.spec, self._job_cid(job))
                 record.worker = "serial"
                 if self._is_cancelled(job.spec):
                     # Cancelled mid-trial: discard the result (never
@@ -249,7 +275,13 @@ class ParallelRunner:
                         continue
                     job.attempts += 1
                     self.progress.job_started(job.index, job.spec, job.attempts)
-                    future = executor.submit(execute_spec, job.spec)
+                    self._logger.info(
+                        "job_started", cid=self._job_cid(job),
+                        index=job.index, attempt=job.attempts,
+                    )
+                    future = executor.submit(
+                        execute_spec, job.spec, self._job_cid(job)
+                    )
                     deadline = (
                         time.monotonic() + self.timeout
                         if self.timeout is not None else None
@@ -368,6 +400,14 @@ class ParallelRunner:
         records[job.index] = record
         if self.cache is not None and record.ok:
             self.cache.put(job.spec, record)
+        self._logger.log(
+            "job_finished",
+            level="info" if record.ok else "warning",
+            cid=self._job_cid(job),
+            index=job.index, digest=record.digest[:12], ok=record.ok,
+            cached=record.cached, cancelled=record.cancelled,
+            wall_time=round(record.wall_time, 3),
+        )
         self.progress.job_finished(job.index, job.spec, record)
 
     @staticmethod

@@ -104,10 +104,25 @@ class LogProgress(ProgressSink):
     per wall-clock second) and an ETA over the remaining trials, so a
     long sweep's tail is predictable from the log alone.  Every line is
     flushed as it is written, so piped logs stream in real time.
+
+    The pace suffix degrades instead of lying: all-cache-hit sweeps
+    (nothing executed) and a first tick that lands within clock
+    granularity of the start show bare ``k/total`` — a rate
+    extrapolated from ~0 elapsed seconds would claim millions of
+    trials/s and an ETA of 0.  ``clock`` is injectable for tests.
     """
 
-    def __init__(self, stream: Optional[TextIO] = None) -> None:
+    #: below this elapsed time (seconds) a rate is noise, not signal.
+    MIN_ELAPSED = 1e-3
+
+    def __init__(
+        self,
+        stream: Optional[TextIO] = None,
+        *,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
         self.stream = stream if stream is not None else sys.stderr
+        self.clock = clock if clock is not None else time.perf_counter
         self._total = 0
         self._done = 0
         self._executed = 0
@@ -123,7 +138,7 @@ class LogProgress(ProgressSink):
         self._total = total
         self._done = 0
         self._executed = 0
-        self._t0 = time.perf_counter()
+        self._t0 = self.clock()
         self._emit(
             f"[runner] {total} trials ({cached} cached), "
             f"{workers} worker{'s' if workers != 1 else ''}"
@@ -137,13 +152,20 @@ class LogProgress(ProgressSink):
         """``k/total`` progress plus trials/sec and ETA, from the same
         quantities :class:`SweepTiming` reports at sweep end."""
         pace = f"{self._done}/{self._total}"
-        elapsed = (
-            time.perf_counter() - self._t0 if self._t0 is not None else 0.0
-        )
-        if self._executed and elapsed > 0:
-            rate = self._executed / elapsed
-            remaining = max(self._total - self._done, 0)
-            pace += f", {rate:.2f} trials/s, eta {remaining / rate:.0f}s"
+        if not self._executed or self._t0 is None:
+            # all-cache-hit so far: there is no execution rate to
+            # extrapolate from, and cache hits resolve ~instantly anyway
+            return pace
+        elapsed = self.clock() - self._t0
+        if elapsed < self.MIN_ELAPSED:
+            # zero-elapsed first tick: any rate computed here is clock
+            # granularity, not throughput
+            return pace
+        rate = self._executed / elapsed
+        pace += f", {rate:.2f} trials/s"
+        remaining = max(self._total - self._done, 0)
+        if remaining:
+            pace += f", eta {remaining / rate:.0f}s"
         return pace
 
     def job_finished(self, index: int, spec: RunSpec, record: RunRecord) -> None:

@@ -7,6 +7,8 @@
 Method Path                               Meaning
 ====== ================================== ===============================
 GET    ``/healthz``                       liveness + queue stats
+GET    ``/metrics``                       Prometheus text exposition
+GET    ``/api/status``                    liveness + readiness (503)
 GET    ``/dashboard``                     telemetry dashboard (HTML)
 GET    ``/api/jobs``                      job table + stats
 POST   ``/api/jobs``                      submit a spec or sweep grid
@@ -31,9 +33,11 @@ from __future__ import annotations
 
 import asyncio
 import json
+import time
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Optional
+from typing import Any, Callable, Dict, List, Optional
 
+from ..eventsim.metrics import MetricsRegistry
 from ..runner.cache import ResultCache
 from ..runner.jobs import RunRecord
 from .http import (
@@ -113,6 +117,10 @@ class ServiceApp:
             max_queue=config.max_queue,
             quota=config.quota,
         )
+        #: request counters + per-route latency histograms, exposed on
+        #: ``/metrics`` alongside the scrape-time service gauges.
+        self.metrics = MetricsRegistry()
+        self._started_monotonic = time.monotonic()
 
     # ------------------------------------------------------------------
     # connection handling
@@ -123,7 +131,7 @@ class ServiceApp:
                 request = await read_request(reader)
                 if request is None:
                     return
-                await self.dispatch(request, writer)
+                await self._timed_dispatch(request, writer)
             except HttpError as exc:
                 status, payload, headers = error_payload(exc)
                 writer.write(json_response(status, payload, headers=headers))
@@ -141,10 +149,55 @@ class ServiceApp:
             except Exception:
                 pass
 
+    @staticmethod
+    def route_template(method: str, parts: List[str]) -> str:
+        """Collapse a request path onto its route template.
+
+        Digest and run-id segments are replaced by placeholders so the
+        per-route latency histograms stay bounded-cardinality no matter
+        how many distinct jobs the service answers.
+        """
+        if parts[:2] == ["api", "jobs"] and len(parts) >= 3:
+            tail = f"/{parts[3]}" if len(parts) > 3 else ""
+            return "/api/jobs/{digest}" + tail
+        if parts[:2] == ["api", "runs"] and len(parts) >= 3:
+            return "/api/runs/{id}"
+        return "/" + "/".join(parts) if parts else "/"
+
+    async def _timed_dispatch(self, request: Request, writer) -> None:
+        """Dispatch wrapped in request/error counters and a latency
+        histogram, labelled by route template and method."""
+        parts = [p for p in request.path.split("/") if p]
+        route = self.route_template(request.method, parts)
+        self.metrics.counter(
+            "service.requests", route=route, method=request.method
+        ).inc()
+        start = time.perf_counter()
+        try:
+            await self.dispatch(request, writer)
+        except HttpError as exc:
+            self.metrics.counter(
+                "service.errors", route=route, status=str(exc.status)
+            ).inc()
+            raise
+        except Exception:
+            self.metrics.counter(
+                "service.errors", route=route, status="500"
+            ).inc()
+            raise
+        finally:
+            self.metrics.histogram(
+                "service.request_seconds", route=route
+            ).observe(time.perf_counter() - start)
+
     async def dispatch(self, request: Request, writer) -> None:
         parts = [p for p in request.path.split("/") if p]
         method = request.method
 
+        if parts == ["metrics"] and method == "GET":
+            return self._metrics(writer)
+        if parts == ["api", "status"] and method == "GET":
+            return self._status(writer)
         if parts == ["healthz"] and method == "GET":
             return self._reply(writer, 200, {
                 "ok": True, **self.manager.stats(),
@@ -296,6 +349,84 @@ class ServiceApp:
     # ------------------------------------------------------------------
     # obs routes
     # ------------------------------------------------------------------
+    def _metrics(self, writer) -> None:
+        """Prometheus text exposition of the service's operational state.
+
+        Request counters and latency histograms accumulate in
+        ``self.metrics``; queue/SSE/cache readings are sampled from the
+        manager at scrape time as gauges.  Everything is prefixed
+        ``repro_`` on the wire.
+        """
+        from ..obs.runtime import CONTENT_TYPE, render_prometheus
+
+        telemetry = self.manager.telemetry()
+        gauge = self.metrics.gauge
+        gauge("service.queue_depth").set(telemetry["queued"])
+        gauge("service.jobs_in_flight").set(telemetry["in_flight"])
+        gauge("service.jobs_tracked").set(telemetry["jobs"])
+        gauge("service.sse_subscribers").set(telemetry["subscribers"])
+        gauge("service.sse_dropped_frames").set(telemetry["dropped_frames"])
+        gauge("service.rejected", reason="quota").set(
+            telemetry["rejected_quota"]
+        )
+        gauge("service.rejected", reason="queue").set(
+            telemetry["rejected_queue"]
+        )
+        gauge("service.trace_dropped_records").set(
+            telemetry["trace_dropped_records"]
+        )
+        gauge("service.uptime_seconds").set(
+            time.monotonic() - self._started_monotonic
+        )
+        if self.manager.cache is not None:
+            stats = self.manager.cache.stats()
+            gauge("service.cache_entries").set(stats.entries)
+            gauge("service.cache_bytes").set(stats.total_bytes)
+            gauge("service.cache_lookups", outcome="hit").set(stats.hits)
+            gauge("service.cache_lookups", outcome="miss").set(stats.misses)
+            gauge("service.cache_hit_ratio").set(stats.hit_rate)
+        body = render_prometheus(self.metrics.snapshot(), prefix="repro_")
+        writer.write(
+            response_bytes(
+                200, body.encode("utf-8"), content_type=CONTENT_TYPE
+            )
+        )
+
+    def _status(self, writer) -> None:
+        """Consolidated health: liveness, readiness, and drop counters.
+
+        Liveness is implicit (a reply at all means the loop is alive);
+        readiness is distinct — workers running and queue below
+        capacity — and a not-ready reply is a 503 so load balancers and
+        the CI smoke harness can gate on the status code alone.
+        """
+        telemetry = self.manager.telemetry()
+        reasons = []
+        if not self.manager.workers_started:
+            reasons.append("workers not started")
+        if telemetry["queued"] >= self.config.max_queue:
+            reasons.append("queue at capacity")
+        payload: Dict[str, Any] = {
+            "live": True,
+            "ready": not reasons,
+            "reasons": reasons,
+            "uptime_s": round(
+                time.monotonic() - self._started_monotonic, 3
+            ),
+            "stats": self.manager.stats(),
+            "telemetry": telemetry,
+        }
+        if self.manager.cache is not None:
+            stats = self.manager.cache.stats()
+            payload["cache"] = {
+                "entries": stats.entries,
+                "total_bytes": stats.total_bytes,
+                "hits": stats.hits,
+                "misses": stats.misses,
+                "hit_rate": round(stats.hit_rate, 4),
+            }
+        self._reply(writer, 200 if not reasons else 503, payload)
+
     def _open_registry(self):
         import os
 

@@ -36,6 +36,7 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Set
 
+from ..obs.logging import new_cid
 from ..runner.cache import ResultCache
 from ..runner.jobs import RunRecord, RunSpec
 from ..runner.pool import ParallelRunner
@@ -99,6 +100,9 @@ class Job:
     from_cache: bool = False
     #: SSE frames dropped across all subscribers (observability).
     dropped_frames: int = 0
+    #: correlation id threaded into runner and worker structured logs
+    #: (minted when the job starts executing; empty for cache answers).
+    cid: str = ""
 
     def active(self) -> bool:
         return self.state not in TERMINAL
@@ -111,6 +115,8 @@ class Job:
             "clients": sorted(self.clients),
             "from_cache": self.from_cache,
         }
+        if self.cid:
+            out["cid"] = self.cid
         if self.record is not None:
             out["record"] = record_summary(self.record)
         return out
@@ -147,6 +153,9 @@ class JobManager:
         )
         self._workers: List[asyncio.Task] = []
         self._wall_times: List[float] = []  # recent executed wall clocks
+        #: admission rejections since start (telemetry counters).
+        self.rejected_quota = 0
+        self.rejected_queue = 0
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -234,6 +243,7 @@ class JobManager:
             and client not in self.jobs[digest].clients
         )
         if active + joining + len(new_digests) > self.quota:
+            self.rejected_quota += 1
             raise QuotaExceeded(
                 f"client {client!r} would hold "
                 f"{active + joining + len(new_digests)} active jobs; "
@@ -242,6 +252,7 @@ class JobManager:
             )
         queued = sum(1 for j in self.jobs.values() if j.state == QUEUED)
         if queued + len(new_digests) > self.max_queue:
+            self.rejected_queue += 1
             raise QueueFull(
                 f"queue is full ({queued}/{self.max_queue} queued; "
                 f"batch adds {len(new_digests)})",
@@ -350,9 +361,12 @@ class JobManager:
     async def _execute(self, job: Job) -> None:
         loop = asyncio.get_running_loop()
         job.state = RUNNING
+        job.cid = new_cid()
         bridge: asyncio.Queue = asyncio.Queue()
         progress = AsyncQueueProgress(loop, bridge)
-        runner = ParallelRunner(1, cache=self.cache, progress=progress)
+        runner = ParallelRunner(
+            1, cache=self.cache, progress=progress, cid=job.cid
+        )
         job.runner = runner
         pump = loop.create_task(self._pump(job, bridge))
         try:
@@ -481,6 +495,41 @@ class JobManager:
         if job is None:
             raise KeyError(digest)
         return job
+
+    @property
+    def workers_started(self) -> bool:
+        """True once :meth:`start` spawned the worker coroutines."""
+        return bool(self._workers)
+
+    def telemetry(self) -> Dict[str, Any]:
+        """Scrape-time operational readings (the ``/metrics`` gauges).
+
+        ``trace_dropped_records`` sums the ``trace.dropped_records``
+        gauge of every finished job's metrics snapshot — nonzero means
+        a bounded TraceLog overflowed and per-event records were shed.
+        """
+        running = sum(1 for j in self.jobs.values() if j.state == RUNNING)
+        queued = sum(1 for j in self.jobs.values() if j.state == QUEUED)
+        subscribers = sum(len(j.subscribers) for j in self.jobs.values())
+        dropped_frames = sum(
+            j.dropped_frames for j in self.jobs.values()
+        )
+        trace_dropped = 0.0
+        for job in self.jobs.values():
+            metrics = job.record.metrics if job.record is not None else None
+            gauges = (metrics or {}).get("gauges")
+            if isinstance(gauges, dict):
+                trace_dropped += gauges.get("trace.dropped_records", 0) or 0
+        return {
+            "in_flight": running,
+            "queued": queued,
+            "jobs": len(self.jobs),
+            "subscribers": subscribers,
+            "dropped_frames": dropped_frames,
+            "rejected_quota": self.rejected_quota,
+            "rejected_queue": self.rejected_queue,
+            "trace_dropped_records": trace_dropped,
+        }
 
     def stats(self) -> Dict[str, Any]:
         states: Dict[str, int] = {}

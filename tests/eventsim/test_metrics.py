@@ -12,6 +12,7 @@ from repro.eventsim import (
     format_snapshot,
     merge_snapshots,
 )
+from repro.eventsim.metrics import parse_key
 
 
 class TestPrimitives:
@@ -199,6 +200,39 @@ class TestLabelEscaping:
         a = reg.counter("x", k="v}")
         b = reg.counter("x", k="v\\}")
         assert a is not b
+
+
+class TestParseKey:
+    """parse_key must exactly invert the registry's flat-key encoding —
+    the /metrics exposition rebuilds label sets from these keys."""
+
+    def test_plain_name_has_no_labels(self):
+        assert parse_key("events_total") == ("events_total", {})
+
+    def test_round_trips_sorted_labels(self):
+        assert parse_key('x{a=1,b=2}') == ("x", {"a": "1", "b": "2"})
+
+    def test_round_trips_adversarial_values(self):
+        reg = MetricsRegistry()
+        nasty = {"a": "1,b=2", "k": "v\\}", "e": "="}
+        reg.counter("x", **nasty).inc()
+        (key,) = reg.snapshot()["counters"]
+        assert parse_key(key) == ("x", nasty)
+
+    def test_collision_pair_parses_to_distinct_labels(self):
+        reg = MetricsRegistry()
+        reg.counter("x", a="1,b=2").inc(1)
+        reg.counter("x", a="1", b="2").inc(10)
+        parsed = sorted(
+            (parse_key(key)[1] for key in reg.snapshot()["counters"]),
+            key=str,
+        )
+        assert parsed == [{"a": "1", "b": "2"}, {"a": "1,b=2"}]
+
+    def test_malformed_keys_rejected(self):
+        for bad in ("x{a=1", "x{a}", "x{,}"):
+            with pytest.raises(ValueError):
+                parse_key(bad)
 
 
 class TestMergeEdgeCases:

@@ -1,0 +1,175 @@
+"""Differential oracle: the telemetry plane is invisible to results.
+
+Structured logging, the sampling profiler, and resource accounting are
+only admissible because they change *nothing observable* in the
+science: these tests run the paper's experiments with every telemetry
+knob on (``REPRO_LOG`` set, a sampler attached, metrics captured) and
+fully off, and compare with exact equality — every measurement field
+and the full trace digest.  The spec digests of the pre-telemetry
+construction are pinned so the ``sample_hz`` field can never leak into
+cache keys of existing sweeps.
+"""
+
+import hashlib
+from dataclasses import fields
+
+import pytest
+
+from repro.experiments.common import (
+    FailoverScenario,
+    WithdrawalScenario,
+    paper_config,
+    sdn_set_for,
+)
+from repro.framework.convergence import ConvergenceMeasurement, measure_event
+from repro.framework.experiment import Experiment
+from repro.obs.logging import LOG_ENV, get_logger
+from repro.obs import logging as obslog
+from repro.obs.sampler import StackSampler
+from repro.runner.jobs import RunSpec, execute_spec
+from repro.topology.builders import clique
+
+# Digests of specs built before the telemetry plane existed.  They are
+# content hashes of the spec's describe() payload: if adding
+# ``sample_hz`` (or any future telemetry field) changed them, every
+# cached trial and registry row in the wild would silently orphan.
+LEGACY_WITHDRAWAL_DIGEST = (
+    "8ed4a262aeeac6077f051855eecc3e9cc070a8c41e4a46c909a1f301492d10f6"
+)
+LEGACY_FAILOVER_DIGEST = (
+    "03d16fe36e5b802e01885d4d5ffaab6708da19bda04e38d5e30061e9e1af1b28"
+)
+
+
+def _trace_digest(exp):
+    """Same recipe as ``FaultInjector.trace_digest``: every retained
+    trace record, exact float reprs."""
+    hasher = hashlib.sha256()
+    for record in exp.net.trace:
+        hasher.update(
+            f"{record.time!r}|{record.category}|{record.node}\n".encode()
+        )
+    return hasher.hexdigest()
+
+
+def _run_scenario(scenario, *, n, sdn_count, seed, mrai, metrics):
+    """One full scenario run, keeping the live experiment so the trace
+    stays inspectable."""
+    topology = scenario.topology(n, clique)
+    members = sdn_set_for(topology, sdn_count, scenario.reserved_legacy)
+    config = paper_config(seed=seed, mrai=mrai, metrics=metrics)
+    exp = Experiment(
+        topology, sdn_members=members, config=config, name=scenario.name
+    ).build()
+    scenario.configure(exp)
+    exp.start()
+    scenario.prepare(exp)
+    measurement = measure_event(exp, lambda: scenario.event(exp))
+    scenario.finish(exp)
+    return exp, measurement
+
+
+def _reset_logging():
+    obslog._configured = False
+    obslog._root = None
+
+
+@pytest.mark.parametrize(
+    "scenario_cls", [WithdrawalScenario, FailoverScenario],
+    ids=["withdrawal", "failover"],
+)
+def test_measurement_and_trace_identical_telemetry_on_vs_off(
+    scenario_cls, tmp_path, monkeypatch
+):
+    # off: no structured log sink, no sampler, no metrics capture
+    monkeypatch.delenv(LOG_ENV, raising=False)
+    _reset_logging()
+    off_exp, off_m = _run_scenario(
+        scenario_cls(), n=8, sdn_count=3, seed=42, mrai=2.0, metrics=False
+    )
+
+    # on: logging to a file, a live sampler interrupting the run, and
+    # the metrics registry recording every event
+    monkeypatch.setenv(LOG_ENV, str(tmp_path / "repro.log"))
+    _reset_logging()
+    logger = get_logger("differential")
+    sampler = StackSampler(hz=300.0)
+    sampler.start()
+    try:
+        logger.info("run_started", scenario=scenario_cls.__name__)
+        on_exp, on_m = _run_scenario(
+            scenario_cls(), n=8, sdn_count=3, seed=42, mrai=2.0, metrics=True
+        )
+        logger.info("run_finished")
+    finally:
+        sampler.stop()
+        _reset_logging()
+
+    for f in fields(ConvergenceMeasurement):
+        assert getattr(on_m, f.name) == getattr(off_m, f.name), f.name
+    assert _trace_digest(on_exp) == _trace_digest(off_exp)
+
+
+def test_legacy_spec_digests_pinned():
+    s1 = RunSpec(
+        scenario_factory=WithdrawalScenario,
+        topology_factory=clique,
+        n=8,
+        sdn_count=3,
+        seed=7,
+        mrai=2.0,
+    )
+    assert s1.digest() == LEGACY_WITHDRAWAL_DIGEST
+    s2 = RunSpec(
+        scenario_factory=FailoverScenario,
+        topology_factory=clique,
+        n=8,
+        sdn_count=2,
+        seed=11,
+        mrai=1.0,
+        trace_level="route",
+        metrics=True,
+    )
+    assert s2.digest() == LEGACY_FAILOVER_DIGEST
+
+
+@pytest.mark.parametrize(
+    "scenario_cls", [WithdrawalScenario, FailoverScenario],
+    ids=["withdrawal", "failover"],
+)
+def test_worker_results_identical_with_sampler_and_logging(
+    scenario_cls, tmp_path, monkeypatch
+):
+    # Through the full worker stack: execute_spec with telemetry off
+    # and fully on, compare the result payloads a cache or registry
+    # would persist.  ``sample_hz`` is an execution detail that earns
+    # its own digest (sampled trials are not cache-equivalent to
+    # unsampled ones), but the measurement may not move.
+    def spec(**overrides):
+        base = dict(
+            scenario_factory=scenario_cls,
+            topology_factory=clique,
+            n=6,
+            sdn_count=2,
+            seed=5,
+            mrai=1.0,
+        )
+        base.update(overrides)
+        return RunSpec(**base)
+
+    monkeypatch.delenv(LOG_ENV, raising=False)
+    _reset_logging()
+    off = execute_spec(spec())
+    assert off.ok, off.error
+
+    monkeypatch.setenv(LOG_ENV, str(tmp_path / "repro.log"))
+    _reset_logging()
+    try:
+        on = execute_spec(spec(sample_hz=300.0), cid="cafe0123dead")
+    finally:
+        _reset_logging()
+    assert on.ok, on.error
+
+    assert on.measurement_dict() == off.measurement_dict()
+    assert spec().digest() == off.digest
+    assert spec(sample_hz=300.0).digest() != spec().digest()

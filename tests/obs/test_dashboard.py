@@ -45,6 +45,26 @@ def check_golden(name: str, text: str) -> None:
 GRID = [(0, 100), (0, 101), (2, 2100), (2, 2101), (3, 3100), (3, 3101)]
 
 
+def pinned_resources(i: int, wall: float) -> dict:
+    """Machine-independent stand-in for ResourceAccounting output."""
+    return {
+        "gc_collections": 2 + i,
+        "gc_pause_s": 0.0012,
+        "cpu_user_s": round(wall * 0.9, 6),
+        "cpu_sys_s": 0.002,
+        "max_rss_kb": 51200 + 16 * i,
+        "events_processed": 2000 + i,
+        "events_per_s": 27000.5,
+    }
+
+
+#: pinned collapsed stacks exercising the dashboard Ops section.
+PINNED_STACKS = {
+    "repro.runner.jobs.run_trial_full;repro.framework.experiment.run": 7,
+    "repro.runner.jobs.run_trial_full;repro.eventsim.core.run": 3,
+}
+
+
 def record_pinned_sweep(registry, *, wall_base: float) -> int:
     """One recorded sweep of GRID with machine-independent wall times."""
     sweep_id = registry.begin_sweep(scenario="WithdrawalScenario", n_ases=4)
@@ -56,7 +76,11 @@ def record_pinned_sweep(registry, *, wall_base: float) -> int:
         walls.append(wall)
         registry.record(
             spec,
-            dataclasses.replace(record, wall_time=wall, worker="w0"),
+            dataclasses.replace(
+                record, wall_time=wall, worker="w0",
+                resources=pinned_resources(i, wall),
+                sample_stacks=dict(PINNED_STACKS),
+            ),
             sweep_id=sweep_id,
         )
     registry.finish_sweep(
@@ -108,6 +132,12 @@ class TestDashboardStructure:
         html = render_dashboard(recorded)
         assert "deadbee" in html
         assert "generated 2026-01-01T00:00:00Z" in html
+
+    def test_ops_section_present(self, recorded):
+        html = render_dashboard(recorded)
+        assert "Ops — per-run resource accounting" in html
+        assert "Ops — hot frames" in html
+        assert "repro.framework.experiment.run" in html
 
 
 class TestDashboardGolden:

@@ -105,7 +105,68 @@ class TestRecordAndQuery:
         registry.close()
         with pytest.raises(ValueError, match="schema 999"):
             RunRegistry(path)
-        assert REGISTRY_SCHEMA == 1
+        assert REGISTRY_SCHEMA == 2
+
+    def test_schema_1_migrates_in_place(self, tmp_path):
+        """A version-1 file gains the schema-2 columns on open and its
+        existing rows read back with the new fields as None."""
+        import sqlite3
+
+        path = tmp_path / "v1.sqlite"
+        conn = sqlite3.connect(path)
+        conn.executescript(
+            """
+            CREATE TABLE meta (key TEXT PRIMARY KEY, value TEXT NOT NULL);
+            INSERT INTO meta VALUES ('schema', '1');
+            CREATE TABLE sweeps (
+                sweep_id INTEGER PRIMARY KEY AUTOINCREMENT,
+                recorded_at TEXT NOT NULL, scenario TEXT NOT NULL DEFAULT '',
+                n_ases INTEGER, label TEXT NOT NULL DEFAULT '',
+                git_rev TEXT NOT NULL DEFAULT '',
+                code_version TEXT NOT NULL DEFAULT '', elapsed REAL,
+                jobs INTEGER, cached INTEGER, failed INTEGER,
+                total_job_wall REAL, max_job_wall REAL, workers INTEGER,
+                cache_hits INTEGER, cache_misses INTEGER, extra TEXT);
+            CREATE TABLE runs (
+                run_id INTEGER PRIMARY KEY AUTOINCREMENT, sweep_id INTEGER,
+                recorded_at TEXT NOT NULL, spec_digest TEXT NOT NULL,
+                scenario TEXT NOT NULL DEFAULT '',
+                label TEXT NOT NULL DEFAULT '', n INTEGER,
+                sdn_count INTEGER, fraction REAL, seed INTEGER,
+                git_rev TEXT NOT NULL DEFAULT '',
+                code_version TEXT NOT NULL DEFAULT '',
+                ok INTEGER NOT NULL, error TEXT,
+                wall_time REAL NOT NULL DEFAULT 0.0,
+                worker TEXT NOT NULL DEFAULT '',
+                cached INTEGER NOT NULL DEFAULT 0,
+                attempts INTEGER NOT NULL DEFAULT 1, measurement TEXT,
+                metrics TEXT, instants TEXT, span_count INTEGER,
+                fault_count INTEGER, profile TEXT);
+            INSERT INTO runs (recorded_at, spec_digest, ok, wall_time,
+                              measurement)
+            VALUES ('2026-01-01T00:00:00Z', 'abc', 1, 0.5,
+                    '{"t_converged": 1.0}');
+            """
+        )
+        conn.commit()
+        conn.close()
+
+        with RunRegistry(path) as registry:
+            row = registry.runs()[0]
+            assert row.spec_digest == "abc"
+            assert row.resources is None
+            assert row.sample_stacks is None
+            # and a schema-2 record with resources now round-trips
+            spec = make_spec(seed=99)
+            record = execute_spec(spec)
+            registry.record(spec, record)
+            stored = registry.runs(digest=spec.digest())[0]
+            assert stored.resources == record.resources
+        with RunRegistry(path) as registry:  # reopen: migration is durable
+            value = registry._conn.execute(
+                "SELECT value FROM meta WHERE key='schema'"
+            ).fetchone()["value"]
+            assert value == "2"
 
     def test_resolve_registry_shorthand(self, tmp_path):
         assert resolve_registry(None) is None

@@ -1,0 +1,130 @@
+"""Prometheus exposition: rendering, parsing, and one pinned golden.
+
+The golden test renders a hand-built snapshot byte-for-byte — the
+exposition must be deterministic (sorted families, sorted labels,
+stable number formatting) so CI can diff two scrapes of identical
+state.  Regenerate after intentional format changes with::
+
+    REPRO_REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest tests/obs/test_runtime.py
+"""
+
+import math
+
+import pytest
+
+from repro.eventsim.metrics import MetricsRegistry
+from repro.obs.runtime import (
+    CONTENT_TYPE,
+    parse_prometheus,
+    render_prometheus,
+    sanitize_metric_name,
+)
+
+from .test_dashboard import check_golden
+
+
+def build_snapshot():
+    """One registry exercising every metric kind and label edge case."""
+    registry = MetricsRegistry()
+    registry.counter("events.total", category="bgp.update").inc(41)
+    registry.counter("events.total", category="timer").inc(7)
+    registry.counter("plain").inc()
+    registry.gauge("queue.depth").set(3)
+    registry.gauge("temp", unit="C").set(-2.5)
+    hist = registry.histogram("latency.seconds", route="/api/jobs")
+    for value in (0.0005, 0.003, 0.003, 0.2, 150.0):
+        hist.observe(value)
+    # adversarial label values: escapes must round-trip
+    registry.counter("tricky", label='a=1,b\\2}').inc(2)
+    return registry.snapshot()
+
+
+class TestRender:
+    def test_content_type_pinned(self):
+        assert CONTENT_TYPE == "text/plain; version=0.0.4; charset=utf-8"
+
+    def test_sanitize_metric_name(self):
+        assert sanitize_metric_name("events.total") == "events_total"
+        assert sanitize_metric_name("9lives") == "_9lives"
+        assert sanitize_metric_name("ok_name:x") == "ok_name:x"
+
+    def test_type_lines_and_prefix(self):
+        text = render_prometheus(build_snapshot(), prefix="repro_")
+        assert "# TYPE repro_events_total counter" in text
+        assert "# TYPE repro_queue_depth gauge" in text
+        assert "# TYPE repro_latency_seconds histogram" in text
+        assert text.endswith("\n")
+
+    def test_histogram_is_cumulative_with_inf(self):
+        text = render_prometheus(build_snapshot())
+        scrape = parse_prometheus(text)
+
+        def bucket(le):
+            return scrape.value(
+                "latency_seconds_bucket", le=le, route="/api/jobs"
+            )
+
+        # snapshot buckets are per-bound; the wire format is cumulative
+        assert bucket("0.001") == 1
+        assert bucket("0.01") == 3
+        assert bucket("1") == 4
+        count = scrape.value("latency_seconds_count", route="/api/jobs")
+        assert bucket("+Inf") == count == 5
+        assert scrape.value(
+            "latency_seconds_sum", route="/api/jobs"
+        ) == pytest.approx(150.2065)
+
+    def test_deterministic_rendering(self):
+        assert render_prometheus(build_snapshot()) == render_prometheus(
+            build_snapshot()
+        )
+
+
+class TestParse:
+    def test_round_trip_values(self):
+        text = render_prometheus(build_snapshot(), prefix="repro_")
+        scrape = parse_prometheus(text)
+        assert scrape.value(
+            "repro_events_total", category="bgp.update"
+        ) == 41
+        assert scrape.value("repro_plain") == 1
+        assert scrape.value("repro_temp", unit="C") == -2.5
+        assert scrape.types["repro_events_total"] == "counter"
+
+    def test_escaped_label_round_trips(self):
+        text = render_prometheus(build_snapshot())
+        scrape = parse_prometheus(text)
+        assert scrape.value("tricky", label='a=1,b\\2}') == 2
+
+    def test_special_float_values(self):
+        registry = MetricsRegistry()
+        registry.gauge("weird").set(float("inf"))
+        text = render_prometheus(registry.snapshot())
+        scrape = parse_prometheus(text)
+        assert math.isinf(scrape.value("weird"))
+
+    def test_malformed_lines_rejected(self):
+        for bad in (
+            "no_value_here\n",
+            'metric{unterminated="x\n',
+            'm{a="x" b="y"} 1\n',
+            "m1 notanumber\n",
+        ):
+            with pytest.raises(ValueError):
+                parse_prometheus(bad)
+
+    def test_duplicate_sample_rejected(self):
+        with pytest.raises(ValueError):
+            parse_prometheus("m 1\nm 2\n")
+
+    def test_family_grouping(self):
+        scrape = parse_prometheus(render_prometheus(build_snapshot()))
+        family = scrape.family("events_total")
+        assert len(family) == 2
+
+
+class TestGolden:
+    def test_pinned_exposition(self):
+        check_golden(
+            "metrics.prom", render_prometheus(build_snapshot(), prefix="repro_")
+        )

@@ -1,0 +1,90 @@
+"""LogProgress pace/ETA guards, pinned against a fake clock.
+
+The pace suffix must degrade rather than lie: a tick inside clock
+granularity of the sweep start, or a sweep answered entirely from
+cache, shows bare ``k/total`` instead of a rate extrapolated from ~0
+elapsed seconds.
+"""
+
+import io
+
+from repro.runner.jobs import RunRecord
+from repro.runner.progress import LogProgress
+
+from .test_jobs import make_spec
+
+
+class FakeClock:
+    def __init__(self, value: float = 0.0) -> None:
+        self.value = value
+
+    def __call__(self) -> float:
+        return self.value
+
+
+def record(*, cached: bool = False, ok: bool = True) -> RunRecord:
+    return RunRecord(
+        digest="d" * 64, ok=ok, cached=cached,
+        wall_time=0.5, worker="w0",
+        error="" if ok else "boom",
+    )
+
+
+def run_lines(events):
+    """Drive a LogProgress through scripted (advance, record) events."""
+    stream = io.StringIO()
+    clock = FakeClock()
+    progress = LogProgress(stream, clock=clock)
+    total = len(events)
+    cached = sum(1 for _, r in events if r.cached)
+    progress.sweep_started(total, cached, 1)
+    spec = make_spec()
+    for index, (advance, rec) in enumerate(events):
+        clock.value += advance
+        progress.job_finished(index, spec, rec)
+    return stream.getvalue().splitlines()
+
+
+class TestPaceGuards:
+    def test_normal_sweep_rate_and_eta(self):
+        lines = run_lines([(2.0, record()), (2.0, record())])
+        assert lines[1].endswith("[1/2, 0.50 trials/s, eta 2s]")
+        # final line: remaining == 0, so no eta suffix at all
+        assert lines[2].endswith("[2/2, 0.50 trials/s]")
+        assert "eta" not in lines[2]
+
+    def test_zero_elapsed_tick_shows_bare_progress(self):
+        # executed trial lands within clock granularity of the start:
+        # no million-trials/s extrapolation, just k/total
+        lines = run_lines([(0.0, record()), (2.0, record())])
+        assert lines[1].endswith("[1/2]")
+        assert "trials/s" not in lines[1]
+        assert "trials/s" in lines[2]  # rate appears once time has passed
+
+    def test_all_cache_hits_never_show_rate(self):
+        lines = run_lines(
+            [(0.0, record(cached=True)), (0.0, record(cached=True))]
+        )
+        assert lines[1].endswith("cached [1/2]")
+        assert lines[2].endswith("cached [2/2]")
+        assert all("trials/s" not in line for line in lines)
+        assert all("eta" not in line for line in lines)
+
+    def test_cache_hits_then_executed_trial_uses_executed_rate(self):
+        lines = run_lines(
+            [(0.0, record(cached=True)), (4.0, record())]
+        )
+        # 1 executed trial over 4s -> 0.25 trials/s; nothing remaining
+        assert lines[2].endswith("[2/2, 0.25 trials/s]")
+
+    def test_failed_trial_still_counts_toward_pace(self):
+        lines = run_lines([(2.0, record(ok=False))])
+        assert "FAILED" in lines[1]
+        assert lines[1].endswith("[1/1, 0.50 trials/s]")
+
+    def test_wall_clock_default_still_works(self):
+        stream = io.StringIO()
+        progress = LogProgress(stream)
+        progress.sweep_started(1, 0, 1)
+        progress.job_finished(0, make_spec(), record())
+        assert "[1/1" in stream.getvalue()

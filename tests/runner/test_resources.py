@@ -1,0 +1,123 @@
+"""Per-job resource accounting and sampler attachment on execute_spec."""
+
+import json
+import time
+
+import pytest
+
+from repro.runner import ParallelRunner, execute_spec
+from repro.runner.cache import ResultCache
+from repro.runner.jobs import ResourceAccounting
+
+from .test_jobs import make_spec
+
+RESOURCE_KEYS = {
+    "gc_collections",
+    "gc_pause_s",
+    "cpu_user_s",
+    "cpu_sys_s",
+    "max_rss_kb",
+    "events_processed",
+    "events_per_s",
+}
+
+
+class TestResourceAccounting:
+    def test_finish_shape_and_monotonicity(self):
+        accounting = ResourceAccounting()
+        t0 = time.perf_counter()
+        sum(i * i for i in range(200_000))
+        wall = time.perf_counter() - t0
+        out = accounting.finish(wall_time=wall, events_processed=1234)
+        assert set(out) == RESOURCE_KEYS
+        assert out["cpu_user_s"] >= 0.0
+        assert out["cpu_sys_s"] >= 0.0
+        assert out["max_rss_kb"] > 0
+        assert out["events_processed"] == 1234
+        assert out["events_per_s"] == pytest.approx(1234 / wall, rel=0.01)
+
+    def test_gc_callback_removed_after_finish(self):
+        import gc
+
+        before = len(gc.callbacks)
+        accounting = ResourceAccounting()
+        assert len(gc.callbacks) == before + 1
+        accounting.finish(wall_time=0.1)
+        assert len(gc.callbacks) == before
+
+    def test_no_events_omits_rate(self):
+        out = ResourceAccounting().finish(wall_time=0.1)
+        assert "events_processed" not in out
+        assert "events_per_s" not in out
+
+
+class TestExecuteSpecResources:
+    def test_record_carries_resources(self):
+        record = execute_spec(make_spec())
+        assert record.ok
+        assert record.resources is not None
+        assert set(record.resources) == RESOURCE_KEYS
+        assert record.resources["events_processed"] > 0
+        assert record.resources["events_per_s"] > 0
+        # resources must be JSON round-trippable (cache + registry)
+        assert json.loads(json.dumps(record.resources)) == record.resources
+
+    def test_no_sampler_by_default(self):
+        record = execute_spec(make_spec())
+        assert record.sample_stacks is None
+
+    def test_sampler_attaches_stacks(self):
+        # 4-AS trials finish in milliseconds; sample fast to be sure at
+        # least the slowest trials catch a frame.  An empty dict is
+        # still a pass — presence of the field is what is asserted.
+        record = execute_spec(make_spec(n=8, sample_hz=900.0))
+        assert record.ok
+        assert record.sample_stacks is not None
+        for stack, count in record.sample_stacks.items():
+            assert isinstance(stack, str) and isinstance(count, int)
+
+    def test_sample_hz_changes_digest_only_when_set(self):
+        base = make_spec()
+        explicit_off = make_spec(sample_hz=0.0)
+        sampled = make_spec(sample_hz=97.0)
+        assert base.digest() == explicit_off.digest()
+        assert base.digest() != sampled.digest()
+
+    def test_resources_do_not_change_measurement(self):
+        a = execute_spec(make_spec())
+        b = execute_spec(make_spec(sample_hz=500.0))
+        assert a.measurement_dict() == b.measurement_dict()
+
+
+class TestCacheRoundTrip:
+    def test_resources_and_stacks_survive_cache(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = make_spec(sample_hz=900.0)
+        record = execute_spec(spec)
+        cache.put(spec, record)
+        hit = cache.get(spec)
+        assert hit is not None and hit.cached
+        assert hit.resources == record.resources
+        assert hit.sample_stacks == record.sample_stacks
+
+    def test_old_cache_entries_without_resources_still_load(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = make_spec()
+        record = execute_spec(spec)
+        cache.put(spec, record)
+        path = cache._path(spec.digest())
+        payload = json.loads(path.read_text())
+        payload.pop("resources", None)
+        payload.pop("sample_stacks", None)
+        path.write_text(json.dumps(payload))
+        hit = cache.get(spec)
+        assert hit is not None
+        assert hit.resources is None
+        assert hit.sample_stacks is None
+
+
+class TestRunnerPassThrough:
+    def test_parallel_runner_keeps_resources(self):
+        specs = [make_spec(seed=s) for s in (1, 2)]
+        records = ParallelRunner(2).run(specs)
+        assert all(r.resources is not None for r in records)

@@ -231,9 +231,13 @@ class TestRoutes:
             (queued,) = client.submit(
                 {"spec": {**QUICK_SPEC, "seed": 2}}
             )
+            # a queued job cancels instantly; one that already started
+            # stays "running" until its trial lands (or even "done" if
+            # it finished before the cancel arrived)
             cancelled = client.cancel(queued["digest"])
-            assert cancelled["state"] in ("cancelled", "done")
+            assert cancelled["state"] in ("cancelled", "running", "done")
             final = client.watch(queued["digest"])
+            assert final["state"] in ("cancelled", "done")
             if final["state"] == "cancelled":
                 assert final["record"]["cancelled"] is True
             # the other job is unaffected
@@ -333,5 +337,106 @@ class TestErrors:
                 + f"Content-Length: {huge}\r\n\r\n".encode(),
             )
             assert b"413" in response
+
+        serve(tmp_path, body)
+
+
+def http_get(port: int, path: str):
+    """One raw GET, split into (status_line, headers, body text)."""
+    response = raw_request(
+        port, f"GET {path} HTTP/1.1\r\nHost: x\r\n\r\n".encode()
+    )
+    head, _, body = response.partition(b"\r\n\r\n")
+    lines = head.decode("latin-1").splitlines()
+    return lines[0], lines[1:], body.decode("utf-8")
+
+
+class TestTelemetryEndpoints:
+    def test_metrics_exposition_mid_service(self, tmp_path):
+        """Scrape /metrics after real traffic: request counters,
+        latency histograms, and manager gauges must all parse with the
+        stdlib parser the CI smoke harness uses."""
+        from repro.obs.runtime import CONTENT_TYPE, parse_prometheus
+
+        def body(port, app, loop):
+            client = ServiceClient("127.0.0.1", port, client_id="t")
+            (job,) = client.submit({"spec": QUICK_SPEC})
+            client.watch(job["digest"])
+            raw_request(port, b"GET /nope HTTP/1.1\r\nHost: x\r\n\r\n")
+
+            status, headers, text = http_get(port, "/metrics")
+            assert " 200 " in status
+            assert any(
+                h.lower() == f"content-type: {CONTENT_TYPE}"
+                for h in headers
+            )
+            scrape = parse_prometheus(text)
+
+            assert scrape.value("repro_service_jobs_tracked") == 1
+            assert scrape.value("repro_service_jobs_in_flight") == 0
+            assert scrape.value(
+                "repro_service_requests", route="/api/jobs", method="POST"
+            ) >= 1
+            assert scrape.value(
+                "repro_service_errors", route="/nope", status="404"
+            ) == 1
+            assert scrape.value(
+                "repro_service_request_seconds_count", route="/api/jobs"
+            ) >= 1
+            assert scrape.value("repro_service_cache_entries") == 1
+            assert scrape.value("repro_service_uptime_seconds") > 0
+            assert (
+                scrape.types["repro_service_request_seconds"] == "histogram"
+            )
+
+            # a second scrape observes the first: the exposition route
+            # meters itself like any other
+            _, _, text2 = http_get(port, "/metrics")
+            assert parse_prometheus(text2).value(
+                "repro_service_requests", route="/metrics", method="GET"
+            ) >= 1
+
+        serve(tmp_path, body)
+
+    def test_status_ready_and_not_ready(self, tmp_path):
+        def body(port, app, loop):
+            status, _, text = http_get(port, "/api/status")
+            assert " 200 " in status
+            payload = json.loads(text)
+            assert payload["live"] is True
+            assert payload["ready"] is True
+            assert payload["reasons"] == []
+            assert payload["uptime_s"] >= 0
+            assert payload["telemetry"]["queued"] == 0
+            assert "cache" in payload
+
+            # readiness is distinct from liveness: with the worker pool
+            # gone the service still answers, but with a 503 and a
+            # machine-readable reason
+            workers = app.manager._workers[:]
+            app.manager._workers.clear()
+            try:
+                status, _, text = http_get(port, "/api/status")
+            finally:
+                app.manager._workers.extend(workers)
+            assert " 503 " in status
+            payload = json.loads(text)
+            assert payload["live"] is True
+            assert payload["ready"] is False
+            assert payload["reasons"] == ["workers not started"]
+
+        serve(tmp_path, body)
+
+    def test_status_reports_drops_after_job(self, tmp_path):
+        def body(port, app, loop):
+            client = ServiceClient("127.0.0.1", port, client_id="t")
+            (job,) = client.submit({"spec": QUICK_SPEC})
+            client.watch(job["digest"])
+            _, _, text = http_get(port, "/api/status")
+            telemetry = json.loads(text)["telemetry"]
+            assert telemetry["jobs"] == 1
+            assert telemetry["dropped_frames"] == 0
+            assert telemetry["trace_dropped_records"] == 0
+            assert telemetry["rejected_quota"] == 0
 
         serve(tmp_path, body)
