@@ -50,6 +50,18 @@ reading, never a raw sample count — sample totals are machine-dependent
 and would trip the exact-match integer gate in
 ``compare_baselines.py``).
 
+Convergence anatomy (``repro.obs.anatomy``, the ``--anatomy`` knob):
+
+- ``anatomy off``      — one real traced withdrawal trial (spans on),
+- ``anatomy on``       — the same trial plus critical-path delay
+  attribution derived from its spans.
+
+The pair times :func:`repro.runner.jobs.execute_spec` end to end, so
+the reported ratio is the whole-trial cost of turning attribution on —
+the derivation is pure post-processing of the span pile and must never
+touch the simulation itself (the test asserts the two records share
+one spec digest and measurement).
+
 Knobs: ``REPRO_BENCH_TRACE_RECORDS`` (stream length, default 200_000);
 ``REPRO_BENCH_TRACE_REGISTRY`` (when set, also run one real
 calendar-scheduler withdrawal trial and append its deterministic
@@ -107,10 +119,14 @@ EAGER_CONFIGS = (
 )
 LAZY_CONFIGS = ("lazy off", "lazy route", "lazy sampled", "lazy full")
 SAMPLER_CONFIGS = ("sampler off", "sampler on")
+ANATOMY_CONFIGS = ("anatomy off", "anatomy on")
 
 #: best-of repeats for the sampler pair — their ratio is the report's
 #: overhead claim, so both sides take the least-noisy of several runs.
 SAMPLER_REPEATS = 3
+
+#: best-of repeats for the anatomy pair, same reasoning.
+ANATOMY_REPEATS = 3
 
 SAMPLER_GATE_ENV = "REPRO_BENCH_SAMPLER_GATE"
 
@@ -212,6 +228,46 @@ def run_all():
     ]
 
 
+def anatomy_spec(config):
+    from repro.experiments import WithdrawalScenario
+    from repro.runner.jobs import RunSpec
+    from repro.topology import clique
+
+    return RunSpec(
+        scenario_factory=WithdrawalScenario,
+        topology_factory=clique,
+        n=8,
+        sdn_count=0,
+        seed=0,
+        spans=True,
+        anatomy=(config == "anatomy on"),
+        label=f"bench-trace-overhead {config}",
+    )
+
+
+def run_anatomy_pair():
+    """Whole-trial cost of deriving the convergence anatomy."""
+    from repro.runner.jobs import execute_spec
+
+    rows = []
+    for config in ANATOMY_CONFIGS:
+        best = None
+        for _ in range(ANATOMY_REPEATS):
+            spec = anatomy_spec(config)
+            with isolated_gc():
+                started = time.perf_counter()
+                record = execute_spec(spec)
+                elapsed = time.perf_counter() - started
+            if best is None or elapsed < best["elapsed"]:
+                best = {
+                    "config": config,
+                    "elapsed": elapsed,
+                    "record": record,
+                }
+        rows.append(best)
+    return rows
+
+
 def record_registry_row():
     """Optional: pin calendar-mode results under the regression gate.
 
@@ -256,7 +312,7 @@ def record_registry_row():
     return spec
 
 
-def report(rows):
+def report(rows, anatomy_rows=None):
     n = rows[0]["counted"]
     lines = [
         f"Instrumentation bus overhead — {n} records "
@@ -292,6 +348,19 @@ def report(rows):
         "counts stay complete in every configuration (the 'counted'",
         "column), so measurement never depends on what was retained.",
     ]
+    if anatomy_rows:
+        on = next(r for r in anatomy_rows if r["config"] == "anatomy on")
+        off = next(r for r in anatomy_rows if r["config"] == "anatomy off")
+        record = on["record"]
+        lines += [
+            f"convergence anatomy: a traced trial with "
+            f"{len(record.spans)} spans and "
+            f"{len(record.anatomy['nodes'])} per-AS waterfalls takes "
+            f"{on['elapsed'] / off['elapsed']:.2f}x its attribution-off "
+            f"wall time (best of {ANATOMY_REPEATS} per side);",
+            "attribution is pure span post-processing and leaves the "
+            "spec digest unchanged.",
+        ]
     return "\n".join(lines)
 
 
@@ -305,8 +374,23 @@ def sampler_ratio(rows):
 
 def test_trace_overhead(benchmark):
     rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
-    publish("trace_overhead", report(rows))
+    anatomy_rows = run_anatomy_pair()
+    publish("trace_overhead", report(rows, anatomy_rows))
     record_registry_row()
+    # anatomy is invisible to results: same digest, same measurement,
+    # and only the "on" record carries the attribution payload
+    by_anatomy = {row["config"]: row["record"] for row in anatomy_rows}
+    record_on = by_anatomy["anatomy on"]
+    record_off = by_anatomy["anatomy off"]
+    assert record_on.digest == record_off.digest
+    assert record_on.measurement_dict() == record_off.measurement_dict()
+    assert record_on.anatomy is not None and record_off.anatomy is None
+    from repro.obs.anatomy import check_anatomy
+
+    assert check_anatomy(
+        record_on.anatomy,
+        t_converged=record_on.measurement.t_converged,
+    ) == []
     by_config = {row["config"]: row for row in rows}
     n = stream_length()
     # every configuration counts every record — record_lazy included

@@ -29,6 +29,9 @@ __all__ = [
     "experiment_report",
     "provenance_report",
     "provenance_markdown",
+    "anatomy_of_spans",
+    "anatomy_report_for_spans",
+    "anatomy_markdown_for_spans",
 ]
 
 
@@ -289,6 +292,38 @@ def provenance_markdown(
         lines.append(f"*… {len(timeline) - len(shown)} more spans.*")
     lines.append("")
     return "\n".join(lines)
+
+
+def anatomy_of_spans(spans, *, root_id: Optional[int] = None):
+    """Convergence anatomy of one root, straight from a span payload.
+
+    Same span/root conventions as :func:`provenance_report` (Span
+    objects or dicts; any span id resolves up to its root; default is
+    the largest causal tree).  Returns a
+    :class:`~repro.obs.anatomy.ConvergenceAnatomy`.
+    """
+    from ..obs.anatomy import anatomize
+
+    dag = _as_dag(spans)
+    return anatomize(dag, _resolve_root(dag, root_id))
+
+
+def anatomy_report_for_spans(
+    spans, *, root_id: Optional[int] = None, node: Optional[str] = None
+) -> str:
+    """Terminal waterfall report (``repro trace anatomy``)."""
+    from ..obs.anatomy import anatomy_report
+
+    return anatomy_report(anatomy_of_spans(spans, root_id=root_id), node=node)
+
+
+def anatomy_markdown_for_spans(
+    spans, *, root_id: Optional[int] = None
+) -> str:
+    """Markdown waterfall report (exporters, CI artifacts)."""
+    from ..obs.anatomy import anatomy_markdown
+
+    return anatomy_markdown(anatomy_of_spans(spans, root_id=root_id))
 
 
 def _cluster(exp: Experiment) -> List[str]:

@@ -66,11 +66,13 @@ class AsPath:
     _pool: "weakref.WeakValueDictionary[Tuple[int, ...], AsPath]" = (
         weakref.WeakValueDictionary()
     )
+    _hits: int = 0
 
     def __new__(cls, asns: Iterable[int] = ()) -> "AsPath":
         key = tuple(asns)
         cached = cls._pool.get(key)
         if cached is not None:
+            cls._hits += 1
             return cached
         self = object.__new__(cls)
         object.__setattr__(self, "asns", key)
@@ -182,6 +184,7 @@ class PathAttributes:
     _pool: "weakref.WeakValueDictionary[tuple, PathAttributes]" = (
         weakref.WeakValueDictionary()
     )
+    _hits: int = 0
 
     def __new__(
         cls,
@@ -198,6 +201,7 @@ class PathAttributes:
         key = (as_path, origin, local_pref, med, communities)
         cached = cls._pool.get(key)
         if cached is not None:
+            cls._hits += 1
             return cached
         self = object.__new__(cls)
         object.__setattr__(self, "as_path", as_path)
@@ -275,13 +279,18 @@ class PathAttributes:
 
 
 def intern_stats() -> Dict[str, int]:
-    """Live sizes of the intern pools (distinct values currently alive).
+    """Live sizes and hit counts of the intern pools.
 
-    Diagnostic only — the pools are weak, so the numbers shrink as RIBs
-    release routes.  ``bench_scale`` reports them alongside peak RSS to
-    show how much sharing the pools achieve on large topologies.
+    Diagnostic only — the pools are weak, so the size numbers shrink as
+    RIBs release routes, while the ``*_hits`` counters are cumulative
+    per process (every construction that returned an already-pooled
+    object).  ``bench_scale`` reports sizes alongside peak RSS to show
+    how much sharing the pools achieve on large topologies; the service
+    ``/metrics`` page exports all four as gauges.
     """
     return {
         "as_paths": len(AsPath._pool),
+        "as_path_hits": AsPath._hits,
         "path_attributes": len(PathAttributes._pool),
+        "path_attribute_hits": PathAttributes._hits,
     }

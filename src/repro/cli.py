@@ -175,6 +175,31 @@ def _print_metrics(result, out: Output) -> None:
     out.info(format_snapshot(merged))
 
 
+def _print_anatomy(result, out: Output) -> None:
+    """Per-fraction delay attribution for sweeps with --anatomy."""
+    from .obs.anatomy import ANATOMY_CATEGORIES
+
+    per_point = result.anatomy_by_fraction()
+    if not any(per_point):
+        return
+    out.info("\ncritical-path delay attribution (median seconds per run)")
+    header = "  sdn    " + "".join(
+        f"{cat:>14}" for cat in ANATOMY_CATEGORIES
+    ) + f"{'total':>14}"
+    out.info(header)
+    for point, agg in zip(result.points, per_point):
+        if not agg:
+            continue
+        cells = "".join(
+            f"{agg['categories'].get(cat, 0.0):14.3f}"
+            for cat in ANATOMY_CATEGORIES
+        )
+        out.info(
+            f"  {point.sdn_count:2d}/{result.n_ases}{cells}"
+            f"{agg['total']:14.3f}"
+        )
+
+
 def _runner_kwargs(args) -> dict:
     """Map the shared --workers/--cache-dir/--no-cache/--progress flags
     onto the sweep functions' runner options."""
@@ -191,6 +216,7 @@ def _runner_kwargs(args) -> dict:
         "profile": getattr(args, "profile", False),
         "registry": registry,
         "sample_hz": getattr(args, "sample_hz", 0.0),
+        "anatomy": getattr(args, "anatomy", False),
     }
 
 
@@ -213,6 +239,7 @@ def cmd_fig2(args) -> int:
     )
     _print_sweep(result, f"Fig. 2 — withdrawal on a {args.n}-AS clique", args.out)
     _print_metrics(result, args.out)
+    _print_anatomy(result, args.out)
     _export_sweep(result, args, args.out)
     return 0
 
@@ -225,6 +252,7 @@ def cmd_failover(args) -> int:
     )
     _print_sweep(result, f"§4 — fail-over (dual-homed origin, {args.n}-AS clique)", args.out)
     _print_metrics(result, args.out)
+    _print_anatomy(result, args.out)
     _export_sweep(result, args, args.out)
     return 0
 
@@ -237,6 +265,7 @@ def cmd_announcement(args) -> int:
     )
     _print_sweep(result, f"§4 — announcement ({args.n}-AS clique)", args.out)
     _print_metrics(result, args.out)
+    _print_anatomy(result, args.out)
     _export_sweep(result, args, args.out)
     return 0
 
@@ -353,6 +382,7 @@ def cmd_sweep(args) -> int:
     out = args.out
     _print_sweep(result, f"{args.scenario} sweep ({args.n}-AS clique)", out)
     _print_metrics(result, out)
+    _print_anatomy(result, out)
     if result.failed_runs:
         out.emit(f"\nWARNING: {len(result.failed_runs)} run(s) failed:")
         for failure in result.failed_runs:
@@ -487,7 +517,9 @@ def cmd_scenarios(args) -> int:
         recompute_delay=args.recompute_delay,
         **{
             k: v for k, v in _runner_kwargs(args).items()
-            if k not in ("metrics", "profile", "registry", "sample_hz")
+            if k not in (
+                "metrics", "profile", "registry", "sample_hz", "anatomy"
+            )
         },
     )
     out.info(
@@ -643,6 +675,38 @@ def cmd_trace_export(args) -> int:
     return 0
 
 
+def cmd_trace_anatomy(args) -> int:
+    """Per-AS convergence waterfall of a captured span file."""
+    from .analysis.report import anatomy_of_spans
+    from .obs.anatomy import anatomy_json, anatomy_markdown, anatomy_report
+    from .obs.anatomy import check_anatomy
+
+    out = args.out
+    spans = _load_spans(args.spans)
+    anatomy = anatomy_of_spans(spans, root_id=args.root)
+    out.emit(anatomy_report(anatomy, node=args.node))
+    if args.markdown:
+        with open(args.markdown, "w") as handle:
+            handle.write(anatomy_markdown(anatomy))
+        out.info(f"\nwrote {args.markdown}")
+    if args.json:
+        with open(args.json, "w") as handle:
+            handle.write(anatomy_json(anatomy))
+        out.info(f"wrote {args.json}")
+    if args.check:
+        problems = check_anatomy(anatomy.to_dict())
+        if problems:
+            out.emit("\nFAIL: attribution does not reconcile")
+            for problem in problems:
+                out.emit(f"  {problem}")
+            return 1
+        out.emit(
+            "\nPASS: every per-AS attribution sums bit-exactly to its "
+            "convergence instant"
+        )
+    return 0
+
+
 def cmd_dot(args) -> int:
     topo = _parse_topology(args.topology)
     args.out.emit(topology_dot(topo, sdn_members=sorted(_parse_sdn(args.sdn))))
@@ -757,6 +821,26 @@ def cmd_runs_show(args) -> int:
             out.emit(f"  spans         {run.span_count}")
         if run.fault_count is not None:
             out.emit(f"  faults        {run.fault_count}")
+        if run.anatomy:
+            categories = run.anatomy.get("categories", {})
+            critical = run.anatomy.get("critical_node")
+            depth = run.anatomy.get("critical_depth")
+            out.emit(
+                f"  anatomy       critical AS {critical} "
+                f"(causal depth {depth})"
+            )
+            for key in sorted(categories):
+                out.emit(f"    {key:22} {categories[key]:.3f}s")
+        elif run.span_count:
+            out.emit(
+                "  anatomy       not recorded (pre-schema-3 row; "
+                "re-run to attribute its convergence delay)"
+            )
+        if run.ok and not run.resources:
+            out.emit(
+                "  resources     not recorded (pre-schema-2 row; "
+                "re-run to account cpu/rss/gc)"
+            )
         if run.resources:
             out.emit("  resources")
             labels = {
@@ -805,6 +889,7 @@ def _print_run_diff(diff, out: Output, *, verbose: bool) -> None:
         out.emit(
             f"  DRIFT {field_diff.name}: {field_diff.a!r} vs {field_diff.b!r}"
         )
+    _print_anatomy_deltas(diff, out)
     for field_diff in diff.timing_mismatches:
         out.info(
             f"  timing {field_diff.name}: {field_diff.a:.3f} vs "
@@ -815,6 +900,32 @@ def _print_run_diff(diff, out: Output, *, verbose: bool) -> None:
         for field_diff in diff.fields:
             if field_diff.ok:
                 out.info(f"  ok    {field_diff.name}: {field_diff.a!r}")
+
+
+def _print_anatomy_deltas(diff, out: Output) -> None:
+    """Causal-attribution section of ``runs diff``.
+
+    When both rows carry anatomy, every per-category delay is already a
+    compared deterministic field; this reprints them side by side so a
+    drift reads as "the extra 4.2s is MRAI wait", not just a mismatch.
+    """
+    rows = [
+        f for f in diff.fields
+        if f.name.startswith("anatomy.")
+        and f.name != "anatomy.critical_depth"
+        and isinstance(f.a, (int, float)) and isinstance(f.b, (int, float))
+    ]
+    if not rows:
+        return
+    out.info("  causal attribution (critical-path seconds, a vs b)")
+    for field_diff in rows:
+        category = field_diff.name[len("anatomy."):]
+        delta = field_diff.b - field_diff.a
+        marker = "  " if field_diff.ok else "!!"
+        out.info(
+            f"    {marker} {category:16} {field_diff.a:10.3f}  "
+            f"{field_diff.b:10.3f}  ({delta:+.3f})"
+        )
 
 
 def cmd_runs_diff(args) -> int:
@@ -1205,6 +1316,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="attach a sampling profiler to every trial at "
                             "this frequency (0 = off; collapsed stacks "
                             "land in the registry and runs show)")
+        p.add_argument("--anatomy", action="store_true",
+                       help="keep spans and attribute every trial's "
+                            "convergence delay to its critical causal "
+                            "path (per-category summary prints after "
+                            "the sweep; does not change spec digests)")
 
     p = sub.add_parser("fig2", help="withdrawal sweep (paper Fig. 2)")
     sweep_args(p)
@@ -1358,6 +1474,27 @@ def build_parser() -> argparse.ArgumentParser:
     tp.add_argument("--pretty", action="store_true",
                     help="indent the JSON output")
     tp.set_defaults(func=cmd_trace_export)
+
+    tp = tsub.add_parser(
+        "anatomy",
+        help="per-AS convergence waterfall: attribute every delay on "
+             "the critical causal path to its mechanism",
+    )
+    tp.add_argument("spans", help="JSONL span file (trace run --jsonl)")
+    tp.add_argument("--root", type=int, default=None,
+                    help="root span id (default: largest causal tree)")
+    tp.add_argument("--node", type=str, default=None,
+                    help="AS whose waterfall to expand (default: the "
+                         "last-converging AS)")
+    tp.add_argument("--markdown", type=str, default=None,
+                    help="write the waterfall as Markdown")
+    tp.add_argument("--json", type=str, default=None,
+                    help="write the attribution payload as JSON")
+    tp.add_argument("--check", action="store_true",
+                    help="verify every per-AS attribution sums "
+                         "bit-exactly to its convergence instant "
+                         "(exit 1 otherwise)")
+    tp.set_defaults(func=cmd_trace_anatomy)
 
     p = sub.add_parser("dot", help="Graphviz export of a topology")
     p.add_argument("--topology", type=str, default="clique:8",

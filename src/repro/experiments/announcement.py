@@ -36,6 +36,7 @@ def announcement_sweep(
     profile: bool = False,
     registry=None,
     sample_hz: float = 0.0,
+    anatomy: bool = False,
 ) -> SweepResult:
     """The announcement counterpart of Fig. 2 (text-only result in §4).
 
@@ -64,4 +65,5 @@ def announcement_sweep(
         profile=profile,
         registry=registry,
         sample_hz=sample_hz,
+        anatomy=anatomy,
     )

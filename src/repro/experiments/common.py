@@ -255,6 +255,9 @@ class RunResult:
     spans: Optional[list] = None
     #: per-run hot-function table (sweeps launched with ``profile=True``).
     profile: Optional[list] = None
+    #: per-run convergence anatomy (sweeps launched with
+    #: ``anatomy=True``): the critical-path delay attribution payload.
+    anatomy: Optional[dict] = None
 
     @property
     def convergence_time(self) -> float:
@@ -345,6 +348,22 @@ class SweepResult:
             if r.metrics is not None
         ]
         return merge_snapshots(snapshots) if snapshots else None
+
+    def anatomy_by_fraction(self) -> List[Optional[dict]]:
+        """Per-point aggregated delay attribution, sweep order.
+
+        Each entry is :func:`repro.obs.anatomy.aggregate_anatomy` over
+        the point's runs (median per-category critical-path waterfall),
+        or None when no run at that fraction carried anatomy — the
+        figure-2 axis answer to *which* delay category centralization
+        removes.
+        """
+        from ..obs.anatomy import aggregate_anatomy
+
+        return [
+            aggregate_anatomy(r.anatomy for r in point.runs)
+            for point in self.points
+        ]
 
 
 def sdn_set_for(
@@ -462,6 +481,7 @@ def run_fraction_sweep(
     trace_level: str = "full",
     metrics: bool = False,
     spans: bool = False,
+    anatomy: bool = False,
     profile: bool = False,
     sample_hz: float = 0.0,
     faults=None,
@@ -483,7 +503,10 @@ def run_fraction_sweep(
     (``"off"`` retains zero records while measuring identically),
     ``metrics=True`` attaches a per-run metrics snapshot to every
     :class:`RunResult`, ``spans=True`` attaches the run's causal
-    provenance spans, ``profile=True`` wraps each trial in cProfile
+    provenance spans, ``anatomy=True`` additionally derives each run's
+    critical-path delay attribution from those spans (implies
+    ``spans=True``; digest-neutral, so cached span-collecting trials
+    are reused as-is), ``profile=True`` wraps each trial in cProfile
     and attaches its hottest functions, and ``sample_hz > 0`` runs the
     sampling wall-clock profiler alongside each trial and attaches its
     flamegraph collapsed stacks (results stay bit-identical in every
@@ -500,6 +523,8 @@ def run_fraction_sweep(
     ``SweepPoint.failures`` instead of aborting the sweep.
     """
     probe = scenario_factory()
+    if anatomy:
+        spans = True  # anatomy is derived from the span payload
     if sdn_counts is None:
         max_sdn = n - len(probe.reserved_legacy)
         sdn_counts = list(range(0, max_sdn + 1))
@@ -521,6 +546,7 @@ def run_fraction_sweep(
                     trace_level=trace_level,
                     metrics=metrics,
                     spans=spans,
+                    anatomy=anatomy,
                     profile=profile,
                     sample_hz=sample_hz,
                     faults=faults,
@@ -553,6 +579,7 @@ def run_fraction_sweep(
                         metrics=record.metrics,
                         spans=record.spans,
                         profile=record.profile,
+                        anatomy=record.anatomy,
                     )
                 )
             else:

@@ -23,6 +23,7 @@ def sweep_rows(
     include_metrics: bool = False,
     include_spans: bool = False,
     include_profile: bool = False,
+    include_anatomy: bool = False,
 ) -> List[dict]:
     """One dict per individual run (long/tidy format).
 
@@ -30,8 +31,9 @@ def sweep_rows(
     ``run_metrics`` dict column; ``include_spans`` attaches the run's
     provenance spans as a ``run_spans`` list column; ``include_profile``
     attaches the cProfile hot-function table as a ``run_profile`` list
-    column — all kept out of the CSV path, where a nested value would
-    not be a scalar cell.
+    column; ``include_anatomy`` attaches the run's critical-path delay
+    attribution as a ``run_anatomy`` dict column — all kept out of the
+    CSV path, where a nested value would not be a scalar cell.
     """
     rows: List[dict] = []
     for point in result.points:
@@ -62,6 +64,8 @@ def sweep_rows(
                 row["run_spans"] = getattr(run, "spans", None)
             if include_profile:
                 row["run_profile"] = getattr(run, "profile", None)
+            if include_anatomy:
+                row["run_anatomy"] = getattr(run, "anatomy", None)
             rows.append(row)
     return rows
 
@@ -123,6 +127,10 @@ def sweep_to_json(result: SweepResult, *, indent: int = 2) -> str:
         # per-run snapshots ride on the "runs" rows via run_metrics.
         "metrics": result.merged_metrics()
         if hasattr(result, "merged_metrics") else None,
+        # per-point aggregated delay attribution (None entries without
+        # anatomy=True); per-run payloads ride on "runs" via run_anatomy.
+        "anatomy": result.anatomy_by_fraction()
+        if hasattr(result, "anatomy_by_fraction") else None,
         "points": [
             {
                 "sdn_count": point.sdn_count,
@@ -142,6 +150,7 @@ def sweep_to_json(result: SweepResult, *, indent: int = 2) -> str:
             include_metrics=True,
             include_spans=True,
             include_profile=True,
+            include_anatomy=True,
         ),
     }
     return json.dumps(payload, indent=indent)

@@ -39,6 +39,7 @@ def failover_sweep(
     profile: bool = False,
     registry=None,
     sample_hz: float = 0.0,
+    anatomy: bool = False,
 ) -> SweepResult:
     """The fail-over counterpart of Fig. 2 (text-only result in §4).
 
@@ -69,4 +70,5 @@ def failover_sweep(
         profile=profile,
         registry=registry,
         sample_hz=sample_hz,
+        anatomy=anatomy,
     )

@@ -41,6 +41,7 @@ def withdrawal_sweep(
     profile: bool = False,
     registry=None,
     sample_hz: float = 0.0,
+    anatomy: bool = False,
 ) -> SweepResult:
     """Reproduce Fig. 2; returns per-fraction convergence boxplot data.
 
@@ -74,4 +75,5 @@ def withdrawal_sweep(
         profile=profile,
         registry=registry,
         sample_hz=sample_hz,
+        anatomy=anatomy,
     )

@@ -383,7 +383,10 @@ class Experiment:
         evictions) so capture loss is visible in every exported
         snapshot and on the service ``/metrics`` page.  A gauge, not a
         counter: run diffs compare counters exactly, and drop counts
-        depend on buffer sizing, not on the routing outcome.
+        depend on buffer sizing, not on the routing outcome.  The same
+        rule puts ``link.coalesced_total`` (same-instant deliveries
+        merged under ``batch_delivery``) in the gauge table: it
+        describes an execution strategy, not a routing result.
         """
         registry = self.metrics
         if registry is None:
@@ -392,6 +395,10 @@ class Experiment:
         if trace is not None:
             registry.gauge("trace.dropped_records").set(
                 getattr(trace, "dropped_records", 0)
+            )
+        if self.net is not None:
+            registry.gauge("link.coalesced_total").set(
+                sum(link.coalesced_count for link in self.net.links)
             )
         return registry.snapshot()
 

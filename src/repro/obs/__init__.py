@@ -12,6 +12,17 @@ the recorded history, and :mod:`~repro.obs.dashboard` renders the
 registry as a static HTML page.  See docs/telemetry.md.
 """
 
+from .anatomy import (
+    ANATOMY_CATEGORIES,
+    ConvergenceAnatomy,
+    NodeAnatomy,
+    aggregate_anatomy,
+    anatomize,
+    anatomy_markdown,
+    anatomy_payload,
+    anatomy_report,
+    check_anatomy,
+)
 from .dag import STATE_CHANGING, ProvenanceDAG
 from .export import (
     as_spans,
@@ -103,6 +114,15 @@ __all__ = [
     "SPAN_CATEGORIES",
     "ProvenanceDAG",
     "STATE_CHANGING",
+    "ANATOMY_CATEGORIES",
+    "ConvergenceAnatomy",
+    "NodeAnatomy",
+    "anatomize",
+    "anatomy_payload",
+    "anatomy_report",
+    "anatomy_markdown",
+    "aggregate_anatomy",
+    "check_anatomy",
     "to_chrome_trace",
     "chrome_trace_json",
     "spans_to_jsonl",

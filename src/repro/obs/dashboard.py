@@ -24,6 +24,7 @@ from html import escape
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..analysis.viz import svg_bar_chart, svg_line_chart
+from .anatomy import ANATOMY_CATEGORIES
 from .registry import RunRegistry, RunRow, SweepRow, aggregate_profiles
 from .sampler import merge_stacks, top_frames
 from .trends import detect_regressions
@@ -105,6 +106,62 @@ def _convergence_section(
                 )
                 + "</div>"
             )
+    return out
+
+
+def _anatomy_section(
+    registry: RunRegistry, sweeps: List[SweepRow]
+) -> List[str]:
+    """Per-category delay attribution vs SDN fraction, per scenario.
+
+    Aggregates the critical-path waterfalls recorded with each run
+    (schema-3 ``anatomy`` column) over the newest recorded sweep of
+    each scenario: one series per delay category, so the chart answers
+    *which* category centralization removes as the fraction grows.
+    """
+    out: List[str] = []
+    scenarios = sorted({s.scenario for s in sweeps if s.scenario})
+    for scenario in scenarios:
+        # newest sweep of the scenario that carries any anatomy
+        chosen: Dict[float, List[Dict]] = {}
+        for sweep in reversed([s for s in sweeps if s.scenario == scenario]):
+            by_fraction: Dict[float, List[Dict]] = {}
+            for run in registry.runs(sweep_id=sweep.sweep_id, ok=True):
+                if run.anatomy is None or run.fraction is None:
+                    continue
+                by_fraction.setdefault(run.fraction, []).append(run.anatomy)
+            if by_fraction:
+                chosen = by_fraction
+                break
+        if not chosen:
+            continue
+        series: List[Tuple[str, List[Tuple[float, float]]]] = []
+        for category in ANATOMY_CATEGORIES:
+            points = [
+                (
+                    fraction,
+                    _median([
+                        float((p.get("categories") or {}).get(category, 0.0))
+                        for p in payloads
+                    ]),
+                )
+                for fraction, payloads in sorted(chosen.items())
+            ]
+            series.append((category, points))
+        out.append(
+            f"<h2>Convergence anatomy vs SDN fraction — {escape(scenario)}"
+            "</h2>"
+        )
+        out.append(
+            '<div class="chart">'
+            + svg_line_chart(
+                series,
+                title=f"{scenario}: median critical-path delay by category",
+                x_label="SDN fraction",
+                y_label="median delay (s)",
+            )
+            + "</div>"
+        )
     return out
 
 
@@ -268,7 +325,17 @@ def _ops_section(registry: RunRegistry, *, top: int) -> List[str]:
     accounted = [r for r in runs if r.resources]
     sampled = [r for r in runs if r.sample_stacks]
     if not accounted and not sampled:
-        return []
+        if not runs:
+            return []
+        # Runs exist but none carry resources/sample_stacks — rows
+        # recorded before the schema-2 telemetry columns.  Say so
+        # instead of silently omitting the section.
+        return [
+            "<h2>Ops — per-run resource accounting</h2>",
+            f"<p>No resource accounting recorded for the {len(runs)} "
+            "successful run(s) — recorded before schema 2 (re-run to "
+            "populate).</p>",
+        ]
     out = ["<h2>Ops — per-run resource accounting</h2>"]
     if accounted:
         out.append(
@@ -348,6 +415,7 @@ def render_dashboard(
         "</div>",
     ]
     parts.extend(_convergence_section(registry, sweeps))
+    parts.extend(_anatomy_section(registry, sweeps))
     parts.extend(_trend_section(registry, sweeps))
     parts.extend(_cache_section(sweeps))
     parts.extend(_phase_section(sweeps))

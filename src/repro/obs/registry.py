@@ -61,7 +61,7 @@ DEFAULT_REGISTRY_PATH = ".repro-registry.sqlite"
 #: bump when the table layout changes.  Additive bumps migrate old
 #: files in place (see ``_check_schema``); anything newer than this
 #: code understands is rejected loudly.
-REGISTRY_SCHEMA = 2
+REGISTRY_SCHEMA = 3
 
 _SCHEMA_SQL = """
 CREATE TABLE IF NOT EXISTS meta (
@@ -113,7 +113,8 @@ CREATE TABLE IF NOT EXISTS runs (
     fault_count  INTEGER,
     profile      TEXT,
     resources    TEXT,
-    sample_stacks TEXT
+    sample_stacks TEXT,
+    anatomy      TEXT
 );
 CREATE INDEX IF NOT EXISTS idx_runs_digest ON runs(spec_digest, run_id);
 CREATE INDEX IF NOT EXISTS idx_runs_sweep ON runs(sweep_id);
@@ -177,6 +178,7 @@ class RunRow:
     profile: Optional[List[Dict[str, Any]]]
     resources: Optional[Dict[str, Any]] = None
     sample_stacks: Optional[Dict[str, int]] = None
+    anatomy: Optional[Dict[str, Any]] = None
 
 
 @dataclass(frozen=True)
@@ -288,11 +290,14 @@ class RunRegistry:
             row = self._conn.execute(
                 "SELECT value FROM meta WHERE key='schema'"
             ).fetchone()
-        if row["value"] == "1":
-            # Schema 2 only *adds* columns, so version-1 files migrate
-            # in place; their existing rows read back with the new
-            # fields as None.
-            for column in ("resources", "sample_stacks"):
+        #: columns each historical schema bump added to ``runs`` —
+        #: every bump so far is purely additive, so any older file
+        #: migrates in place by replaying the missing tail; existing
+        #: rows read back with the new fields as None.
+        additive = {"1": ("resources", "sample_stacks", "anatomy"),
+                    "2": ("anatomy",)}
+        if row["value"] in additive:
+            for column in additive[row["value"]]:
                 try:
                     self._conn.execute(
                         f"ALTER TABLE runs ADD COLUMN {column} TEXT"
@@ -373,9 +378,15 @@ class RunRegistry:
         """
         instants: Optional[Dict[str, float]] = None
         span_count: Optional[int] = None
+        anatomy: Optional[Dict[str, Any]] = getattr(record, "anatomy", None)
         if record.spans is not None:
             span_count = len(record.spans)
             instants = self._instants_from_spans(record)
+            if anatomy is None:
+                # Like ``instants``, anatomy is derivable from the span
+                # payload alone — every spans-on trial gets its delay
+                # attribution recorded, flag or no flag.
+                anatomy = self._anatomy_from_spans(record)
         scenario = callable_token(spec.scenario_factory).rsplit(":", 1)[-1]
         measurement = record.measurement_dict() or None
         cursor = self._conn.execute(
@@ -383,9 +394,9 @@ class RunRegistry:
             " label, n, sdn_count, fraction, seed, git_rev, code_version,"
             " ok, error, wall_time, worker, cached, attempts, measurement,"
             " metrics, instants, span_count, fault_count, profile,"
-            " resources, sample_stacks)"
+            " resources, sample_stacks, anatomy)"
             " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?,"
-            " ?, ?, ?, ?, ?, ?, ?, ?)",
+            " ?, ?, ?, ?, ?, ?, ?, ?, ?)",
             (
                 sweep_id, self.clock(), record.digest, scenario,
                 spec.label or spec.display(), spec.n, spec.sdn_count,
@@ -407,6 +418,8 @@ class RunRegistry:
                 json.dumps(record.sample_stacks, sort_keys=True)
                 if getattr(record, "sample_stacks", None) is not None
                 else None,
+                json.dumps(anatomy, sort_keys=True)
+                if anatomy is not None else None,
             ),
         )
         self._conn.commit()
@@ -427,6 +440,18 @@ class RunRegistry:
         if int(root_id) not in dag.by_id:
             return None
         return dag.per_node_instants(int(root_id))
+
+    @staticmethod
+    def _anatomy_from_spans(record: RunRecord) -> Optional[Dict[str, Any]]:
+        """Critical-path delay attribution of the measured event."""
+        measurement = record.measurement
+        if measurement is None or not record.spans:
+            return None
+        from .anatomy import anatomy_payload
+
+        return anatomy_payload(
+            record.spans, measurement.extra.get("event_root_span")
+        )
 
     # ------------------------------------------------------------------
     # queries
@@ -460,6 +485,7 @@ class RunRegistry:
             profile=_loads(row["profile"]),
             resources=_loads(row["resources"]),
             sample_stacks=_loads(row["sample_stacks"]),
+            anatomy=_loads(row["anatomy"]),
         )
 
     def run(self, run_id: int) -> Optional[RunRow]:

@@ -149,6 +149,25 @@ def _deterministic_values(run: RunRow) -> Dict[str, object]:
     return out
 
 
+def _anatomy_values(anatomy: Dict[str, object]) -> Dict[str, object]:
+    """Flatten an anatomy payload into comparable deterministic keys.
+
+    The critical-path waterfall (the headline decomposition of
+    ``t_converged - t_event``) plus the identity of the critical AS and
+    its causal depth — enough for ``runs diff`` to pinpoint *which*
+    delay category a regressed run gained.
+    """
+    out: Dict[str, object] = {}
+    categories = anatomy.get("categories")
+    if isinstance(categories, dict):
+        for name in sorted(categories):
+            out[f"anatomy.{name}"] = categories[name]
+    for key in ("critical_node", "critical_depth"):
+        if key in anatomy:
+            out[f"anatomy.{key}"] = anatomy[key]
+    return out
+
+
 def diff_runs(
     run_a: RunRow,
     run_b: RunRow,
@@ -172,6 +191,30 @@ def diff_runs(
         diff.fields.append(
             FieldDiff(name=name, a=a, b=b, kind="deterministic", ok=a == b)
         )
+    # convergence anatomy (schema-3 registries) is derived from
+    # simulated timestamps, so it is deterministic — but the column is
+    # absent on pre-schema-3 rows and anatomy can legitimately be
+    # missing on one side of a digest's history (the flag is
+    # digest-neutral), so it is compared only when both rows carry it.
+    anatomy_a, anatomy_b = run_a.anatomy, run_b.anatomy
+    if anatomy_a is not None and anatomy_b is not None:
+        keys_a = _anatomy_values(anatomy_a)
+        keys_b = _anatomy_values(anatomy_b)
+        for name in sorted(set(keys_a) | set(keys_b)):
+            a, b = keys_a.get(name), keys_b.get(name)
+            diff.fields.append(
+                FieldDiff(
+                    name=name, a=a, b=b, kind="deterministic", ok=a == b
+                )
+            )
+    elif anatomy_a is not None or anatomy_b is not None:
+        diff.fields.append(
+            FieldDiff(
+                name="anatomy", a=anatomy_a is not None,
+                b=anatomy_b is not None, kind="deterministic", ok=True,
+            )
+        )
+
     def timing_field(name: str, a, b) -> None:
         try:
             a_val, b_val = float(a), float(b)

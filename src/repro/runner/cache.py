@@ -107,6 +107,7 @@ class ResultCache:
         profile = payload.get("profile")
         resources = payload.get("resources")
         sample_stacks = payload.get("sample_stacks")
+        anatomy = payload.get("anatomy")
         return RunRecord(
             digest=spec.digest(),
             ok=True,
@@ -122,6 +123,7 @@ class ResultCache:
             sample_stacks=(
                 sample_stacks if isinstance(sample_stacks, dict) else None
             ),
+            anatomy=anatomy if isinstance(anatomy, dict) else None,
         )
 
     def put(self, spec: RunSpec, record: RunRecord) -> None:
@@ -151,6 +153,8 @@ class ResultCache:
             payload["resources"] = record.resources
         if record.sample_stacks is not None:
             payload["sample_stacks"] = record.sample_stacks
+        if record.anatomy is not None:
+            payload["anatomy"] = record.anatomy
         # Atomic publish: a reader either sees the old entry or the new
         # complete one, never a torn write.
         fd, tmp_name = tempfile.mkstemp(

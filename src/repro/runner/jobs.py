@@ -99,6 +99,13 @@ class RunSpec:
     metrics: bool = False
     #: collect causal provenance spans and attach them to the record.
     spans: bool = False
+    #: derive per-AS convergence anatomy (critical-path delay
+    #: attribution) from the spans and attach it to the record.
+    #: Requires ``spans``; deliberately absent from :meth:`describe`
+    #: because anatomy is a pure function of the span payload — an
+    #: anatomy-on trial is cache-equivalent to its anatomy-off twin,
+    #: and a hit on an anatomy-less entry re-derives it losslessly.
+    anatomy: bool = False
     #: wrap the trial in cProfile and attach the hottest functions.
     profile: bool = False
     faults: Optional[Tuple] = None
@@ -151,6 +158,10 @@ class RunSpec:
             # span-collecting trials get their own cache entries while
             # span-free specs keep their pre-existing digests.
             out["spans"] = True
+        # ``anatomy`` is intentionally NOT part of the payload: it adds
+        # nothing to the record that the spans do not already determine,
+        # so anatomy-on and anatomy-off specs share digests (and cache
+        # entries) — the on/off differential test pins this.
         if self.profile:
             # Profiling never changes virtual-time results either, but a
             # profiled record carries extra payload — own cache entries,
@@ -230,6 +241,10 @@ class RunRecord:
     #: flamegraph collapsed stacks (``spec.sample_hz > 0``):
     #: ``{"frame;frame;frame": samples}``.
     sample_stacks: Optional[Dict[str, int]] = None
+    #: per-AS convergence anatomy (``spec.anatomy=True``), the compact
+    #: JSON payload of :meth:`repro.obs.anatomy.ConvergenceAnatomy.to_dict`
+    #: — derived from ``spans``, never from wall clocks.
+    anatomy: Optional[Dict[str, Any]] = None
 
     def measurement_dict(self) -> Dict[str, Any]:
         """JSON-ready measurement fields (for the cache)."""
@@ -491,7 +506,7 @@ def execute_spec(spec: RunSpec, cid: str = "") -> RunRecord:
         max_rss_kb=resources.get("max_rss_kb"),
         samples=sampler.samples if sampler else None,
     )
-    return RunRecord(
+    record = RunRecord(
         digest=digest,
         ok=True,
         measurement=measurement,
@@ -503,3 +518,10 @@ def execute_spec(spec: RunSpec, cid: str = "") -> RunRecord:
         resources=resources,
         sample_stacks=dict(sampler.counts) if sampler else None,
     )
+    if spec.anatomy:
+        # Derived after the trial from the span payload alone, so it can
+        # never perturb virtual-time results (and needs ``spec.spans``).
+        from ..obs.anatomy import ensure_record_anatomy
+
+        ensure_record_anatomy(record)
+    return record

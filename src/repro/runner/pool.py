@@ -164,6 +164,14 @@ class ParallelRunner:
         for index, spec in enumerate(specs):
             cached = self.cache.get(spec) if self.cache is not None else None
             if cached is not None:
+                if spec.anatomy and cached.anatomy is None:
+                    # ``anatomy`` is digest-neutral, so an anatomy-on
+                    # spec can hit an entry written without it; anatomy
+                    # is a pure function of the cached spans, so the
+                    # record gains it losslessly here.
+                    from ..obs.anatomy import ensure_record_anatomy
+
+                    ensure_record_anatomy(cached)
                 records[index] = cached
                 n_cached += 1
             else:

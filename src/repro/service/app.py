@@ -19,6 +19,7 @@ GET    ``/api/jobs/<digest>/events``      live progress (SSE)
 GET    ``/api/jobs/<digest>/provenance``  causal run report (text)
 GET    ``/api/runs``                      recorded registry runs
 GET    ``/api/runs/<id>``                 one registry run row
+GET    ``/api/runs/<id>/anatomy``         critical-path delay attribution
 ====== ================================== ===============================
 
 Semantics worth naming: submissions are validated by
@@ -97,6 +98,7 @@ def record_payload(record: RunRecord) -> Dict[str, Any]:
         "metrics": record.metrics,
         "spans": record.spans,
         "profile": record.profile,
+        "anatomy": record.anatomy,
         "error": record.error,
     }
 
@@ -161,7 +163,8 @@ class ServiceApp:
             tail = f"/{parts[3]}" if len(parts) > 3 else ""
             return "/api/jobs/{digest}" + tail
         if parts[:2] == ["api", "runs"] and len(parts) >= 3:
-            return "/api/runs/{id}"
+            tail = f"/{parts[3]}" if len(parts) > 3 else ""
+            return "/api/runs/{id}" + tail
         return "/" + "/".join(parts) if parts else "/"
 
     async def _timed_dispatch(self, request: Request, writer) -> None:
@@ -229,6 +232,13 @@ class ServiceApp:
             return self._runs_index(request, writer)
         if len(parts) == 3 and parts[:2] == ["api", "runs"] and method == "GET":
             return self._run_row(writer, parts[2])
+        if (
+            len(parts) == 4
+            and parts[:2] == ["api", "runs"]
+            and parts[3] == "anatomy"
+            and method == "GET"
+        ):
+            return self._run_anatomy(writer, parts[2])
         raise HttpError(404, f"no route for {method} {request.path}")
 
     @staticmethod
@@ -375,6 +385,13 @@ class ServiceApp:
         gauge("service.trace_dropped_records").set(
             telemetry["trace_dropped_records"]
         )
+        gauge("service.link_coalesced_total").set(
+            telemetry.get("link_coalesced_total", 0)
+        )
+        from ..bgp.attrs import intern_stats
+
+        for key, value in intern_stats().items():
+            gauge(f"intern.{key}").set(value)
         gauge("service.uptime_seconds").set(
             time.monotonic() - self._started_monotonic
         )
@@ -477,6 +494,30 @@ class ServiceApp:
         from dataclasses import asdict
 
         self._reply(writer, 200, asdict(row))
+
+    def _run_anatomy(self, writer, run_id: str) -> None:
+        """Critical-path delay attribution of one recorded run.
+
+        Served from the stored ``anatomy`` column (the registry derives
+        it from the spans whenever a spans-carrying record is recorded).
+        Rows recorded before schema 3 — or without spans — have nothing
+        to attribute and answer 404.
+        """
+        try:
+            wanted = int(run_id)
+        except ValueError:
+            raise HttpError(400, f"run id must be an integer, got {run_id!r}")
+        with self._open_registry() as registry:
+            row = registry.run(wanted)
+        if row is None:
+            raise HttpError(404, f"no recorded run {wanted}")
+        if row.anatomy is None:
+            raise HttpError(
+                404,
+                f"run {wanted} carries no anatomy; record it with "
+                "spans enabled to attribute its convergence delay",
+            )
+        self._reply(writer, 200, {"run_id": wanted, "anatomy": row.anatomy})
 
 
 async def start_service(

@@ -1,0 +1,132 @@
+"""Differential oracle: convergence anatomy is invisible to results.
+
+Anatomy is pure post-processing of the span pile, so turning it on may
+change *nothing observable* in the science: these tests run the paper's
+experiments with attribution fully on and fully off and compare with
+exact equality — every measurement field, the full trace digest, and
+(deliberately) the spec digest itself.  The shared digest is the design
+point: an anatomy-on run and an anatomy-off run of the same trial are
+the same cache entry and the same registry lineage, with the
+attribution re-derivable losslessly from the stored spans.
+"""
+
+import hashlib
+from dataclasses import fields
+
+import pytest
+
+from repro.experiments.common import (
+    FailoverScenario,
+    WithdrawalScenario,
+    paper_config,
+    sdn_set_for,
+)
+from repro.framework.convergence import ConvergenceMeasurement, measure_event
+from repro.framework.experiment import Experiment
+from repro.obs.anatomy import check_anatomy, ensure_record_anatomy
+from repro.runner.jobs import RunSpec, execute_spec
+from repro.topology.builders import clique
+
+
+def _trace_digest(exp):
+    """Same recipe as ``FaultInjector.trace_digest``: every retained
+    trace record, exact float reprs."""
+    hasher = hashlib.sha256()
+    for record in exp.net.trace:
+        hasher.update(
+            f"{record.time!r}|{record.category}|{record.node}\n".encode()
+        )
+    return hasher.hexdigest()
+
+
+def _run_scenario(scenario, *, n, sdn_count, seed, mrai):
+    topology = scenario.topology(n, clique)
+    members = sdn_set_for(topology, sdn_count, scenario.reserved_legacy)
+    config = paper_config(seed=seed, mrai=mrai, spans=True)
+    exp = Experiment(
+        topology, sdn_members=members, config=config, name=scenario.name
+    ).build()
+    scenario.configure(exp)
+    exp.start()
+    scenario.prepare(exp)
+    measurement = measure_event(exp, lambda: scenario.event(exp))
+    scenario.finish(exp)
+    return exp, measurement
+
+
+def _normalized_spans(spans):
+    """Spans with the process-global ``update_id`` counter removed."""
+    out = []
+    for span in spans or []:
+        data = {k: v for k, v in span["data"].items() if k != "update_id"}
+        out.append({**span, "data": data})
+    return out
+
+
+@pytest.mark.parametrize(
+    "scenario_cls", [WithdrawalScenario, FailoverScenario],
+    ids=["withdrawal", "failover"],
+)
+def test_measurement_and_trace_identical_anatomy_on_vs_off(scenario_cls):
+    off_exp, off_m = _run_scenario(
+        scenario_cls(), n=8, sdn_count=3, seed=42, mrai=2.0
+    )
+    on_exp, on_m = _run_scenario(
+        scenario_cls(), n=8, sdn_count=3, seed=42, mrai=2.0
+    )
+    # derive the anatomy mid-flight, before comparing: the attribution
+    # walk may not disturb the experiment it explains
+    from repro.analysis.report import anatomy_of_spans
+
+    anatomy = anatomy_of_spans(on_exp.spans_snapshot())
+    assert check_anatomy(
+        anatomy.to_dict(), t_converged=on_m.t_converged
+    ) == []
+
+    for f in fields(ConvergenceMeasurement):
+        assert getattr(on_m, f.name) == getattr(off_m, f.name), f.name
+    assert _trace_digest(on_exp) == _trace_digest(off_exp)
+
+
+@pytest.mark.parametrize(
+    "scenario_cls", [WithdrawalScenario, FailoverScenario],
+    ids=["withdrawal", "failover"],
+)
+def test_worker_results_identical_anatomy_on_vs_off(scenario_cls):
+    # Through the full worker stack: execute_spec with anatomy off and
+    # on; everything a cache or registry would persist must match,
+    # except the anatomy payload itself.
+    def spec(**overrides):
+        base = dict(
+            scenario_factory=scenario_cls,
+            topology_factory=clique,
+            n=6,
+            sdn_count=2,
+            seed=5,
+            mrai=1.0,
+            spans=True,
+        )
+        base.update(overrides)
+        return RunSpec(**base)
+
+    off = execute_spec(spec())
+    assert off.ok, off.error
+    on = execute_spec(spec(anatomy=True))
+    assert on.ok, on.error
+
+    assert on.measurement_dict() == off.measurement_dict()
+    assert _normalized_spans(on.spans) == _normalized_spans(off.spans)
+    # anatomy shares the spec digest: it is NOT a new cache identity
+    assert spec(anatomy=True).digest() == spec().digest()
+    assert on.digest == off.digest
+
+    assert off.anatomy is None
+    assert on.anatomy is not None
+    assert check_anatomy(
+        on.anatomy, t_converged=on.measurement.t_converged
+    ) == []
+
+    # an off record re-derives the identical payload losslessly — the
+    # cache-hit upgrade path in ParallelRunner.run
+    ensure_record_anatomy(off)
+    assert off.anatomy == on.anatomy

@@ -140,6 +140,73 @@ class TestDashboardStructure:
         assert "repro.framework.experiment.run" in html
 
 
+class TestAnatomySection:
+    @pytest.fixture(scope="class")
+    def traced(self):
+        """A sweep whose runs carry spans, so the registry derives and
+        stores the anatomy column for every trial."""
+        registry = make_registry()
+        sweep_id = registry.begin_sweep(
+            scenario="WithdrawalScenario", n_ases=4
+        )
+        for sdn_count, seed in GRID:
+            spec = make_spec(sdn_count=sdn_count, seed=seed, spans=True)
+            record = execute_spec(spec)
+            registry.record(
+                spec,
+                dataclasses.replace(record, wall_time=0.05, worker="w0"),
+                sweep_id=sweep_id,
+            )
+        registry.finish_sweep(
+            sweep_id,
+            SweepTiming(
+                elapsed=0.3, jobs=len(GRID), cached=0, failed=0,
+                total_job_wall=0.3, max_job_wall=0.05, workers=1,
+                cache_hits=0, cache_misses=len(GRID),
+            ),
+        )
+        return registry
+
+    def test_anatomy_chart_rendered(self, traced):
+        html = render_dashboard(traced)
+        assert (
+            "Convergence anatomy vs SDN fraction — WithdrawalScenario"
+            in html
+        )
+        assert "median critical-path delay by category" in html
+        assert "mrai_wait" in html
+
+    def test_no_anatomy_no_section(self, recorded):
+        # the pinned fixture records span-free runs: no attribution,
+        # and the section stays out instead of rendering empty axes
+        html = render_dashboard(recorded)
+        assert "Convergence anatomy vs SDN fraction" not in html
+
+
+class TestOpsEmptyState:
+    def test_pre_schema2_rows_explained(self):
+        # runs exist but none carry resources/sample_stacks (the shape
+        # of a migrated pre-schema-2 registry): the Ops section says so
+        # instead of vanishing
+        registry = make_registry()
+        spec = make_spec()
+        record = execute_spec(spec)
+        registry.record(
+            spec,
+            dataclasses.replace(
+                record, resources=None, sample_stacks=None
+            ),
+        )
+        html = render_dashboard(registry)
+        assert "Ops — per-run resource accounting" in html
+        assert "No resource accounting recorded" in html
+        assert "recorded before schema 2" in html
+
+    def test_empty_registry_omits_ops(self):
+        html = render_dashboard(make_registry())
+        assert "Ops — per-run resource accounting" not in html
+
+
 class TestDashboardGolden:
     def test_pinned_page(self, recorded):
         check_golden("dashboard.html", render_dashboard(recorded))

@@ -105,7 +105,7 @@ class TestRecordAndQuery:
         registry.close()
         with pytest.raises(ValueError, match="schema 999"):
             RunRegistry(path)
-        assert REGISTRY_SCHEMA == 2
+        assert REGISTRY_SCHEMA == 3
 
     def test_schema_1_migrates_in_place(self, tmp_path):
         """A version-1 file gains the schema-2 columns on open and its
@@ -156,7 +156,8 @@ class TestRecordAndQuery:
             assert row.spec_digest == "abc"
             assert row.resources is None
             assert row.sample_stacks is None
-            # and a schema-2 record with resources now round-trips
+            assert row.anatomy is None
+            # and a current-schema record with resources now round-trips
             spec = make_spec(seed=99)
             record = execute_spec(spec)
             registry.record(spec, record)
@@ -166,7 +167,62 @@ class TestRecordAndQuery:
             value = registry._conn.execute(
                 "SELECT value FROM meta WHERE key='schema'"
             ).fetchone()["value"]
-            assert value == "2"
+            assert value == str(REGISTRY_SCHEMA)
+
+    def test_schema_2_migrates_in_place(self, tmp_path):
+        """A version-2 file gains only the anatomy column; existing
+        rows — including ones that already carry resources — survive
+        untouched and read back with ``anatomy`` as None."""
+        import sqlite3
+
+        # author a real v2 file by rewinding a current one: drop the
+        # anatomy column and stamp the old version
+        path = tmp_path / "v2.sqlite"
+        with RunRegistry(path) as registry:
+            spec = make_spec(seed=41, spans=True)
+            registry.record(spec, execute_spec(spec))
+        conn = sqlite3.connect(path)
+        conn.execute("ALTER TABLE runs DROP COLUMN anatomy")
+        conn.execute("UPDATE meta SET value='2' WHERE key='schema'")
+        conn.commit()
+        conn.close()
+
+        with RunRegistry(path) as registry:
+            row = registry.runs()[0]
+            assert row.anatomy is None
+            assert row.resources is not None  # v2 data kept
+            # new spans-carrying records gain the attribution
+            spec = make_spec(seed=42, spans=True)
+            registry.record(spec, execute_spec(spec))
+            stored = registry.runs(digest=spec.digest())[0]
+            assert stored.anatomy is not None
+        with RunRegistry(path) as registry:
+            value = registry._conn.execute(
+                "SELECT value FROM meta WHERE key='schema'"
+            ).fetchone()["value"]
+            assert value == str(REGISTRY_SCHEMA)
+
+    def test_anatomy_round_trips_and_checks(self):
+        from repro.obs.anatomy import check_anatomy
+
+        registry = make_registry()
+        spec = make_spec(spans=True)
+        record = execute_spec(spec)
+        row = registry.run(registry.record(spec, record))
+        # derived at record time from the spans, like the instants
+        assert row.anatomy is not None
+        assert check_anatomy(
+            row.anatomy,
+            t_converged=record.measurement.t_converged,
+        ) == []
+        # the stored critical instant is the tracker's answer
+        assert row.anatomy["t_converged"] == record.measurement.t_converged
+
+    def test_no_spans_no_anatomy(self):
+        registry = make_registry()
+        spec = make_spec()
+        row = registry.run(registry.record(spec, execute_spec(spec)))
+        assert row.anatomy is None
 
     def test_resolve_registry_shorthand(self, tmp_path):
         assert resolve_registry(None) is None

@@ -70,6 +70,44 @@ class TestDiffRuns:
         assert [f.name for f in diff.timing_mismatches] == ["wall_time"]
         assert diff.timing_mismatches[0].rel_error == pytest.approx(0.99)
 
+    def test_anatomy_compared_when_both_rows_carry_it(self):
+        registry = make_registry()
+        spec = make_spec(spans=True)
+        a = registry.run(registry.record(spec, execute_spec(spec)))
+        b = registry.run(registry.record(spec, execute_spec(spec)))
+        diff = diff_runs(a, b)
+        assert diff.ok
+        names = {f.name for f in diff.fields}
+        assert "anatomy.mrai_wait" in names
+        assert "anatomy.critical_node" in names
+
+    def test_anatomy_drift_fails_the_diff(self):
+        registry = make_registry()
+        spec = make_spec(spans=True)
+        a = registry.run(registry.record(spec, execute_spec(spec)))
+        b = registry.run(registry.record(spec, execute_spec(spec)))
+        tampered = dict(b.anatomy)
+        tampered["categories"] = dict(
+            tampered["categories"], mrai_wait=123.456
+        )
+        b = dataclasses.replace(b, anatomy=tampered)
+        diff = diff_runs(a, b)
+        assert not diff.ok
+        drifted = {f.name for f in diff.deterministic_mismatches}
+        assert "anatomy.mrai_wait" in drifted
+
+    def test_one_sided_anatomy_is_tolerated(self):
+        # digest-neutral flag means a digest's history can mix
+        # anatomy-on and anatomy-off rows; that is not drift
+        registry = make_registry()
+        spec = make_spec(spans=True)
+        a = registry.run(registry.record(spec, execute_spec(spec)))
+        b = dataclasses.replace(a, anatomy=None)
+        diff = diff_runs(a, b)
+        assert diff.ok
+        one_sided = [f for f in diff.fields if f.name == "anatomy"]
+        assert len(one_sided) == 1 and one_sided[0].ok
+
     def test_different_digests_not_ok(self):
         registry = make_registry()
         rows = []

@@ -258,6 +258,39 @@ class TestRoutes:
 
         serve(tmp_path, body)
 
+    def test_run_anatomy_endpoint(self, tmp_path):
+        from repro.obs.anatomy import check_anatomy
+
+        def body(port, app, loop):
+            client = ServiceClient("127.0.0.1", port, client_id="t")
+            # a traced run: the registry derives and stores anatomy
+            (job,) = client.submit({"spec": {**QUICK_SPEC, "spans": True}})
+            client.watch(job["digest"])
+            (traced_row,) = client.runs()
+            run_id = traced_row["run_id"]
+            payload = client._json("GET", f"/api/runs/{run_id}/anatomy")
+            assert payload["run_id"] == run_id
+            anatomy = payload["anatomy"]
+            assert anatomy["nodes"]
+            assert check_anatomy(anatomy) == []
+
+            # a span-free run carries no attribution: explicit 404
+            (job2,) = client.submit(
+                {"spec": {**QUICK_SPEC, "seed": 8}}
+            )
+            client.watch(job2["digest"])
+            bare = next(
+                row for row in client.runs()
+                if row["spec_digest"] == job2["digest"]
+            )
+            with pytest.raises(ServiceClientError) as excinfo:
+                client._json(
+                    "GET", f"/api/runs/{bare['run_id']}/anatomy"
+                )
+            assert "404" in str(excinfo.value)
+
+        serve(tmp_path, body)
+
     def test_registry_persists_after_service(self, tmp_path):
         def body(port, app, loop):
             client = ServiceClient("127.0.0.1", port, client_id="t")
@@ -385,6 +418,13 @@ class TestTelemetryEndpoints:
             ) >= 1
             assert scrape.value("repro_service_cache_entries") == 1
             assert scrape.value("repro_service_uptime_seconds") > 0
+            # execution-strategy gauges: intern pools are warm after a
+            # run, link coalescing is exported even when it never fired
+            assert scrape.value("repro_intern_as_paths") > 0
+            assert scrape.value("repro_intern_as_path_hits") >= 0
+            assert scrape.value(
+                "repro_service_link_coalesced_total"
+            ) >= 0
             assert (
                 scrape.types["repro_service_request_seconds"] == "histogram"
             )
